@@ -1,0 +1,9 @@
+"""Checks the paper's headline claims (sections 1-3) against the simulation."""
+
+from repro.studies import claims
+
+
+def test_headline_claims(reproduce):
+    results = reproduce(claims.run, claims.render)
+    failing = [c.claim_id for c in results if not c.holds]
+    assert not failing, f"claims out of band: {failing}"

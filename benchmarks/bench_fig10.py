@@ -1,0 +1,14 @@
+"""Regenerates paper Figure 10: the power-throughput model.
+
+Includes the section-3.3 worked example (SSD1 under a 20 % power cut) and
+the headline dynamic-range / throughput-floor numbers.
+"""
+
+from repro.studies import fig10
+
+
+def test_fig10_power_throughput_model(reproduce):
+    result = reproduce(fig10.run, fig10.render)
+    assert 0.40 <= result.dynamic_range("ssd2") <= 0.75  # paper: 59.4 %
+    assert result.throughput_floor("hdd") <= 0.10  # paper: ~4 %
+    assert result.ssd1_plan.curtailed_bps > 0

@@ -1,0 +1,10 @@
+"""Regenerates paper Figure 3: SSD2 random-write power under power states."""
+
+from repro.studies import fig3
+
+
+def test_fig3_power_vs_chunk_under_states(reproduce):
+    result = reproduce(fig3.run, fig3.render)
+    # Caps hold at queue depth 64 (small tolerance for meter noise).
+    assert max(result.power_w[(64, 1)]) <= 12.0 + 0.15
+    assert max(result.power_w[(64, 2)]) <= 10.0 + 0.15

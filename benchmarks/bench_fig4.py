@@ -1,0 +1,11 @@
+"""Regenerates paper Figure 4: SSD2 throughput under power states (QD64)."""
+
+from repro.iogen.spec import IoPattern
+from repro.studies import fig4
+
+
+def test_fig4_throughput_under_states(reproduce):
+    result = reproduce(fig4.run, fig4.render)
+    assert result.mean_state_ratio(IoPattern.WRITE, 2) < result.mean_state_ratio(
+        IoPattern.WRITE, 1
+    )

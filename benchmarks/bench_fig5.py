@@ -1,0 +1,9 @@
+"""Regenerates paper Figure 5: SSD2 random-write latency under states (QD1)."""
+
+from repro.studies import fig5
+
+
+def test_fig5_write_latency_inflation(reproduce):
+    result = reproduce(fig5.run, fig5.render)
+    assert result.max_avg_inflation > 1.5  # paper: up to ~2x
+    assert result.max_p99_inflation > 2.0  # paper: up to 6.19x

@@ -1,0 +1,8 @@
+"""Regenerates paper Figure 6: SSD2 random-read latency under states (QD1)."""
+
+from repro.studies import fig6
+
+
+def test_fig6_read_latency_flat(reproduce):
+    result = reproduce(fig6.run, fig6.render)
+    assert result.worst_deviation < 0.05  # paper: no noticeable difference

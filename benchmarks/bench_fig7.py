@@ -1,0 +1,9 @@
+"""Regenerates paper Figure 7: 860 EVO ALPM standby transition traces."""
+
+from repro.studies import fig7
+
+
+def test_fig7_standby_transitions(reproduce):
+    result = reproduce(fig7.run, fig7.render)
+    assert result.slumber_power_w < 0.6 * result.idle_power_w
+    assert max(result.enter_settle_s, result.exit_settle_s) <= 0.5

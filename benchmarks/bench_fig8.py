@@ -1,0 +1,10 @@
+"""Regenerates paper Figure 8: random-write power/throughput vs chunk size."""
+
+from repro.studies import fig8
+
+
+def test_fig8_chunk_size_shaping(reproduce):
+    result = reproduce(fig8.run, fig8.render)
+    for device in ("ssd1", "ssd2"):
+        assert result.power_saving_small_chunks(device) > 0.10
+        assert result.throughput_loss_small_chunks(device) > 0.25

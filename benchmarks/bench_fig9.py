@@ -1,0 +1,9 @@
+"""Regenerates paper Figure 9: random-read power/throughput vs queue depth."""
+
+from repro.studies import fig9
+
+
+def test_fig9_queue_depth_shaping(reproduce):
+    result = reproduce(fig9.run, fig9.render)
+    assert result.power_saving_qd1("ssd2") > 0.2  # paper: up to 40 %
+    assert result.throughput_fraction_qd1("ssd2") < 0.15  # paper: ~10 %

@@ -1,0 +1,48 @@
+"""Extension: CPU-throttle interaction with storage power control (4.1).
+
+Reproduces the paper's predicted preference flip: as CPU throttling cuts
+the storage request rate, redirection + standby overtakes IO shaping as
+the cheaper storage-side response.
+"""
+
+from repro._units import GiB, KiB
+from repro.core.interactions import CpuThrottleInteraction
+from repro.core.redirection import StandbyProfile
+from repro.iogen.spec import IoPattern
+from repro.studies.common import QUICK
+from repro.studies.fig10 import build_model
+
+
+def run():
+    model = build_model(
+        "pm1743",
+        pattern=IoPattern.RANDWRITE,
+        scale=QUICK,
+        chunks=(4 * KiB, 256 * KiB, 2048 * KiB),
+        depths=(1, 64),
+        states=(0, 1, 2),
+    )
+    interaction = CpuThrottleInteraction(
+        model,
+        StandbyProfile(
+            standby_power_w=1.05, wake_latency_s=8e-3, idle_power_w=5.0
+        ),
+        n_devices=16,
+        full_load_bps=24 * GiB,
+    )
+    return interaction.evaluate((0.0, 0.2, 0.4, 0.6, 0.8))
+
+
+def render(points):
+    return CpuThrottleInteraction.render(points)
+
+
+def test_cpu_throttle_interaction(reproduce):
+    points = reproduce(run, render)
+    # Redirection's advantage grows as the CPU throttles deeper...
+    savings = [p.savings_w for p in points]
+    assert savings[-1] > savings[0]
+    # ...and at deep throttle it is the preferred mechanism, with devices
+    # actually stood down.
+    assert points[-1].redirection_preferred
+    assert points[-1].standby_devices > 0

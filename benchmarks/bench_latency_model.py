@@ -1,0 +1,74 @@
+"""Extension: the power-latency model (paper section 4).
+
+"For latency, a similar model can be drawn from the measurement results."
+This bench draws it for SSD2's random-write workload and reports what a
+latency-SLO-aware operator gets from it: the p99 floor at each power
+budget, and the tail inflation a power cut implies.
+"""
+
+from repro._units import KiB
+from repro.core.experiment import ExperimentResult
+from repro.core.latency_model import PowerLatencyModel
+from repro.core.reporting import format_table
+from repro.core.sweep import SweepPoint
+from repro.iogen.spec import IoPattern
+from repro.studies.common import QUICK, run_point
+
+CHUNKS = (4 * KiB, 256 * KiB, 2048 * KiB)
+DEPTHS = (1, 8)
+STATES = (0, 1, 2)
+
+
+def run():
+    results: dict[SweepPoint, ExperimentResult] = {}
+    for ps in STATES:
+        for chunk in CHUNKS:
+            for depth in DEPTHS:
+                point = SweepPoint(IoPattern.RANDWRITE, chunk, depth, ps)
+                results[point] = run_point(
+                    "ssd2",
+                    IoPattern.RANDWRITE,
+                    chunk,
+                    depth,
+                    power_state=ps,
+                    scale=QUICK,
+                    latency_study=(depth == 1),
+                )
+    model = PowerLatencyModel.from_sweep("ssd2", results)
+    budgets = [model.max_power_w * f for f in (1.0, 0.8, 0.6, 0.45)]
+    floors = [(b, model.latency_cost_of_power_budget(b)) for b in budgets]
+    inflations = {cut: model.tail_inflation_of_power_cut(cut) for cut in (0.2, 0.4)}
+    return model, floors, inflations
+
+
+def render(result):
+    model, floors, inflations = result
+    rows = []
+    for budget, point in floors:
+        rows.append(
+            [
+                budget,
+                "-" if point is None else point.p99_latency_s * 1e3,
+                "-" if point is None else point.point.describe(),
+            ]
+        )
+    blocks = [
+        format_table(
+            ["Budget (W)", "p99 floor (ms)", "Configuration"],
+            rows,
+            title="SSD2 power-latency model: achievable tail per budget.",
+        ),
+        "Tail inflation of a power cut: "
+        + ", ".join(f"{cut:.0%} -> {ratio:.2f}x" for cut, ratio in inflations.items()),
+        f"Pareto frontier: {len(model.pareto_frontier())} points "
+        f"of {len(model.points)}",
+    ]
+    return "\n\n".join(blocks)
+
+
+def test_latency_model(reproduce):
+    model, floors, inflations = reproduce(run, render)
+    # Tighter budgets can only raise the achievable tail floor.
+    tails = [p.p99_latency_s for __, p in floors if p is not None]
+    assert tails == sorted(tails)
+    assert inflations[0.4] >= inflations[0.2] >= 1.0

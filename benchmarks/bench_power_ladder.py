@@ -1,0 +1,72 @@
+"""Extension: the full HDD power ladder (EPC idle conditions + standby).
+
+Measures each rung of the modelled Exos drive's power ladder on real
+simulated hardware -- settled power and first-IO recovery latency -- the
+menu a power-aware redirection policy chooses from (deeper rung = bigger
+saving = longer wake).
+"""
+
+from repro._units import KiB
+from repro.core.reporting import format_table
+from repro.devices.base import IOKind, IORequest
+from repro.devices.catalog import build_device
+from repro.devices.hdd_drive import IdleCondition
+from repro.sim.engine import Engine
+
+
+def _measure_rung(configure):
+    """Returns (settled watts, first-IO latency) for one ladder rung."""
+    engine = Engine()
+    hdd = build_device(engine, "hdd")
+    configure(engine, hdd)
+    t0 = engine.now
+    engine.run(until=t0 + 0.5)
+    watts = hdd.rail.trace.mean(t0 + 0.2, t0 + 0.5)
+    done = hdd.submit(IORequest(IOKind.READ, 1 << 30, 4 * KiB))
+    while not done.processed:
+        engine.step()
+    return watts, done.value.latency
+
+
+def run():
+    def idle_a(engine, hdd):
+        pass
+
+    def idle_b(engine, hdd):
+        hdd.set_idle_condition(IdleCondition.IDLE_B)
+
+    def idle_c(engine, hdd):
+        hdd.set_idle_condition(IdleCondition.IDLE_C)
+
+    def standby(engine, hdd):
+        proc = engine.process(hdd.enter_standby())
+        while proc.is_alive:
+            engine.step()
+
+    rungs = [
+        ("idle_a (full idle)", idle_a),
+        ("idle_b (heads unloaded)", idle_b),
+        ("idle_c (+ low rpm)", idle_c),
+        ("standby_z (spun down)", standby),
+    ]
+    return [(name,) + _measure_rung(fn) for name, fn in rungs]
+
+
+def render(rows):
+    return format_table(
+        ["Condition", "Power (W)", "First-IO latency (s)"],
+        [[name, watts, latency] for name, watts, latency in rows],
+        title="HDD power ladder: EPC idle conditions and standby.",
+    )
+
+
+def test_hdd_power_ladder(reproduce):
+    rows = reproduce(run, render)
+    watts = [w for __, w, __ in rows]
+    latencies = [lat for __, __, lat in rows]
+    # Monotone trade: each rung saves more power and costs more recovery.
+    assert watts == sorted(watts, reverse=True)
+    assert latencies == sorted(latencies)
+    # Endpoints match the paper's idle/standby figures.
+    assert abs(watts[0] - 3.76) < 0.05
+    assert abs(watts[-1] - 1.10) < 0.05

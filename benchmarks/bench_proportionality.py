@@ -1,0 +1,16 @@
+"""Extension: power proportionality vs power adaptivity (footnote 1)."""
+
+from repro.studies import proportionality
+
+
+def test_power_proportionality(reproduce):
+    curves = reproduce(proportionality.run, proportionality.render)
+    by_device = {c.device: c for c in curves}
+    for curve in curves:
+        # Power rises monotonically-ish with load and idles above zero.
+        assert curve.power_w[-1] > curve.power_w[0]
+        assert 0.2 <= curve.idle_fraction <= 0.95
+        assert 0.0 < curve.proportionality_index < 1.0
+    # The HDD is the least proportional device (constant rotation).
+    hdd_index = by_device["hdd"].proportionality_index
+    assert hdd_index == min(c.proportionality_index for c in curves)

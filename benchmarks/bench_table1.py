@@ -1,0 +1,8 @@
+"""Regenerates paper Table 1: evaluated devices and measured power ranges."""
+
+from repro.studies import table1
+
+
+def test_table1_device_power_ranges(reproduce):
+    rows = reproduce(table1.run, table1.render)
+    assert len(rows) == 4

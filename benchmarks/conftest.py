@@ -1,0 +1,38 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding :mod:`repro.studies` driver under ``pytest-benchmark``
+(one timed round -- these are simulation *reproductions*, not microbenches)
+and prints the same rows/series the paper reports, so
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full paper-versus-measured record on stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def reproduce(benchmark, capsys):
+    """Run a figure driver once under the benchmark timer and print it.
+
+    Usage::
+
+        def test_fig4(reproduce):
+            result = reproduce(fig4.run, fig4.render)
+    """
+    benchmark.pedantic  # ensure pytest-benchmark is active
+
+    def _run(run_fn, render_fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            run_fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+        with capsys.disabled():
+            print()
+            print(render_fn(result))
+        return result
+
+    return _run

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Demand response for a 16-SSD storage server (paper section 4).
+
+A grid event asks the server to shed storage power.  This script walks the
+policies the paper discusses, on models fitted from the simulated PM1743:
+
+1. *power capping + IO shaping* via the fleet allocator (Pareto-greedy);
+2. *power-aware IO redirection*: consolidate load, stand devices down;
+3. *asymmetric IO*: segregate writes so the read-set can be capped deeply.
+
+Run:  python examples/fleet_demand_response.py
+"""
+
+from repro._units import GiB, KiB
+from repro.core.asymmetric import AsymmetricPlanner
+from repro.core.fleet import FleetModel
+from repro.core.redirection import RedirectionPolicy, StandbyProfile
+from repro.iogen.spec import IoPattern
+from repro.studies.common import QUICK
+from repro.studies.fig10 import build_model
+
+N = 16
+
+
+def main() -> None:
+    print("fitting PM1743 write/read models from mechanism sweeps...\n")
+    grid = dict(
+        scale=QUICK, chunks=(4 * KiB, 256 * KiB, 2048 * KiB), depths=(1, 64)
+    )
+    write_model = build_model(
+        "pm1743", pattern=IoPattern.RANDWRITE, states=(0, 1, 2), **grid
+    )
+    read_model = build_model(
+        "pm1743", pattern=IoPattern.RANDREAD, states=(0, 2), **grid
+    )
+
+    # --- 1. fleet budget allocation (capping + shaping) ------------------
+    fleet = FleetModel([write_model] * N)
+    print(
+        f"fleet of {N}: floor {fleet.min_power_w:.0f} W, "
+        f"peak {fleet.max_power_w:.0f} W / "
+        f"{fleet.max_throughput_bps / GiB:.0f} GiB/s"
+    )
+    for budget_fraction in (1.0, 0.8, 0.6):
+        budget = budget_fraction * fleet.max_power_w
+        allocation = fleet.allocate(budget)
+        print(
+            f"  budget {budget:5.0f} W ({budget_fraction:.0%}): "
+            f"{allocation.describe()}"
+        )
+
+    # --- 2. redirection + standby ----------------------------------------
+    standby = StandbyProfile(
+        standby_power_w=1.05,  # ps4 idle + PHY
+        wake_latency_s=8e-3,
+        idle_power_w=5.0,
+    )
+    policy = RedirectionPolicy(write_model, standby, n_devices=N)
+    print("\nredirection under a 100 ms wake SLO:")
+    for load_gib in (2, 8, 20):
+        decision = policy.decide(load_gib * GiB, wake_slo_s=0.1)
+        print(f"  load {load_gib:>2} GiB/s: {decision.describe()}")
+
+    # --- 3. asymmetric IO -------------------------------------------------
+    print("\nasymmetric IO for a mixed load (10 GiB/s reads + 6 GiB/s writes):")
+    asym = AsymmetricPlanner(read_model, write_model, n_devices=N, cap_power_w=9.0)
+    plan = asym.plan(read_load_bps=10 * GiB, write_load_bps=6 * GiB)
+    print(f"  {plan.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""A live power-adaptive storage controller tracking a demand-response event.
+
+The full closed loop the paper motivates, running on real simulated
+hardware: two D7-P5510s serve an open-loop random-write load; at t=200 ms
+the facility cuts the storage power budget by a third; at t=400 ms it
+restores it.  The controller measures fleet power off the device rails and
+walks NVMe power states to track the budget; the workload pays with queued
+and shed requests while the cut lasts.
+
+Run:  python examples/online_controller.py   (~20 s)
+"""
+
+from repro._units import GiB
+from repro.core.controller import BudgetSignal, run_demand_response
+
+
+def main() -> None:
+    print("running 2x SSD2 demand-response scenario (0.6 s simulated)...\n")
+    result = run_demand_response(
+        n_devices=2,
+        offered_load_bps=int(4.8 * GiB),
+        duration_s=0.6,
+        budget=BudgetSignal(((0.0, 30.0), (0.2, 20.5), (0.4, 30.0))),
+    )
+    print("budget tracking:")
+    print(result.describe())
+    print("\ncontroller actions:")
+    for action in result.actions:
+        print(f"  {action}")
+    stats = result.workload.latency_stats()
+    print(
+        f"\nworkload: {result.workload.offered} offered, "
+        f"{len(result.workload.records)} completed, "
+        f"{result.workload.shed} shed"
+    )
+    print(
+        f"latency: p50 {stats.p50 * 1e3:.2f} ms, "
+        f"p99 {stats.p99 * 1e3:.2f} ms "
+        "(the tail is the price of the 200-400 ms throttle window)"
+    )
+
+
+if __name__ == "__main__":
+    main()

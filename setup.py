@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` on environments whose
+setuptools predates full PEP 517/660 editable support; all metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro -- a full reproduction of "Can Storage Devices be Power Adaptive?"
+
+(Xie, Stavrinos, Zhu, Peter, Kasikci, Anderson -- HotStorage '24)
+
+The paper is a hardware measurement study; this package rebuilds the entire
+apparatus in simulation -- devices, power meter, workload generator -- and
+the paper's contribution on top: per-device power-throughput models and the
+power-adaptive storage policies they enable.
+
+Quickstart::
+
+    from repro import run_experiment, ExperimentConfig
+    from repro.iogen import JobSpec, IoPattern
+
+    cfg = ExperimentConfig(
+        device="ssd2",
+        job=JobSpec(IoPattern.RANDWRITE, block_size=256 * 1024, iodepth=64),
+    )
+    result = run_experiment(cfg)
+    print(result.summary())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro._units import GiB, KiB, MiB
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.model import ModelPoint, PowerThroughputModel
+from repro.core.sweep import SweepGrid, run_sweep
+from repro.devices import build_device, DEVICE_PRESETS
+from repro.iogen import IoPattern, JobSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEVICE_PRESETS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GiB",
+    "IoPattern",
+    "JobSpec",
+    "KiB",
+    "MiB",
+    "ModelPoint",
+    "PowerThroughputModel",
+    "SweepGrid",
+    "build_device",
+    "run_experiment",
+    "run_sweep",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Unit constants and formatting helpers.
+
+Conventions used throughout the project:
+
+- **time** is a float in seconds (microsecond literals via :data:`USEC`),
+- **sizes** are integers in bytes (:data:`KiB`, :data:`MiB`, :data:`GiB`),
+- **power** is a float in watts, **energy** in joules,
+- **throughput** in bytes/second unless a helper says otherwise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GiB",
+    "KiB",
+    "MiB",
+    "MSEC",
+    "USEC",
+    "fmt_bytes",
+    "fmt_duration",
+    "mib_per_s",
+    "parse_size",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+USEC = 1e-6
+MSEC = 1e-3
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kib": KiB,
+    "kb": KiB,
+    "m": MiB,
+    "mib": MiB,
+    "mb": MiB,
+    "g": GiB,
+    "gib": GiB,
+    "gb": GiB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a fio-style size string like ``"256k"`` or ``"2MiB"`` to bytes.
+
+    Integers pass through unchanged.
+
+    >>> parse_size("4k"), parse_size("2MiB"), parse_size(512)
+    (4096, 2097152, 512)
+    """
+    if isinstance(text, int):
+        return text
+    stripped = text.strip().lower()
+    digits = stripped.rstrip("kmgib ")
+    suffix = stripped[len(digits):].strip()
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix in {text!r}")
+    try:
+        value = float(digits)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+    result = value * _SUFFIXES[suffix]
+    if result != int(result):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable size, binary units.
+
+    >>> fmt_bytes(4096), fmt_bytes(3.5 * GiB)
+    ('4.0 KiB', '3.5 GiB')
+    """
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration.
+
+    >>> fmt_duration(0.000035)
+    '35.0 us'
+    """
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def mib_per_s(bytes_per_second: float) -> float:
+    """Convert bytes/s to MiB/s (the unit the paper's figures use)."""
+    return bytes_per_second / MiB

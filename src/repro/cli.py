@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Four subcommands cover the workflows a user of the artifact needs:
+
+- ``devices`` -- list the calibrated device presets;
+- ``run`` -- one experiment with fio-style options (the paper's inner
+  measurement loop);
+- ``figure`` -- regenerate a paper table/figure and print its rows;
+- ``plan`` -- fit a device's power-throughput model and plan a power cut
+  (the section-3.3 worked example).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro._units import parse_size
+from repro.core.adaptive import PowerAdaptivePlanner
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.devices.catalog import DEVICE_PRESETS
+from repro.iogen.spec import IoPattern, JobSpec
+
+__all__ = ["build_parser", "main"]
+
+_FIGURES = (
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "claims",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Can Storage Devices be Power Adaptive?' "
+            "(HotStorage '24)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the calibrated device presets")
+
+    run_p = sub.add_parser("run", help="run one measurement experiment")
+    run_p.add_argument("--device", required=True, choices=sorted(DEVICE_PRESETS))
+    run_p.add_argument(
+        "--rw",
+        default="randwrite",
+        choices=[p.value for p in IoPattern],
+        help="access pattern (fio rw=)",
+    )
+    run_p.add_argument("--bs", default="256k", help="chunk size (fio bs=)")
+    run_p.add_argument("--iodepth", type=int, default=64)
+    run_p.add_argument("--runtime", type=float, default=0.08, help="seconds")
+    run_p.add_argument("--size", default="48M", help="byte stop condition")
+    run_p.add_argument("--ps", type=int, default=None, help="NVMe power state")
+    run_p.add_argument("--seed", type=int, default=0)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig_p.add_argument("name", choices=_FIGURES)
+    fig_p.add_argument(
+        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
+    )
+
+    plan_p = sub.add_parser("plan", help="plan a power cut on a device model")
+    plan_p.add_argument("--device", required=True, choices=sorted(DEVICE_PRESETS))
+    plan_p.add_argument(
+        "--cut", type=float, default=0.2, help="power reduction fraction"
+    )
+    plan_p.add_argument(
+        "--slo-p99-ms", type=float, default=None, help="latency SLO in ms"
+    )
+    return parser
+
+
+def _cmd_devices() -> str:
+    from repro.core.reporting import format_table
+    from repro.devices.hdd_drive import HddConfig
+
+    rows = []
+    for label in sorted(DEVICE_PRESETS):
+        config = DEVICE_PRESETS[label]()
+        if isinstance(config, HddConfig):
+            kind = "HDD"
+            states = "standby/EPC"
+        else:
+            kind = "SSD"
+            states = (
+                f"{len(config.power_states)} NVMe states"
+                if config.power_states
+                else "ALPM"
+            )
+        rows.append([label, kind, f"{config.idle_power_w:.2f}", states])
+    return format_table(
+        ["Preset", "Type", "Idle W", "Power control"], rows
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    job = JobSpec(
+        pattern=IoPattern(args.rw),
+        block_size=parse_size(args.bs),
+        iodepth=args.iodepth,
+        runtime_s=args.runtime,
+        size_limit_bytes=parse_size(args.size),
+    )
+    result = run_experiment(
+        ExperimentConfig(
+            device=args.device,
+            job=job,
+            power_state=args.ps,
+            seed=args.seed,
+        )
+    )
+    return result.summary()
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    import importlib
+
+    from repro.studies.common import DEFAULT, QUICK
+
+    module = importlib.import_module(f"repro.studies.{args.name}")
+    scale = QUICK if args.quick else DEFAULT
+    if args.name == "fig7":  # trace study: no scale parameter
+        return module.render(module.run())
+    return module.render(module.run(scale))
+
+
+def _cmd_plan(args: argparse.Namespace) -> str:
+    from repro.studies.common import QUICK
+    from repro.studies.fig10 import build_model
+
+    model = build_model(args.device, scale=QUICK)
+    planner = PowerAdaptivePlanner(model)
+    slo = None if args.slo_p99_ms is None else args.slo_p99_ms * 1e-3
+    plan = planner.plan_power_cut(args.cut, max_latency_p99_s=slo)
+    return (
+        f"{args.device}: model of {len(model.points)} points, "
+        f"peak {model.max_power_w:.2f} W\n"
+        f"power cut {args.cut:.0%}: {plan.describe()}"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "devices":
+        print(_cmd_devices())
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "figure":
+        print(_cmd_figure(args))
+    elif args.command == "plan":
+        print(_cmd_plan(args))
+    return 0

@@ -1,0 +1,118 @@
+"""Single-device power-adaptive planning (paper section 3.3's example).
+
+Given a device's power-throughput model and the operator's constraints
+(power budget, optionally a latency SLO), the planner picks the power-cap /
+IO-shaping configuration to apply and quantifies how much best-effort load
+must be curtailed.  This is the decision procedure the paper walks through
+for SSD1: a 20 % power cut maps to the QD1 / 256 KiB point, curtailing
+~40 % of 3.3 GiB/s ~= 1.3 GiB/s of best-effort traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._units import mib_per_s
+from repro.core.model import ModelPoint, PowerThroughputModel
+
+__all__ = ["AdaptivePlan", "PowerAdaptivePlanner"]
+
+
+@dataclass(frozen=True)
+class AdaptivePlan:
+    """The planner's answer for one power-reduction event.
+
+    Attributes:
+        target: The configuration to apply (power state + IO shape).
+        power_w: Expected mean power in the target configuration.
+        throughput_bps: Expected throughput in the target configuration.
+        curtailed_bps: Best-effort load to shed (peak minus target
+            throughput); the system should only enter the configuration if
+            that much sheddable load exists.
+        power_saving_fraction: Power saved relative to peak power.
+    """
+
+    target: ModelPoint
+    power_w: float
+    throughput_bps: float
+    curtailed_bps: float
+    power_saving_fraction: float
+
+    def describe(self) -> str:
+        return (
+            f"apply {self.target.point.describe()}: "
+            f"{self.power_w:.2f} W "
+            f"(-{self.power_saving_fraction:.0%} power), "
+            f"{mib_per_s(self.throughput_bps):.0f} MiB/s, "
+            f"curtail {mib_per_s(self.curtailed_bps):.0f} MiB/s best-effort"
+        )
+
+
+class PowerAdaptivePlanner:
+    """Chooses device configurations under power/performance constraints."""
+
+    def __init__(self, model: PowerThroughputModel) -> None:
+        self.model = model
+
+    def plan_power_cut(
+        self,
+        cut_fraction: float,
+        max_latency_p99_s: Optional[float] = None,
+    ) -> AdaptivePlan:
+        """Plan for a power reduction of ``cut_fraction`` below peak power.
+
+        Raises:
+            ValueError: If no configuration (even the idlest) fits the cut.
+        """
+        if not 0 <= cut_fraction < 1:
+            raise ValueError("cut_fraction must be in [0, 1)")
+        budget_w = (1.0 - cut_fraction) * self.model.max_power_w
+        return self.plan_power_budget(budget_w, max_latency_p99_s)
+
+    def plan_power_budget(
+        self,
+        budget_w: float,
+        max_latency_p99_s: Optional[float] = None,
+    ) -> AdaptivePlan:
+        """Plan for an absolute power budget in watts."""
+        target = self.model.best_under_power_budget(budget_w, max_latency_p99_s)
+        if target is None:
+            raise ValueError(
+                f"{self.model.device_label}: no configuration fits "
+                f"{budget_w:.2f} W"
+                + (
+                    f" with p99 <= {max_latency_p99_s * 1e3:.1f} ms"
+                    if max_latency_p99_s is not None
+                    else ""
+                )
+            )
+        peak = self.model.max_point()
+        return AdaptivePlan(
+            target=target,
+            power_w=target.power_w,
+            throughput_bps=target.throughput_bps,
+            curtailed_bps=max(peak.throughput_bps - target.throughput_bps, 0.0),
+            power_saving_fraction=1.0 - target.power_w / self.model.max_power_w,
+        )
+
+    def required_power_for_load(self, load_bps: float) -> AdaptivePlan:
+        """Least-power plan that still serves ``load_bps``.
+
+        Raises:
+            ValueError: If the device cannot serve the load at any setting.
+        """
+        target = self.model.cheapest_at_throughput(load_bps)
+        if target is None:
+            raise ValueError(
+                f"{self.model.device_label} cannot sustain "
+                f"{mib_per_s(load_bps):.0f} MiB/s in any configuration"
+            )
+        peak = self.model.max_point()
+        return AdaptivePlan(
+            target=target,
+            power_w=target.power_w,
+            throughput_bps=target.throughput_bps,
+            curtailed_bps=max(peak.throughput_bps - target.throughput_bps, 0.0),
+            power_saving_fraction=1.0 - target.power_w / self.model.max_power_w,
+        )

@@ -1,0 +1,139 @@
+"""Cross-component power-control interactions (paper section 4.1).
+
+"If the power consumption of other components is reduced, how does that
+affect the power consumption of storage? ... CPU throttling to reduce CPU
+power usage may in turn reduce request rates to storage.  In this case, IO
+redirection together with putting devices on standby may be preferred over
+IO shaping, because lower IO request rates may mean devices can remain in
+standby mode for longer."
+
+:class:`CpuThrottleInteraction` quantifies that preference: for a range of
+CPU-throttle levels (each implying a reduced storage request rate), it
+compares the fleet power of the two storage-side responses --
+
+- **shape**: keep every device active, serving its slice of the reduced
+  load at the cheapest per-device configuration;
+- **redirect**: consolidate the reduced load onto few devices and stand
+  the rest down --
+
+and reports the crossover the paper predicts: the deeper the CPU throttle,
+the stronger the case for redirection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._units import mib_per_s
+from repro.core.model import PowerThroughputModel
+from repro.core.redirection import RedirectionPolicy, StandbyProfile
+from repro.core.reporting import format_table
+
+__all__ = ["CpuThrottleInteraction", "InteractionPoint"]
+
+
+@dataclass(frozen=True)
+class InteractionPoint:
+    """One CPU-throttle level's storage-side comparison.
+
+    Attributes:
+        throttle_fraction: CPU power/request-rate reduction (0 = none).
+        load_bps: Storage load implied by the throttle.
+        shape_power_w: Fleet power with the IO-shaping response.
+        redirect_power_w: Fleet power with redirection + standby.
+        standby_devices: Devices the redirection response stands down.
+    """
+
+    throttle_fraction: float
+    load_bps: float
+    shape_power_w: float
+    redirect_power_w: float
+    standby_devices: int
+
+    @property
+    def redirection_preferred(self) -> bool:
+        return self.redirect_power_w < self.shape_power_w
+
+    @property
+    def savings_w(self) -> float:
+        return self.shape_power_w - self.redirect_power_w
+
+
+class CpuThrottleInteraction:
+    """Compares shaping vs redirection as CPU throttling deepens."""
+
+    def __init__(
+        self,
+        model: PowerThroughputModel,
+        standby: StandbyProfile,
+        n_devices: int,
+        full_load_bps: float,
+        wake_slo_s: float = 0.1,
+    ) -> None:
+        if full_load_bps <= 0:
+            raise ValueError("full load must be positive")
+        self.model = model
+        self.standby = standby
+        self.n_devices = n_devices
+        self.full_load_bps = full_load_bps
+        self.wake_slo_s = wake_slo_s
+        self._policy = RedirectionPolicy(model, standby, n_devices=n_devices)
+
+    def _shape_power(self, load_bps: float) -> float:
+        """All devices active, each shaped to its share of the load."""
+        per_device = load_bps / self.n_devices
+        point = self.model.cheapest_at_throughput(per_device)
+        if point is None:
+            point = self.model.max_point()
+        return self.n_devices * point.power_w
+
+    def evaluate(
+        self, throttle_levels: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8)
+    ) -> list[InteractionPoint]:
+        """Sweep CPU throttle levels; request rate scales with CPU power."""
+        points = []
+        for throttle in throttle_levels:
+            if not 0 <= throttle < 1:
+                raise ValueError("throttle levels must be in [0, 1)")
+            load = self.full_load_bps * (1.0 - throttle)
+            decision = self._policy.decide(load, wake_slo_s=self.wake_slo_s)
+            points.append(
+                InteractionPoint(
+                    throttle_fraction=throttle,
+                    load_bps=load,
+                    shape_power_w=self._shape_power(load),
+                    redirect_power_w=decision.total_power_w,
+                    standby_devices=decision.standby_devices,
+                )
+            )
+        return points
+
+    @staticmethod
+    def render(points: list[InteractionPoint]) -> str:
+        rows = [
+            [
+                f"{p.throttle_fraction:.0%}",
+                mib_per_s(p.load_bps),
+                p.shape_power_w,
+                p.redirect_power_w,
+                p.standby_devices,
+                "redirect" if p.redirection_preferred else "shape",
+            ]
+            for p in points
+        ]
+        return format_table(
+            [
+                "CPU throttle",
+                "Load MiB/s",
+                "Shape (W)",
+                "Redirect (W)",
+                "Standby",
+                "Preferred",
+            ],
+            rows,
+            title=(
+                "CPU-throttle interaction: storage response comparison "
+                "(paper section 4.1)."
+            ),
+        )

@@ -1,0 +1,146 @@
+"""The power-latency model (paper section 4).
+
+"For latency, a similar model can be drawn from the measurement results."
+The paper sketches this in one sentence; this module builds it: operating
+points carry mean and tail latency next to power, and the model answers
+latency-SLO questions directly:
+
+- which configurations keep p99 under an SLO, and what is the least power
+  among them?
+- what is the *latency cost* of a power cut (the latency analogue of the
+  section-3.3 throughput example)?
+- the power-latency Pareto frontier, for trading watts against tail
+  guarantees in tiered storage ("weaker SLOs for slower tiers may allow
+  operators to apply power-adaptive mechanisms more aggressively").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.experiment import ExperimentResult
+from repro.core.sweep import SweepPoint
+
+__all__ = ["LatencyPoint", "PowerLatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One operating point with its latency profile.
+
+    Attributes:
+        point: The mechanism configuration.
+        power_w: Mean power.
+        mean_latency_s / p99_latency_s: The latency profile.
+        throughput_bps: Kept for joint queries (a config that meets an SLO
+            by serving nothing is not interesting).
+    """
+
+    point: SweepPoint
+    power_w: float
+    mean_latency_s: float
+    p99_latency_s: float
+    throughput_bps: float
+
+    @classmethod
+    def from_result(cls, point: SweepPoint, result: ExperimentResult) -> "LatencyPoint":
+        stats = result.latency()
+        return cls(
+            point=point,
+            power_w=result.mean_power_w,
+            mean_latency_s=stats.mean,
+            p99_latency_s=stats.p99,
+            throughput_bps=result.throughput_bps,
+        )
+
+
+class PowerLatencyModel:
+    """Latency-aware companion to the power-throughput model."""
+
+    def __init__(self, device_label: str, points: Sequence[LatencyPoint]) -> None:
+        if not points:
+            raise ValueError("a model needs at least one operating point")
+        self.device_label = device_label
+        self.points = tuple(points)
+        self.max_power_w = max(p.power_w for p in self.points)
+        self.min_power_w = min(p.power_w for p in self.points)
+
+    @classmethod
+    def from_sweep(
+        cls,
+        device_label: str,
+        results: dict[SweepPoint, ExperimentResult],
+    ) -> "PowerLatencyModel":
+        return cls(
+            device_label,
+            [LatencyPoint.from_result(point, res) for point, res in results.items()],
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def meeting_slo(
+        self,
+        max_p99_s: float,
+        min_throughput_bps: float = 0.0,
+    ) -> list[LatencyPoint]:
+        """All configurations with p99 within the SLO (and useful load)."""
+        return [
+            p
+            for p in self.points
+            if p.p99_latency_s <= max_p99_s
+            and p.throughput_bps >= min_throughput_bps
+        ]
+
+    def cheapest_meeting_slo(
+        self,
+        max_p99_s: float,
+        min_throughput_bps: float = 0.0,
+    ) -> Optional[LatencyPoint]:
+        """Least-power configuration that honours the latency SLO."""
+        feasible = self.meeting_slo(max_p99_s, min_throughput_bps)
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.power_w, p.p99_latency_s))
+
+    def latency_cost_of_power_budget(self, budget_w: float) -> Optional[LatencyPoint]:
+        """Best-tail configuration under a power budget.
+
+        The latency analogue of the paper's worked example: given the
+        budget, this is the tail-latency floor the device can still offer.
+        """
+        feasible = [p for p in self.points if p.power_w <= budget_w]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.p99_latency_s, p.power_w))
+
+    def tail_inflation_of_power_cut(self, cut_fraction: float) -> float:
+        """How much the achievable p99 floor inflates under a power cut.
+
+        Returns the ratio of the best achievable p99 under the cut budget
+        to the best achievable p99 at full power.
+        """
+        if not 0 <= cut_fraction < 1:
+            raise ValueError("cut_fraction must be in [0, 1)")
+        best_full = self.latency_cost_of_power_budget(self.max_power_w)
+        best_cut = self.latency_cost_of_power_budget(
+            (1 - cut_fraction) * self.max_power_w
+        )
+        if best_full is None or best_cut is None:
+            raise ValueError("cut below the device's power floor")
+        return best_cut.p99_latency_s / best_full.p99_latency_s
+
+    def pareto_frontier(self) -> list[LatencyPoint]:
+        """Non-dominated (power, p99) points, ascending power.
+
+        A point dominates another when it needs no more power and offers a
+        no-worse tail, strictly better in one.
+        """
+        ordered = sorted(self.points, key=lambda p: (p.power_w, p.p99_latency_s))
+        frontier: list[LatencyPoint] = []
+        best_tail = float("inf")
+        for point in ordered:
+            if point.p99_latency_s < best_tail:
+                frontier.append(point)
+                best_tail = point.p99_latency_s
+        return frontier

@@ -1,0 +1,155 @@
+"""The power-throughput model (paper section 3.3, Figure 10).
+
+A :class:`PowerThroughputModel` collects the operating points a sweep
+measured for one device -- each point is a (power-control configuration,
+average power, throughput) triple -- normalizes them against the device's
+maxima, and answers the questions a power-adaptive storage system asks:
+
+- what is the device's *power dynamic range*? (paper headline: 59.4 % of
+  maximum power on SSD2)
+- given a power budget, which configuration maximizes throughput?
+- given a throughput floor, what is the least power that sustains it?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.experiment import ExperimentResult
+from repro.core.sweep import SweepPoint
+
+__all__ = ["ModelPoint", "PowerThroughputModel"]
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """One operating point of a device.
+
+    Attributes:
+        point: The mechanism configuration (pattern, chunk, depth, state).
+        power_w: Measured mean power.
+        throughput_bps: Measured steady-state throughput.
+        latency_p99_s: Measured tail latency (for SLO-aware queries).
+    """
+
+    point: SweepPoint
+    power_w: float
+    throughput_bps: float
+    latency_p99_s: float
+
+    @classmethod
+    def from_result(cls, point: SweepPoint, result: ExperimentResult) -> "ModelPoint":
+        return cls(
+            point=point,
+            power_w=result.mean_power_w,
+            throughput_bps=result.throughput_bps,
+            latency_p99_s=result.latency().p99,
+        )
+
+
+class PowerThroughputModel:
+    """Normalized power-throughput scatter for one device.
+
+    >>> # model = PowerThroughputModel("ssd2", points_from_a_sweep)
+    >>> # model.dynamic_range_fraction    # ~0.594 for SSD2
+    >>> # best = model.best_under_power_budget(0.8 * model.max_power_w)
+    """
+
+    def __init__(self, device_label: str, points: Sequence[ModelPoint]) -> None:
+        if not points:
+            raise ValueError("a model needs at least one operating point")
+        self.device_label = device_label
+        self.points = tuple(points)
+        self.max_power_w = max(p.power_w for p in self.points)
+        self.min_power_w = min(p.power_w for p in self.points)
+        self.max_throughput_bps = max(p.throughput_bps for p in self.points)
+        if self.max_power_w <= 0 or self.max_throughput_bps <= 0:
+            raise ValueError("model maxima must be positive")
+
+    @classmethod
+    def from_sweep(
+        cls,
+        device_label: str,
+        results: dict[SweepPoint, ExperimentResult],
+    ) -> "PowerThroughputModel":
+        return cls(
+            device_label,
+            [ModelPoint.from_result(point, res) for point, res in results.items()],
+        )
+
+    # -- normalization ---------------------------------------------------
+
+    def normalized(self) -> list[tuple[float, float, ModelPoint]]:
+        """``(norm_throughput, norm_power, point)`` triples -- Fig. 10's axes."""
+        return [
+            (
+                p.throughput_bps / self.max_throughput_bps,
+                p.power_w / self.max_power_w,
+                p,
+            )
+            for p in self.points
+        ]
+
+    @property
+    def dynamic_range_fraction(self) -> float:
+        """(max - min) mean power over the sweep, as a fraction of max.
+
+        The paper's headline metric: 0.594 for SSD2 under random writes.
+        """
+        return (self.max_power_w - self.min_power_w) / self.max_power_w
+
+    @property
+    def min_normalized_throughput(self) -> float:
+        """Lowest normalized throughput over the sweep (HDD floor ~0.04)."""
+        return min(p.throughput_bps for p in self.points) / self.max_throughput_bps
+
+    # -- queries --------------------------------------------------------------
+
+    def best_under_power_budget(
+        self,
+        budget_w: float,
+        max_latency_p99_s: Optional[float] = None,
+    ) -> Optional[ModelPoint]:
+        """Highest-throughput point with mean power within ``budget_w``.
+
+        Optionally also respects a p99 latency SLO.  Returns ``None`` when
+        no configuration fits (budget below the device's floor).
+        """
+        feasible = [p for p in self.points if p.power_w <= budget_w]
+        if max_latency_p99_s is not None:
+            feasible = [p for p in feasible if p.latency_p99_s <= max_latency_p99_s]
+        if not feasible:
+            return None
+        return max(feasible, key=lambda p: (p.throughput_bps, -p.power_w))
+
+    def cheapest_at_throughput(self, floor_bps: float) -> Optional[ModelPoint]:
+        """Lowest-power point sustaining at least ``floor_bps``."""
+        feasible = [p for p in self.points if p.throughput_bps >= floor_bps]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.power_w, -p.throughput_bps))
+
+    def max_point(self) -> ModelPoint:
+        """The operating point with the highest throughput."""
+        return max(self.points, key=lambda p: p.throughput_bps)
+
+    def throughput_cost_of_power_cut(self, cut_fraction: float) -> tuple[ModelPoint, float]:
+        """The paper's worked example (section 3.3).
+
+        For a power reduction of ``cut_fraction`` below maximum power,
+        return the best feasible configuration and the fraction of peak
+        throughput that must be curtailed -- the amount of best-effort load
+        the storage system can shed to keep serving high-priority load.
+        """
+        if not 0 <= cut_fraction < 1:
+            raise ValueError("cut_fraction must be in [0, 1)")
+        budget = (1.0 - cut_fraction) * self.max_power_w
+        best = self.best_under_power_budget(budget)
+        if best is None:
+            raise ValueError(
+                f"no configuration of {self.device_label} fits a "
+                f"{cut_fraction:.0%} power cut"
+            )
+        curtailed = 1.0 - best.throughput_bps / self.max_throughput_bps
+        return best, curtailed

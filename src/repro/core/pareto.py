@@ -1,0 +1,52 @@
+"""Pareto frontiers over operating points.
+
+The paper (section 3.3): "power-throughput models of multiple devices can
+be combined to derive the performance Pareto frontier of device
+configurations under a power budget."  A point dominates another when it
+delivers at least the throughput for at most the power (strictly better in
+one dimension).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.model import ModelPoint
+
+__all__ = ["dominates", "pareto_frontier"]
+
+
+def dominates(a: ModelPoint, b: ModelPoint) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (less/equal power, more/equal
+    throughput, strictly better in at least one)."""
+    no_worse = a.power_w <= b.power_w and a.throughput_bps >= b.throughput_bps
+    strictly_better = a.power_w < b.power_w or a.throughput_bps > b.throughput_bps
+    return no_worse and strictly_better
+
+
+def pareto_frontier(points: Sequence[ModelPoint]) -> list[ModelPoint]:
+    """Non-dominated subset, sorted by ascending power.
+
+    O(n log n): sweep by power, keeping points that raise the best
+    throughput seen so far.
+
+    >>> from repro.core.sweep import SweepPoint
+    >>> from repro.iogen.spec import IoPattern
+    >>> mk = lambda p, t: ModelPoint(
+    ...     SweepPoint(IoPattern.RANDWRITE, 4096, 1, None), p, t, 0.0)
+    >>> frontier = pareto_frontier([mk(5, 100), mk(6, 90), mk(7, 200)])
+    >>> [(p.power_w, p.throughput_bps) for p in frontier]
+    [(5, 100), (7, 200)]
+    """
+    if not points:
+        return []
+    # Sort by power ascending; among equal powers keep highest throughput
+    # first so the sweep drops its duplicates.
+    ordered = sorted(points, key=lambda p: (p.power_w, -p.throughput_bps))
+    frontier: list[ModelPoint] = []
+    best_throughput = float("-inf")
+    for point in ordered:
+        if point.throughput_bps > best_throughput:
+            frontier.append(point)
+            best_throughput = point.throughput_bps
+    return frontier

@@ -1,0 +1,154 @@
+"""Power-aware IO redirection (paper section 4).
+
+"If workloads can be classified and IO requests directed to active devices
+in a power-aware manner, the standby period of the inactive storage devices
+can be maximized without QoS impact (cf. SRCMap)."
+
+:class:`RedirectionPolicy` decides, for an offered load and a latency SLO,
+how many devices to keep active and how many to stand down, using each
+device's model for capacity and its standby/wake characteristics for the
+QoS risk assessment.  It quantifies the central HDD/SSD asymmetry the paper
+stresses: multi-second HDD spin-up makes redirection risky under tight
+SLOs, while millisecond SSD wake keeps it safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._units import mib_per_s
+from repro.core.model import PowerThroughputModel
+
+__all__ = ["RedirectionDecision", "RedirectionPolicy", "StandbyProfile"]
+
+
+@dataclass(frozen=True)
+class StandbyProfile:
+    """Standby behaviour of one device class.
+
+    Attributes:
+        standby_power_w: Draw while stood down.
+        wake_latency_s: Worst-case time from standby to serving IO
+            (HDD spin-up: seconds; SSD non-operational exit: milliseconds).
+        idle_power_w: Draw while active but idle (what standby saves
+            against).
+    """
+
+    standby_power_w: float
+    wake_latency_s: float
+    idle_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.standby_power_w < 0 or self.idle_power_w < 0:
+            raise ValueError("powers must be non-negative")
+        if self.wake_latency_s < 0:
+            raise ValueError("wake latency must be non-negative")
+        if self.standby_power_w > self.idle_power_w:
+            raise ValueError("standby power cannot exceed idle power")
+
+
+@dataclass(frozen=True)
+class RedirectionDecision:
+    """The policy's answer for one (load, SLO) operating condition.
+
+    Attributes:
+        active_devices: Devices kept serving IO.
+        standby_devices: Devices stood down.
+        per_device_load_bps: Load concentrated on each active device.
+        total_power_w: Expected fleet power (active at their operating
+            point + standby at standby power).
+        slo_safe: Whether a wake (needed when load rises) fits the SLO.
+        power_vs_all_active_w: Savings against keeping everything active
+            and spreading the load evenly.
+    """
+
+    active_devices: int
+    standby_devices: int
+    per_device_load_bps: float
+    total_power_w: float
+    slo_safe: bool
+    power_vs_all_active_w: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.active_devices} active / {self.standby_devices} standby, "
+            f"{mib_per_s(self.per_device_load_bps):.0f} MiB/s per active "
+            f"device, {self.total_power_w:.1f} W "
+            f"({'SLO ok' if self.slo_safe else 'SLO AT RISK'}; "
+            f"saves {self.power_vs_all_active_w:.1f} W)"
+        )
+
+
+class RedirectionPolicy:
+    """Consolidate load onto few devices; stand the rest down.
+
+    Assumes a replicated/fluid data layout (every device can serve any
+    request), the setting SRCMap's consolidation targets.
+    """
+
+    def __init__(
+        self,
+        model: PowerThroughputModel,
+        standby: StandbyProfile,
+        n_devices: int,
+        headroom_fraction: float = 0.1,
+    ) -> None:
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        if not 0 <= headroom_fraction < 1:
+            raise ValueError("headroom_fraction must be in [0, 1)")
+        self.model = model
+        self.standby = standby
+        self.n_devices = n_devices
+        self.headroom_fraction = headroom_fraction
+
+    def _device_capacity_bps(self) -> float:
+        """Usable per-device capacity after headroom."""
+        return self.model.max_throughput_bps * (1.0 - self.headroom_fraction)
+
+    def decide(self, offered_load_bps: float, wake_slo_s: float) -> RedirectionDecision:
+        """Choose the active set size for ``offered_load_bps``.
+
+        ``wake_slo_s`` is the worst extra latency the operator tolerates on
+        a load increase (the time to bring one standby device back).  The
+        decision is marked unsafe -- and falls back to all-active -- when
+        the device's wake latency exceeds it.
+        """
+        if offered_load_bps < 0:
+            raise ValueError("offered load must be non-negative")
+        capacity = self._device_capacity_bps()
+        needed = max(1, -(-int(offered_load_bps) // max(int(capacity), 1)))
+        slo_safe = self.standby.wake_latency_s <= wake_slo_s
+        if needed > self.n_devices:
+            raise ValueError(
+                f"offered load {mib_per_s(offered_load_bps):.0f} MiB/s exceeds "
+                f"fleet capacity of {self.n_devices} devices"
+            )
+        active = needed if slo_safe else self.n_devices
+        per_device = offered_load_bps / active
+        point = self.model.cheapest_at_throughput(per_device)
+        if point is None:
+            # Load per active device above any model point: run flat out.
+            point = self.model.max_point()
+        active_power = active * point.power_w
+        standby_power = (self.n_devices - active) * self.standby.standby_power_w
+        # Baseline: spread evenly over every device, none stood down.
+        spread = self.model.cheapest_at_throughput(
+            offered_load_bps / self.n_devices
+        )
+        spread_power_w = self.n_devices * (
+            spread.power_w if spread is not None else self.model.max_power_w
+        )
+        total = active_power + standby_power
+        return RedirectionDecision(
+            active_devices=active,
+            standby_devices=self.n_devices - active,
+            per_device_load_bps=per_device,
+            total_power_w=total,
+            slo_safe=slo_safe,
+            power_vs_all_active_w=spread_power_w - total,
+        )
+
+    def standby_savings_w(self) -> float:
+        """Power saved per device stood down (idle -> standby)."""
+        return self.standby.idle_power_w - self.standby.standby_power_w

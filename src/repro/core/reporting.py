@@ -1,0 +1,112 @@
+"""Plain-text tables for benchmark output and EXPERIMENTS.md.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable in a
+terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_scatter", "ascii_series", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [10, 0.25]]))
+    a   b
+    --  ----
+    1   2.5
+    10  0.25
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}".rstrip("0").rstrip(".")
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def ascii_scatter(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 56,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A character-cell scatter plot over the unit box.
+
+    ``series`` maps a label to (x, y) points in [0, 1] (values outside are
+    clamped); each series gets a distinct marker character.  Used by the
+    Figure-10 driver to sketch the normalized power-throughput scatter the
+    way the paper plots it.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    markers = "ox+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    legend_parts = []
+    for index, (label, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend_parts.append(f"{marker}={label}")
+        for x, y in points:
+            x = min(max(x, 0.0), 1.0)
+            y = min(max(y, 0.0), 1.0)
+            column = min(int(x * (width - 1)), width - 1)
+            row = height - 1 - min(int(y * (height - 1)), height - 1)
+            grid[row][column] = marker
+    lines = [f"{y_label} ^"]
+    for row in grid:
+        lines.append("  | " + "".join(row))
+    lines.append("  +" + "-" * (width + 1) + f"> {x_label}")
+    lines.append("    " + "   ".join(legend_parts))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """A tiny horizontal bar chart: one row per (x, y) point.
+
+    Used by figure drivers to give the terminal a visual of each series
+    alongside the numeric table.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not ys:
+        return label
+    peak = max(ys) or 1.0
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(int(round(width * y / peak)), 0)
+        lines.append(f"{_fmt(x):>10}  {bar} {_fmt(y)}")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Safe rollout of power-adaptive storage (paper section 4.1).
+
+"A power-adaptive storage system could be designed for incremental
+deployment at the sub-rack granularity ... small-scale test deployments
+should be distributed among power domains so that coordinated failures of
+deployments to reduce power do not overwhelm a single domain."
+
+This module turns that paragraph into checkable engineering:
+
+- :class:`PowerDomain` -- a sub-rack breaker with the devices behind it;
+  knows its worst-case draw when some fraction of the power-adaptive
+  controllers *fail to reduce power* (the §4.1 failure mode: devices
+  revert to maximum draw).
+- :class:`RolloutPlanner` -- distributes a target number of adaptive
+  deployments across domains so that even a *fully correlated* control
+  failure keeps every breaker inside its limit, and grows the deployment
+  in stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+__all__ = ["DeviceGroup", "PowerDomain", "RolloutPlanner", "RolloutStage"]
+
+
+@dataclass(frozen=True)
+class DeviceGroup:
+    """Homogeneous devices within one power domain.
+
+    Attributes:
+        count: Devices in the group.
+        max_power_w: Per-device worst-case draw (uncapped, active).
+        adaptive_power_w: Per-device draw the power-adaptive control
+            achieves when it works (capped / shaped / standby mix).
+        adaptive_count: How many of the group run adaptive control.
+    """
+
+    count: int
+    max_power_w: float
+    adaptive_power_w: float
+    adaptive_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or not 0 <= self.adaptive_count <= self.count:
+            raise ValueError("bad device counts")
+        if not 0 < self.adaptive_power_w <= self.max_power_w:
+            raise ValueError("need 0 < adaptive power <= max power")
+
+
+@dataclass(frozen=True)
+class PowerDomain:
+    """A sub-rack power domain behind one breaker.
+
+    The domain is *provisioned* assuming adaptive devices hold their
+    reduced draw; the safety question is what happens when they do not.
+    """
+
+    name: str
+    breaker_limit_w: float
+    groups: tuple[DeviceGroup, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.breaker_limit_w <= 0:
+            raise ValueError("breaker limit must be positive")
+
+    @property
+    def device_count(self) -> int:
+        return sum(g.count for g in self.groups)
+
+    @property
+    def adaptive_count(self) -> int:
+        return sum(g.adaptive_count for g in self.groups)
+
+    def expected_power_w(self) -> float:
+        """Draw with every adaptive controller working."""
+        return sum(
+            g.adaptive_count * g.adaptive_power_w
+            + (g.count - g.adaptive_count) * g.max_power_w
+            for g in self.groups
+        )
+
+    def worst_case_power_w(self, failed_fraction: float = 1.0) -> float:
+        """Draw when ``failed_fraction`` of adaptive controllers fail high.
+
+        A failed controller leaves its device at maximum draw -- exactly
+        the §4.1 hazard ("local failures of the storage system to control
+        power").
+        """
+        if not 0 <= failed_fraction <= 1:
+            raise ValueError("failed_fraction must be in [0, 1]")
+        total = 0.0
+        for g in self.groups:
+            failed = g.adaptive_count * failed_fraction
+            working = g.adaptive_count - failed
+            total += (
+                failed * g.max_power_w
+                + working * g.adaptive_power_w
+                + (g.count - g.adaptive_count) * g.max_power_w
+            )
+        return total
+
+    def breaker_safe(self, failed_fraction: float = 1.0) -> bool:
+        """Whether the breaker holds even under that failure."""
+        return self.worst_case_power_w(failed_fraction) <= self.breaker_limit_w
+
+    def headroom_w(self, failed_fraction: float = 1.0) -> float:
+        return self.breaker_limit_w - self.worst_case_power_w(failed_fraction)
+
+
+@dataclass(frozen=True)
+class RolloutStage:
+    """One stage of the incremental deployment."""
+
+    stage: int
+    domains: tuple[PowerDomain, ...]
+    total_adaptive: int
+    all_breakers_safe: bool
+
+    def describe(self) -> str:
+        spread = ", ".join(
+            f"{d.name}:{d.adaptive_count}/{d.device_count}" for d in self.domains
+        )
+        return (
+            f"stage {self.stage}: {self.total_adaptive} adaptive devices "
+            f"({spread}) -- "
+            f"{'safe' if self.all_breakers_safe else 'BREAKER AT RISK'}"
+        )
+
+
+class RolloutPlanner:
+    """Distributes adaptive deployments across power domains.
+
+    The planner only ever places an adaptive device where the domain's
+    breaker would survive *all* of its adaptive devices failing high
+    simultaneously -- the correlated-failure criterion of §4.1.  (Under
+    that criterion a failed adaptive device draws what a non-adaptive one
+    always draws, so safety reduces to the domain's all-max draw fitting
+    the breaker; the planner still balances placements across domains so
+    no single domain concentrates the *operational* risk of the new
+    control plane.)
+    """
+
+    def __init__(self, domains: Sequence[PowerDomain]) -> None:
+        if not domains:
+            raise ValueError("need at least one power domain")
+        self.domains = list(domains)
+
+    def plan(self, target_adaptive: int, stages: int = 3) -> list[RolloutStage]:
+        """Grow the deployment to ``target_adaptive`` devices in stages.
+
+        Placements round-robin across domains (balancing blast radius);
+        each stage roughly multiplies the deployment size, mirroring the
+        paper's "gradually increased" confidence-building rollout.
+
+        Raises:
+            ValueError: If the target cannot be placed safely at all.
+        """
+        if target_adaptive < 1:
+            raise ValueError("target must be >= 1")
+        if stages < 1:
+            raise ValueError("need at least one stage")
+        capacity = sum(self._safe_capacity(d) for d in self.domains)
+        if target_adaptive > capacity:
+            raise ValueError(
+                f"only {capacity} devices can run adaptive control without "
+                f"risking a breaker; requested {target_adaptive}"
+            )
+        milestones = sorted(
+            {
+                max(1, round(target_adaptive * (k + 1) / stages))
+                for k in range(stages)
+            }
+        )
+        result = []
+        for index, milestone in enumerate(milestones, start=1):
+            domains = self._place(milestone)
+            result.append(
+                RolloutStage(
+                    stage=index,
+                    domains=tuple(domains),
+                    total_adaptive=milestone,
+                    all_breakers_safe=all(d.breaker_safe(1.0) for d in domains),
+                )
+            )
+        return result
+
+    def _safe_capacity(self, domain: PowerDomain) -> int:
+        """Adaptive devices the domain can host under correlated failure."""
+        # Correlated failure puts every adaptive device at max draw, i.e.
+        # the domain draws its all-max power regardless of how many are
+        # adaptive; capacity is all devices if that fits, else none.
+        all_max = sum(g.count * g.max_power_w for g in domain.groups)
+        return domain.device_count if all_max <= domain.breaker_limit_w else 0
+
+    def _place(self, n_adaptive: int) -> list[PowerDomain]:
+        """Round-robin placement of ``n_adaptive`` across safe domains."""
+        placements = {d.name: 0 for d in self.domains}
+        capacities = {d.name: self._safe_capacity(d) for d in self.domains}
+        remaining = n_adaptive
+        while remaining > 0:
+            progressed = False
+            for domain in self.domains:
+                if remaining == 0:
+                    break
+                if placements[domain.name] < capacities[domain.name]:
+                    placements[domain.name] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                raise ValueError("placement exceeded safe capacity")
+        updated = []
+        for domain in self.domains:
+            to_place = placements[domain.name]
+            groups = []
+            for group in domain.groups:
+                here = min(to_place, group.count)
+                groups.append(replace(group, adaptive_count=here))
+                to_place -= here
+            updated.append(replace(domain, groups=tuple(groups)))
+        return updated
+
+    @staticmethod
+    def concentrated(domain: PowerDomain, n_adaptive: int) -> PowerDomain:
+        """The naive alternative: pile the whole deployment in one domain.
+
+        Used by the ablation bench to show why §4.1 says not to.
+        """
+        remaining = n_adaptive
+        groups = []
+        for group in domain.groups:
+            here = min(remaining, group.count)
+            groups.append(replace(group, adaptive_count=here))
+            remaining -= here
+        if remaining > 0:
+            raise ValueError("domain too small for the deployment")
+        return replace(domain, groups=tuple(groups))

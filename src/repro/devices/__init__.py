@@ -1,0 +1,52 @@
+"""Assembled storage-device models.
+
+- :class:`~repro.devices.base.StorageDevice` -- the host-visible interface
+  (submit IO, control power) shared by all devices.
+- :class:`~repro.devices.ssd.SimulatedSSD` -- controller + DRAM write buffer
+  + FTL + NAND array, with NVMe power states enforced by a
+  :class:`~repro.devices.power_states.PowerGovernor` that rations concurrent
+  program/erase operations.
+- :class:`~repro.devices.hdd_drive.SimulatedHDD` -- actuator + spindle +
+  write-back cache with rotational position ordering.
+- :mod:`~repro.devices.link` -- the host interface (PCIe / SATA) bandwidth
+  and PHY power, including the low-power link states ALPM drives.
+- :mod:`~repro.devices.catalog` -- calibrated presets for the paper's
+  evaluated devices (Table 1) plus the 860 EVO used in Fig. 7.
+"""
+
+from repro.devices.base import IOKind, IORequest, IOResult, StorageDevice
+from repro.devices.catalog import (
+    DEVICE_PRESETS,
+    build_device,
+    hdd_exos_7e2000,
+    ssd_860evo,
+    ssd_d3s4510,
+    ssd_d7p5510,
+    ssd_pm9a3,
+)
+from repro.devices.hdd_drive import HddConfig, SimulatedHDD
+from repro.devices.link import HostLink, LinkPowerMode
+from repro.devices.power_states import NvmePowerState, PowerGovernor
+from repro.devices.ssd import SsdConfig, SimulatedSSD
+
+__all__ = [
+    "DEVICE_PRESETS",
+    "HddConfig",
+    "HostLink",
+    "IOKind",
+    "IORequest",
+    "IOResult",
+    "LinkPowerMode",
+    "NvmePowerState",
+    "PowerGovernor",
+    "SimulatedHDD",
+    "SimulatedSSD",
+    "SsdConfig",
+    "StorageDevice",
+    "build_device",
+    "hdd_exos_7e2000",
+    "ssd_860evo",
+    "ssd_d3s4510",
+    "ssd_d7p5510",
+    "ssd_pm9a3",
+]

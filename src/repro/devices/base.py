@@ -1,0 +1,138 @@
+"""Host-visible storage device interface.
+
+All device models expose the same minimal contract the measurement harness
+and the workload engine need:
+
+- :meth:`StorageDevice.submit` -- asynchronous IO submission returning an
+  event that fires with an :class:`IOResult`.
+- power control entry points (``set_power_state``, ``enter_standby``,
+  ``exit_standby``), each a process generator because transitions take
+  simulated time.
+
+Devices draw all power on their :class:`~repro.power.rail.PowerRail`, which
+is where the simulated measurement chain attaches.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.power.rail import PowerRail
+from repro.sim.engine import Engine, Event
+
+__all__ = ["IOKind", "IORequest", "IOResult", "StorageDevice"]
+
+
+class IOKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One host IO.
+
+    Attributes:
+        kind: Read or write.
+        offset: Starting byte offset on the device.
+        nbytes: Transfer length in bytes.
+    """
+
+    kind: IOKind
+    offset: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+        if self.nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+@dataclass(frozen=True)
+class IOResult:
+    """Completion record for one IO.
+
+    Attributes:
+        request: The originating request.
+        submit_time: Simulated time the device accepted the IO.
+        complete_time: Simulated completion time.
+    """
+
+    request: IORequest
+    submit_time: float
+    complete_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.submit_time
+
+
+class StorageDevice(abc.ABC):
+    """Common behaviour of all simulated drives."""
+
+    def __init__(self, engine: Engine, name: str, rail_voltage: float) -> None:
+        self.engine = engine
+        self.name = name
+        self.rail = PowerRail(engine, voltage=rail_voltage, name=f"{name}.rail")
+        self.ios_completed = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- IO ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def submit(self, request: IORequest) -> Event:
+        """Submit an IO; the returned event fires with an :class:`IOResult`."""
+
+    @property
+    @abc.abstractmethod
+    def capacity_bytes(self) -> int:
+        """Addressable logical capacity."""
+
+    def check_request(self, request: IORequest) -> None:
+        """Validate a request against the device's address space."""
+        if request.end > self.capacity_bytes:
+            raise ValueError(
+                f"{self.name}: IO [{request.offset}, {request.end}) exceeds "
+                f"capacity {self.capacity_bytes}"
+            )
+
+    # -- power control ----------------------------------------------------------
+
+    def set_power_state(self, index: int):
+        """Process generator: select a device power state (NVMe-style).
+
+        Devices without power states raise ``NotImplementedError`` -- the
+        SATA devices in the study are controlled via ALPM/standby instead.
+        """
+        raise NotImplementedError(f"{self.name} has no power states")
+        yield  # pragma: no cover - makes this a generator for subclasses
+
+    def enter_standby(self):
+        """Process generator: enter the device's lowest-power resident state."""
+        raise NotImplementedError(f"{self.name} has no standby mode")
+        yield  # pragma: no cover
+
+    def exit_standby(self):
+        """Process generator: return to the active/idle state."""
+        raise NotImplementedError(f"{self.name} has no standby mode")
+        yield  # pragma: no cover
+
+    # -- accounting -------------------------------------------------------------
+
+    def record_completion(self, request: IORequest) -> None:
+        self.ios_completed += 1
+        if request.kind is IOKind.READ:
+            self.bytes_read += request.nbytes
+        else:
+            self.bytes_written += request.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

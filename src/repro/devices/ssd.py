@@ -1,0 +1,649 @@
+"""The simulated SSD.
+
+Architecture (mirroring a real enterprise NVMe drive)::
+
+    host ── HostLink ── controller cores ── DRAM write buffer ── FTL ── NAND
+                              │                                          │
+                          PowerGovernor  <── NVMe power state (cap) ─────┘
+
+Key behaviours the paper's measurements rest on, and where they live here:
+
+- **Write-back buffering**: writes complete once DMA'd into the DRAM buffer
+  (enterprise drives have power-loss protection).  Background flush programs
+  the buffered stream to NAND.  When a power cap throttles the flush, the
+  buffer backs up and *write admission* stalls -- that is the mechanism
+  behind capped random-write latency inflation at QD1 (paper Fig. 5).
+- **Governor gates programs/erases only**: reads draw too little to matter
+  to the cap, so read throughput and latency are insensitive to power
+  states (paper Figs. 4b and 6).
+- **Die striping**: the flush and read paths spread over channels/dies, so
+  IO size and queue depth modulate array parallelism, and with it both
+  power and throughput (paper Figs. 8 and 9).
+- **Housekeeping bursts**: periodic metadata maintenance competes with host
+  flush for the governor budget, producing the capped tail-latency blowup
+  (paper Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro._units import MiB
+from repro.devices.base import IOKind, IORequest, IOResult, StorageDevice
+from repro.devices.link import HostLink, LinkPowerTable
+from repro.devices.power_states import NvmePowerState, PowerGovernor
+from repro.ftl.allocator import WriteAllocator
+from repro.ftl.gc import GarbageCollector, GcConfig
+from repro.ftl.mapping import PageMap
+from repro.ftl.wear import WearTracker
+from repro.nand.die import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.ops import NandPower, NandTimings, OpKind
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Gate, Resource
+from repro.sim.rng import RngStreams
+
+__all__ = ["ControllerConfig", "SimulatedSSD", "SsdConfig"]
+
+_PHANTOM_HASH = 2654435761
+_PHANTOM_MOD = 2**32
+
+
+class _GovernorAdapter:
+    """Adds an op's amortized transfer overhead to its committed power."""
+
+    __slots__ = ("governor", "extra_w")
+
+    def __init__(self, governor: PowerGovernor, extra_w: float) -> None:
+        self.governor = governor
+        self.extra_w = extra_w
+
+    def request(self, watts: float):
+        return self.governor.request(watts + self.extra_w)
+
+    def release(self, watts: float) -> None:
+        self.governor.release(watts + self.extra_w)
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """SSD controller front end.
+
+    Attributes:
+        cores: Command-processing cores; with ``command_time_s`` they set
+            the small-IO IOPS ceiling.
+        command_time_s: Per-command firmware processing time.
+        core_active_power_w: Extra draw per busy core.
+        idle_power_w: Controller resident draw (excluding DRAM and PHY).
+        completion_time_s: Completion/interrupt posting time per IO.
+    """
+
+    cores: int = 2
+    command_time_s: float = 8.0e-6
+    core_active_power_w: float = 0.6
+    idle_power_w: float = 2.0
+    completion_time_s: float = 3.0e-6
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("need at least one controller core")
+        if self.command_time_s <= 0 or self.completion_time_s < 0:
+            raise ValueError("command times must be positive")
+        if self.core_active_power_w < 0 or self.idle_power_w < 0:
+            raise ValueError("controller powers must be non-negative")
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """Full parameterization of one SSD model.
+
+    Power-relevant fields are documented on the classes they feed
+    (:class:`~repro.nand.ops.NandPower`, :class:`ControllerConfig`, ...).
+
+    Attributes:
+        governor_baseline_w: Firmware's estimate of non-NAND power used to
+            budget the power cap (see
+            :class:`~repro.devices.power_states.PowerGovernor`).
+        overprovision: Fraction of physical capacity hidden from the host.
+        phantom_reads: Treat reads of never-written LBAs as real NAND reads
+            at a hashed location -- equivalent to running on a
+            preconditioned drive, without simulating the multi-hour fill.
+        maintenance_interval_s / maintenance_programs: Housekeeping cadence
+            and burst size (0 programs disables housekeeping).
+    """
+
+    name: str
+    geometry: NandGeometry
+    timings: NandTimings = field(default_factory=NandTimings)
+    nand_power: NandPower = field(default_factory=NandPower)
+    program_pulse_ratio: float = 1.0
+    program_pulse_fraction: float = 0.3
+    channel_bandwidth: float = 1.2e9
+    channel_transfer_power_w: float = 0.55
+    link_bandwidth: float = 3.2e9
+    link_transfer_power_w: float = 0.9
+    link_power_table: LinkPowerTable = field(default_factory=LinkPowerTable)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    dram_power_w: float = 0.8
+    write_buffer_bytes: int = 8 * MiB
+    power_states: tuple[NvmePowerState, ...] = ()
+    governor_baseline_w: float = 6.0
+    governor_feedback: bool = True
+    governor_headroom_w: float = 0.0
+    overprovision: float = 0.10
+    gc: GcConfig = field(default_factory=GcConfig)
+    rail_voltage: float = 12.0
+    maintenance_interval_s: float = 0.05
+    maintenance_programs: int = 0
+    maintenance_erases: int = 0
+    power_wave_w: float = 0.0
+    power_wave_duty: float = 0.15
+    power_wave_period_s: float = 3e-3
+    apst_idle_timeout_s: Optional[float] = None
+    phantom_reads: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.overprovision < 0.5:
+            raise ValueError("overprovision must be in [0, 0.5)")
+        if self.write_buffer_bytes < self.geometry.page_size:
+            raise ValueError("write buffer must hold at least one page")
+        if (
+            self.maintenance_programs < 0
+            or self.maintenance_erases < 0
+            or self.maintenance_interval_s <= 0
+        ):
+            raise ValueError("bad maintenance parameters")
+        if self.power_wave_w < 0 or self.power_wave_period_s <= 0:
+            raise ValueError("bad power wave parameters")
+        if not 0 < self.power_wave_duty < 1:
+            raise ValueError("power_wave_duty must be in (0, 1)")
+        if self.apst_idle_timeout_s is not None:
+            if self.apst_idle_timeout_s <= 0:
+                raise ValueError("APST idle timeout must be positive")
+            if not any(not ps.operational for ps in self.power_states):
+                raise ValueError(
+                    "APST needs at least one non-operational power state"
+                )
+        indices = [ps.index for ps in self.power_states]
+        if indices != sorted(indices) or len(set(indices)) != len(indices):
+            raise ValueError("power states must have unique ascending indices")
+        if self.power_states and not self.power_states[0].operational:
+            raise ValueError("ps0 must be operational")
+
+    @property
+    def logical_pages(self) -> int:
+        return int(self.geometry.total_pages * (1.0 - self.overprovision))
+
+    @property
+    def idle_power_w(self) -> float:
+        """Resident draw at operational idle (controller + DRAM + PHY)."""
+        from repro.devices.link import LinkPowerMode
+
+        return (
+            self.controller.idle_power_w
+            + self.dram_power_w
+            + self.link_power_table.phy_power_w[LinkPowerMode.ACTIVE]
+        )
+
+
+class SimulatedSSD(StorageDevice):
+    """See module docstring for the architecture overview."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: SsdConfig,
+        rng: RngStreams | None = None,
+    ) -> None:
+        super().__init__(engine, config.name, config.rail_voltage)
+        self.config = config
+        rngs = rng or RngStreams(0)
+        self.array = NandArray(
+            engine,
+            self.rail,
+            config.geometry,
+            config.timings,
+            config.nand_power,
+            channel_bandwidth=config.channel_bandwidth,
+            channel_transfer_power_w=config.channel_transfer_power_w,
+            pulse_ratio=config.program_pulse_ratio,
+            pulse_fraction=config.program_pulse_fraction,
+            rng=rngs.get(f"{config.name}.nand"),
+        )
+        self.page_map = PageMap(config.logical_pages)
+        # GC must always be able to open a relocation block on any die, so
+        # the reserve covers one block per die (plus slack), and the GC
+        # watermarks sit above the reserve -- otherwise host allocation
+        # would hit the reserve wall before GC pressure ever triggered.
+        gc_reserve = config.geometry.total_dies + 2
+        self.allocator = WriteAllocator(
+            config.geometry, gc_reserve_blocks=gc_reserve
+        )
+        gc_low = max(config.gc.low_watermark, gc_reserve + 2)
+        gc_high = max(config.gc.high_watermark, gc_low + 4)
+        effective_gc = GcConfig(low_watermark=gc_low, high_watermark=gc_high)
+        self.wear = WearTracker(config.geometry.total_blocks)
+        self.link = HostLink(
+            engine,
+            self.rail,
+            bandwidth=config.link_bandwidth,
+            transfer_power_w=config.link_transfer_power_w,
+            power_table=config.link_power_table,
+            name=f"{config.name}.link",
+        )
+        self.cores = Resource(
+            engine, config.controller.cores, name=f"{config.name}.cores"
+        )
+        initial_cap = (
+            config.power_states[0].max_power_w if config.power_states else None
+        )
+        self.governor = PowerGovernor(
+            engine,
+            baseline_w=config.governor_baseline_w,
+            cap_w=initial_cap,
+            name=f"{config.name}.governor",
+            other_power_fn=(self._non_nand_power if config.governor_feedback else None),
+            headroom_w=config.governor_headroom_w,
+        )
+        self.gc = GarbageCollector(
+            self.array,
+            self.allocator,
+            self.page_map,
+            config=effective_gc,
+            wear=self.wear,
+            admission=self._admit_and_execute,
+        )
+        # Buffer accounting (bytes) with explicit waiters.
+        self._buffer_used = 0
+        self._buffer_waiters: list[Event] = []
+        self._pending_program_bytes = 0
+        self._staged_lpns: list[int] = []
+        # Power state machinery.
+        self._resident: NvmePowerState | None = (
+            config.power_states[0] if config.power_states else None
+        )
+        self._operational_state = self._resident
+        self._ready = Gate(engine, is_open=True, name=f"{config.name}.ready")
+        self._waking = False
+        self._writes_since_maintenance = 0
+        self._maintenance_rr_die = 0
+        self._last_activity = engine.now
+        self._inflight_ios = 0
+        self._apply_idle_draws()
+        if config.maintenance_programs > 0 or config.maintenance_erases > 0:
+            engine.process(self._maintenance_loop())
+        if config.power_wave_w > 0:
+            engine.process(self._power_wave_loop(rngs.get(f"{config.name}.wave")))
+        if config.apst_idle_timeout_s is not None:
+            engine.process(self._apst_loop())
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.config.logical_pages * self.config.geometry.page_size
+
+    @property
+    def current_power_state(self) -> NvmePowerState | None:
+        return self._resident
+
+    @property
+    def buffer_used_bytes(self) -> int:
+        return self._buffer_used
+
+    def _non_nand_power(self) -> float:
+        """Live device power excluding all array-serving activity.
+
+        Excludes die draws, channel transfers and host-link streaming --
+        everything proportional to governed array work.  Those costs are
+        charged to the ops themselves via :meth:`_governed_op_power`, which
+        keeps the feedback loop free of self-correlation (an op's own
+        transfer activity must not shrink the budget it is admitted
+        against).
+        """
+        return (
+            self.rail.total_watts
+            - self.rail.draw_of_prefix("die")
+            - self.rail.draw_of_prefix("chan")
+            - self.rail.draw_of_prefix("nand.wave")
+            - self.rail.draw_of(f"{self.name}.link.xfer")
+        )
+
+    def _governed_op_power(self, kind: OpKind) -> float:
+        """Effective committed power of one governed array operation.
+
+        The op's average draw plus the amortized channel/link transfer
+        power its page data costs over the op's duration, so the cap
+        budget accounts for the whole power footprint of admitting it.
+        """
+        config = self.config
+        base = config.nand_power.draw(kind)
+        if kind is OpKind.ERASE:
+            return base
+        duration = config.timings.duration(kind)
+        page = config.geometry.page_size
+        chan_share = (
+            config.channel_transfer_power_w * (page / config.channel_bandwidth) / duration
+        )
+        link_share = (
+            config.link_transfer_power_w * (page / config.link_bandwidth) / duration
+        )
+        return base + chan_share + link_share
+
+    # -- idle power --------------------------------------------------------
+
+    def _apply_idle_draws(self) -> None:
+        """Set resident draws for the current power state."""
+        if self._resident is None or self._resident.operational:
+            self.rail.set_draw("ctrl.idle", self.config.controller.idle_power_w)
+            self.rail.set_draw("dram", self.config.dram_power_w)
+        else:
+            # Non-operational: the state's idle figure covers everything
+            # except the link PHY (which ALPM controls separately).
+            self.rail.set_draw("ctrl.idle", self._resident.idle_power_w)
+            self.rail.set_draw("dram", 0.0)
+
+    # -- power state control --------------------------------------------------
+
+    def set_power_state(self, index: int):
+        """Process generator: NVMe Set Features (Power Management)."""
+        states = {ps.index: ps for ps in self.config.power_states}
+        if index not in states:
+            raise ValueError(f"{self.name} has no power state {index}")
+        target = states[index]
+        if target.entry_latency_s > 0:
+            yield self.engine.timeout(target.entry_latency_s)
+        self._resident = target
+        if target.operational:
+            self._operational_state = target
+            self.governor.set_cap(target.max_power_w)
+            self._apply_idle_draws()
+            self._ready.open()
+        else:
+            self._apply_idle_draws()
+            self._ready.close()
+
+    def enter_standby(self):
+        """Process generator: drop into the deepest non-operational state."""
+        non_op = [ps for ps in self.config.power_states if not ps.operational]
+        if not non_op:
+            raise NotImplementedError(
+                f"{self.name} has no non-operational power states"
+            )
+        deepest = min(non_op, key=lambda ps: ps.idle_power_w)
+        yield from self.set_power_state(deepest.index)
+
+    def exit_standby(self):
+        """Process generator: return to the last operational state."""
+        if self._resident is None or self._resident.operational:
+            return
+        yield from self._wake()
+
+    def _wake(self):
+        """Leave a non-operational state, paying its exit latency once."""
+        if self._resident is None or self._resident.operational:
+            return
+        if self._waking:
+            yield self._ready.wait_open()
+            return
+        self._waking = True
+        try:
+            yield self.engine.timeout(self._resident.exit_latency_s)
+        finally:
+            self._waking = False
+        assert self._operational_state is not None
+        self._resident = self._operational_state
+        self.governor.set_cap(self._operational_state.max_power_w)
+        self._apply_idle_draws()
+        self._ready.open()
+
+    # -- IO front end --------------------------------------------------------
+
+    def submit(self, request: IORequest) -> Event:
+        self.check_request(request)
+        done = Event(self.engine)
+        self.engine.process(self._io(request, done))
+        return done
+
+    def _io(self, request: IORequest, done: Event):
+        submit_time = self.engine.now
+        self._last_activity = submit_time
+        self._inflight_ios += 1
+        try:
+            if self._resident is not None and not self._resident.operational:
+                yield from self._wake()
+            yield from self._controller_step(self.config.controller.command_time_s)
+            if request.kind is IOKind.READ:
+                yield from self._read(request)
+            else:
+                yield from self._write(request)
+            if self.config.controller.completion_time_s > 0:
+                yield self.engine.timeout(self.config.controller.completion_time_s)
+        finally:
+            self._inflight_ios -= 1
+            self._last_activity = self.engine.now
+        self.record_completion(request)
+        done.succeed(IOResult(request, submit_time, self.engine.now))
+
+    def _controller_step(self, duration: float):
+        """Occupy a controller core, drawing core-active power."""
+        yield self.cores.request()
+        self.rail.add_draw("ctrl.active", self.config.controller.core_active_power_w)
+        try:
+            yield self.engine.timeout(duration)
+        finally:
+            self.rail.add_draw(
+                "ctrl.active", -self.config.controller.core_active_power_w
+            )
+            self.cores.release()
+
+    # -- read path ---------------------------------------------------------------
+
+    def _read(self, request: IORequest):
+        page_size = self.config.geometry.page_size
+        first = request.offset // page_size
+        last = (request.end - 1) // page_size
+        readers = []
+        for lpn in range(first, last + 1):
+            page_start = lpn * page_size
+            nbytes = min(request.end, page_start + page_size) - max(
+                request.offset, page_start
+            )
+            readers.append(self.engine.process(self._read_page(lpn, nbytes)))
+        yield self.engine.all_of(readers)
+        yield from self.link.transfer(request.nbytes)
+
+    def _read_page(self, lpn: int, nbytes: int):
+        ppn = self.page_map.lookup(lpn)
+        if ppn is None:
+            if not self.config.phantom_reads:
+                # Unmapped and no preconditioning emulation: zero-fill, only
+                # the controller/DMA cost applies (no NAND touch).
+                return
+            ppn = (lpn * _PHANTOM_HASH) % _PHANTOM_MOD % self.config.geometry.total_pages
+        ppa = self.config.geometry.ppa_from_index(ppn)
+        # Reads are not power-governed: see module docstring.
+        yield from self.array.execute(ppa, OpKind.READ, nbytes)
+
+    # -- write path -----------------------------------------------------------------
+
+    def _write(self, request: IORequest):
+        yield from self.link.transfer(request.nbytes)
+        yield from self._buffer_reserve(request.nbytes)
+        self.wear.record_host_write(request.nbytes)
+        self._stage_mapped_lpns(request)
+        page_size = self.config.geometry.page_size
+        self._pending_program_bytes += request.nbytes
+        while self._pending_program_bytes >= page_size:
+            self._pending_program_bytes -= page_size
+            self.engine.process(self._program_unit())
+        # Residual bytes stay buffered until later writes complete the page.
+
+    def _stage_mapped_lpns(self, request: IORequest) -> None:
+        """Queue LPNs fully covered by this write for mapping updates."""
+        page_size = self.config.geometry.page_size
+        first_full = -(-request.offset // page_size)  # ceil div
+        last_full = request.end // page_size  # exclusive
+        for lpn in range(first_full, last_full):
+            if lpn < self.page_map.logical_pages:
+                self._staged_lpns.append(lpn)
+
+    def _buffer_reserve(self, nbytes: int):
+        """Process generator: wait for ``nbytes`` of DRAM buffer space."""
+        while self._buffer_used + nbytes > self.config.write_buffer_bytes:
+            event = Event(self.engine)
+            self._buffer_waiters.append(event)
+            yield event
+        self._buffer_used += nbytes
+
+    def _buffer_release(self, nbytes: int) -> None:
+        self._buffer_used -= nbytes
+        if self._buffer_used < 0:
+            self._buffer_used = 0
+        waiters, self._buffer_waiters = self._buffer_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def _program_unit(self):
+        """Flush one page of buffered write data to NAND."""
+        page_size = self.config.geometry.page_size
+        ppn, ppa = yield from self._allocate_with_gc()
+        if self._staged_lpns:
+            lpn = self._staged_lpns.pop(0)
+            stale = self.page_map.bind(lpn, ppn)
+            if stale is not None:
+                self.allocator.mark_invalid(stale)
+        else:
+            # Sub-page log traffic: the page holds fragments that are not
+            # tracked at map granularity; it is immediately reclaimable.
+            self.allocator.mark_invalid(ppn)
+        yield from self._admit_and_execute(ppa, OpKind.PROGRAM)
+        self.wear.record_nand_write(page_size)
+        self._writes_since_maintenance += 1
+        self._buffer_release(page_size)
+
+    def _allocate_with_gc(self):
+        """Allocate a physical page, garbage-collecting as needed.
+
+        Many flush processes race for the free pool, so a single
+        pressure-check before allocating is not enough: the reserve can
+        drain between the check and the allocation.  Retry with GC until a
+        page is produced; a device whose GC cannot reclaim anything (all
+        data valid -- genuine capacity exhaustion) re-raises.
+        """
+        while True:
+            if self.gc.pressure:
+                yield from self.gc.maybe_collect()
+            try:
+                return self.allocator.allocate()
+            except RuntimeError:
+                relocated_before = self.gc.pages_relocated
+                erased_before = self.gc.blocks_erased
+                yield from self.gc.maybe_collect()
+                made_progress = (
+                    self.gc.blocks_erased > erased_before
+                    or self.gc.pages_relocated > relocated_before
+                )
+                if not made_progress and self.allocator.free_blocks == 0:
+                    raise
+
+    # -- governor plumbing -----------------------------------------------------------
+
+    def _admit_and_execute(self, ppa, kind: OpKind):
+        """Run a NAND op, gated by the power governor for programs/erases.
+
+        The governor brackets only the die-busy phase (see
+        :meth:`repro.nand.die.NandArray.execute`); reads are never gated --
+        their draw fits under any operational cap (module docstring).
+        """
+        if kind is OpKind.READ:
+            yield from self.array.execute(ppa, kind)
+            return
+        adapter = _GovernorAdapter(
+            self.governor, extra_w=self._governed_op_power(kind) - self.config.nand_power.draw(kind)
+        )
+        yield from self.array.execute(ppa, kind, admission=adapter)
+
+    # -- housekeeping -------------------------------------------------------------------
+
+    def _maintenance_loop(self):
+        """Periodic metadata maintenance (journal compaction, mapping flush).
+
+        Abstract power/timing model only: the burst programs a reserved
+        metadata region and does not touch the host-visible FTL state.  Under
+        a tight power cap the burst competes with host flush for the
+        governor budget, stalling host writes -- the tail-latency mechanism
+        of paper Fig. 5b.  Bursts are skipped while the device is write-idle
+        so idle power stays at specification.
+        """
+        interval = self.config.maintenance_interval_s
+        while True:
+            yield self.engine.timeout(interval)
+            if self._writes_since_maintenance == 0:
+                continue
+            self._writes_since_maintenance = 0
+            workers = [
+                self.engine.process(self._maintenance_op(OpKind.PROGRAM))
+                for _ in range(self.config.maintenance_programs)
+            ]
+            workers.extend(
+                self.engine.process(self._maintenance_op(OpKind.ERASE))
+                for _ in range(self.config.maintenance_erases)
+            )
+            yield self.engine.all_of(workers)
+
+    def _apst_loop(self):
+        """NVMe Autonomous Power State Transitions.
+
+        When the host enables APST the controller drops itself into a
+        non-operational state after an idle period; the next IO pays the
+        exit latency (handled by the ordinary wake path).  This is the
+        SSD-side analogue of ALPM, and what makes the paper's power-aware
+        IO redirection self-managing: consolidating load away from a
+        device lets its own idle timer harvest the standby saving.
+        """
+        timeout = self.config.apst_idle_timeout_s
+        assert timeout is not None
+        while True:
+            yield self.engine.timeout(timeout / 2)
+            if self._resident is None or not self._resident.operational:
+                continue
+            idle_for = self.engine.now - self._last_activity
+            if self._inflight_ios == 0 and idle_for >= timeout:
+                yield from self.enter_standby()
+
+    def _power_wave_loop(self, rng):
+        """Device-wide program-intensity wave.
+
+        TLC program energy is not uniform across a multi-pass programming
+        sequence: the device alternates between heavier and lighter program
+        phases on millisecond epochs (SLC-buffer destage, upper-page
+        passes).  Modelled as a square wave of additional draw, scaled by
+        the fraction of busy dies and duty-cycled, it reproduces the large
+        millisecond-scale power swings the paper's Fig. 2a traces show for
+        SSD1.  The wave's *average* contribution is part of the device's
+        calibrated active power (the preset lowers per-die program power to
+        compensate), so mean power is unchanged -- only the texture.
+        """
+        config = self.config
+        period = config.power_wave_period_s
+        high_time = config.power_wave_duty * period
+        low_time = period - high_time
+        total_dies = config.geometry.total_dies
+        while True:
+            yield self.engine.timeout(low_time * float(rng.uniform(0.8, 1.2)))
+            busy_fraction = self.array.busy_dies / total_dies
+            self.rail.set_draw("nand.wave", config.power_wave_w * busy_fraction)
+            yield self.engine.timeout(high_time * float(rng.uniform(0.8, 1.2)))
+            self.rail.set_draw("nand.wave", 0.0)
+
+    def _maintenance_op(self, kind: OpKind):
+        geometry = self.config.geometry
+        die = self._maintenance_rr_die
+        self._maintenance_rr_die = (die + 1) % geometry.total_dies
+        # Page 0 of block 0 on the chosen die stands in for the metadata
+        # region; only its timing/power matter.
+        ppn = die * geometry.pages_per_die
+        ppa = geometry.ppa_from_index(ppn)
+        yield from self._admit_and_execute(ppa, kind)

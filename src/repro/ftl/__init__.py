@@ -1,0 +1,28 @@
+"""Flash translation layer.
+
+A page-level FTL sitting between the SSD's host-facing logical address space
+and the :mod:`~repro.nand` array:
+
+- :class:`~repro.ftl.mapping.PageMap` -- logical-to-physical page table with
+  the reverse map needed by garbage collection.
+- :class:`~repro.ftl.allocator.WriteAllocator` -- log-structured write
+  allocation, striping consecutive pages round-robin across dies so that
+  host bandwidth scales with die-level parallelism (the mechanism IO shaping
+  modulates: small/shallow IO keeps most dies idle, saving power).
+- :class:`~repro.ftl.gc.GarbageCollector` -- greedy victim selection,
+  valid-page relocation and block erase.
+- :class:`~repro.ftl.wear.WearTracker` -- erase-count accounting.
+"""
+
+from repro.ftl.allocator import BlockState, WriteAllocator
+from repro.ftl.gc import GarbageCollector, GcConfig
+from repro.ftl.mapping import PageMap
+from repro.ftl.wear import WearTracker
+
+__all__ = [
+    "BlockState",
+    "GarbageCollector",
+    "GcConfig",
+    "PageMap",
+    "WearTracker",
+]

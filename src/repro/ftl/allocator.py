@@ -1,0 +1,188 @@
+"""Log-structured write allocation with die striping.
+
+The allocator owns block lifecycle (free -> open -> full -> erased back to
+free) and hands out physical pages for host writes and GC relocations.
+Consecutive allocations rotate round-robin across dies, so a long write
+burst spreads over the whole array -- this is what lets queue depth and IO
+size modulate die-level parallelism, and with it both throughput *and*
+power (paper Figs. 8 and 9).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+
+__all__ = ["BlockInfo", "BlockState", "WriteAllocator"]
+
+
+class BlockState(enum.Enum):
+    FREE = "free"
+    OPEN = "open"
+    FULL = "full"
+
+
+@dataclass
+class BlockInfo:
+    """Per-block bookkeeping.
+
+    Attributes:
+        block_id: Global block number.
+        die_index: Die the block lives on.
+        state: Lifecycle state.
+        next_page: Next page offset to program in an OPEN block.
+        valid: Set of in-block page offsets currently holding valid data.
+    """
+
+    block_id: int
+    die_index: int
+    state: BlockState = BlockState.FREE
+    next_page: int = 0
+    valid: set[int] = field(default_factory=set)
+
+    @property
+    def valid_count(self) -> int:
+        return len(self.valid)
+
+
+class WriteAllocator:
+    """Allocates physical pages and tracks block validity.
+
+    One open block per die; page allocations rotate dies round-robin.
+
+    ``gc_reserve_blocks`` free blocks are held back from host writes so
+    garbage collection always has somewhere to relocate valid pages --
+    without the reserve, a write burst can drain the free pool to zero and
+    deadlock the cleaner (the classic FTL over-provisioning invariant).
+    """
+
+    def __init__(self, geometry: NandGeometry, gc_reserve_blocks: int = 2) -> None:
+        if gc_reserve_blocks < 0:
+            raise ValueError("gc_reserve_blocks must be non-negative")
+        if gc_reserve_blocks >= geometry.total_blocks:
+            raise ValueError("reserve cannot cover the whole array")
+        self.geometry = geometry
+        self.gc_reserve_blocks = gc_reserve_blocks
+        self.blocks: list[BlockInfo] = []
+        self._free_per_die: list[Deque[int]] = [
+            deque() for _ in range(geometry.total_dies)
+        ]
+        self._open_per_die: list[Optional[int]] = [None] * geometry.total_dies
+        self._rr_die = 0
+        # Enumerate blocks in (die, plane, block) order matching block_id.
+        for die_index in range(geometry.total_dies):
+            for plane in range(geometry.planes_per_die):
+                for block in range(geometry.blocks_per_plane):
+                    block_id = (
+                        die_index * geometry.planes_per_die + plane
+                    ) * geometry.blocks_per_plane + block
+                    self.blocks.append(BlockInfo(block_id, die_index))
+                    self._free_per_die[die_index].append(block_id)
+
+    # -- derived queries ----------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(len(q) for q in self._free_per_die)
+
+    def free_blocks_on_die(self, die_index: int) -> int:
+        return len(self._free_per_die[die_index])
+
+    def block_of_ppn(self, ppn: int) -> BlockInfo:
+        return self.blocks[ppn // self.geometry.pages_per_block]
+
+    def ppa_of_allocation(self, block: BlockInfo, page_offset: int) -> PhysicalPageAddress:
+        ppn = block.block_id * self.geometry.pages_per_block + page_offset
+        return self.geometry.ppa_from_index(ppn)
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(
+        self, die_index: Optional[int] = None, for_gc: bool = False
+    ) -> tuple[int, PhysicalPageAddress]:
+        """Allocate the next physical page.
+
+        Returns ``(ppn, ppa)``.  Without ``die_index`` the allocator rotates
+        round-robin across dies that still have space; with it, allocation
+        is pinned.  ``for_gc`` allocations (relocations) may dig into the
+        reserved block pool; host allocations may not.
+
+        Raises:
+            RuntimeError: If the chosen scope has no free space left --
+                the device-level caller must run garbage collection first.
+        """
+        if die_index is None:
+            for _ in range(self.geometry.total_dies):
+                candidate = self._rr_die
+                self._rr_die = (self._rr_die + 1) % self.geometry.total_dies
+                if self._die_has_space(candidate, for_gc):
+                    die_index = candidate
+                    break
+            if die_index is None:
+                raise RuntimeError("flash array is out of free pages (GC needed)")
+        elif not self._die_has_space(die_index, for_gc):
+            raise RuntimeError(f"die {die_index} is out of free pages (GC needed)")
+
+        block = self._open_block(die_index)
+        page_offset = block.next_page
+        block.next_page += 1
+        block.valid.add(page_offset)
+        if block.next_page >= self.geometry.pages_per_block:
+            block.state = BlockState.FULL
+            self._open_per_die[die_index] = None
+        ppn = block.block_id * self.geometry.pages_per_block + page_offset
+        return ppn, self.geometry.ppa_from_index(ppn)
+
+    def _die_has_space(self, die_index: int, for_gc: bool = False) -> bool:
+        if self._open_per_die[die_index] is not None:
+            return True
+        if not self._free_per_die[die_index]:
+            return False
+        return for_gc or self.free_blocks > self.gc_reserve_blocks
+
+    def _open_block(self, die_index: int) -> BlockInfo:
+        open_id = self._open_per_die[die_index]
+        if open_id is not None:
+            return self.blocks[open_id]
+        if not self._free_per_die[die_index]:
+            raise RuntimeError(f"die {die_index} has no free blocks")
+        block_id = self._free_per_die[die_index].popleft()
+        block = self.blocks[block_id]
+        if block.state is not BlockState.FREE:
+            raise AssertionError(f"block {block_id} in free list but {block.state}")
+        block.state = BlockState.OPEN
+        block.next_page = 0
+        block.valid.clear()
+        self._open_per_die[die_index] = block_id
+        return block
+
+    # -- invalidation / erase ---------------------------------------------------
+
+    def mark_invalid(self, ppn: int) -> None:
+        """Mark a physical page stale (after an overwrite or TRIM)."""
+        block = self.block_of_ppn(ppn)
+        page_offset = ppn % self.geometry.pages_per_block
+        block.valid.discard(page_offset)
+
+    def erase(self, block_id: int) -> None:
+        """Return a FULL block with no valid pages to the free pool."""
+        block = self.blocks[block_id]
+        if block.state is BlockState.OPEN:
+            raise ValueError(f"cannot erase open block {block_id}")
+        if block.valid:
+            raise ValueError(
+                f"block {block_id} still has {block.valid_count} valid pages"
+            )
+        block.state = BlockState.FREE
+        block.next_page = 0
+        self._free_per_die[block.die_index].append(block_id)
+
+    def victim_candidates(self) -> list[BlockInfo]:
+        """FULL blocks, cheapest victims (fewest valid pages) first."""
+        fulls = [b for b in self.blocks if b.state is BlockState.FULL]
+        fulls.sort(key=lambda b: b.valid_count)
+        return fulls

@@ -1,0 +1,74 @@
+"""Logical-to-physical page mapping.
+
+The map is page-granular: logical page number (LPN) to physical page index
+(the linear index of :class:`~repro.nand.geometry.NandGeometry`).  A reverse
+map is maintained so garbage collection can find the owning LPN of a valid
+physical page in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["PageMap"]
+
+
+class PageMap:
+    """Bidirectional LPN <-> physical-page-index map.
+
+    Attributes:
+        logical_pages: Size of the logical address space in pages.
+    """
+
+    def __init__(self, logical_pages: int) -> None:
+        if logical_pages < 1:
+            raise ValueError("logical_pages must be >= 1")
+        self.logical_pages = logical_pages
+        self._forward: dict[int, int] = {}
+        self._reverse: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        """Number of mapped logical pages."""
+        return len(self._forward)
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """Physical page index for ``lpn``, or ``None`` if never written."""
+        self._check_lpn(lpn)
+        return self._forward.get(lpn)
+
+    def lpn_of(self, ppn: int) -> Optional[int]:
+        """Owning LPN of a physical page, or ``None`` if not currently valid."""
+        return self._reverse.get(ppn)
+
+    def bind(self, lpn: int, ppn: int) -> Optional[int]:
+        """Map ``lpn`` to ``ppn``; returns the previous PPN (now stale).
+
+        The caller (the allocator) is responsible for marking the returned
+        stale physical page invalid in its block accounting.
+        """
+        self._check_lpn(lpn)
+        if ppn in self._reverse:
+            raise ValueError(f"physical page {ppn} is already mapped")
+        previous = self._forward.get(lpn)
+        if previous is not None:
+            del self._reverse[previous]
+        self._forward[lpn] = ppn
+        self._reverse[ppn] = lpn
+        return previous
+
+    def unbind(self, lpn: int) -> Optional[int]:
+        """Remove the mapping for ``lpn`` (TRIM); returns the freed PPN."""
+        self._check_lpn(lpn)
+        ppn = self._forward.pop(lpn, None)
+        if ppn is not None:
+            del self._reverse[ppn]
+        return ppn
+
+    def mapped_lpns(self) -> Iterator[int]:
+        return iter(self._forward)
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(
+                f"LPN {lpn} outside logical space of {self.logical_pages} pages"
+            )

@@ -1,0 +1,73 @@
+"""Wear accounting.
+
+Tracks per-block erase counts and derives the usual endurance statistics.
+The reproduction does not need wear *leveling* (experiments are short), but
+write-amplification and erase accounting make GC behaviour observable and
+testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WearStats", "WearTracker"]
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary of array wear.
+
+    Attributes:
+        total_erases: Erase operations since construction.
+        max_erases: Highest per-block erase count.
+        mean_erases: Mean per-block erase count.
+        skew: max/mean ratio (1.0 = perfectly even wear); 0 when unworn.
+    """
+
+    total_erases: int
+    max_erases: int
+    mean_erases: float
+    skew: float
+
+
+class WearTracker:
+    """Per-block erase counters plus host/NAND write byte counters."""
+
+    def __init__(self, total_blocks: int) -> None:
+        if total_blocks < 1:
+            raise ValueError("total_blocks must be >= 1")
+        self._erases = np.zeros(total_blocks, dtype=np.int64)
+        self.host_bytes_written = 0
+        self.nand_bytes_written = 0
+
+    def record_erase(self, block_id: int) -> None:
+        self._erases[block_id] += 1
+
+    def record_host_write(self, nbytes: int) -> None:
+        self.host_bytes_written += nbytes
+
+    def record_nand_write(self, nbytes: int) -> None:
+        self.nand_bytes_written += nbytes
+
+    def erase_count(self, block_id: int) -> int:
+        return int(self._erases[block_id])
+
+    @property
+    def write_amplification(self) -> float:
+        """NAND bytes programmed per host byte written (>= 1 once writing)."""
+        if self.host_bytes_written == 0:
+            return 0.0
+        return self.nand_bytes_written / self.host_bytes_written
+
+    def stats(self) -> WearStats:
+        total = int(self._erases.sum())
+        max_e = int(self._erases.max())
+        mean_e = float(self._erases.mean())
+        return WearStats(
+            total_erases=total,
+            max_erases=max_e,
+            mean_erases=mean_e,
+            skew=(max_e / mean_e) if mean_e > 0 else 0.0,
+        )

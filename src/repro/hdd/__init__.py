@@ -1,0 +1,35 @@
+"""Hard-disk-drive substrate.
+
+Models the mechanical reality that gives HDDs their narrow operating power
+range and their expensive standby (paper section 2):
+
+- :class:`~repro.hdd.geometry.HddGeometry` -- zoned-bit-recording layout:
+  outer tracks stream faster than inner ones; LBAs map to radial position
+  and a deterministic angular offset.
+- :class:`~repro.hdd.mechanics.SeekModel` /
+  :func:`~repro.hdd.mechanics.pick_next_rpo` -- seek-time curve, rotational
+  latency and rotational-position-ordering command selection (the drive's
+  internal NCQ/elevator scheduling).
+- :class:`~repro.hdd.spindle.Spindle` -- spin-up/down state machine with the
+  multi-second transitions and inrush power surge that make HDD standby a
+  risky power-adaptivity mechanism.
+- :class:`~repro.hdd.cache.WriteCache` -- the on-board DRAM write-back
+  cache whose elevator-style drain sets the random-write throughput floor.
+"""
+
+from repro.hdd.cache import CachedWrite, WriteCache
+from repro.hdd.geometry import HddGeometry
+from repro.hdd.mechanics import RotationModel, SeekModel, pick_next_rpo
+from repro.hdd.spindle import Spindle, SpindleConfig, SpindleState
+
+__all__ = [
+    "CachedWrite",
+    "HddGeometry",
+    "RotationModel",
+    "SeekModel",
+    "Spindle",
+    "SpindleConfig",
+    "SpindleState",
+    "WriteCache",
+    "pick_next_rpo",
+]

@@ -1,0 +1,81 @@
+"""HDD layout: zoned bit recording and angular position.
+
+We use a continuous model rather than explicit cylinder lists: an LBA maps
+to a radial fraction in ``[0, 1]`` (0 = outermost) and to a deterministic
+pseudo-random angular offset in ``[0, 1)`` revolutions.  Media bandwidth
+falls linearly from the outer to the inner zone, the classic ZBR profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HddGeometry"]
+
+# Multiplicative hash constant (Knuth) for the angular-offset mapping.
+_HASH_MULT = 2654435761
+_HASH_MOD = 2**32
+
+
+@dataclass(frozen=True)
+class HddGeometry:
+    """Drive layout parameters.
+
+    Attributes:
+        capacity_bytes: Addressable capacity.
+        rpm: Spindle speed.
+        outer_bandwidth: Media rate at the outermost zone (bytes/s).
+        inner_bandwidth: Media rate at the innermost zone (bytes/s).
+        sector_size: Logical block size.
+    """
+
+    capacity_bytes: int = 2_000_000_000_000
+    rpm: int = 7200
+    outer_bandwidth: float = 199e6
+    inner_bandwidth: float = 95e6
+    sector_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.rpm <= 0 or self.sector_size <= 0:
+            raise ValueError("capacity, rpm and sector size must be positive")
+        if not 0 < self.inner_bandwidth <= self.outer_bandwidth:
+            raise ValueError("need 0 < inner_bandwidth <= outer_bandwidth")
+
+    @property
+    def revolution_time(self) -> float:
+        """Seconds per platter revolution (8.33 ms at 7200 rpm)."""
+        return 60.0 / self.rpm
+
+    def radial_fraction(self, lba_byte: int) -> float:
+        """Radial position of a byte offset: 0.0 outer edge, 1.0 inner."""
+        self._check_offset(lba_byte)
+        return lba_byte / self.capacity_bytes
+
+    def bandwidth_at(self, lba_byte: int) -> float:
+        """Sustained media rate at the given byte offset (ZBR profile)."""
+        frac = self.radial_fraction(lba_byte)
+        return self.outer_bandwidth + (self.inner_bandwidth - self.outer_bandwidth) * frac
+
+    def transfer_time(self, lba_byte: int, nbytes: int) -> float:
+        """Media transfer time for ``nbytes`` starting at ``lba_byte``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.bandwidth_at(lba_byte)
+
+    def angular_offset(self, lba_byte: int) -> float:
+        """Deterministic angular position of an LBA, in revolutions [0, 1).
+
+        A multiplicative hash of the sector number: real drives interleave
+        sectors so that nearby LBAs land at effectively scattered angles once
+        a seek is involved, which is what rotational-position ordering
+        exploits.
+        """
+        self._check_offset(lba_byte)
+        sector = lba_byte // self.sector_size
+        return ((sector * _HASH_MULT) % _HASH_MOD) / _HASH_MOD
+
+    def _check_offset(self, lba_byte: int) -> None:
+        if not 0 <= lba_byte < self.capacity_bytes:
+            raise ValueError(
+                f"byte offset {lba_byte} outside capacity {self.capacity_bytes}"
+            )

@@ -1,0 +1,134 @@
+"""Spindle state machine and power model.
+
+The spindle is why HDD standby is a double-edged power mechanism (paper
+sections 2 and 3.2.2): halting rotation saves the majority of idle power
+(3.76 W -> 1.1 W on the studied Exos), but spin-up takes up to ten seconds,
+draws an inrush surge while it lasts, and any IO arriving meanwhile is
+stalled behind a gate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.power.rail import PowerRail
+from repro.sim.engine import Engine
+from repro.sim.resources import Gate
+
+__all__ = ["Spindle", "SpindleConfig", "SpindleState"]
+
+
+class SpindleState(enum.Enum):
+    STANDBY = "standby"
+    SPINNING_UP = "spinning_up"
+    SPINNING = "spinning"
+    SPINNING_DOWN = "spinning_down"
+
+
+@dataclass(frozen=True)
+class SpindleConfig:
+    """Spindle power/time parameters.
+
+    Attributes:
+        rotation_power_w: Steady draw of the motor while rotating.
+        spinup_surge_w: *Additional* draw during spin-up.
+        spinup_time_s: Time from standby to ready (paper: up to 10 s).
+        spindown_time_s: Coast-down time after a spin-down command.
+    """
+
+    rotation_power_w: float = 2.66
+    spinup_surge_w: float = 2.3
+    spinup_time_s: float = 8.0
+    spindown_time_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rotation_power_w < 0 or self.spinup_surge_w < 0:
+            raise ValueError("spindle powers must be non-negative")
+        if self.spinup_time_s <= 0 or self.spindown_time_s < 0:
+            raise ValueError("spin-up time must be positive")
+
+
+class Spindle:
+    """Spin-up/down state machine drawing motor power on the device rail.
+
+    IO paths wait on :attr:`ready_gate` before touching the media; the gate
+    is closed whenever the platters are not at speed.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rail: PowerRail,
+        config: SpindleConfig,
+        start_spinning: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.rail = rail
+        self.config = config
+        self.ready_gate = Gate(engine, is_open=start_spinning, name="spindle-ready")
+        self.spinups = 0
+        self.spindowns = 0
+        self.derating_w = 0.0
+        if start_spinning:
+            self.state = SpindleState.SPINNING
+            rail.set_draw("spindle", config.rotation_power_w)
+        else:
+            self.state = SpindleState.STANDBY
+            rail.set_draw("spindle", 0.0)
+
+    def set_derating(self, watts: float) -> None:
+        """Reduce rotating draw by ``watts`` (EPC head-unload / low-rpm).
+
+        The derating persists across spin cycles until changed.
+        """
+        if watts < 0 or watts >= self.config.rotation_power_w:
+            raise ValueError(
+                f"derating {watts!r} W outside [0, rotation power)"
+            )
+        self.derating_w = watts
+        if self.state is SpindleState.SPINNING:
+            self.rail.set_draw(
+                "spindle", self.config.rotation_power_w - watts
+            )
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state is SpindleState.SPINNING
+
+    def spin_up(self):
+        """Process generator: bring the platters to speed.
+
+        No-op if already spinning; joins an in-progress spin-up rather than
+        restarting it.
+        """
+        if self.state is SpindleState.SPINNING:
+            return
+        if self.state in (SpindleState.SPINNING_UP, SpindleState.SPINNING_DOWN):
+            # Wait for the in-flight transition (and any chained spin-up).
+            yield self.ready_gate.wait_open()
+            return
+        self.state = SpindleState.SPINNING_UP
+        self.spinups += 1
+        surge = self.config.rotation_power_w + self.config.spinup_surge_w
+        self.rail.set_draw("spindle", surge)
+        yield self.engine.timeout(self.config.spinup_time_s)
+        self.rail.set_draw(
+            "spindle", self.config.rotation_power_w - self.derating_w
+        )
+        self.state = SpindleState.SPINNING
+        self.ready_gate.open()
+
+    def spin_down(self):
+        """Process generator: halt rotation (caller must have flushed cache)."""
+        if self.state is SpindleState.STANDBY:
+            return
+        if self.state is not SpindleState.SPINNING:
+            raise RuntimeError(f"cannot spin down while {self.state}")
+        self.state = SpindleState.SPINNING_DOWN
+        self.spindowns += 1
+        self.ready_gate.close()
+        # Coasting: the motor is unpowered while the platters slow.
+        self.rail.set_draw("spindle", 0.0)
+        yield self.engine.timeout(self.config.spindown_time_s)
+        self.state = SpindleState.STANDBY

@@ -1,0 +1,144 @@
+"""The asynchronous submission engine.
+
+:class:`FioJob` reproduces fio's io_uring/libaio behaviour: ``iodepth``
+worker loops each keep one IO outstanding, so the device always sees the
+configured queue depth (until a stop condition trips).  IOs are submitted
+directly to the device -- there is no page cache in the path, matching the
+paper's ``direct=1`` methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.base import IOKind, IORequest, StorageDevice
+from repro.iogen.patterns import OffsetGenerator, RandomOffsets, SequentialOffsets
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.iogen.stats import IoRecord, JobResult
+from repro.sim.engine import Engine
+
+__all__ = ["FioJob"]
+
+
+class FioJob:
+    """One running fio-style job against one device.
+
+    Usage::
+
+        job = FioJob(engine, device, spec, rng)
+        process = job.start()
+        engine.run()                 # or run(until=...)
+        result = job.result(warmup_fraction=0.2)
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        device: StorageDevice,
+        spec: JobSpec,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.engine = engine
+        self.device = device
+        self.spec = spec
+        region_bytes = spec.region_bytes or (
+            device.capacity_bytes - spec.region_offset
+        )
+        if spec.region_offset + region_bytes > device.capacity_bytes:
+            raise ValueError(
+                f"job region [{spec.region_offset}, "
+                f"{spec.region_offset + region_bytes}) exceeds device capacity"
+            )
+        self._offsets = self._make_offsets(spec, region_bytes, rng)
+        self.records: list[IoRecord] = []
+        self._issued_bytes = 0
+        self._start_time: Optional[float] = None
+        self._end_time: Optional[float] = None
+        self._started = False
+
+    @staticmethod
+    def _make_offsets(
+        spec: JobSpec, region_bytes: int, rng: Optional[np.random.Generator]
+    ) -> OffsetGenerator:
+        if spec.pattern.is_random:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            return RandomOffsets(
+                spec.region_offset, region_bytes, spec.block_size, rng
+            )
+        return SequentialOffsets(spec.region_offset, region_bytes, spec.block_size)
+
+    # -- control ------------------------------------------------------------
+
+    def start(self):
+        """Spawn the job; returns the master process (an awaitable event)."""
+        if self._started:
+            raise RuntimeError("job already started")
+        self._started = True
+        return self.engine.process(self._master())
+
+    def _master(self):
+        self._start_time = self.engine.now
+        workers = [
+            self.engine.process(self._worker())
+            for _ in range(self.spec.iodepth)
+        ]
+        yield self.engine.all_of(workers)
+        self._end_time = self.engine.now
+
+    @property
+    def deadline(self) -> float:
+        if self._start_time is None:
+            raise RuntimeError("job has not started")
+        return self._start_time + self.spec.runtime_s
+
+    def _stop(self) -> bool:
+        return (
+            self.engine.now >= self.deadline
+            or self._issued_bytes >= self.spec.size_limit_bytes
+        )
+
+    def _worker(self):
+        kind = IOKind.READ if self.spec.pattern.is_read else IOKind.WRITE
+        spec = self.spec
+        while not self._stop():
+            offset = self._offsets.next_offset()
+            self._issued_bytes += spec.block_size
+            submit_time = self.engine.now
+            result = yield self.device.submit(
+                IORequest(kind, offset, spec.block_size)
+            )
+            self.records.append(
+                IoRecord(submit_time, result.complete_time, spec.block_size)
+            )
+            if spec.host_overhead_s > 0:
+                yield self.engine.timeout(spec.host_overhead_s)
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._end_time is not None
+
+    def result(self, warmup_fraction: float = 0.0) -> JobResult:
+        """Build the :class:`~repro.iogen.stats.JobResult`.
+
+        Args:
+            warmup_fraction: Leading fraction of the job's duration to
+                exclude from steady-state statistics.
+        """
+        if self._start_time is None or self._end_time is None:
+            raise RuntimeError("job has not finished; run the engine first")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        duration = self._end_time - self._start_time
+        measure_start = self._start_time + warmup_fraction * duration
+        return JobResult(
+            spec=self.spec,
+            start_time=self._start_time,
+            end_time=self._end_time,
+            records=tuple(self.records),
+            measure_start=measure_start,
+        )

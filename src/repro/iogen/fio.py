@@ -1,0 +1,85 @@
+"""fio-flavoured front end.
+
+Parses the fio option subset the paper's scripts use and renders results in
+a fio-like summary format, so methodology scripts read naturally::
+
+    spec = parse_fio_args("--rw=randwrite --bs=256k --iodepth=64 "
+                          "--runtime=60 --size=4G")
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro._units import fmt_duration, parse_size
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.iogen.stats import JobResult
+
+__all__ = ["format_job_result", "parse_fio_args"]
+
+_SUPPORTED = {"rw", "bs", "iodepth", "runtime", "size", "offset", "name", "direct"}
+
+
+def parse_fio_args(args: str) -> JobSpec:
+    """Parse a fio-style option string into a :class:`JobSpec`.
+
+    Unknown options raise; ``--direct`` is accepted (and must be 1 -- the
+    simulated path is always direct, like the paper's methodology).
+
+    >>> spec = parse_fio_args("--rw=randread --bs=4k --iodepth=8")
+    >>> spec.pattern.value, spec.block_size, spec.iodepth
+    ('randread', 4096, 8)
+    """
+    options: dict[str, str] = {}
+    for token in shlex.split(args):
+        if not token.startswith("--") or "=" not in token:
+            raise ValueError(f"malformed fio option {token!r}")
+        key, __, value = token[2:].partition("=")
+        if key not in _SUPPORTED:
+            raise ValueError(f"unsupported fio option --{key}")
+        options[key] = value
+
+    if "rw" not in options:
+        raise ValueError("--rw is required")
+    if options.get("direct", "1") != "1":
+        raise ValueError("only direct=1 is modelled (the paper bypasses the page cache)")
+    try:
+        pattern = IoPattern(options["rw"])
+    except ValueError:
+        raise ValueError(
+            f"unknown rw mode {options['rw']!r}; "
+            f"supported: {[p.value for p in IoPattern]}"
+        ) from None
+
+    kwargs = {}
+    if "runtime" in options:
+        kwargs["runtime_s"] = float(options["runtime"].rstrip("s"))
+    if "size" in options:
+        kwargs["size_limit_bytes"] = parse_size(options["size"])
+    if "offset" in options:
+        kwargs["region_offset"] = parse_size(options["offset"])
+    return JobSpec(
+        pattern=pattern,
+        block_size=parse_size(options.get("bs", "4k")),
+        iodepth=int(options.get("iodepth", "1")),
+        **kwargs,
+    )
+
+
+def format_job_result(result: JobResult) -> str:
+    """Render a fio-like one-job summary block."""
+    latency = result.latency_stats()
+    verb = "read" if result.spec.pattern.is_read else "write"
+    lines = [
+        f"{result.spec.describe()}: runtime {fmt_duration(result.duration)}",
+        (
+            f"  {verb}: bw={result.throughput_mib_s:.1f}MiB/s, "
+            f"iops={result.iops:.0f}"
+        ),
+        (
+            f"  lat (usec): avg={latency.mean * 1e6:.1f}, "
+            f"p50={latency.p50 * 1e6:.1f}, p99={latency.p99 * 1e6:.1f}, "
+            f"max={latency.max * 1e6:.1f}"
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Offset generators for the access patterns.
+
+Both generators produce block-aligned byte offsets inside a job's region.
+Random offsets are uniform over aligned slots (fio's ``randrepeat``
+behaviour comes from the deterministic RNG streams); sequential offsets
+advance and wrap, matching fio's behaviour when the job outlives the file.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["OffsetGenerator", "RandomOffsets", "SequentialOffsets"]
+
+
+class OffsetGenerator(abc.ABC):
+    """Produces the next block-aligned byte offset for a job."""
+
+    def __init__(self, region_offset: int, region_bytes: int, block_size: int) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if region_bytes < block_size:
+            raise ValueError("region must hold at least one block")
+        if region_offset < 0:
+            raise ValueError("region_offset must be non-negative")
+        self.region_offset = region_offset
+        self.block_size = block_size
+        self.slots = region_bytes // block_size
+
+    @abc.abstractmethod
+    def next_offset(self) -> int:
+        """The next byte offset to access."""
+
+
+class SequentialOffsets(OffsetGenerator):
+    """Linear sweep through the region, wrapping at the end."""
+
+    def __init__(self, region_offset: int, region_bytes: int, block_size: int) -> None:
+        super().__init__(region_offset, region_bytes, block_size)
+        self._slot = 0
+
+    def next_offset(self) -> int:
+        offset = self.region_offset + self._slot * self.block_size
+        self._slot = (self._slot + 1) % self.slots
+        return offset
+
+
+class RandomOffsets(OffsetGenerator):
+    """Uniformly random aligned offsets (with replacement, like fio's default).
+
+    Draws slots in batches from the supplied numpy generator to amortize
+    RNG overhead across the millions of IOs a sweep issues.
+    """
+
+    _BATCH = 4096
+
+    def __init__(
+        self,
+        region_offset: int,
+        region_bytes: int,
+        block_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(region_offset, region_bytes, block_size)
+        self._rng = rng
+        self._batch: np.ndarray = np.empty(0, dtype=np.int64)
+        self._cursor = 0
+
+    def next_offset(self) -> int:
+        if self._cursor >= len(self._batch):
+            self._batch = self._rng.integers(
+                0, self.slots, size=self._BATCH, dtype=np.int64
+            )
+            self._cursor = 0
+        slot = int(self._batch[self._cursor])
+        self._cursor += 1
+        return self.region_offset + slot * self.block_size

@@ -1,0 +1,98 @@
+"""Workload job specification.
+
+Mirrors the fio parameters the paper sweeps.  Defaults follow the paper's
+stop rule (60 s or 4 GiB, whichever first); the experiment harness scales
+these down for simulation speed via
+:class:`repro.core.experiment.ExperimentConfig`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro._units import GiB, KiB
+
+__all__ = ["IoPattern", "JobSpec", "PAPER_CHUNK_SIZES", "PAPER_QUEUE_DEPTHS"]
+
+#: The six chunk sizes the paper tests (4 KiB - 2 MiB).
+PAPER_CHUNK_SIZES = (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1024 * KiB, 2048 * KiB)
+
+#: The six IO depths the paper tests (1 - 128).
+PAPER_QUEUE_DEPTHS = (1, 4, 8, 16, 64, 128)
+
+
+class IoPattern(enum.Enum):
+    """fio ``rw=`` values used in the study."""
+
+    RANDREAD = "randread"
+    RANDWRITE = "randwrite"
+    READ = "read"  # sequential
+    WRITE = "write"  # sequential
+
+    @property
+    def is_read(self) -> bool:
+        return self in (IoPattern.RANDREAD, IoPattern.READ)
+
+    @property
+    def is_random(self) -> bool:
+        return self in (IoPattern.RANDREAD, IoPattern.RANDWRITE)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fio-style job.
+
+    Attributes:
+        pattern: Access pattern (``rw=``).
+        block_size: IO chunk size in bytes (``bs=``).
+        iodepth: Outstanding IOs to maintain (``iodepth=``).
+        runtime_s: Wall-clock stop condition (``runtime=``).
+        size_limit_bytes: Total-bytes stop condition (``size=``); the job
+            ends at whichever limit hits first, like the paper's "one
+            minute or 4 GiB".
+        region_bytes: Span of the device the offsets cover (``None`` =
+            whole device).
+        region_offset: Start of that span.
+        host_overhead_s: Host-side per-IO cost (submission syscall +
+            completion reaping + fio bookkeeping); only visible at shallow
+            queue depths, exactly as on real systems.
+    """
+
+    pattern: IoPattern
+    block_size: int
+    iodepth: int
+    runtime_s: float = 60.0
+    size_limit_bytes: int = 4 * GiB
+    region_bytes: Optional[int] = None
+    region_offset: int = 0
+    host_overhead_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.iodepth < 1:
+            raise ValueError("iodepth must be >= 1")
+        if self.runtime_s <= 0 or self.size_limit_bytes <= 0:
+            raise ValueError("stop conditions must be positive")
+        if self.region_bytes is not None and self.region_bytes < self.block_size:
+            raise ValueError("region must hold at least one block")
+        if self.region_offset < 0 or self.host_overhead_s < 0:
+            raise ValueError("region offset / host overhead must be >= 0")
+
+    def scaled(self, time_scale: float, size_scale: float) -> "JobSpec":
+        """A copy with stop conditions scaled (simulation speed knob)."""
+        if time_scale <= 0 or size_scale <= 0:
+            raise ValueError("scales must be positive")
+        return replace(
+            self,
+            runtime_s=self.runtime_s * time_scale,
+            size_limit_bytes=max(int(self.size_limit_bytes * size_scale), self.block_size),
+        )
+
+    def describe(self) -> str:
+        """fio-style one-liner, e.g. ``randwrite bs=256k iodepth=64``."""
+        bs = self.block_size
+        bs_text = f"{bs // 1024}k" if bs % 1024 == 0 else str(bs)
+        return f"{self.pattern.value} bs={bs_text} iodepth={self.iodepth}"

@@ -1,0 +1,132 @@
+"""Per-IO records and job-level statistics.
+
+The paper reports steady-state quantities: average power and throughput
+over an experiment, and latency averages plus the 99th percentile (Figs.
+5 and 6).  :class:`JobResult` computes all of these from the raw IO records
+with an optional warmup cutoff so ramp-in (e.g. a write cache filling) does
+not bias steady-state numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._units import mib_per_s
+from repro.iogen.spec import JobSpec
+
+__all__ = ["IoRecord", "JobResult", "LatencyStats"]
+
+
+@dataclass(frozen=True)
+class IoRecord:
+    """Timing of one completed IO."""
+
+    submit_time: float
+    complete_time: float
+    nbytes: int
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.submit_time
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency summary in seconds.
+
+    ``p99`` is the figure the paper tracks for tail behaviour (Fig. 5b).
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    p999: float
+    min: float
+    max: float
+
+    @classmethod
+    def from_latencies(cls, latencies: Sequence[float]) -> "LatencyStats":
+        if len(latencies) == 0:
+            raise ValueError("no latencies to summarize")
+        arr = np.asarray(latencies, float)
+        return cls(
+            count=len(arr),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            p999=float(np.percentile(arr, 99.9)),
+            min=float(arr.min()),
+            max=float(arr.max()),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"lat avg {self.mean * 1e6:.1f}us p50 {self.p50 * 1e6:.1f}us "
+            f"p99 {self.p99 * 1e6:.1f}us (n={self.count})"
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job run.
+
+    Attributes:
+        spec: The job that ran.
+        start_time / end_time: Simulated span of the job.
+        records: Every completed IO.
+        measure_start: Beginning of the steady-state window used for
+            throughput/latency (>= start_time when a warmup was applied).
+    """
+
+    spec: JobSpec
+    start_time: float
+    end_time: float
+    records: tuple[IoRecord, ...]
+    measure_start: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def measure_window(self) -> tuple[float, float]:
+        return self.measure_start, self.end_time
+
+    def _measured(self) -> list[IoRecord]:
+        return [r for r in self.records if r.complete_time >= self.measure_start]
+
+    @property
+    def bytes_completed(self) -> int:
+        """Bytes completed inside the measurement window."""
+        return sum(r.nbytes for r in self._measured())
+
+    @property
+    def throughput_bps(self) -> float:
+        """Steady-state throughput in bytes/second."""
+        window = self.end_time - self.measure_start
+        if window <= 0:
+            return 0.0
+        return self.bytes_completed / window
+
+    @property
+    def throughput_mib_s(self) -> float:
+        return mib_per_s(self.throughput_bps)
+
+    @property
+    def iops(self) -> float:
+        window = self.end_time - self.measure_start
+        if window <= 0:
+            return 0.0
+        return len(self._measured()) / window
+
+    def latency_stats(self) -> LatencyStats:
+        measured = self._measured()
+        if not measured:
+            raise ValueError("no IOs completed inside the measurement window")
+        return LatencyStats.from_latencies([r.latency for r in measured])

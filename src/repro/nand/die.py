@@ -1,0 +1,242 @@
+"""NAND die state machines and the assembled flash array.
+
+A :class:`NandDie` executes one operation at a time (plane-level parallelism
+is folded into the per-die service time).  While an operation is in flight
+the die draws its op-specific power on the device rail -- the sum of these
+per-die draws is the NAND component of the device's measurable power.
+
+:class:`NandArray` assembles ``geometry.total_dies`` dies and one
+:class:`~repro.nand.onfi.ChannelBus` per channel, and provides
+:meth:`NandArray.execute`, the single entry point the FTL/device layer uses
+to run a physical-page operation with correct die/bus interleaving:
+
+- PROGRAM: data crosses the bus first, then the die is busy for tPROG.
+- READ: the die senses for tR, then data crosses the bus.
+- ERASE: die-only, no data transfer.
+"""
+
+from __future__ import annotations
+
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+from repro.nand.onfi import ChannelBus
+from repro.nand.ops import NandPower, NandTimings, OpKind
+from repro.power.rail import PowerRail
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+
+__all__ = ["NandArray", "NandDie"]
+
+
+class NandDie:
+    """One flash die: a single-server queue with op-dependent service.
+
+    Program operations optionally draw their power as a *pulse profile*:
+    the charge-pump phase of a program draws ``pulse_ratio`` times the
+    average for ``pulse_fraction`` of the duration, with the remainder
+    scaled down so per-op energy is unchanged.  Pulses from concurrently
+    programming dies beat against each other, producing the millisecond-
+    scale power variability the paper's 1 kHz sampling reveals (Fig. 2).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rail: PowerRail,
+        die_index: int,
+        timings: NandTimings,
+        power: NandPower,
+        pulse_ratio: float = 1.0,
+        pulse_fraction: float = 0.3,
+        rng=None,
+    ) -> None:
+        if pulse_ratio < 1.0:
+            raise ValueError("pulse_ratio must be >= 1")
+        if not 0 < pulse_fraction < 1:
+            raise ValueError("pulse_fraction must be in (0, 1)")
+        if pulse_ratio > 1.0 / pulse_fraction:
+            raise ValueError(
+                "pulse_ratio * pulse_fraction > 1 would need negative "
+                "off-pulse power to conserve energy"
+            )
+        self.engine = engine
+        self.rail = rail
+        self.index = die_index
+        self.timings = timings
+        self.power = power
+        self.pulse_ratio = pulse_ratio
+        self.pulse_fraction = pulse_fraction
+        self._rng = rng
+        self._server = Resource(engine, capacity=1, name=f"die{die_index}")
+        self._component = f"die{die_index}"
+        self.op_counts: dict[OpKind, int] = {kind: 0 for kind in OpKind}
+        if power.p_idle:
+            rail.set_draw(self._component, power.p_idle)
+
+    @property
+    def busy(self) -> bool:
+        return self._server.in_use > 0
+
+    @property
+    def queued(self) -> int:
+        return self._server.queued
+
+    def acquire(self):
+        """Event granting exclusive use of the die."""
+        return self._server.request()
+
+    def release(self) -> None:
+        self._server.release()
+
+    def run_op(self, kind: OpKind):
+        """Process generator: die-busy phase of ``kind`` (die already held).
+
+        Draws the op's power above idle for its duration; programs use the
+        pulse profile when configured.
+        """
+        draw = self.power.draw(kind)
+        duration = self.timings.duration(kind)
+        pulsed = (
+            kind is OpKind.PROGRAM
+            and self.pulse_ratio > 1.0
+            and self._rng is not None
+        )
+        if not pulsed:
+            self.rail.add_draw(self._component, draw)
+            try:
+                yield self.engine.timeout(duration)
+                self.op_counts[kind] += 1
+            finally:
+                self.rail.add_draw(self._component, -draw)
+            return
+
+        t_pulse = self.pulse_fraction * duration
+        p_pulse = self.pulse_ratio * draw
+        # Off-pulse power chosen so the op's total energy stays draw*duration.
+        p_rest = (draw * duration - p_pulse * t_pulse) / (duration - t_pulse)
+        t_before = float(self._rng.uniform(0.0, duration - t_pulse))
+        t_after = duration - t_pulse - t_before
+        phases = ((p_rest, t_before), (p_pulse, t_pulse), (p_rest, t_after))
+        try:
+            for power_w, phase_time in phases:
+                if phase_time <= 0:
+                    continue
+                self.rail.add_draw(self._component, power_w)
+                try:
+                    yield self.engine.timeout(phase_time)
+                finally:
+                    self.rail.add_draw(self._component, -power_w)
+            self.op_counts[kind] += 1
+        finally:
+            pass
+
+
+class NandArray:
+    """All dies and channel buses of one SSD."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rail: PowerRail,
+        geometry: NandGeometry,
+        timings: NandTimings,
+        power: NandPower,
+        channel_bandwidth: float,
+        channel_transfer_power_w: float,
+        pulse_ratio: float = 1.0,
+        pulse_fraction: float = 0.3,
+        rng=None,
+    ) -> None:
+        self.engine = engine
+        self.rail = rail
+        self.geometry = geometry
+        self.timings = timings
+        self.power = power
+        self.dies = [
+            NandDie(
+                engine,
+                rail,
+                i,
+                timings,
+                power,
+                pulse_ratio=pulse_ratio,
+                pulse_fraction=pulse_fraction,
+                rng=rng,
+            )
+            for i in range(geometry.total_dies)
+        ]
+        self.channels = [
+            ChannelBus(
+                engine,
+                rail,
+                c,
+                bandwidth=channel_bandwidth,
+                transfer_power_w=channel_transfer_power_w,
+            )
+            for c in range(geometry.channels)
+        ]
+
+    def die_for(self, ppa: PhysicalPageAddress) -> NandDie:
+        return self.dies[ppa.die_index(self.geometry)]
+
+    def channel_for(self, ppa: PhysicalPageAddress) -> ChannelBus:
+        return self.channels[ppa.channel]
+
+    @property
+    def busy_dies(self) -> int:
+        return sum(1 for die in self.dies if die.busy)
+
+    def execute(
+        self,
+        ppa: PhysicalPageAddress,
+        kind: OpKind,
+        nbytes: int | None = None,
+        admission=None,
+    ):
+        """Process generator: run one physical-page operation end to end.
+
+        ``nbytes`` defaults to a full page; partial-page reads transfer only
+        the requested bytes (sense time is unchanged -- the array always
+        senses a whole page).
+
+        ``admission``, when given, must expose ``request(watts) -> Event``
+        and ``release(watts)`` (a :class:`~repro.devices.power_states.
+        PowerGovernor`).  It brackets exactly the die-busy phase -- the
+        interval during which the operation draws its power -- so a power
+        cap rations concurrent *array activity*, not bus occupancy.
+        """
+        if nbytes is None:
+            nbytes = self.geometry.page_size
+        die = self.die_for(ppa)
+        channel = self.channel_for(ppa)
+        watts = self.power.draw(kind)
+        yield die.acquire()
+        try:
+            if kind is OpKind.PROGRAM:
+                yield from channel.transfer(nbytes)
+                yield from self._admitted_op(die, kind, watts, admission)
+            elif kind is OpKind.READ:
+                yield from self._admitted_op(die, kind, watts, admission)
+                yield from channel.transfer(nbytes)
+            else:  # ERASE
+                yield from self._admitted_op(die, kind, watts, admission)
+        finally:
+            die.release()
+
+    @staticmethod
+    def _admitted_op(die: NandDie, kind: OpKind, watts: float, admission):
+        if admission is None:
+            yield from die.run_op(kind)
+            return
+        yield admission.request(watts)
+        try:
+            yield from die.run_op(kind)
+        finally:
+            admission.release(watts)
+
+    def op_counts(self) -> dict[OpKind, int]:
+        """Aggregate operation counts across all dies."""
+        totals = {kind: 0 for kind in OpKind}
+        for die in self.dies:
+            for kind, count in die.op_counts.items():
+                totals[kind] += count
+        return totals

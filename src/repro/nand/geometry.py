@@ -1,0 +1,148 @@
+"""NAND array geometry and physical addressing.
+
+An SSD's flash is organized as ``channels x dies x planes x blocks x pages``.
+Pages are the program/read unit; blocks are the erase unit.  The geometry
+object provides capacity arithmetic and the canonical linear ordering of
+physical page addresses used by the FTL's allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NandGeometry", "PhysicalPageAddress"]
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalPageAddress:
+    """Address of one physical page.
+
+    Ordering is lexicographic (channel, die, plane, block, page), matching
+    :meth:`NandGeometry.ppa_from_index`.
+    """
+
+    channel: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+    def die_index(self, geometry: "NandGeometry") -> int:
+        """Global die number across all channels."""
+        return self.channel * geometry.dies_per_channel + self.die
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Shape of the flash array.
+
+    Attributes:
+        channels: Independent data buses from controller to flash.
+        dies_per_channel: Dies sharing each bus.
+        planes_per_die: Planes that can (in real parts) operate semi-
+            independently; we use them for capacity accounting.
+        blocks_per_plane: Erase blocks per plane.
+        pages_per_block: Program pages per block.
+        page_size: Bytes per page (typ. 16 KiB for modern TLC).
+    """
+
+    channels: int = 8
+    dies_per_channel: int = 4
+    planes_per_die: int = 4
+    blocks_per_plane: int = 64
+    pages_per_block: int = 64
+    page_size: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "channels",
+            "dies_per_channel",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+            "page_size",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def total_dies(self) -> int:
+        return self.channels * self.dies_per_channel
+
+    @property
+    def blocks_per_die(self) -> int:
+        return self.planes_per_die * self.blocks_per_plane
+
+    @property
+    def pages_per_die(self) -> int:
+        return self.blocks_per_die * self.pages_per_block
+
+    @property
+    def total_blocks(self) -> int:
+        return self.total_dies * self.blocks_per_die
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_dies * self.pages_per_die
+
+    @property
+    def block_size(self) -> int:
+        return self.pages_per_block * self.page_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw physical capacity."""
+        return self.total_pages * self.page_size
+
+    # -- addressing --------------------------------------------------------
+
+    def ppa_from_index(self, index: int) -> PhysicalPageAddress:
+        """Physical address for a linear page index in canonical order."""
+        if not 0 <= index < self.total_pages:
+            raise ValueError(f"page index {index} out of range")
+        page = index % self.pages_per_block
+        index //= self.pages_per_block
+        block = index % self.blocks_per_plane
+        index //= self.blocks_per_plane
+        plane = index % self.planes_per_die
+        index //= self.planes_per_die
+        die = index % self.dies_per_channel
+        channel = index // self.dies_per_channel
+        return PhysicalPageAddress(channel, die, plane, block, page)
+
+    def index_from_ppa(self, ppa: PhysicalPageAddress) -> int:
+        """Inverse of :meth:`ppa_from_index`."""
+        self._check_ppa(ppa)
+        return (
+            (
+                (
+                    (ppa.channel * self.dies_per_channel + ppa.die)
+                    * self.planes_per_die
+                    + ppa.plane
+                )
+                * self.blocks_per_plane
+                + ppa.block
+            )
+            * self.pages_per_block
+            + ppa.page
+        )
+
+    def _check_ppa(self, ppa: PhysicalPageAddress) -> None:
+        if not (
+            0 <= ppa.channel < self.channels
+            and 0 <= ppa.die < self.dies_per_channel
+            and 0 <= ppa.plane < self.planes_per_die
+            and 0 <= ppa.block < self.blocks_per_plane
+            and 0 <= ppa.page < self.pages_per_block
+        ):
+            raise ValueError(f"{ppa} out of range for {self}")
+
+    def block_id(self, ppa: PhysicalPageAddress) -> int:
+        """Global block number (erase-unit identity) of a page address."""
+        self._check_ppa(ppa)
+        return (
+            (ppa.channel * self.dies_per_channel + ppa.die) * self.planes_per_die
+            + ppa.plane
+        ) * self.blocks_per_plane + ppa.block

@@ -1,0 +1,79 @@
+"""Per-channel data bus model.
+
+Each flash channel is a shared bus between the controller and the dies
+hanging off it.  Page data must cross the bus once per operation (out for
+programs, in for reads), taking ``bytes / bandwidth`` during which the bus
+is held exclusively and the interface logic draws transfer power.
+
+The bus is what couples *IO size* to *power*: larger IOs keep channels
+streaming a larger fraction of the time, raising average interface power --
+one leg of the paper's IO-shaping mechanism (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+from repro.power.rail import PowerRail
+
+__all__ = ["ChannelBus"]
+
+
+class ChannelBus:
+    """One flash channel's shared data bus.
+
+    Attributes:
+        bandwidth: Transfer rate in bytes/second (e.g. 1.2 GB/s for a
+            modern ONFI/Toggle interface).
+        transfer_power_w: Interface power drawn while a transfer streams.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rail: PowerRail,
+        channel_index: int,
+        bandwidth: float,
+        transfer_power_w: float,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        if transfer_power_w < 0:
+            raise ValueError("transfer power must be non-negative")
+        self.engine = engine
+        self.rail = rail
+        self.index = channel_index
+        self.bandwidth = bandwidth
+        self.transfer_power_w = transfer_power_w
+        self._bus = Resource(engine, capacity=1, name=f"chan{channel_index}")
+        self._component = f"chan{channel_index}.xfer"
+        self.bytes_transferred = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Bus occupancy for ``nbytes`` of page data."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative byte count")
+        return nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int):
+        """Process generator: move ``nbytes`` across the bus.
+
+        Acquires the bus exclusively, draws transfer power for the duration,
+        then releases.  Intended for ``yield from`` inside a device process.
+        """
+        yield self._bus.request()
+        self.rail.add_draw(self._component, self.transfer_power_w)
+        try:
+            yield self.engine.timeout(self.transfer_time(nbytes))
+            self.bytes_transferred += nbytes
+        finally:
+            self.rail.add_draw(self._component, -self.transfer_power_w)
+            self._bus.release()
+
+    @property
+    def busy(self) -> bool:
+        return self._bus.in_use > 0
+
+    @property
+    def queued(self) -> int:
+        return self._bus.queued

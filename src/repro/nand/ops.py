@@ -1,0 +1,87 @@
+"""NAND operation kinds, timings and power draws.
+
+The asymmetry encoded here is the physical root cause of the paper's central
+read/write finding: a TLC **program** operation holds a die busy for hundreds
+of microseconds while pumping charge at tens of milliwatts-to-watts, whereas
+a **read** senses in tens of microseconds at a small fraction of the power.
+When an NVMe power state caps total device power, the governor must ration
+concurrent programs long before it ever needs to ration reads -- which is
+exactly why the paper's Figure 4 shows sequential-write throughput dropping
+to 74 %/55 % under ps1/ps2 while read throughput is nearly untouched.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["NandPower", "NandTimings", "OpKind"]
+
+
+class OpKind(enum.Enum):
+    """The three flash array operations."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+@dataclass(frozen=True)
+class NandTimings:
+    """Service times for die operations, in seconds.
+
+    Attributes:
+        t_read: Array sense time (tR).
+        t_program: Page program time (tPROG).
+        t_erase: Block erase time (tBERS).
+    """
+
+    t_read: float = 60e-6
+    t_program: float = 380e-6
+    t_erase: float = 3e-3
+
+    def __post_init__(self) -> None:
+        if min(self.t_read, self.t_program, self.t_erase) <= 0:
+            raise ValueError("all NAND timings must be positive")
+
+    def duration(self, kind: OpKind) -> float:
+        """Die-busy time for ``kind``."""
+        if kind is OpKind.READ:
+            return self.t_read
+        if kind is OpKind.PROGRAM:
+            return self.t_program
+        return self.t_erase
+
+
+@dataclass(frozen=True)
+class NandPower:
+    """Per-die power draws in watts while an operation is in flight.
+
+    Attributes:
+        p_read: Draw during array sense.
+        p_program: Draw during page program (dominant active-power term).
+        p_erase: Draw during block erase.
+        p_idle: Standby draw of one powered die (usually folded into the
+            controller's idle figure; kept separate for ablations).
+    """
+
+    p_read: float = 0.045
+    p_program: float = 0.30
+    p_erase: float = 0.25
+    p_idle: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.p_read, self.p_program, self.p_erase) < 0 or self.p_idle < 0:
+            raise ValueError("NAND power draws must be non-negative")
+
+    def draw(self, kind: OpKind) -> float:
+        """Active draw for ``kind`` (above idle)."""
+        if kind is OpKind.READ:
+            return self.p_read
+        if kind is OpKind.PROGRAM:
+            return self.p_program
+        return self.p_erase
+
+    def energy(self, kind: OpKind, timings: NandTimings) -> float:
+        """Energy of one operation in joules."""
+        return self.draw(kind) * timings.duration(kind)

@@ -1,0 +1,24 @@
+"""NVMe host control interface.
+
+The subset of the NVMe admin command set the paper's methodology uses:
+
+- :mod:`~repro.nvme.identify` -- Identify Controller with the power state
+  descriptor table (``MP``, ``ENLAT``, ``EXLAT``, operational flag).
+- :mod:`~repro.nvme.features` -- Get/Set Features, Power Management
+  (feature id 0x02), the mechanism behind ``nvme set-feature -f 2``.
+- :mod:`~repro.nvme.cli` -- an ``nvme-cli``-flavoured convenience facade.
+"""
+
+from repro.nvme.features import FEATURE_POWER_MANAGEMENT, get_power_state, set_power_state
+from repro.nvme.identify import IdentifyController, PowerStateDescriptor, identify_controller
+from repro.nvme.cli import NvmeCli
+
+__all__ = [
+    "FEATURE_POWER_MANAGEMENT",
+    "IdentifyController",
+    "NvmeCli",
+    "PowerStateDescriptor",
+    "get_power_state",
+    "identify_controller",
+    "set_power_state",
+]

@@ -1,0 +1,76 @@
+"""Get/Set Features -- power management features.
+
+- Feature 0x02, Power Management: ``set_power_state`` is the programmatic
+  equivalent of ``nvme set-feature /dev/nvme0 -f 2 -v <ps>``.
+- Feature 0x0C, Autonomous Power State Transition: ``set_apst`` arms /
+  disarms the device's idle timer into its non-operational states.
+
+Both validate against the device's power state table and drive the
+device-side transition machinery (process generators where simulated time
+passes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.devices.ssd import SimulatedSSD
+
+__all__ = [
+    "FEATURE_APST",
+    "FEATURE_POWER_MANAGEMENT",
+    "get_power_state",
+    "set_apst",
+    "set_power_state",
+]
+
+#: NVMe feature identifier for Power Management.
+FEATURE_POWER_MANAGEMENT = 0x02
+
+#: NVMe feature identifier for Autonomous Power State Transition.
+FEATURE_APST = 0x0C
+
+
+def get_power_state(device: SimulatedSSD) -> int:
+    """Current power state index (Get Features, FID 0x02)."""
+    state = device.current_power_state
+    if state is None:
+        raise ValueError(f"{device.name} has no NVMe power management feature")
+    return state.index
+
+
+def set_apst(device: SimulatedSSD, idle_timeout_s: Optional[float]) -> SimulatedSSD:
+    """Set Features, FID 0x0C: arm the autonomous idle transition.
+
+    NVMe APST is configured before IO begins; this helper returns a *new*
+    device built with the requested idle timeout (``None`` disables APST),
+    preserving the engine and seedless state.  Intended for experiment
+    setup, mirroring how hosts program APST at namespace attach.
+
+    Raises:
+        ValueError: If the device has no non-operational states to
+            transition into.
+    """
+    if idle_timeout_s is not None and idle_timeout_s <= 0:
+        raise ValueError("idle timeout must be positive (or None to disable)")
+    config = dataclasses.replace(
+        device.config, apst_idle_timeout_s=idle_timeout_s
+    )
+    return SimulatedSSD(device.engine, config)
+
+
+def set_power_state(device: SimulatedSSD, ps: int):
+    """Process generator: Set Features, FID 0x02, value ``ps``.
+
+    Raises:
+        ValueError: For an index outside the device's power state table.
+    """
+    known = {state.index for state in device.config.power_states}
+    if not known:
+        raise ValueError(f"{device.name} has no NVMe power management feature")
+    if ps not in known:
+        raise ValueError(
+            f"{device.name}: invalid power state {ps}; supported: {sorted(known)}"
+        )
+    yield from device.set_power_state(ps)

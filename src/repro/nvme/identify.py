@@ -1,0 +1,108 @@
+"""Identify Controller and power state descriptors.
+
+Reproduces the fields of the NVMe power state descriptor table that matter
+to power management tooling: maximum power (``MP``, reported in centiwatts
+per the spec), entry/exit latencies in microseconds, and the
+non-operational flag.  ``nvme id-ctrl`` output is what an operator consults
+before choosing a power state (paper section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.ssd import SimulatedSSD
+
+__all__ = ["IdentifyController", "PowerStateDescriptor", "identify_controller"]
+
+
+@dataclass(frozen=True)
+class PowerStateDescriptor:
+    """One row of the NVMe power state table.
+
+    Attributes:
+        ps: Power state index.
+        mp_centiwatts: Maximum power in 0.01 W units (NVMe ``MP`` with
+            ``MPS = 0``).
+        non_operational: NVMe ``NOPS`` bit.
+        enlat_us / exlat_us: Entry/exit latency in microseconds.
+        idle_power_centiwatts: ``IDLP`` (vendor-reported idle draw).
+    """
+
+    ps: int
+    mp_centiwatts: int
+    non_operational: bool
+    enlat_us: int
+    exlat_us: int
+    idle_power_centiwatts: int
+
+    @property
+    def max_power_w(self) -> float:
+        return self.mp_centiwatts / 100.0
+
+    def render(self) -> str:
+        """One ``nvme id-ctrl``-style line."""
+        flags = "-" if self.non_operational else "operational"
+        return (
+            f"ps {self.ps:4d} : mp:{self.max_power_w:.2f}W {flags} "
+            f"enlat:{self.enlat_us} exlat:{self.exlat_us}"
+        )
+
+
+@dataclass(frozen=True)
+class IdentifyController:
+    """Subset of the Identify Controller data structure.
+
+    Attributes:
+        model_number: NVMe ``MN``.
+        npss: Number of power states supported minus one (NVMe ``NPSS``).
+        psds: The power state descriptor table.
+    """
+
+    model_number: str
+    npss: int
+    psds: tuple[PowerStateDescriptor, ...]
+
+    def descriptor(self, ps: int) -> PowerStateDescriptor:
+        for psd in self.psds:
+            if psd.ps == ps:
+                return psd
+        raise ValueError(f"no power state {ps} on {self.model_number}")
+
+    def operational_states(self) -> tuple[PowerStateDescriptor, ...]:
+        return tuple(p for p in self.psds if not p.non_operational)
+
+    def render(self) -> str:
+        lines = [f"mn : {self.model_number}", f"npss : {self.npss}"]
+        lines.extend(psd.render() for psd in self.psds)
+        return "\n".join(lines)
+
+
+def identify_controller(device: SimulatedSSD) -> IdentifyController:
+    """Build the Identify Controller structure for a simulated SSD.
+
+    Raises:
+        ValueError: If the device exposes no NVMe power states (e.g. the
+            SATA drives, which are managed through ALPM instead).
+    """
+    states = device.config.power_states
+    if not states:
+        raise ValueError(
+            f"{device.name} does not implement the NVMe power state table"
+        )
+    psds = tuple(
+        PowerStateDescriptor(
+            ps=ps.index,
+            mp_centiwatts=round(ps.max_power_w * 100),
+            non_operational=not ps.operational,
+            enlat_us=round(ps.entry_latency_s * 1e6),
+            exlat_us=round(ps.exit_latency_s * 1e6),
+            idle_power_centiwatts=round(ps.idle_power_w * 100),
+        )
+        for ps in states
+    )
+    return IdentifyController(
+        model_number=device.name,
+        npss=len(psds) - 1,
+        psds=psds,
+    )

@@ -1,0 +1,40 @@
+"""Power rail and power-measurement infrastructure.
+
+This package reproduces Figure 1 of the paper in simulation:
+
+1. Device components register their instantaneous draw on a
+   :class:`~repro.power.rail.PowerRail` (the "power wire").
+2. A :class:`~repro.power.shunt.ShuntResistor` converts the current to a
+   differential voltage; a :class:`~repro.power.shunt.DifferentialAmplifier`
+   scales it (adding realistic noise).
+3. An :class:`~repro.power.adc.ADS1256` model quantizes at 24 bits and
+   samples at 1 kHz.
+4. A :class:`~repro.power.logger.DataLogger` reconstructs watts from the
+   codes, exactly as the paper's Arduino + logging computer do.
+5. :mod:`~repro.power.analysis` computes the statistics the paper reports
+   (mean, median, quantiles / violin summaries, energy).
+
+:class:`~repro.power.meter.PowerMeter` wires the whole chain together.
+"""
+
+from repro.power.adc import ADS1256, AdcConfig
+from repro.power.analysis import PowerSummary, summarize_samples, summarize_trace
+from repro.power.logger import DataLogger, PowerTrace
+from repro.power.meter import MeterConfig, PowerMeter
+from repro.power.rail import PowerRail
+from repro.power.shunt import DifferentialAmplifier, ShuntResistor
+
+__all__ = [
+    "ADS1256",
+    "AdcConfig",
+    "DataLogger",
+    "DifferentialAmplifier",
+    "MeterConfig",
+    "PowerMeter",
+    "PowerRail",
+    "PowerSummary",
+    "PowerTrace",
+    "ShuntResistor",
+    "summarize_samples",
+    "summarize_trace",
+]

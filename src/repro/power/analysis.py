@@ -1,0 +1,124 @@
+"""Statistics over power traces.
+
+Provides the summaries the paper reports: mean and median (the overlapping
+horizontal lines in Figure 2b's violins), quantile envelopes for violin
+plots, and energy.  Works both on measured sample arrays
+(:class:`~repro.power.logger.PowerTrace`) and on ground-truth
+:class:`~repro.sim.trace.StepTrace` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.power.logger import PowerTrace
+from repro.sim.trace import StepTrace
+
+__all__ = ["PowerSummary", "summarize_samples", "summarize_trace", "violin_profile"]
+
+#: Quantiles reported in violin summaries (5-number envelope + tails).
+VIOLIN_QUANTILES = (0.01, 0.05, 0.25, 0.50, 0.75, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class PowerSummary:
+    """Summary statistics of one power measurement.
+
+    Attributes:
+        mean_w / median_w / min_w / max_w: Watts.
+        std_w: Sample standard deviation.
+        quantiles: Mapping quantile -> watts over :data:`VIOLIN_QUANTILES`.
+        energy_j: Integrated energy in joules.
+        duration_s: Window length.
+        n_samples: Number of samples behind the summary (0 for step traces).
+    """
+
+    mean_w: float
+    median_w: float
+    min_w: float
+    max_w: float
+    std_w: float
+    quantiles: dict[float, float]
+    energy_j: float
+    duration_s: float
+    n_samples: int
+
+    @property
+    def peak_to_mean(self) -> float:
+        """Ratio of peak to mean power (burstiness indicator)."""
+        return self.max_w / self.mean_w if self.mean_w > 0 else float("nan")
+
+    def __str__(self) -> str:
+        return (
+            f"mean {self.mean_w:.2f} W, median {self.median_w:.2f} W, "
+            f"range [{self.min_w:.2f}, {self.max_w:.2f}] W over "
+            f"{self.duration_s * 1e3:.0f} ms"
+        )
+
+
+def summarize_samples(trace: PowerTrace) -> PowerSummary:
+    """Summarize a measured (sampled) power trace."""
+    watts = trace.watts
+    if len(watts) == 0:
+        raise ValueError("cannot summarize an empty power trace")
+    quantiles = {
+        q: float(np.quantile(watts, q)) for q in VIOLIN_QUANTILES
+    }
+    return PowerSummary(
+        mean_w=float(watts.mean()),
+        median_w=float(np.median(watts)),
+        min_w=float(watts.min()),
+        max_w=float(watts.max()),
+        std_w=float(watts.std(ddof=1)) if len(watts) > 1 else 0.0,
+        quantiles=quantiles,
+        energy_j=trace.energy_joules(),
+        duration_s=trace.duration,
+        n_samples=len(watts),
+    )
+
+
+def summarize_trace(trace: StepTrace, t_start: float, t_end: float) -> PowerSummary:
+    """Summarize a ground-truth step trace over a window.
+
+    Quantiles are time-weighted: a value held for 90 % of the window is the
+    0.5 quantile even if it appears in a single long segment.
+    """
+    durations, values = trace._segments(t_start, t_end)
+    order = np.argsort(values)
+    values_sorted = values[order]
+    weights = durations[order]
+    cumulative = np.cumsum(weights) / weights.sum()
+    quantiles = {
+        q: float(values_sorted[np.searchsorted(cumulative, q, side="left")])
+        for q in VIOLIN_QUANTILES
+    }
+    mean = float(np.dot(durations, values) / durations.sum())
+    variance = float(np.dot(durations, (values - mean) ** 2) / durations.sum())
+    return PowerSummary(
+        mean_w=mean,
+        median_w=quantiles[0.50],
+        min_w=float(values.min()),
+        max_w=float(values.max()),
+        std_w=variance**0.5,
+        quantiles=quantiles,
+        energy_j=trace.integrate(t_start, t_end),
+        duration_s=t_end - t_start,
+        n_samples=0,
+    )
+
+
+def violin_profile(trace: PowerTrace, n_bins: int = 40) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram density profile of a trace, for violin-style rendering.
+
+    Returns ``(bin_centers_w, density)`` with density normalized to a peak
+    of 1.0 -- the horizontal half-width of a violin plot at each power level.
+    """
+    if len(trace.watts) == 0:
+        raise ValueError("cannot profile an empty power trace")
+    counts, edges = np.histogram(trace.watts, bins=n_bins)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    peak = counts.max()
+    density = counts / peak if peak > 0 else counts.astype(float)
+    return centers, density

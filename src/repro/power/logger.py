@@ -1,0 +1,121 @@
+"""Data logger: code stream -> calibrated power trace.
+
+In the paper an Arduino UNO reads the ADC and ships voltage codes to a
+logging computer which reconstructs power as ``P = U * I`` with
+``I = V_amp / (gain * R_shunt)``.  :class:`DataLogger` performs that
+reconstruction using the *nominal* shunt resistance and amplifier gain --
+the same values a real experimenter would use -- so that part-tolerance
+biases show up as genuine measurement error rather than being silently
+calibrated away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DataLogger", "PowerTrace"]
+
+
+@dataclass
+class PowerTrace:
+    """A recorded power measurement series.
+
+    Attributes:
+        times: Sample instants in seconds (length N).
+        watts: Reconstructed power at each instant (length N).
+        rail_voltage: Supply voltage used in the ``P = U * I`` computation.
+        sample_rate_hz: Acquisition rate.
+    """
+
+    times: np.ndarray
+    watts: np.ndarray
+    rail_voltage: float
+    sample_rate_hz: float
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, float)
+        self.watts = np.asarray(self.watts, float)
+        if self.times.shape != self.watts.shape:
+            raise ValueError("times and watts must have the same shape")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        """Span from first to one period past the last sample."""
+        if len(self.times) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0]) + 1.0 / self.sample_rate_hz
+
+    def mean(self) -> float:
+        """Mean measured power in watts."""
+        return float(self.watts.mean())
+
+    def median(self) -> float:
+        return float(np.median(self.watts))
+
+    def min(self) -> float:
+        return float(self.watts.min())
+
+    def max(self) -> float:
+        return float(self.watts.max())
+
+    def energy_joules(self) -> float:
+        """Riemann-sum energy over the trace."""
+        return float(self.watts.sum() / self.sample_rate_hz)
+
+    def window(self, t_start: float, t_end: float) -> "PowerTrace":
+        """Sub-trace restricted to ``[t_start, t_end)``."""
+        mask = (self.times >= t_start) & (self.times < t_end)
+        return PowerTrace(
+            times=self.times[mask],
+            watts=self.watts[mask],
+            rail_voltage=self.rail_voltage,
+            sample_rate_hz=self.sample_rate_hz,
+            label=self.label,
+        )
+
+
+class DataLogger:
+    """Reconstructs power from amplified-shunt-voltage ADC codes."""
+
+    def __init__(
+        self,
+        nominal_shunt_ohm: float,
+        nominal_gain: float,
+        rail_voltage: float,
+    ) -> None:
+        if nominal_shunt_ohm <= 0 or nominal_gain <= 0 or rail_voltage <= 0:
+            raise ValueError("logger calibration constants must be positive")
+        self.nominal_shunt_ohm = nominal_shunt_ohm
+        self.nominal_gain = nominal_gain
+        self.rail_voltage = rail_voltage
+
+    def reconstruct(
+        self,
+        times: np.ndarray,
+        amplified_volts: np.ndarray,
+        sample_rate_hz: float,
+        label: str = "",
+    ) -> PowerTrace:
+        """Convert amplified shunt voltages to a :class:`PowerTrace`.
+
+        ``I = V / (gain * R_shunt)``; ``P = U * I``.  Values are clamped at
+        zero: a real logger would report tiny negative wattages from noise
+        around zero current, which downstream statistics do not want.
+        """
+        current = np.asarray(amplified_volts, float) / (
+            self.nominal_gain * self.nominal_shunt_ohm
+        )
+        watts = np.maximum(self.rail_voltage * current, 0.0)
+        return PowerTrace(
+            times=np.asarray(times, float),
+            watts=watts,
+            rail_voltage=self.rail_voltage,
+            sample_rate_hz=sample_rate_hz,
+            label=label,
+        )

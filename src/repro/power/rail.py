@@ -1,0 +1,103 @@
+"""The power rail: where component draws become a measurable signal.
+
+Every simulated hardware component (controller, DRAM, each NAND die, link
+PHY, spindle motor, voice coil...) owns a named channel on its device's
+:class:`PowerRail` and updates that channel's draw in watts whenever its
+activity changes.  The rail maintains the instantaneous total as a
+:class:`~repro.sim.trace.StepTrace`, which is the ground-truth signal the
+simulated measurement chain then observes through the shunt resistor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+from repro.sim.trace import StepTrace
+
+__all__ = ["PowerRail"]
+
+
+class PowerRail:
+    """Aggregates per-component power draw into one ground-truth trace.
+
+    Attributes:
+        voltage: Supply voltage in volts (12 V for SATA drive motors and
+            PCIe slots, 5 V for 2.5" SATA SSDs).  The measurement chain uses
+            it to convert the sensed current back to power.
+        trace: Ground-truth instantaneous total power (W) over time.
+    """
+
+    def __init__(self, engine: Engine, voltage: float = 12.0, name: str = "rail") -> None:
+        if voltage <= 0:
+            raise ValueError(f"rail voltage must be positive, got {voltage!r}")
+        self.engine = engine
+        self.voltage = voltage
+        self.name = name
+        self._draws: dict[str, float] = {}
+        self._total = 0.0
+        self.trace = StepTrace(t0=engine.now, initial=0.0)
+
+    @property
+    def total_watts(self) -> float:
+        """Current instantaneous total draw in watts."""
+        return self._total
+
+    @property
+    def current_amps(self) -> float:
+        """Current through the power wire, ``P / U``."""
+        return self._total / self.voltage
+
+    def set_draw(self, component: str, watts: float) -> None:
+        """Set ``component``'s instantaneous draw (absolute, not a delta)."""
+        if watts < 0:
+            if watts > -1e-9:
+                # Float round-off from repeated add/subtract cycles.
+                watts = 0.0
+            else:
+                raise ValueError(
+                    f"{self.name}/{component}: negative power draw {watts!r} W"
+                )
+        previous = self._draws.get(component, 0.0)
+        if watts == previous:
+            return
+        self._draws[component] = watts
+        self._total += watts - previous
+        # Guard against float drift accumulating into tiny negatives.
+        if -1e-9 < self._total < 0:
+            self._total = 0.0
+        self.trace.set(self.engine.now, self._total)
+
+    def add_draw(self, component: str, delta_watts: float) -> None:
+        """Adjust ``component``'s draw by a delta (e.g. one more die busy)."""
+        self.set_draw(component, self._draws.get(component, 0.0) + delta_watts)
+
+    def draw_of(self, component: str) -> float:
+        """Current draw registered for ``component`` (0 if never set)."""
+        return self._draws.get(component, 0.0)
+
+    def components(self) -> dict[str, float]:
+        """Snapshot of all component draws (copy)."""
+        return dict(self._draws)
+
+    def draw_of_prefix(self, prefix: str) -> float:
+        """Total draw of all components whose name starts with ``prefix``.
+
+        Used by feedback power governors to separate, e.g., total NAND
+        draw (components ``die0`` .. ``dieN``) from the rest of the device.
+        """
+        return sum(
+            watts for name, watts in self._draws.items() if name.startswith(prefix)
+        )
+
+    def mean_power(self, t_start: Optional[float] = None, t_end: Optional[float] = None) -> float:
+        """Ground-truth time-weighted mean power over a window.
+
+        Defaults to the whole recorded span up to "now".  This is the value
+        measurement-chain accuracy is judged against.
+        """
+        t0 = self.trace.start_time if t_start is None else t_start
+        t1 = self.engine.now if t_end is None else t_end
+        if t1 <= t0:
+            return self.trace.last_value
+        return self.trace.mean(t0, t1)

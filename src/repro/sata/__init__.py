@@ -1,0 +1,21 @@
+"""SATA host control: link power management and ATA power commands.
+
+- :mod:`~repro.sata.alpm` -- Aggressive Link Power Management, the
+  mechanism the paper uses to put the 860 EVO into SLUMBER (Fig. 7),
+  including the transition power transient.
+- :mod:`~repro.sata.ata` -- the ATA power command set the paper exercises
+  on the HDD: STANDBY IMMEDIATE (spin down), IDLE IMMEDIATE (spin up) and
+  CHECK POWER MODE.
+"""
+
+from repro.sata.alpm import AlpmController, AlpmTransition
+from repro.sata.ata import AtaPowerMode, check_power_mode, idle_immediate, standby_immediate
+
+__all__ = [
+    "AlpmController",
+    "AlpmTransition",
+    "AtaPowerMode",
+    "check_power_mode",
+    "idle_immediate",
+    "standby_immediate",
+]

@@ -1,0 +1,96 @@
+"""Aggressive Link Power Management (ALPM).
+
+ALPM lets the host place a SATA link into PARTIAL or SLUMBER.  On the
+860 EVO the paper measures idle power dropping from 0.35 W to 0.17 W in
+SLUMBER, with the transition completing inside 0.5 s and drawing *extra*
+power while it runs (Fig. 7's bumps at the 200 ms / 400 ms command marks).
+
+The transient exists because entering a low-power link state is not free:
+the device flushes volatile state and retrains/parks the PHY.  We model it
+as a configurable rectangle of additional draw during the transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.link import LinkPowerMode
+from repro.devices.ssd import SimulatedSSD
+
+__all__ = ["AlpmController", "AlpmTransition"]
+
+
+@dataclass(frozen=True)
+class AlpmTransition:
+    """Power transient of one link-state transition.
+
+    Attributes:
+        duration_s: Transition length (paper: EVO completes within 0.5 s).
+        extra_power_w: Additional draw while the transition runs.
+    """
+
+    duration_s: float
+    extra_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0 or self.extra_power_w < 0:
+            raise ValueError("transition parameters must be non-negative")
+
+
+#: Defaults calibrated to the Fig. 7 traces.
+ENTER_SLUMBER = AlpmTransition(duration_s=0.15, extra_power_w=0.60)
+EXIT_SLUMBER = AlpmTransition(duration_s=0.25, extra_power_w=0.95)
+ENTER_PARTIAL = AlpmTransition(duration_s=0.01, extra_power_w=0.20)
+EXIT_PARTIAL = AlpmTransition(duration_s=0.01, extra_power_w=0.20)
+
+
+class AlpmController:
+    """Host-side ALPM for one SATA device.
+
+    >>> # typical use inside a simulation process:
+    >>> # yield from alpm.set_mode(LinkPowerMode.SLUMBER)
+    """
+
+    def __init__(
+        self,
+        device: SimulatedSSD,
+        enter_slumber: AlpmTransition = ENTER_SLUMBER,
+        exit_slumber: AlpmTransition = EXIT_SLUMBER,
+        enter_partial: AlpmTransition = ENTER_PARTIAL,
+        exit_partial: AlpmTransition = EXIT_PARTIAL,
+    ) -> None:
+        self.device = device
+        self._transitions = {
+            (LinkPowerMode.ACTIVE, LinkPowerMode.SLUMBER): enter_slumber,
+            (LinkPowerMode.SLUMBER, LinkPowerMode.ACTIVE): exit_slumber,
+            (LinkPowerMode.ACTIVE, LinkPowerMode.PARTIAL): enter_partial,
+            (LinkPowerMode.PARTIAL, LinkPowerMode.ACTIVE): exit_partial,
+            (LinkPowerMode.PARTIAL, LinkPowerMode.SLUMBER): enter_slumber,
+            (LinkPowerMode.SLUMBER, LinkPowerMode.PARTIAL): exit_slumber,
+        }
+        self.transitions_completed = 0
+
+    @property
+    def mode(self) -> LinkPowerMode:
+        return self.device.link.mode
+
+    def set_mode(self, mode: LinkPowerMode):
+        """Process generator: transition the link to ``mode``.
+
+        On the 860 EVO the PHY saving (ACTIVE 0.19 W -> SLUMBER 0.01 W)
+        accounts for the measured 0.35 W -> 0.17 W idle drop.
+        """
+        current = self.device.link.mode
+        if mode is current:
+            return
+        transition = self._transitions[(current, mode)]
+        engine = self.device.engine
+        rail = self.device.rail
+        if transition.duration_s > 0:
+            rail.add_draw("alpm.transition", transition.extra_power_w)
+            try:
+                yield engine.timeout(transition.duration_s)
+            finally:
+                rail.add_draw("alpm.transition", -transition.extra_power_w)
+        self.device.link.set_mode(mode)
+        self.transitions_completed += 1

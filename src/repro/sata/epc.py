@@ -1,0 +1,61 @@
+"""ATA Extended Power Conditions (EPC).
+
+The EPC feature set gives the host explicit control over the HDD's idle
+sub-states -- the shallow rungs between full idle and standby that the
+paper's section 2 alludes to as "low-power idle modes".  On the modelled
+Exos-class drive:
+
+==========  ============  ===================  =================
+condition   power         saving vs idle       recovery cost
+==========  ============  ===================  =================
+idle_a      3.76 W        --                   none
+idle_b      ~3.21 W       heads unloaded       ~0.4 s head reload
+idle_c      ~2.41 W       + reduced rpm        ~2 s re-spin
+standby_z   1.10 W        spindle stopped      ~8 s spin-up
+==========  ============  ===================  =================
+
+These rungs matter for power-adaptive design: they let a redirection
+policy trade less saving for a much smaller wake penalty than full
+standby (cf. the paper's QoS discussion).
+"""
+
+from __future__ import annotations
+
+from repro.devices.hdd_drive import IdleCondition, SimulatedHDD
+
+__all__ = [
+    "EPC_CONDITIONS",
+    "set_power_condition",
+    "standby_z",
+]
+
+#: EPC condition identifiers (ATA/ACS naming) -> device idle condition.
+EPC_CONDITIONS: dict[str, IdleCondition] = {
+    "idle_a": IdleCondition.IDLE_A,
+    "idle_b": IdleCondition.IDLE_B,
+    "idle_c": IdleCondition.IDLE_C,
+}
+
+
+def set_power_condition(device: SimulatedHDD, condition: str) -> None:
+    """EPC SET POWER CONDITION for the idle sub-states.
+
+    Use :func:`standby_z` for the spindle-stopping condition (it must
+    flush the cache and therefore takes simulated time).
+
+    Raises:
+        ValueError: For unknown condition names.
+    """
+    try:
+        idle = EPC_CONDITIONS[condition]
+    except KeyError:
+        raise ValueError(
+            f"unknown EPC condition {condition!r}; "
+            f"known: {sorted(EPC_CONDITIONS)} (or use standby_z())"
+        ) from None
+    device.set_idle_condition(idle)
+
+
+def standby_z(device: SimulatedHDD):
+    """Process generator: EPC Standby_Z (equivalent to STANDBY IMMEDIATE)."""
+    yield from device.enter_standby()

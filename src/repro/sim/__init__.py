@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, simpy-style engine used as the substrate for all
+device simulation in this project:
+
+- :class:`~repro.sim.engine.Engine` -- the event loop and simulated clock.
+- :class:`~repro.sim.engine.Event` / :class:`~repro.sim.engine.Timeout` --
+  one-shot events processes can wait on.
+- :class:`~repro.sim.process.Process` -- generator-based coroutines that
+  ``yield`` events to wait for them.
+- :mod:`~repro.sim.resources` -- FIFO resources (fixed and adjustable
+  capacity), stores, and gates used to model controllers, dies, buses and
+  power governors.
+- :class:`~repro.sim.trace.StepTrace` -- piecewise-constant time series used
+  to record instantaneous power draw.
+- :class:`~repro.sim.rng.RngStreams` -- deterministic, named random streams.
+
+Simulated time is a float in **seconds**.
+"""
+
+from repro.sim.engine import (
+    Engine,
+    Event,
+    SimulationError,
+    StopEngine,
+    Timeout,
+)
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import (
+    AdjustableResource,
+    Gate,
+    Resource,
+    Store,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.trace import StepTrace
+
+__all__ = [
+    "AdjustableResource",
+    "Engine",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "StepTrace",
+    "Store",
+    "StopEngine",
+    "Timeout",
+]

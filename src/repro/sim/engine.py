@@ -1,0 +1,302 @@
+"""Event loop and simulated clock.
+
+The engine keeps a priority queue of ``(time, sequence, event)`` triples.
+Processing an event at time ``t`` advances the clock to ``t`` and runs the
+event's callbacks, which typically resume waiting
+:class:`~repro.sim.process.Process` coroutines.
+
+The kernel is deliberately minimal: events are one-shot, callbacks run in
+deterministic FIFO order (ties broken by a monotonically increasing sequence
+number), and there is no wall-clock coupling.  Determinism matters here --
+every experiment in the reproduction must be exactly repeatable from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Engine", "Event", "SimulationError", "StopEngine", "Timeout"]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (scheduling in the past, double-trigger...)."""
+
+
+class StopEngine(Exception):
+    """Raised internally to stop :meth:`Engine.run` early."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called (which schedules its callbacks), and *processed*
+    once the engine has run those callbacks.
+
+    Attributes:
+        engine: The owning :class:`Engine`.
+        callbacks: Callables invoked with the event when processed.  ``None``
+            after processing (appending then is an error).
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value (success or failure) already."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = False
+        self._value = exception
+        self.engine._schedule(self, delay=0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately --
+        this keeps "wait on an already-completed IO" race-free.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if self._ok is None
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._schedule(self, delay=delay)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires; value is that event."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: list[Event]) -> None:
+        super().__init__(engine)
+        if not events:
+            raise SimulationError("AnyOf needs at least one event")
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._ok is not None:
+            return  # already fired on an earlier child
+        if event._ok:
+            self.succeed(event)
+        else:
+            self.fail(event._value)
+
+
+class AllOf(Event):
+    """Fires when all ``events`` have fired; value is the list of values."""
+
+    __slots__ = ("_remaining", "_events")
+
+    def __init__(self, engine: "Engine", events: list[Event]) -> None:
+        super().__init__(engine)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class Engine:
+    """The simulation event loop.
+
+    Example:
+        >>> eng = Engine()
+        >>> log = []
+        >>> def ticker(engine):
+        ...     for _ in range(3):
+        ...         yield engine.timeout(1.0)
+        ...         log.append(engine.now)
+        >>> _ = eng.process(ticker(eng))
+        >>> eng.run()
+        >>> log
+        [1.0, 2.0, 3.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction helpers -------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Event that fires on the first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Event that fires once every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Spawn a :class:`~repro.sim.process.Process` from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated ``time``.
+
+        Returns the underlying event so callers can also wait on it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"call_at({time!r}) is in the past (now={self._now!r})"
+            )
+        event = Timeout(self, time - self._now)
+        event.add_callback(lambda _e: callback())
+        return event
+
+    # -- the loop ----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it).
+
+        A *failed* event that nothing is waiting on re-raises its exception
+        here: errors never pass silently.  Failures with waiters are
+        delivered to them instead (thrown into waiting processes).
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        if not callbacks and event._ok is False:
+            raise event._value
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until`` even
+        if the next event lies beyond it, mirroring simpy semantics so that
+        power-trace windows have exact, reproducible extents.
+        """
+        try:
+            if until is None:
+                while self._queue:
+                    self.step()
+            else:
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until!r}) is in the past "
+                        f"(now={self._now!r})"
+                    )
+                while self._queue and self._queue[0][0] <= until:
+                    self.step()
+                self._now = until
+        except StopEngine:
+            pass
+
+    def stop(self) -> None:
+        """Stop :meth:`run` from inside a callback or process."""
+        raise StopEngine()

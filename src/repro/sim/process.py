@@ -1,0 +1,125 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` must produce an
+:class:`~repro.sim.engine.Event`; the process sleeps until that event fires
+and is resumed with the event's value (or has the failure exception thrown
+into it).  A process is itself an event, firing with the generator's return
+value, so processes can wait on each other::
+
+    def child(engine):
+        yield engine.timeout(1.0)
+        return 42
+
+    def parent(engine):
+        result = yield engine.process(child(engine))
+        assert result == 42
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+__all__ = ["Interrupt", "Process"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Attributes:
+        cause: Arbitrary value describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires when it returns.
+
+    Uncaught exceptions inside the generator fail the process event.  If
+    nothing is waiting on a failed process the exception propagates out of
+    the engine loop -- errors never pass silently.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        engine: Engine,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}"
+            )
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on the next engine step so creation order does not matter.
+        start = Event(engine)
+        start.succeed()
+        start.add_callback(self._resume)
+        self._waiting_on = start
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator can still run."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error; check :attr:`is_alive`
+        first when the race is possible.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waiting_on = self._waiting_on
+        self._waiting_on = None
+        if waiting_on is not None and waiting_on.callbacks is not None:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        # Deliver on a fresh immediate event to stay inside the engine loop.
+        wakeup = Event(self.engine)
+        wakeup.fail(Interrupt(cause))
+        wakeup.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                f"process {self.name!r} died of an unhandled Interrupt"
+            ) from None
+        except BaseException as exc:
+            # The generator raised (or re-raised a failure it was thrown):
+            # fail the process event.  If something waits on this process
+            # the exception is delivered there; otherwise the engine
+            # re-raises it when the failure is processed.
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        if target is self:
+            raise SimulationError(f"process {self.name!r} waited on itself")
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,54 @@
+"""Deterministic named random streams.
+
+Every stochastic element of the simulation (measurement noise, rotational
+latency, random IO offsets, controller jitter) pulls from its own named
+stream derived from one root seed.  Adding a new consumer therefore never
+perturbs the draws seen by existing consumers, which keeps calibrated
+experiment results stable across code changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """A family of independent ``numpy.random.Generator`` streams.
+
+    Example:
+        >>> streams = RngStreams(seed=7)
+        >>> a = streams.get("adc-noise")
+        >>> b = streams.get("io-offsets")
+        >>> a is streams.get("adc-noise")
+        True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the stream for ``name``, creating it deterministically."""
+        stream = self._streams.get(name)
+        if stream is None:
+            # Derive a child seed from (root seed, name) so stream identity
+            # depends only on the name, not on creation order.
+            digest = np.frombuffer(
+                name.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64
+            )[0]
+            seq = np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(int(digest) & 0x7FFFFFFF,)
+            )
+            stream = np.random.default_rng(seq)
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, salt: int) -> "RngStreams":
+        """A new family with a seed derived from this one and ``salt``.
+
+        Used to give each experiment in a sweep its own independent noise
+        while the sweep as a whole stays reproducible from one seed.
+        """
+        return RngStreams(seed=(self.seed * 1_000_003 + int(salt)) & 0x7FFFFFFF)

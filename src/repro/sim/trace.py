@@ -1,0 +1,139 @@
+"""Piecewise-constant time series.
+
+Instantaneous device power is a step function: every time a component starts
+or stops drawing current the total changes and holds until the next change.
+:class:`StepTrace` records those breakpoints and supports the operations the
+measurement chain and the analysis layer need: point sampling at arbitrary
+times (the ADC), time-weighted statistics, and energy integration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["StepTrace"]
+
+
+class StepTrace:
+    """An append-only step function ``value(t)``.
+
+    The trace holds ``value = values[i]`` on ``[times[i], times[i+1])``.
+    Appends must be at non-decreasing times; re-setting the value at the
+    current last time overwrites it (several components updating their draw
+    at the same instant collapse into one breakpoint).
+    """
+
+    def __init__(self, t0: float = 0.0, initial: float = 0.0) -> None:
+        self._times: list[float] = [t0]
+        self._values: list[float] = [initial]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def start_time(self) -> float:
+        return self._times[0]
+
+    @property
+    def last_time(self) -> float:
+        return self._times[-1]
+
+    @property
+    def last_value(self) -> float:
+        return self._values[-1]
+
+    def set(self, t: float, value: float) -> None:
+        """Record that the function takes ``value`` from time ``t`` on."""
+        last_t = self._times[-1]
+        if t < last_t:
+            raise ValueError(
+                f"StepTrace.set at t={t!r} before last breakpoint {last_t!r}"
+            )
+        if t == last_t:
+            self._values[-1] = value
+        elif value != self._values[-1]:
+            self._times.append(t)
+            self._values.append(value)
+        # equal value at a later time: nothing to record.
+
+    def breakpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` as arrays (copies)."""
+        return np.asarray(self._times, float), np.asarray(self._values, float)
+
+    # -- sampling ---------------------------------------------------------
+
+    def value_at(self, t: float) -> float:
+        """Value of the step function at time ``t``.
+
+        Times before the first breakpoint return the initial value; times
+        after the last return the last value (the step "holds").
+        """
+        idx = np.searchsorted(self._times, t, side="right") - 1
+        return self._values[max(idx, 0)]
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`value_at` over ``times``."""
+        times_arr = np.asarray(times, float)
+        idx = np.searchsorted(self._times, times_arr, side="right") - 1
+        idx = np.clip(idx, 0, None)
+        return np.asarray(self._values, float)[idx]
+
+    def sample_uniform(self, t_start: float, t_end: float, rate_hz: float) -> tuple[np.ndarray, np.ndarray]:
+        """Sample at ``rate_hz`` on ``[t_start, t_end)``; returns (times, values)."""
+        if t_end <= t_start:
+            raise ValueError("t_end must be after t_start")
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        n = int(np.floor((t_end - t_start) * rate_hz))
+        times = t_start + np.arange(n) / rate_hz
+        return times, self.sample(times)
+
+    # -- time-weighted statistics ------------------------------------------
+
+    def _segments(self, t_start: float, t_end: float) -> tuple[np.ndarray, np.ndarray]:
+        """Durations and values of the step segments covering a window."""
+        if t_end <= t_start:
+            raise ValueError("t_end must be after t_start")
+        times, values = self.breakpoints()
+        # Clamp the window into the trace, extending the last value forward.
+        edges = np.concatenate(([t_start], times[(times > t_start) & (times < t_end)], [t_end]))
+        durations = np.diff(edges)
+        seg_values = self.sample(edges[:-1])
+        return durations, seg_values
+
+    def integrate(self, t_start: float, t_end: float) -> float:
+        """Integral of the function over the window (power -> energy, J)."""
+        durations, values = self._segments(t_start, t_end)
+        return float(np.dot(durations, values))
+
+    def mean(self, t_start: float, t_end: float) -> float:
+        """Time-weighted mean over the window."""
+        return self.integrate(t_start, t_end) / (t_end - t_start)
+
+    def min(self, t_start: float, t_end: float) -> float:
+        __, values = self._segments(t_start, t_end)
+        return float(values.min())
+
+    def max(self, t_start: float, t_end: float) -> float:
+        __, values = self._segments(t_start, t_end)
+        return float(values.max())
+
+    def rolling_mean_max(self, window: float, t_start: float, t_end: float, step: float) -> float:
+        """Maximum over sliding-window means -- used to verify NVMe caps.
+
+        The NVMe specification defines a power state's maximum power as an
+        average over any 10-second window; this measures exactly that.
+        """
+        if window <= 0 or step <= 0:
+            raise ValueError("window and step must be positive")
+        worst = float("-inf")
+        t = t_start
+        while t + window <= t_end + 1e-12:
+            worst = max(worst, self.mean(t, t + window))
+            t += step
+        if worst == float("-inf"):
+            # Window longer than the trace: fall back to the full-span mean.
+            worst = self.mean(t_start, t_end)
+        return worst

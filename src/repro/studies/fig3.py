@@ -1,0 +1,89 @@
+"""Figure 3: SSD2 random-write average power under power states.
+
+Average power versus chunk size at (a) queue depth 64 and (b) queue depth
+1, for ps0/ps1/ps2.  The paper's observations this reproduces:
+
+- the cap bounds average power (ps1 ~12 W, ps2 ~10 W at deep queues),
+- at QD1 the device rarely reaches any cap, so the three curves converge
+  at small chunks and separate as chunks grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reporting import ascii_series, format_table
+from repro.iogen.spec import IoPattern, PAPER_CHUNK_SIZES
+from repro.studies.common import DEFAULT, StudyScale, run_point
+
+__all__ = ["Fig3Result", "render", "run"]
+
+DEVICE = "ssd2"
+POWER_STATES = (0, 1, 2)
+QUEUE_DEPTHS = (64, 1)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """``power_w[(qd, ps)]`` is the series over :attr:`chunk_sizes`."""
+
+    chunk_sizes: tuple[int, ...]
+    power_w: dict[tuple[int, int], tuple[float, ...]]
+    cap_w: dict[int, float]
+
+
+def run(scale: StudyScale = DEFAULT) -> Fig3Result:
+    chunks = tuple(PAPER_CHUNK_SIZES)
+    power: dict[tuple[int, int], tuple[float, ...]] = {}
+    for iodepth in QUEUE_DEPTHS:
+        for ps in POWER_STATES:
+            series = []
+            for block_size in chunks:
+                result = run_point(
+                    DEVICE,
+                    IoPattern.RANDWRITE,
+                    block_size,
+                    iodepth,
+                    power_state=ps,
+                    scale=scale,
+                )
+                series.append(result.mean_power_w)
+            power[(iodepth, ps)] = tuple(series)
+    return Fig3Result(
+        chunk_sizes=chunks,
+        power_w=power,
+        cap_w={0: 25.0, 1: 12.0, 2: 10.0},
+    )
+
+
+def render(result: Fig3Result) -> str:
+    blocks = []
+    for iodepth in QUEUE_DEPTHS:
+        rows = []
+        for i, chunk in enumerate(result.chunk_sizes):
+            rows.append(
+                [f"{chunk // 1024} KiB"]
+                + [result.power_w[(iodepth, ps)][i] for ps in POWER_STATES]
+            )
+        blocks.append(
+            format_table(
+                ["Chunk", "ps0 (W)", "ps1 (W)", "ps2 (W)"],
+                rows,
+                title=(
+                    f"Figure 3{'a' if iodepth == 64 else 'b'}. SSD2 random-"
+                    f"write average power, queue depth {iodepth}."
+                ),
+            )
+        )
+        blocks.append(
+            ascii_series(
+                [c // 1024 for c in result.chunk_sizes],
+                list(result.power_w[(iodepth, 0)]),
+                label=f"  ps0 power profile (QD{iodepth}):",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run()))

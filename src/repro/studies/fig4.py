@@ -1,0 +1,111 @@
+"""Figure 4: SSD2 throughput under power states (queue depth 64).
+
+(a) Sequential writes collapse under the caps -- the paper reports ps1 at
+~74 % and ps2 at ~55 % of ps0 -- because power caps ration the concurrent
+NAND program operations that carry write bandwidth.
+
+(b) Sequential reads are essentially unaffected, because array reads draw
+an order of magnitude less power and fit under every operational cap.
+
+The asymmetry is the paper's key input to the "leveraging asymmetric IO"
+design discussion (section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reporting import format_table
+from repro.iogen.spec import IoPattern, PAPER_CHUNK_SIZES
+from repro.studies.common import DEFAULT, StudyScale, run_point
+
+__all__ = ["Fig4Result", "render", "run"]
+
+DEVICE = "ssd2"
+POWER_STATES = (0, 1, 2)
+QUEUE_DEPTH = 64
+
+#: Paper-reported throughput ratios for sequential writes at QD64.
+PAPER_WRITE_RATIOS = {1: 0.74, 2: 0.55}
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """``throughput_mib[(pattern, ps)]`` over :attr:`chunk_sizes`."""
+
+    chunk_sizes: tuple[int, ...]
+    throughput_mib: dict[tuple[IoPattern, int], tuple[float, ...]]
+
+    def state_ratio(self, pattern: IoPattern, ps: int, chunk_index: int = 3) -> float:
+        """Throughput of ``ps`` relative to ps0 at one chunk size."""
+        base = self.throughput_mib[(pattern, 0)][chunk_index]
+        return self.throughput_mib[(pattern, ps)][chunk_index] / base
+
+    def mean_state_ratio(self, pattern: IoPattern, ps: int) -> float:
+        """Throughput ratio ps/ps0 averaged over chunk sizes >= 64 KiB.
+
+        Small chunks are controller-bound on every state, so the paper's
+        headline ratios describe the NAND-bound regime.
+        """
+        ratios = []
+        for i, chunk in enumerate(self.chunk_sizes):
+            if chunk < 64 * 1024:
+                continue
+            ratios.append(self.state_ratio(pattern, ps, i))
+        return sum(ratios) / len(ratios)
+
+
+def run(scale: StudyScale = DEFAULT) -> Fig4Result:
+    chunks = tuple(PAPER_CHUNK_SIZES)
+    series: dict[tuple[IoPattern, int], tuple[float, ...]] = {}
+    for pattern in (IoPattern.WRITE, IoPattern.READ):
+        for ps in POWER_STATES:
+            values = []
+            for block_size in chunks:
+                result = run_point(
+                    DEVICE,
+                    pattern,
+                    block_size,
+                    QUEUE_DEPTH,
+                    power_state=ps,
+                    scale=scale,
+                )
+                values.append(result.throughput_mib_s)
+            series[(pattern, ps)] = tuple(values)
+    return Fig4Result(chunk_sizes=chunks, throughput_mib=series)
+
+
+def render(result: Fig4Result) -> str:
+    blocks = []
+    for panel, pattern in (("a", IoPattern.WRITE), ("b", IoPattern.READ)):
+        rows = []
+        for i, chunk in enumerate(result.chunk_sizes):
+            rows.append(
+                [f"{chunk // 1024} KiB"]
+                + [result.throughput_mib[(pattern, ps)][i] for ps in POWER_STATES]
+            )
+        blocks.append(
+            format_table(
+                ["Chunk", "ps0 MiB/s", "ps1 MiB/s", "ps2 MiB/s"],
+                rows,
+                title=(
+                    f"Figure 4{panel}. SSD2 sequential "
+                    f"{'write' if pattern is IoPattern.WRITE else 'read'} "
+                    "throughput (QD64)."
+                ),
+            )
+        )
+    write_r1 = result.mean_state_ratio(IoPattern.WRITE, 1)
+    write_r2 = result.mean_state_ratio(IoPattern.WRITE, 2)
+    read_r2 = result.mean_state_ratio(IoPattern.READ, 2)
+    blocks.append(
+        "Key ratios (vs ps0): "
+        f"seq-write ps1 {write_r1:.0%} (paper 74%), "
+        f"ps2 {write_r2:.0%} (paper 55%); "
+        f"seq-read ps2 {read_r2:.0%} (paper: minimal drop)"
+    )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run()))

@@ -1,0 +1,110 @@
+"""Figure 5: SSD2 random-write latency under power states (queue depth 1).
+
+Latencies normalized to ps0, per chunk size.  The paper's observations:
+
+- average latency inflates with the cap by up to ~2x,
+- tail (99th percentile) latency inflates dramatically -- up to 6.19x at
+  ps2 -- because device housekeeping bursts compete with the host for the
+  throttled program budget,
+- small chunks are unaffected (the capped flush still keeps up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reporting import format_table
+from repro.iogen.spec import IoPattern, PAPER_CHUNK_SIZES
+from repro.studies.common import DEFAULT, StudyScale, run_point
+
+__all__ = ["Fig5Result", "render", "run"]
+
+DEVICE = "ssd2"
+POWER_STATES = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Latency series per power state over :attr:`chunk_sizes` (seconds)."""
+
+    chunk_sizes: tuple[int, ...]
+    avg_latency: dict[int, tuple[float, ...]]
+    p99_latency: dict[int, tuple[float, ...]]
+
+    def normalized(self, series: dict[int, tuple[float, ...]], ps: int) -> tuple[float, ...]:
+        """Series of ``ps`` divided by ps0, per chunk (the figure's y-axis)."""
+        base = series[0]
+        return tuple(v / b for v, b in zip(series[ps], base))
+
+    @property
+    def max_avg_inflation(self) -> float:
+        """Worst avg-latency ratio vs ps0 across states/chunks (paper ~2x)."""
+        return max(
+            max(self.normalized(self.avg_latency, ps)) for ps in POWER_STATES[1:]
+        )
+
+    @property
+    def max_p99_inflation(self) -> float:
+        """Worst p99 ratio vs ps0 (paper: up to 6.19x)."""
+        return max(
+            max(self.normalized(self.p99_latency, ps)) for ps in POWER_STATES[1:]
+        )
+
+
+def run(scale: StudyScale = DEFAULT) -> Fig5Result:
+    chunks = tuple(PAPER_CHUNK_SIZES)
+    avg: dict[int, list[float]] = {ps: [] for ps in POWER_STATES}
+    p99: dict[int, list[float]] = {ps: [] for ps in POWER_STATES}
+    for ps in POWER_STATES:
+        for block_size in chunks:
+            result = run_point(
+                DEVICE,
+                IoPattern.RANDWRITE,
+                block_size,
+                iodepth=1,
+                power_state=ps,
+                scale=scale,
+                latency_study=True,
+            )
+            stats = result.latency()
+            avg[ps].append(stats.mean)
+            p99[ps].append(stats.p99)
+    return Fig5Result(
+        chunk_sizes=chunks,
+        avg_latency={ps: tuple(avg[ps]) for ps in POWER_STATES},
+        p99_latency={ps: tuple(p99[ps]) for ps in POWER_STATES},
+    )
+
+
+def render(result: Fig5Result) -> str:
+    blocks = []
+    for panel, series, name in (
+        ("a", result.avg_latency, "Average"),
+        ("b", result.p99_latency, "99th percentile"),
+    ):
+        rows = []
+        for i, chunk in enumerate(result.chunk_sizes):
+            base = series[0][i]
+            rows.append(
+                [f"{chunk // 1024} KiB"]
+                + [series[ps][i] / base for ps in POWER_STATES]
+            )
+        blocks.append(
+            format_table(
+                ["Chunk", "ps0 (norm)", "ps1 (norm)", "ps2 (norm)"],
+                rows,
+                title=(
+                    f"Figure 5{panel}. SSD2 random-write {name.lower()} "
+                    "latency, normalized to ps0 (QD1)."
+                ),
+            )
+        )
+    blocks.append(
+        f"Max inflation: avg {result.max_avg_inflation:.2f}x (paper ~2x), "
+        f"p99 {result.max_p99_inflation:.2f}x (paper up to 6.19x)"
+    )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run()))

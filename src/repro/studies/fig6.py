@@ -1,0 +1,99 @@
+"""Figure 6: SSD2 random-read latency under power states (queue depth 1).
+
+The paper's "non-trade-off": read latency shows *no* noticeable difference
+between power states, average or p99, because a single-depth read stream
+never drives the device anywhere near a cap.  In the model this is
+structural -- array reads are not power-governed (their draw fits under
+every operational cap), so the three state curves coincide exactly up to
+measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reporting import format_table
+from repro.iogen.spec import IoPattern, PAPER_CHUNK_SIZES
+from repro.studies.common import DEFAULT, StudyScale, run_point
+
+__all__ = ["Fig6Result", "render", "run"]
+
+DEVICE = "ssd2"
+POWER_STATES = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Latency series per power state over :attr:`chunk_sizes` (seconds)."""
+
+    chunk_sizes: tuple[int, ...]
+    avg_latency: dict[int, tuple[float, ...]]
+    p99_latency: dict[int, tuple[float, ...]]
+
+    @property
+    def worst_deviation(self) -> float:
+        """Largest |ratio - 1| of any capped state vs ps0 (avg or p99)."""
+        worst = 0.0
+        for series in (self.avg_latency, self.p99_latency):
+            for ps in POWER_STATES[1:]:
+                for v, b in zip(series[ps], series[0]):
+                    worst = max(worst, abs(v / b - 1.0))
+        return worst
+
+
+def run(scale: StudyScale = DEFAULT) -> Fig6Result:
+    chunks = tuple(PAPER_CHUNK_SIZES)
+    avg: dict[int, list[float]] = {ps: [] for ps in POWER_STATES}
+    p99: dict[int, list[float]] = {ps: [] for ps in POWER_STATES}
+    for ps in POWER_STATES:
+        for block_size in chunks:
+            result = run_point(
+                DEVICE,
+                IoPattern.RANDREAD,
+                block_size,
+                iodepth=1,
+                power_state=ps,
+                scale=scale,
+            )
+            stats = result.latency()
+            avg[ps].append(stats.mean)
+            p99[ps].append(stats.p99)
+    return Fig6Result(
+        chunk_sizes=chunks,
+        avg_latency={ps: tuple(avg[ps]) for ps in POWER_STATES},
+        p99_latency={ps: tuple(p99[ps]) for ps in POWER_STATES},
+    )
+
+
+def render(result: Fig6Result) -> str:
+    blocks = []
+    for panel, series, name in (
+        ("a", result.avg_latency, "average"),
+        ("b", result.p99_latency, "99th percentile"),
+    ):
+        rows = []
+        for i, chunk in enumerate(result.chunk_sizes):
+            base = series[0][i]
+            rows.append(
+                [f"{chunk // 1024} KiB"]
+                + [series[ps][i] / base for ps in POWER_STATES]
+            )
+        blocks.append(
+            format_table(
+                ["Chunk", "ps0 (norm)", "ps1 (norm)", "ps2 (norm)"],
+                rows,
+                title=(
+                    f"Figure 6{panel}. SSD2 random-read {name} latency, "
+                    "normalized to ps0 (QD1)."
+                ),
+            )
+        )
+    blocks.append(
+        f"Worst deviation from ps0 across states: "
+        f"{result.worst_deviation:.1%} (paper: no noticeable difference)"
+    )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run()))

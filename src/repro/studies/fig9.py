@@ -1,0 +1,98 @@
+"""Figure 9: random-read power and throughput as queue depth varies (4 KiB).
+
+Across all four devices, with 4 KiB chunks:
+
+(a) average power rises with depth -- depth 1 consumes up to ~40 % less
+    power than depth 64 (a single outstanding IO keeps one die busy at a
+    time; deep queues light up the array and the controller);
+(b) throughput rises steeply with depth -- depth 1 may deliver only ~10 %
+    of the depth-64 throughput.
+
+Queue depth is the second axis of IO shaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._units import KiB
+from repro.core.reporting import format_table
+from repro.iogen.spec import IoPattern, PAPER_QUEUE_DEPTHS
+from repro.studies.common import DEFAULT, StudyScale, run_point
+
+__all__ = ["Fig9Result", "render", "run"]
+
+DEVICES = ("ssd2", "ssd1", "ssd3", "hdd")
+CHUNK = 4 * KiB
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Per-device power and throughput series over :attr:`iodepths`."""
+
+    iodepths: tuple[int, ...]
+    power_w: dict[str, tuple[float, ...]]
+    throughput_mib: dict[str, tuple[float, ...]]
+
+    def _at_depth(self, series: tuple[float, ...], depth: int) -> float:
+        return series[self.iodepths.index(depth)]
+
+    def power_saving_qd1(self, device: str) -> float:
+        """Fractional power saving of QD1 vs QD64."""
+        series = self.power_w[device]
+        return 1.0 - self._at_depth(series, 1) / self._at_depth(series, 64)
+
+    def throughput_fraction_qd1(self, device: str) -> float:
+        """QD1 throughput as a fraction of QD64 throughput."""
+        series = self.throughput_mib[device]
+        return self._at_depth(series, 1) / self._at_depth(series, 64)
+
+
+def run(scale: StudyScale = DEFAULT) -> Fig9Result:
+    depths = tuple(PAPER_QUEUE_DEPTHS)
+    power: dict[str, tuple[float, ...]] = {}
+    tput: dict[str, tuple[float, ...]] = {}
+    for device in DEVICES:
+        p_series, t_series = [], []
+        for iodepth in depths:
+            result = run_point(
+                device, IoPattern.RANDREAD, CHUNK, iodepth, scale=scale
+            )
+            p_series.append(result.mean_power_w)
+            t_series.append(result.throughput_mib_s)
+        power[device] = tuple(p_series)
+        tput[device] = tuple(t_series)
+    return Fig9Result(iodepths=depths, power_w=power, throughput_mib=tput)
+
+
+def render(result: Fig9Result) -> str:
+    power_rows = []
+    tput_rows = []
+    for i, depth in enumerate(result.iodepths):
+        power_rows.append([depth] + [result.power_w[d][i] for d in DEVICES])
+        tput_rows.append([depth] + [result.throughput_mib[d][i] for d in DEVICES])
+    headers = ["IO depth"] + [d.upper() for d in DEVICES]
+    blocks = [
+        format_table(
+            headers,
+            power_rows,
+            title="Figure 9a. Random-read average power (W), 4 KiB chunks.",
+        ),
+        format_table(
+            headers,
+            tput_rows,
+            title="Figure 9b. Random-read throughput (MiB/s), 4 KiB chunks.",
+        ),
+    ]
+    saving = max(result.power_saving_qd1(d) for d in ("ssd1", "ssd2"))
+    fraction = min(result.throughput_fraction_qd1(d) for d in ("ssd1", "ssd2"))
+    blocks.append(
+        f"QD1 vs QD64 on the NVMe SSDs: up to {saving:.0%} less power "
+        f"(paper: up to 40%), throughput as low as {fraction:.0%} of QD64 "
+        f"(paper: ~10%)"
+    )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run()))

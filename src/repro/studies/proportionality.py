@@ -1,0 +1,167 @@
+"""Power proportionality versus power adaptivity (paper footnote 1).
+
+"Power adaptivity is related to but different from power proportionality,
+the design of storage systems whose average power use scales up and down
+with workload intensity."  This study quantifies the distinction on the
+simulated devices:
+
+- **proportionality**: drive each device with an *open-loop* random-write
+  load at fractions of its peak rate and record power versus utilization.
+  The proportionality index is 1 minus the normalized area between the
+  measured curve and the ideal (power proportional to load, zero at zero
+  load); idle draw is what kills it.
+- **adaptivity**: the mechanism-driven dynamic range the rest of this
+  repository measures (Fig. 10).
+
+The punchline the paper's framing predicts: devices are *poorly
+proportional* (idle floors of 35-75 % of peak) even when they are usefully
+*adaptive* -- which is exactly why explicit control mechanisms matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._units import KiB
+from repro.core.reporting import ascii_series, format_table
+from repro.devices.catalog import build_device
+from repro.iogen.arrivals import ArrivalProcess, LoadProfile, OpenLoopJob
+from repro.iogen.spec import IoPattern
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.studies.common import DEFAULT, StudyScale, run_point
+
+__all__ = ["ProportionalityCurve", "render", "run"]
+
+DEVICES = ("ssd2", "ssd1", "ssd3", "hdd")
+UTILIZATIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+CHUNK = 256 * KiB
+
+
+@dataclass(frozen=True)
+class ProportionalityCurve:
+    """Power-versus-utilization curve for one device.
+
+    Attributes:
+        device: Preset label.
+        utilizations: Offered load as a fraction of peak throughput.
+        power_w: Measured mean power at each utilization.
+        peak_power_w: Power at full utilization.
+        idle_fraction: Idle power over peak power (0 = perfectly
+            proportional at the bottom end).
+        proportionality_index: 1 - mean |measured - ideal| / peak, where
+            ideal(u) = u * peak power.  1.0 is Barroso-ideal.
+    """
+
+    device: str
+    utilizations: tuple[float, ...]
+    power_w: tuple[float, ...]
+
+    @property
+    def peak_power_w(self) -> float:
+        return self.power_w[-1]
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.power_w[0] / self.peak_power_w
+
+    @property
+    def proportionality_index(self) -> float:
+        measured = np.asarray(self.power_w)
+        ideal = np.asarray(self.utilizations) * self.peak_power_w
+        return float(1.0 - np.mean(np.abs(measured - ideal)) / self.peak_power_w)
+
+
+def _peak_rate_bps(device: str, scale: StudyScale) -> float:
+    result = run_point(device, IoPattern.RANDWRITE, CHUNK, 64, scale=scale)
+    return result.throughput_bps
+
+
+def _power_at_load(device: str, rate_bps: float, duration_s: float, seed: int) -> float:
+    engine = Engine()
+    rngs = RngStreams(seed)
+    dev = build_device(engine, device, rng=rngs)
+    if rate_bps <= 0:
+        engine.run(until=duration_s)
+        return dev.rail.trace.mean(duration_s * 0.3, duration_s)
+    job = OpenLoopJob(
+        engine,
+        dev,
+        ArrivalProcess(
+            LoadProfile.constant(rate_bps),
+            request_bytes=CHUNK,
+            poisson=True,
+            rng=rngs.get("arrivals"),
+        ),
+        pattern=IoPattern.RANDWRITE,
+        duration_s=duration_s,
+        max_outstanding=128,
+        rng=rngs.get("offsets"),
+    )
+    proc = job.start()
+    while proc.is_alive:
+        engine.step()
+    return dev.rail.trace.mean(duration_s * 0.3, engine.now)
+
+
+def run(scale: StudyScale = DEFAULT) -> list[ProportionalityCurve]:
+    curves = []
+    for device in DEVICES:
+        duration = 2.0 if device == "hdd" else 0.08
+        peak = _peak_rate_bps(device, scale)
+        powers = []
+        for utilization in UTILIZATIONS:
+            # At u=1.0 an open loop at exactly peak rate queues unboundedly;
+            # drive it 5% above peak so the device saturates cleanly.
+            rate = peak * (utilization if utilization < 1.0 else 1.05)
+            powers.append(_power_at_load(device, rate, duration, seed=11))
+        curves.append(
+            ProportionalityCurve(
+                device=device,
+                utilizations=UTILIZATIONS,
+                power_w=tuple(powers),
+            )
+        )
+    return curves
+
+
+def render(curves: list[ProportionalityCurve]) -> str:
+    rows = []
+    for curve in curves:
+        rows.append(
+            [curve.device.upper()]
+            + [f"{w:.2f}" for w in curve.power_w]
+            + [f"{curve.idle_fraction:.0%}", f"{curve.proportionality_index:.2f}"]
+        )
+    blocks = [
+        format_table(
+            ["Device"]
+            + [f"u={u:.0%}" for u in UTILIZATIONS]
+            + ["Idle/peak", "Prop. index"],
+            rows,
+            title=(
+                "Power proportionality under random-write load "
+                "(paper footnote 1)."
+            ),
+        )
+    ]
+    worst = min(curves, key=lambda c: c.proportionality_index)
+    blocks.append(
+        ascii_series(
+            list(worst.utilizations),
+            list(worst.power_w),
+            label=f"  least proportional device ({worst.device}): power vs load",
+        )
+    )
+    blocks.append(
+        "Devices are weakly proportional (high idle floors) even though "
+        "their *adaptive* range is wide -- the gap explicit power control "
+        "mechanisms close."
+    )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run()))

@@ -1,0 +1,165 @@
+"""Tests for the online power-adaptive controller."""
+
+import pytest
+
+from repro._units import GiB, KiB, MiB
+from repro.core.controller import (
+    BudgetSignal,
+    ControllerConfig,
+    OnlinePowerController,
+    run_demand_response,
+)
+from repro.devices.base import IOKind, IORequest
+from repro.devices.ssd import SimulatedSSD
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from tests.conftest import tiny_ssd_config
+
+
+class TestBudgetSignal:
+    def test_constant(self):
+        assert BudgetSignal.constant(10.0).watts_at(5.0) == 10.0
+
+    def test_steps(self):
+        signal = BudgetSignal(((0.0, 10.0), (1.0, 6.0)))
+        assert signal.watts_at(0.5) == 10.0
+        assert signal.watts_at(1.5) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetSignal(())
+        with pytest.raises(ValueError):
+            BudgetSignal(((0.5, 10.0),))
+        with pytest.raises(ValueError):
+            BudgetSignal(((0.0, 0.0),))
+
+
+class TestControllerUnit:
+    def _fleet(self, engine, n=2):
+        devices = []
+        for i in range(n):
+            device = SimulatedSSD(engine, tiny_ssd_config(), rng=RngStreams(i))
+            device.name = f"tiny-{i}"
+            devices.append(device)
+        return devices
+
+    def _load(self, engine, devices, until):
+        def writer(eng, device):
+            offset = 0
+            while eng.now < until:
+                yield device.submit(IORequest(IOKind.WRITE, offset, 64 * KiB))
+                offset = (offset + 64 * KiB) % (device.capacity_bytes // 2)
+
+        for device in devices:
+            for _ in range(8):
+                engine.process(writer(engine, device))
+
+    def test_sheds_to_deeper_states_under_tight_budget(self, engine):
+        devices = self._fleet(engine)
+        self._load(engine, devices, until=0.3)
+        controller = OnlinePowerController(
+            engine,
+            devices,
+            BudgetSignal.constant(6.0),  # far below the ~9 W the load wants
+            ControllerConfig(interval_s=5e-3, guard_band_w=0.3, relax_band_w=1.0),
+        )
+        controller.start()
+        engine.run(until=0.3)
+        controller.stop()
+        engine.run(until=0.32)
+        assert any("ps2" in a.action for a in controller.actions)
+        # Settled fleet power respects the budget.
+        fleet = sum(d.rail.trace.mean(0.2, 0.3) for d in devices)
+        assert fleet <= 6.0 + 0.5
+
+    def test_relaxes_when_budget_ample(self, engine):
+        devices = self._fleet(engine)
+        # Start both devices capped, give an ample budget, no load.
+        for device in devices:
+            proc = engine.process(device.set_power_state(2))
+            while proc.is_alive:
+                engine.step()
+        controller = OnlinePowerController(
+            engine,
+            devices,
+            BudgetSignal.constant(50.0),
+            ControllerConfig(interval_s=5e-3),
+        )
+        # Controller state must reflect the externally-set level.
+        controller._levels = {d.name: 2 for d in devices}
+        controller.start()
+        engine.run(until=0.1)
+        controller.stop()
+        engine.run(until=0.12)
+        assert all(d.current_power_state.index == 0 for d in devices)
+
+    def test_standby_used_only_when_allowed(self, engine):
+        devices = self._fleet(engine)
+        controller = OnlinePowerController(
+            engine,
+            devices,
+            BudgetSignal.constant(3.2),  # below even both-at-ps2 idle
+            ControllerConfig(interval_s=5e-3, allow_standby=False),
+        )
+        controller.start()
+        engine.run(until=0.2)
+        controller.stop()
+        engine.run(until=0.22)
+        assert not any(a.action == "standby" for a in controller.actions)
+
+    def test_standby_ladder_engages(self, engine):
+        devices = self._fleet(engine)
+        controller = OnlinePowerController(
+            engine,
+            devices,
+            BudgetSignal.constant(3.2),
+            ControllerConfig(interval_s=5e-3, allow_standby=True),
+        )
+        controller.start()
+        engine.run(until=0.2)
+        controller.stop()
+        engine.run(until=0.22)
+        assert any(a.action == "standby" for a in controller.actions)
+        # Never the whole fleet: at least one device stays active.
+        assert len(controller._standby) < len(devices)
+
+    def test_requires_power_states(self, engine):
+        from repro.devices.catalog import build_device
+
+        hddless = build_device(engine, "ssd3", rng=RngStreams(0))
+        with pytest.raises(ValueError):
+            OnlinePowerController(engine, [hddless], BudgetSignal.constant(5.0))
+
+    def test_empty_fleet_rejected(self, engine):
+        with pytest.raises(ValueError):
+            OnlinePowerController(engine, [], BudgetSignal.constant(5.0))
+
+
+@pytest.mark.integration
+class TestDemandResponseScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_demand_response(
+            n_devices=2,
+            offered_load_bps=int(4.8 * GiB),
+            duration_s=0.45,
+            budget=BudgetSignal(((0.0, 30.0), (0.15, 20.5), (0.30, 30.0))),
+        )
+
+    def test_all_segments_compliant(self, result):
+        assert result.fully_compliant, result.describe()
+
+    def test_controller_throttled_during_dip(self, result):
+        dip_actions = [
+            a for a in result.actions if 0.15 <= a.time < 0.30 and "ps" in a.action
+        ]
+        assert any(a.action in ("ps1", "ps2") for a in dip_actions)
+
+    def test_controller_recovered_after_dip(self, result):
+        recovery = [a for a in result.actions if a.time >= 0.30]
+        assert any(a.action == "ps0" for a in recovery)
+
+    def test_qos_cost_visible(self, result):
+        """Throttling under the dip queues or sheds offered load."""
+        stats = result.workload.latency_stats()
+        assert result.workload.shed > 0 or stats.p99 > 5 * stats.p50

@@ -1,0 +1,134 @@
+"""Tests for the experiment harness and sweeps."""
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.sweep import SweepGrid, run_sweep
+from repro.devices.link import LinkPowerMode
+from repro.iogen.spec import IoPattern, JobSpec
+from tests.conftest import tiny_ssd_config
+
+
+def quick_job(pattern=IoPattern.RANDREAD, bs=16 * KiB, qd=4):
+    return JobSpec(
+        pattern,
+        block_size=bs,
+        iodepth=qd,
+        runtime_s=0.01,
+        size_limit_bytes=4 * MiB,
+    )
+
+
+class TestRunExperiment:
+    def test_returns_power_and_throughput(self):
+        result = run_experiment(
+            ExperimentConfig(device=tiny_ssd_config(), job=quick_job())
+        )
+        assert result.mean_power_w > 0
+        assert result.throughput_mib_s > 0
+        assert result.latency().count > 0
+
+    def test_deterministic_from_seed(self):
+        config = ExperimentConfig(device=tiny_ssd_config(), job=quick_job(), seed=9)
+        a = run_experiment(config)
+        b = run_experiment(config)
+        assert a.mean_power_w == b.mean_power_w
+        assert a.throughput_bps == b.throughput_bps
+
+    def test_power_state_applied(self):
+        result = run_experiment(
+            ExperimentConfig(
+                device=tiny_ssd_config(),
+                job=quick_job(IoPattern.RANDWRITE),
+                power_state=2,
+            )
+        )
+        assert result.cap_w == pytest.approx(2.8)
+        assert result.cap_respected
+
+    def test_power_state_on_hdd_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(
+                ExperimentConfig(device="hdd", job=quick_job(), power_state=1)
+            )
+
+    def test_alpm_mode_applied(self):
+        result = run_experiment(
+            ExperimentConfig(
+                device="860evo",
+                job=quick_job(qd=1),
+                alpm_mode=LinkPowerMode.ACTIVE,
+            )
+        )
+        assert result.mean_power_w > 0
+
+    def test_meter_error_small(self):
+        # A ~5 ms window yields ~100 samples; sampling variance dominates,
+        # so the band here is looser than the <1 % rig claim (which the
+        # dedicated meter tests and test_reproduction verify on full-size
+        # windows).
+        result = run_experiment(
+            ExperimentConfig(device=tiny_ssd_config(), job=quick_job())
+        )
+        assert result.meter_relative_error < 0.04
+
+    def test_trace_kept_on_request(self):
+        result = run_experiment(
+            ExperimentConfig(device=tiny_ssd_config(), job=quick_job(), keep_trace=True)
+        )
+        assert result.trace is not None
+        assert len(result.trace) > 0
+
+    def test_trace_dropped_by_default(self):
+        result = run_experiment(
+            ExperimentConfig(device=tiny_ssd_config(), job=quick_job())
+        )
+        assert result.trace is None
+
+    def test_describe_mentions_mechanisms(self):
+        config = ExperimentConfig(
+            device=tiny_ssd_config(),
+            job=quick_job(),
+            power_state=1,
+        )
+        assert "ps1" in config.describe()
+
+    def test_summary_renders(self):
+        result = run_experiment(
+            ExperimentConfig(device=tiny_ssd_config(), job=quick_job())
+        )
+        text = result.summary()
+        assert "W" in text and "MiB/s" in text
+
+
+class TestSweep:
+    def _grid(self):
+        return SweepGrid(
+            device=tiny_ssd_config(),
+            patterns=(IoPattern.RANDREAD,),
+            block_sizes=(16 * KiB, 64 * KiB),
+            iodepths=(1, 8),
+            power_states=(0, 2),
+            base_job=quick_job(),
+        )
+
+    def test_points_cover_grid(self):
+        grid = self._grid()
+        points = list(grid.points())
+        assert len(points) == 2 * 2 * 2
+
+    def test_run_sweep_returns_all_points(self):
+        grid = self._grid()
+        results = run_sweep(grid)
+        assert len(results) == 8
+        for point, result in results.items():
+            assert result.config.power_state == point.power_state
+            assert result.mean_power_w > 0
+
+    def test_config_for_overrides_job(self):
+        grid = self._grid()
+        point = next(iter(grid.points()))
+        config = grid.config_for(point)
+        assert config.job.block_size == point.block_size
+        assert config.job.iodepth == point.iodepth

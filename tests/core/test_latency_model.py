@@ -1,0 +1,103 @@
+"""Tests for the power-latency model."""
+
+import pytest
+
+from repro.core.latency_model import LatencyPoint, PowerLatencyModel
+from repro.core.sweep import SweepPoint
+from repro.iogen.spec import IoPattern
+
+
+def mk(power, mean_lat, p99, tput=100e6):
+    return LatencyPoint(
+        SweepPoint(IoPattern.RANDWRITE, 4096, 1, None),
+        power_w=power,
+        mean_latency_s=mean_lat,
+        p99_latency_s=p99,
+        throughput_bps=tput,
+    )
+
+
+POINTS = [
+    mk(5.0, 2e-3, 10e-3, tput=50e6),
+    mk(8.0, 0.5e-3, 2e-3, tput=500e6),
+    mk(12.0, 0.2e-3, 0.8e-3, tput=900e6),
+    mk(10.0, 1.5e-3, 9e-3, tput=300e6),  # dominated (worse tail, more power)
+]
+
+
+class TestPowerLatencyModel:
+    def test_meeting_slo_filters_tail(self):
+        model = PowerLatencyModel("dev", POINTS)
+        feasible = model.meeting_slo(max_p99_s=3e-3)
+        assert {p.power_w for p in feasible} == {8.0, 12.0}
+
+    def test_meeting_slo_with_throughput_floor(self):
+        model = PowerLatencyModel("dev", POINTS)
+        feasible = model.meeting_slo(max_p99_s=3e-3, min_throughput_bps=600e6)
+        assert {p.power_w for p in feasible} == {12.0}
+
+    def test_cheapest_meeting_slo(self):
+        model = PowerLatencyModel("dev", POINTS)
+        best = model.cheapest_meeting_slo(max_p99_s=3e-3)
+        assert best.power_w == 8.0
+
+    def test_unmeetable_slo_returns_none(self):
+        model = PowerLatencyModel("dev", POINTS)
+        assert model.cheapest_meeting_slo(max_p99_s=1e-6) is None
+
+    def test_latency_cost_of_budget(self):
+        model = PowerLatencyModel("dev", POINTS)
+        best = model.latency_cost_of_power_budget(9.0)
+        assert best.power_w == 8.0
+        assert best.p99_latency_s == pytest.approx(2e-3)
+
+    def test_tail_inflation_of_power_cut(self):
+        model = PowerLatencyModel("dev", POINTS)
+        # Full power: best p99 0.8 ms; 40% cut -> budget 7.2 -> p99 10 ms.
+        inflation = model.tail_inflation_of_power_cut(0.4)
+        assert inflation == pytest.approx(10e-3 / 0.8e-3)
+
+    def test_no_inflation_without_cut(self):
+        model = PowerLatencyModel("dev", POINTS)
+        assert model.tail_inflation_of_power_cut(0.0) == pytest.approx(1.0)
+
+    def test_pareto_frontier(self):
+        model = PowerLatencyModel("dev", POINTS)
+        frontier = model.pareto_frontier()
+        powers = [p.power_w for p in frontier]
+        assert powers == [5.0, 8.0, 12.0]  # the 10 W point is dominated
+        tails = [p.p99_latency_s for p in frontier]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerLatencyModel("dev", [])
+
+    def test_from_sweep_integration(self):
+        """Build a latency model from real (tiny) experiments."""
+        from repro._units import KiB, MiB
+        from repro.core.experiment import ExperimentConfig, run_experiment
+        from repro.iogen.spec import JobSpec
+        from tests.conftest import tiny_ssd_config
+
+        results = {}
+        for ps in (0, 2):
+            point = SweepPoint(IoPattern.RANDWRITE, 64 * KiB, 1, ps)
+            results[point] = run_experiment(
+                ExperimentConfig(
+                    device=tiny_ssd_config(),
+                    job=JobSpec(
+                        IoPattern.RANDWRITE,
+                        64 * KiB,
+                        1,
+                        runtime_s=0.05,
+                        size_limit_bytes=8 * MiB,
+                    ),
+                    power_state=ps,
+                )
+            )
+        model = PowerLatencyModel.from_sweep("tiny", results)
+        assert len(model.points) == 2
+        capped = min(model.points, key=lambda p: p.power_w)
+        uncapped = max(model.points, key=lambda p: p.power_w)
+        assert capped.p99_latency_s >= uncapped.p99_latency_s

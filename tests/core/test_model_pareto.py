@@ -1,0 +1,156 @@
+"""Tests for the power-throughput model and Pareto frontiers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ModelPoint, PowerThroughputModel
+from repro.core.pareto import dominates, pareto_frontier
+from repro.core.sweep import SweepPoint
+from repro.iogen.spec import IoPattern
+
+
+def mk(power, tput, latency=1e-3, bs=4096, qd=1, ps=None):
+    return ModelPoint(
+        SweepPoint(IoPattern.RANDWRITE, bs, qd, ps),
+        power_w=power,
+        throughput_bps=tput,
+        latency_p99_s=latency,
+    )
+
+
+POINTS = [
+    mk(5.0, 100e6),
+    mk(8.0, 500e6),
+    mk(10.0, 900e6),
+    mk(14.0, 1000e6),
+    mk(12.0, 400e6),  # dominated
+]
+
+
+class TestModelBasics:
+    def test_maxima(self):
+        model = PowerThroughputModel("dev", POINTS)
+        assert model.max_power_w == 14.0
+        assert model.min_power_w == 5.0
+        assert model.max_throughput_bps == 1000e6
+
+    def test_dynamic_range(self):
+        model = PowerThroughputModel("dev", POINTS)
+        assert model.dynamic_range_fraction == pytest.approx((14 - 5) / 14)
+
+    def test_min_normalized_throughput(self):
+        model = PowerThroughputModel("dev", POINTS)
+        assert model.min_normalized_throughput == pytest.approx(0.1)
+
+    def test_normalized_points_in_unit_box(self):
+        model = PowerThroughputModel("dev", POINTS)
+        for norm_tput, norm_power, __ in model.normalized():
+            assert 0 < norm_tput <= 1.0
+            assert 0 < norm_power <= 1.0
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            PowerThroughputModel("dev", [])
+
+
+class TestModelQueries:
+    def test_best_under_budget(self):
+        model = PowerThroughputModel("dev", POINTS)
+        best = model.best_under_power_budget(10.0)
+        assert best.power_w == 10.0
+        assert best.throughput_bps == 900e6
+
+    def test_budget_below_floor_returns_none(self):
+        model = PowerThroughputModel("dev", POINTS)
+        assert model.best_under_power_budget(4.0) is None
+
+    def test_latency_slo_filters(self):
+        points = [mk(5.0, 100e6, latency=1e-3), mk(6.0, 900e6, latency=50e-3)]
+        model = PowerThroughputModel("dev", points)
+        best = model.best_under_power_budget(10.0, max_latency_p99_s=5e-3)
+        assert best.throughput_bps == 100e6
+
+    def test_cheapest_at_throughput(self):
+        model = PowerThroughputModel("dev", POINTS)
+        cheapest = model.cheapest_at_throughput(450e6)
+        assert cheapest.power_w == 8.0
+
+    def test_cheapest_infeasible_returns_none(self):
+        model = PowerThroughputModel("dev", POINTS)
+        assert model.cheapest_at_throughput(2000e6) is None
+
+    def test_worked_example_math(self):
+        model = PowerThroughputModel("dev", POINTS)
+        best, curtailed = model.throughput_cost_of_power_cut(0.2)
+        # Budget 11.2 W -> the 10 W / 900 MB point; curtail 10%.
+        assert best.power_w == 10.0
+        assert curtailed == pytest.approx(0.1)
+
+    def test_impossible_cut_raises(self):
+        model = PowerThroughputModel("dev", POINTS)
+        with pytest.raises(ValueError):
+            model.throughput_cost_of_power_cut(0.99)
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates(mk(5, 100), mk(6, 90))
+        assert not dominates(mk(6, 90), mk(5, 100))
+        assert not dominates(mk(5, 100), mk(5, 100))
+
+    def test_frontier_drops_dominated(self):
+        frontier = pareto_frontier(POINTS)
+        powers = [p.power_w for p in frontier]
+        assert 12.0 not in powers
+        assert powers == sorted(powers)
+
+    def test_frontier_of_empty(self):
+        assert pareto_frontier([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=1.0, max_value=1e9),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_frontier_properties(self, raw):
+        """Properties: frontier members are mutually non-dominating, and
+        every dropped point is dominated by some frontier member."""
+        points = [mk(p, t) for p, t in raw]
+        frontier = pareto_frontier(points)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not dominates(a, b)
+        for point in points:
+            if point not in frontier:
+                assert any(dominates(f, point) for f in frontier)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=1.0, max_value=1e9),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=0.1, max_value=120.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_best_under_budget_is_optimal(self, raw, budget):
+        """Property: no feasible point beats the query answer."""
+        model = PowerThroughputModel("dev", [mk(p, t) for p, t in raw])
+        best = model.best_under_power_budget(budget)
+        feasible = [p for p in model.points if p.power_w <= budget]
+        if best is None:
+            assert not feasible
+        else:
+            assert best.power_w <= budget
+            assert all(p.throughput_bps <= best.throughput_bps for p in feasible)

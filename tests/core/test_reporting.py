@@ -1,0 +1,78 @@
+"""Tests for the text reporting helpers."""
+
+import pytest
+
+from repro.core.reporting import ascii_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "w"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678], [0.1234], [3.5]])
+        assert "1235" in text
+        assert "0.123" in text
+        assert "3.5" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestAsciiScatter:
+    def test_points_land_in_grid(self):
+        from repro.core.reporting import ascii_scatter
+
+        text = ascii_scatter({"a": [(0.0, 0.0), (1.0, 1.0)]}, width=10, height=5)
+        lines = text.splitlines()
+        assert lines[1].rstrip().endswith("o")  # top-right: (1,1)
+        assert lines[5].strip("| ").startswith("o")  # bottom-left: (0,0)
+
+    def test_distinct_markers_per_series(self):
+        from repro.core.reporting import ascii_scatter
+
+        text = ascii_scatter(
+            {"first": [(0.2, 0.2)], "second": [(0.8, 0.8)]},
+            width=20,
+            height=8,
+        )
+        assert "o=first" in text and "x=second" in text
+
+    def test_out_of_range_clamped(self):
+        from repro.core.reporting import ascii_scatter
+
+        text = ascii_scatter({"a": [(5.0, -3.0)]}, width=10, height=5)
+        assert "o" in text  # still drawn, at the clamped corner
+
+    def test_too_small_rejected(self):
+        from repro.core.reporting import ascii_scatter
+
+        with pytest.raises(ValueError):
+            ascii_scatter({}, width=2, height=2)
+
+
+class TestAsciiSeries:
+    def test_bars_scale_to_peak(self):
+        text = ascii_series([1, 2], [5.0, 10.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_label_emitted(self):
+        text = ascii_series([1], [1.0], label="series:")
+        assert text.splitlines()[0] == "series:"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], [1.0])
+
+    def test_empty_ok(self):
+        assert ascii_series([], [], label="x") == "x"

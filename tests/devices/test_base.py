@@ -1,0 +1,31 @@
+"""Tests for the device base types."""
+
+import pytest
+
+from repro.devices.base import IOKind, IORequest, IOResult
+
+
+class TestIORequest:
+    def test_end_offset(self):
+        request = IORequest(IOKind.READ, 4096, 8192)
+        assert request.end == 12288
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            IORequest(IOKind.READ, -1, 4096)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            IORequest(IOKind.WRITE, 0, 0)
+
+    def test_frozen(self):
+        request = IORequest(IOKind.READ, 0, 4096)
+        with pytest.raises(AttributeError):
+            request.offset = 1
+
+
+class TestIOResult:
+    def test_latency(self):
+        request = IORequest(IOKind.READ, 0, 4096)
+        result = IOResult(request, submit_time=1.0, complete_time=1.5)
+        assert result.latency == pytest.approx(0.5)

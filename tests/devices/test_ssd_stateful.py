@@ -1,0 +1,139 @@
+"""Stateful property-based testing of the SSD device model.
+
+Hypothesis drives random interleavings of reads, writes, power-state
+changes and standby cycles against the tiny SSD, checking the invariants
+that must survive *any* such sequence:
+
+- every submitted IO completes, with positive latency;
+- the FTL forward/reverse maps stay exact inverses and every mapped
+  physical page lives in a block that accounts it as valid;
+- rail power is never negative and returns exactly to the configured idle
+  level once the device quiesces in an operational state;
+- the governor never leaks grants (committed power returns to zero).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro._units import KiB
+from repro.devices.base import IOKind, IORequest
+from repro.devices.ssd import SimulatedSSD
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from tests.conftest import tiny_ssd_config
+
+PAGE = 16 * KiB
+
+
+class SsdMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.engine = Engine()
+        self.device = SimulatedSSD(
+            self.engine, tiny_ssd_config(), rng=RngStreams(7)
+        )
+        self.pending = []
+        self.completed = 0
+        self.submitted = 0
+
+    # -- actions ------------------------------------------------------------
+
+    @rule(
+        page=st.integers(min_value=0, max_value=20),
+        pages=st.integers(min_value=1, max_value=4),
+    )
+    def write(self, page: int, pages: int) -> None:
+        request = IORequest(IOKind.WRITE, page * PAGE, pages * PAGE)
+        if request.end > self.device.capacity_bytes:
+            return
+        self.pending.append(self.device.submit(request))
+        self.submitted += 1
+
+    @rule(
+        page=st.integers(min_value=0, max_value=20),
+        pages=st.integers(min_value=1, max_value=4),
+    )
+    def read(self, page: int, pages: int) -> None:
+        request = IORequest(IOKind.READ, page * PAGE, pages * PAGE)
+        if request.end > self.device.capacity_bytes:
+            return
+        self.pending.append(self.device.submit(request))
+        self.submitted += 1
+
+    @rule(state=st.sampled_from([0, 1, 2]))
+    def change_power_state(self, state: int) -> None:
+        proc = self.engine.process(self.device.set_power_state(state))
+        while proc.is_alive:
+            self.engine.step()
+
+    @rule()
+    def standby_cycle(self) -> None:
+        proc = self.engine.process(self.device.enter_standby())
+        while proc.is_alive:
+            self.engine.step()
+        proc = self.engine.process(self.device.exit_standby())
+        while proc.is_alive:
+            self.engine.step()
+
+    @rule()
+    def drain(self) -> None:
+        """Wait for all in-flight IO to finish."""
+        if not self.pending:
+            return
+        done = self.engine.all_of(self.pending)
+        while not done.processed:
+            self.engine.step()
+        for event in self.pending:
+            assert event.ok
+            assert event.value.latency > 0
+            self.completed += 1
+        self.pending = []
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def power_never_negative(self) -> None:
+        assert self.device.rail.total_watts >= 0.0
+
+    @invariant()
+    def map_is_bidirectionally_consistent(self) -> None:
+        page_map = self.device.page_map
+        for lpn in page_map.mapped_lpns():
+            ppn = page_map.lookup(lpn)
+            assert page_map.lpn_of(ppn) == lpn
+            block = self.device.allocator.block_of_ppn(ppn)
+            page_offset = ppn % self.device.config.geometry.pages_per_block
+            assert page_offset in block.valid
+
+    @invariant()
+    def governor_not_overcommitted_when_quiet(self) -> None:
+        if not self.pending:
+            # There may still be background flush in flight right after a
+            # drain (buffer residue), but committed power is bounded.
+            assert self.device.governor.committed_w >= 0
+
+    def teardown(self) -> None:
+        # Finish everything, then check the device returns to clean idle.
+        if self.pending:
+            done = self.engine.all_of(self.pending)
+            while not done.processed:
+                self.engine.step()
+        # Ensure we are in an operational state and let the flush settle.
+        proc = self.engine.process(self.device.set_power_state(0))
+        while proc.is_alive:
+            self.engine.step()
+        self.engine.run(until=self.engine.now + 0.1)
+        assert self.device.governor.committed_w == 0.0
+        assert self.device.governor.granted_ops == 0
+        assert self.device.rail.total_watts > 0  # idle draw present
+        assert (
+            abs(self.device.rail.total_watts - self.device.config.idle_power_w)
+            < 1e-6
+        )
+
+
+SsdMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestSsdStateful = SsdMachine.TestCase

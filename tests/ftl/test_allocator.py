@@ -1,0 +1,141 @@
+"""Tests for log-structured write allocation."""
+
+import pytest
+
+from repro.ftl.allocator import BlockState, WriteAllocator
+from repro.nand.geometry import NandGeometry
+
+GEOMETRY = NandGeometry(
+    channels=2,
+    dies_per_channel=1,
+    planes_per_die=1,
+    blocks_per_plane=4,
+    pages_per_block=4,
+    page_size=4096,
+)
+
+
+class TestAllocation:
+    def test_initial_pool_all_free(self):
+        allocator = WriteAllocator(GEOMETRY)
+        assert allocator.free_blocks == GEOMETRY.total_blocks
+
+    def test_allocations_rotate_across_dies(self):
+        allocator = WriteAllocator(GEOMETRY)
+        dies = [allocator.allocate()[1].die_index(GEOMETRY) for _ in range(4)]
+        assert dies == [0, 1, 0, 1]
+
+    def test_pinned_die_allocation(self):
+        allocator = WriteAllocator(GEOMETRY)
+        for _ in range(3):
+            __, ppa = allocator.allocate(die_index=1)
+            assert ppa.die_index(GEOMETRY) == 1
+
+    def test_block_fills_then_moves_on(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppns = [allocator.allocate(die_index=0)[0] for _ in range(5)]
+        first_block = allocator.block_of_ppn(ppns[0])
+        assert first_block.state is BlockState.FULL
+        assert allocator.block_of_ppn(ppns[4]).block_id != first_block.block_id
+
+    def test_exhaustion_raises(self):
+        allocator = WriteAllocator(GEOMETRY, gc_reserve_blocks=0)
+        for _ in range(GEOMETRY.total_pages):
+            allocator.allocate()
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_allocated_pages_unique(self):
+        allocator = WriteAllocator(GEOMETRY, gc_reserve_blocks=0)
+        ppns = {allocator.allocate()[0] for _ in range(GEOMETRY.total_pages)}
+        assert len(ppns) == GEOMETRY.total_pages
+
+    def test_host_allocation_stops_at_gc_reserve(self):
+        allocator = WriteAllocator(GEOMETRY, gc_reserve_blocks=2)
+        with pytest.raises(RuntimeError):
+            for _ in range(GEOMETRY.total_pages):
+                allocator.allocate()
+        assert allocator.free_blocks == 2
+
+    def test_gc_allocation_may_use_reserve(self):
+        allocator = WriteAllocator(GEOMETRY, gc_reserve_blocks=2)
+        try:
+            for _ in range(GEOMETRY.total_pages):
+                allocator.allocate()
+        except RuntimeError:
+            pass
+        # The reserve is still available to relocations.
+        ppn, __ = allocator.allocate(for_gc=True)
+        assert allocator.block_of_ppn(ppn).valid_count == 1
+
+    def test_invalid_reserve_rejected(self):
+        with pytest.raises(ValueError):
+            WriteAllocator(GEOMETRY, gc_reserve_blocks=-1)
+        with pytest.raises(ValueError):
+            WriteAllocator(GEOMETRY, gc_reserve_blocks=GEOMETRY.total_blocks)
+
+
+class TestValidityAndErase:
+    def test_new_page_valid(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppn, __ = allocator.allocate()
+        assert allocator.block_of_ppn(ppn).valid_count == 1
+
+    def test_mark_invalid(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppn, __ = allocator.allocate()
+        allocator.mark_invalid(ppn)
+        assert allocator.block_of_ppn(ppn).valid_count == 0
+
+    def test_erase_returns_block_to_pool(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppns = [allocator.allocate(die_index=0)[0] for _ in range(4)]
+        for ppn in ppns:
+            allocator.mark_invalid(ppn)
+        block = allocator.block_of_ppn(ppns[0])
+        before = allocator.free_blocks
+        allocator.erase(block.block_id)
+        assert allocator.free_blocks == before + 1
+        assert block.state is BlockState.FREE
+
+    def test_erase_open_block_rejected(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppn, __ = allocator.allocate()
+        block = allocator.block_of_ppn(ppn)
+        with pytest.raises(ValueError):
+            allocator.erase(block.block_id)
+
+    def test_erase_with_valid_pages_rejected(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppns = [allocator.allocate(die_index=0)[0] for _ in range(4)]
+        block = allocator.block_of_ppn(ppns[0])
+        with pytest.raises(ValueError):
+            allocator.erase(block.block_id)
+
+    def test_victims_sorted_by_valid_count(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppns = [allocator.allocate(die_index=0)[0] for _ in range(8)]
+        # First block: invalidate 3 of 4; second block: invalidate 1 of 4.
+        for ppn in ppns[:3]:
+            allocator.mark_invalid(ppn)
+        allocator.mark_invalid(ppns[4])
+        victims = allocator.victim_candidates()
+        assert victims[0].valid_count <= victims[-1].valid_count
+        assert victims[0].valid_count == 1
+
+    def test_erased_block_is_reusable(self):
+        allocator = WriteAllocator(GEOMETRY)
+        ppns = [allocator.allocate(die_index=0)[0] for _ in range(4)]
+        block_id = allocator.block_of_ppn(ppns[0]).block_id
+        for ppn in ppns:
+            allocator.mark_invalid(ppn)
+        allocator.erase(block_id)
+        # Drain the die; eventually the erased block is allocated again.
+        seen_blocks = set()
+        while allocator.free_blocks_on_die(0) > 0 or True:
+            try:
+                ppn, __ = allocator.allocate(die_index=0)
+            except RuntimeError:
+                break
+            seen_blocks.add(allocator.block_of_ppn(ppn).block_id)
+        assert block_id in seen_blocks

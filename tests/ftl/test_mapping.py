@@ -1,0 +1,91 @@
+"""Tests for the logical-to-physical page map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftl.mapping import PageMap
+
+
+class TestPageMap:
+    def test_unmapped_lookup_is_none(self):
+        page_map = PageMap(16)
+        assert page_map.lookup(3) is None
+
+    def test_bind_and_lookup(self):
+        page_map = PageMap(16)
+        assert page_map.bind(3, 100) is None
+        assert page_map.lookup(3) == 100
+        assert page_map.lpn_of(100) == 3
+
+    def test_rebind_returns_stale_ppn(self):
+        page_map = PageMap(16)
+        page_map.bind(3, 100)
+        stale = page_map.bind(3, 200)
+        assert stale == 100
+        assert page_map.lookup(3) == 200
+        assert page_map.lpn_of(100) is None
+
+    def test_double_mapping_physical_page_rejected(self):
+        page_map = PageMap(16)
+        page_map.bind(1, 100)
+        with pytest.raises(ValueError):
+            page_map.bind(2, 100)
+
+    def test_unbind_trim(self):
+        page_map = PageMap(16)
+        page_map.bind(5, 50)
+        assert page_map.unbind(5) == 50
+        assert page_map.lookup(5) is None
+        assert page_map.lpn_of(50) is None
+
+    def test_unbind_unmapped_is_none(self):
+        page_map = PageMap(16)
+        assert page_map.unbind(7) is None
+
+    def test_out_of_range_lpn_rejected(self):
+        page_map = PageMap(16)
+        with pytest.raises(ValueError):
+            page_map.lookup(16)
+        with pytest.raises(ValueError):
+            page_map.bind(-1, 0)
+
+    def test_len_counts_mapped(self):
+        page_map = PageMap(16)
+        page_map.bind(0, 10)
+        page_map.bind(1, 11)
+        page_map.bind(0, 12)  # rebind, not a new entry
+        assert len(page_map) == 2
+
+    def test_mapped_lpns_iterates(self):
+        page_map = PageMap(16)
+        page_map.bind(2, 20)
+        page_map.bind(9, 21)
+        assert sorted(page_map.mapped_lpns()) == [2, 9]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_forward_reverse_consistency(self, operations):
+        """Property: forward and reverse maps stay exact inverses."""
+        page_map = PageMap(32)
+        used_ppns = set()
+        for lpn, ppn in operations:
+            if ppn in used_ppns and page_map.lpn_of(ppn) != lpn:
+                continue  # would double-map; skip
+            if page_map.lpn_of(ppn) == lpn:
+                continue
+            stale = page_map.bind(lpn, ppn)
+            used_ppns.add(ppn)
+            if stale is not None:
+                used_ppns.discard(stale)
+        for lpn in page_map.mapped_lpns():
+            ppn = page_map.lookup(lpn)
+            assert page_map.lpn_of(ppn) == lpn

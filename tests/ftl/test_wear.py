@@ -1,0 +1,46 @@
+"""Tests for wear accounting."""
+
+import pytest
+
+from repro.ftl.wear import WearTracker
+
+
+class TestWearTracker:
+    def test_erase_counts(self):
+        wear = WearTracker(4)
+        wear.record_erase(1)
+        wear.record_erase(1)
+        wear.record_erase(2)
+        assert wear.erase_count(1) == 2
+        assert wear.erase_count(0) == 0
+        stats = wear.stats()
+        assert stats.total_erases == 3
+        assert stats.max_erases == 2
+
+    def test_write_amplification(self):
+        wear = WearTracker(4)
+        wear.record_host_write(1000)
+        wear.record_nand_write(1500)
+        assert wear.write_amplification == pytest.approx(1.5)
+
+    def test_write_amplification_zero_before_writes(self):
+        assert WearTracker(4).write_amplification == 0.0
+
+    def test_skew_even_wear(self):
+        wear = WearTracker(4)
+        for block in range(4):
+            wear.record_erase(block)
+        assert wear.stats().skew == pytest.approx(1.0)
+
+    def test_skew_uneven_wear(self):
+        wear = WearTracker(4)
+        for _ in range(4):
+            wear.record_erase(0)
+        assert wear.stats().skew == pytest.approx(4.0)
+
+    def test_unworn_skew_is_zero(self):
+        assert WearTracker(4).stats().skew == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WearTracker(0)

@@ -1,0 +1,66 @@
+"""Tests for HDD zoned layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdd.geometry import HddGeometry
+
+GEOM = HddGeometry(
+    capacity_bytes=1_000_000_000,
+    rpm=7200,
+    outer_bandwidth=200e6,
+    inner_bandwidth=100e6,
+)
+
+
+class TestHddGeometry:
+    def test_revolution_time(self):
+        assert GEOM.revolution_time == pytest.approx(60.0 / 7200)
+
+    def test_radial_fraction_endpoints(self):
+        assert GEOM.radial_fraction(0) == 0.0
+        assert GEOM.radial_fraction(GEOM.capacity_bytes - 1) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_bandwidth_zbr_profile(self):
+        assert GEOM.bandwidth_at(0) == pytest.approx(200e6)
+        mid = GEOM.bandwidth_at(GEOM.capacity_bytes // 2)
+        assert mid == pytest.approx(150e6, rel=1e-3)
+
+    def test_transfer_time_uses_local_bandwidth(self):
+        outer = GEOM.transfer_time(0, 1_000_000)
+        inner = GEOM.transfer_time(GEOM.capacity_bytes - 2_000_000, 1_000_000)
+        assert inner > outer
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GEOM.radial_fraction(GEOM.capacity_bytes)
+        with pytest.raises(ValueError):
+            GEOM.bandwidth_at(-1)
+
+    def test_invalid_bandwidth_order(self):
+        with pytest.raises(ValueError):
+            HddGeometry(outer_bandwidth=50e6, inner_bandwidth=100e6)
+
+    def test_angular_offset_deterministic(self):
+        assert GEOM.angular_offset(4096) == GEOM.angular_offset(4096)
+
+    def test_angular_offset_scatters_neighbours(self):
+        """Adjacent sectors land at well-separated angles (interleaving)."""
+        a = GEOM.angular_offset(0)
+        b = GEOM.angular_offset(GEOM.sector_size)
+        assert abs(a - b) > 0.01
+
+    @given(st.integers(min_value=0, max_value=GEOM.capacity_bytes - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_angular_offset_in_unit_interval(self, offset):
+        angle = GEOM.angular_offset(offset)
+        assert 0.0 <= angle < 1.0
+
+    @given(st.integers(min_value=0, max_value=GEOM.capacity_bytes - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_bandwidth_within_zone_limits(self, offset):
+        bw = GEOM.bandwidth_at(offset)
+        assert 100e6 <= bw <= 200e6

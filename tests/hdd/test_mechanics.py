@@ -1,0 +1,130 @@
+"""Tests for seek/rotation models and RPO selection."""
+
+import numpy as np
+import pytest
+
+from repro.hdd.geometry import HddGeometry
+from repro.hdd.mechanics import (
+    RotationModel,
+    SeekModel,
+    pick_next_rpo,
+    positioning_time,
+)
+
+GEOM = HddGeometry(capacity_bytes=1_000_000_000)
+SEEK = SeekModel(settle_time=0.5e-3, average_seek_read=4.16e-3, write_settle_extra=0.4e-3)
+
+
+class TestSeekModel:
+    def test_zero_distance_read_is_free(self):
+        assert SEEK.seek_time(0.0) == 0.0
+
+    def test_zero_distance_write_costs_settle_extra(self):
+        assert SEEK.seek_time(0.0, is_write=True) == pytest.approx(0.4e-3)
+
+    def test_sqrt_law_monotone(self):
+        times = [SEEK.seek_time(d) for d in (0.01, 0.1, 0.5, 1.0)]
+        assert times == sorted(times)
+
+    def test_average_random_seek_matches_datasheet(self):
+        """Calibration: E[seek over random pairs] ~ the datasheet figure."""
+        rng = np.random.default_rng(0)
+        xs, ys = rng.uniform(size=20000), rng.uniform(size=20000)
+        mean_seek = np.mean([SEEK.seek_time(abs(x - y)) for x, y in zip(xs, ys)])
+        assert mean_seek == pytest.approx(4.16e-3, rel=0.02)
+
+    def test_full_stroke_exceeds_average(self):
+        assert SEEK.full_stroke > SEEK.average_seek_read
+
+    def test_writes_slower_than_reads(self):
+        assert SEEK.seek_time(0.3, is_write=True) > SEEK.seek_time(0.3)
+
+    def test_distance_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SEEK.seek_time(1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SeekModel(settle_time=0.0)
+        with pytest.raises(ValueError):
+            SeekModel(settle_time=5e-3, average_seek_read=4e-3)
+
+
+class TestRotation:
+    def test_angle_wraps_each_revolution(self):
+        rotation = RotationModel(GEOM)
+        rev = GEOM.revolution_time
+        assert rotation.angle_at(0.0) == pytest.approx(0.0)
+        assert rotation.angle_at(rev) == pytest.approx(0.0, abs=1e-9)
+        assert rotation.angle_at(rev / 2) == pytest.approx(0.5)
+
+    def test_rotational_wait_bounded_by_revolution(self):
+        rotation = RotationModel(GEOM)
+        for target in np.linspace(0, 0.999, 17):
+            wait = rotation.rotational_wait(0.123, 2e-3, float(target))
+            assert 0.0 <= wait < GEOM.revolution_time
+
+    def test_wait_accounts_for_seek_duration(self):
+        rotation = RotationModel(GEOM)
+        # Target angle exactly where the head lands after the seek: no wait.
+        seek = 3e-3
+        target = rotation.angle_at(1.0 + seek)
+        wait = rotation.rotational_wait(1.0, seek, target)
+        assert wait == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPositioningTime:
+    def test_sequential_hint_is_free(self):
+        rotation = RotationModel(GEOM)
+        cost = positioning_time(
+            GEOM, SEEK, rotation, 0.0, 0, 500_000_000, False, sequential_hint=True
+        )
+        assert cost == 0.0
+
+    def test_random_position_cost_positive(self):
+        rotation = RotationModel(GEOM)
+        cost = positioning_time(GEOM, SEEK, rotation, 0.0, 0, 500_000_000, False)
+        assert cost > SEEK.settle_time
+
+
+class TestRpo:
+    def test_picks_minimum_cost(self):
+        index, item = pick_next_rpo([5.0, 2.0, 7.0], cost=lambda x: x)
+        assert (index, item) == (1, 2.0)
+
+    def test_ties_go_to_earliest(self):
+        index, __ = pick_next_rpo([3.0, 3.0, 3.0], cost=lambda x: x)
+        assert index == 0
+
+    def test_window_limits_lookahead(self):
+        index, item = pick_next_rpo([5.0, 4.0, 0.1], cost=lambda x: x, window=2)
+        assert item == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pick_next_rpo([], cost=lambda x: x)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            pick_next_rpo([1.0], cost=lambda x: x, window=0)
+
+    def test_deeper_window_cuts_expected_service_time(self):
+        """The mechanism behind the paper's HDD random-write floor: a
+        deeper pool gives RPO more choice, shrinking per-op positioning."""
+        rng = np.random.default_rng(1)
+        rotation = RotationModel(GEOM)
+
+        def mean_cost(window):
+            total = 0.0
+            for trial in range(200):
+                offsets = rng.integers(0, GEOM.capacity_bytes - 4096, size=window)
+                costs = [
+                    positioning_time(
+                        GEOM, SEEK, rotation, trial * 1e-2, 0, int(o), True
+                    )
+                    for o in offsets
+                ]
+                total += min(costs)
+            return total / 200
+
+        assert mean_cost(16) < mean_cost(2) < mean_cost(1)

@@ -1,0 +1,70 @@
+"""Tests for the fio-style front end."""
+
+import pytest
+
+from repro._units import GiB, KiB
+from repro.iogen.fio import format_job_result, parse_fio_args
+from repro.iogen.spec import IoPattern
+from repro.iogen.stats import IoRecord, JobResult
+from repro.iogen.spec import JobSpec
+
+
+class TestParseFioArgs:
+    def test_full_command(self):
+        spec = parse_fio_args(
+            "--rw=randwrite --bs=256k --iodepth=64 --runtime=60 --size=4G"
+        )
+        assert spec.pattern is IoPattern.RANDWRITE
+        assert spec.block_size == 256 * KiB
+        assert spec.iodepth == 64
+        assert spec.runtime_s == 60.0
+        assert spec.size_limit_bytes == 4 * GiB
+
+    def test_defaults(self):
+        spec = parse_fio_args("--rw=read")
+        assert spec.block_size == 4 * KiB
+        assert spec.iodepth == 1
+
+    def test_offset_option(self):
+        spec = parse_fio_args("--rw=read --offset=1G")
+        assert spec.region_offset == GiB
+
+    def test_missing_rw_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fio_args("--bs=4k")
+
+    def test_unknown_rw_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fio_args("--rw=trimwrite")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fio_args("--rw=read --zonemode=zbd")
+
+    def test_buffered_io_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fio_args("--rw=read --direct=0")
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fio_args("rw=read")
+
+
+class TestFormatJobResult:
+    def test_renders_bandwidth_and_latency(self):
+        spec = JobSpec(IoPattern.RANDREAD, 4096, 8)
+        records = tuple(
+            IoRecord(i * 1e-4, i * 1e-4 + 80e-6, 4096) for i in range(100)
+        )
+        result = JobResult(
+            spec=spec,
+            start_time=0.0,
+            end_time=0.01,
+            records=records,
+            measure_start=0.0,
+        )
+        text = format_job_result(result)
+        assert "randread bs=4k iodepth=8" in text
+        assert "read:" in text
+        assert "lat (usec)" in text
+        assert "p99" in text

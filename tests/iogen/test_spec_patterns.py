@@ -1,0 +1,92 @@
+"""Tests for job specs and offset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._units import GiB, KiB
+from repro.iogen.patterns import RandomOffsets, SequentialOffsets
+from repro.iogen.spec import IoPattern, JobSpec, PAPER_CHUNK_SIZES, PAPER_QUEUE_DEPTHS
+
+
+class TestIoPattern:
+    def test_read_flags(self):
+        assert IoPattern.RANDREAD.is_read
+        assert IoPattern.READ.is_read
+        assert not IoPattern.RANDWRITE.is_read
+
+    def test_random_flags(self):
+        assert IoPattern.RANDREAD.is_random
+        assert not IoPattern.READ.is_random
+
+
+class TestJobSpec:
+    def test_paper_grid_constants(self):
+        assert PAPER_CHUNK_SIZES[0] == 4 * KiB
+        assert PAPER_CHUNK_SIZES[-1] == 2048 * KiB
+        assert len(PAPER_CHUNK_SIZES) == 6
+        assert PAPER_QUEUE_DEPTHS == (1, 4, 8, 16, 64, 128)
+
+    def test_paper_default_stop_rule(self):
+        spec = JobSpec(IoPattern.RANDREAD, 4096, 1)
+        assert spec.runtime_s == 60.0
+        assert spec.size_limit_bytes == 4 * GiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(IoPattern.READ, 0, 1)
+        with pytest.raises(ValueError):
+            JobSpec(IoPattern.READ, 4096, 0)
+        with pytest.raises(ValueError):
+            JobSpec(IoPattern.READ, 4096, 1, runtime_s=0.0)
+
+    def test_scaled_stop_rules(self):
+        spec = JobSpec(IoPattern.READ, 4096, 1)
+        scaled = spec.scaled(time_scale=0.001, size_scale=0.01)
+        assert scaled.runtime_s == pytest.approx(0.06)
+        assert scaled.size_limit_bytes == int(4 * GiB * 0.01)
+        assert scaled.block_size == spec.block_size
+
+    def test_describe(self):
+        spec = JobSpec(IoPattern.RANDWRITE, 256 * KiB, 64)
+        assert spec.describe() == "randwrite bs=256k iodepth=64"
+
+
+class TestSequentialOffsets:
+    def test_advances_and_wraps(self):
+        gen = SequentialOffsets(0, 3 * 4096, 4096)
+        offsets = [gen.next_offset() for _ in range(5)]
+        assert offsets == [0, 4096, 8192, 0, 4096]
+
+    def test_region_offset_applied(self):
+        gen = SequentialOffsets(1_000_000, 2 * 4096, 4096)
+        assert gen.next_offset() == 1_000_000
+
+    def test_region_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialOffsets(0, 1000, 4096)
+
+
+class TestRandomOffsets:
+    def test_deterministic_from_seed(self):
+        a = RandomOffsets(0, 1 << 20, 4096, np.random.default_rng(5))
+        b = RandomOffsets(0, 1 << 20, 4096, np.random.default_rng(5))
+        assert [a.next_offset() for _ in range(100)] == [
+            b.next_offset() for _ in range(100)
+        ]
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_offsets_aligned_and_in_region(self, seed):
+        region_offset, region, block = 8192, 1 << 20, 4096
+        gen = RandomOffsets(region_offset, region, block, np.random.default_rng(seed))
+        for _ in range(50):
+            offset = gen.next_offset()
+            assert region_offset <= offset < region_offset + region
+            assert (offset - region_offset) % block == 0
+
+    def test_covers_the_region(self):
+        gen = RandomOffsets(0, 16 * 4096, 4096, np.random.default_rng(0))
+        seen = {gen.next_offset() for _ in range(2000)}
+        assert len(seen) == 16

@@ -1,0 +1,75 @@
+"""Tests for NAND geometry and physical addressing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+
+SMALL = NandGeometry(
+    channels=2,
+    dies_per_channel=2,
+    planes_per_die=2,
+    blocks_per_plane=4,
+    pages_per_block=8,
+    page_size=4096,
+)
+
+
+class TestCapacity:
+    def test_total_dies(self):
+        assert SMALL.total_dies == 4
+
+    def test_total_pages(self):
+        assert SMALL.total_pages == 4 * 2 * 4 * 8
+
+    def test_capacity_bytes(self):
+        assert SMALL.capacity_bytes == SMALL.total_pages * 4096
+
+    def test_block_size(self):
+        assert SMALL.block_size == 8 * 4096
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(ValueError):
+            NandGeometry(channels=0)
+
+
+class TestAddressing:
+    def test_index_zero_is_origin(self):
+        ppa = SMALL.ppa_from_index(0)
+        assert ppa == PhysicalPageAddress(0, 0, 0, 0, 0)
+
+    def test_page_increments_first(self):
+        assert SMALL.ppa_from_index(1).page == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SMALL.ppa_from_index(SMALL.total_pages)
+        with pytest.raises(ValueError):
+            SMALL.ppa_from_index(-1)
+
+    def test_bad_ppa_rejected(self):
+        with pytest.raises(ValueError):
+            SMALL.index_from_ppa(PhysicalPageAddress(9, 0, 0, 0, 0))
+
+    def test_die_index_spans_channels(self):
+        last = SMALL.ppa_from_index(SMALL.total_pages - 1)
+        assert last.die_index(SMALL) == SMALL.total_dies - 1
+
+    def test_block_id_distinct_per_block(self):
+        seen = set()
+        for index in range(0, SMALL.total_pages, SMALL.pages_per_block):
+            seen.add(SMALL.block_id(SMALL.ppa_from_index(index)))
+        assert len(seen) == SMALL.total_blocks
+
+    def test_block_id_constant_within_block(self):
+        base = SMALL.ppa_from_index(0)
+        for page in range(SMALL.pages_per_block):
+            ppa = SMALL.ppa_from_index(page)
+            assert SMALL.block_id(ppa) == SMALL.block_id(base)
+
+    @given(st.integers(min_value=0, max_value=SMALL.total_pages - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, index):
+        """Property: index -> PPA -> index is the identity."""
+        assert SMALL.index_from_ppa(SMALL.ppa_from_index(index)) == index

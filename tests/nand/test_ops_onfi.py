@@ -1,0 +1,79 @@
+"""Tests for NAND op parameters and the channel bus."""
+
+import pytest
+
+from repro.nand.onfi import ChannelBus
+from repro.nand.ops import NandPower, NandTimings, OpKind
+from repro.power.rail import PowerRail
+from tests.conftest import drive
+
+
+class TestTimings:
+    def test_duration_per_kind(self):
+        timings = NandTimings(t_read=1e-5, t_program=2e-4, t_erase=1e-3)
+        assert timings.duration(OpKind.READ) == 1e-5
+        assert timings.duration(OpKind.PROGRAM) == 2e-4
+        assert timings.duration(OpKind.ERASE) == 1e-3
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            NandTimings(t_read=0.0)
+
+
+class TestPower:
+    def test_draw_per_kind(self):
+        power = NandPower(p_read=0.1, p_program=0.5, p_erase=0.3)
+        assert power.draw(OpKind.READ) == 0.1
+        assert power.draw(OpKind.PROGRAM) == 0.5
+        assert power.draw(OpKind.ERASE) == 0.3
+
+    def test_program_energy_dominates_read(self):
+        """The asymmetry at the heart of the paper's Fig. 4."""
+        power = NandPower()
+        timings = NandTimings()
+        assert power.energy(OpKind.PROGRAM, timings) > 10 * power.energy(
+            OpKind.READ, timings
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NandPower(p_read=-0.1)
+
+
+class TestChannelBus:
+    def test_transfer_time(self, engine):
+        bus = ChannelBus(engine, PowerRail(engine), 0, bandwidth=1e9, transfer_power_w=0.2)
+        assert bus.transfer_time(1e6) == pytest.approx(1e-3)
+
+    def test_transfer_draws_power_while_streaming(self, engine):
+        rail = PowerRail(engine)
+        bus = ChannelBus(engine, rail, 0, bandwidth=1e9, transfer_power_w=0.2)
+
+        def xfer(eng):
+            yield from bus.transfer(1_000_000)
+
+        proc = engine.process(xfer(engine))
+        engine.run(until=0.5e-3)
+        assert rail.draw_of("chan0.xfer") == pytest.approx(0.2)
+        drive(engine, proc)
+        assert rail.draw_of("chan0.xfer") == 0.0
+        assert bus.bytes_transferred == 1_000_000
+
+    def test_transfers_serialize(self, engine):
+        bus = ChannelBus(engine, PowerRail(engine), 0, bandwidth=1e9, transfer_power_w=0.0)
+
+        def xfer(eng):
+            yield from bus.transfer(1_000_000)
+
+        engine.process(xfer(engine))
+        engine.process(xfer(engine))
+        engine.run()
+        assert engine.now == pytest.approx(2e-3)
+
+    def test_invalid_parameters(self, engine):
+        rail = PowerRail(engine)
+        with pytest.raises(ValueError):
+            ChannelBus(engine, rail, 0, bandwidth=0.0, transfer_power_w=0.1)
+        bus = ChannelBus(engine, rail, 0, bandwidth=1e9, transfer_power_w=0.1)
+        with pytest.raises(ValueError):
+            bus.transfer_time(-1)

@@ -1,0 +1,52 @@
+"""Tests for the APST feature command (FID 0x0C)."""
+
+import pytest
+
+from repro._units import KiB
+from repro.devices.base import IOKind, IORequest
+from repro.devices.catalog import build_device
+from repro.nvme.features import FEATURE_APST, set_apst
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+
+class TestSetApst:
+    def test_feature_id_is_spec_value(self):
+        assert FEATURE_APST == 0x0C
+
+    def test_arms_idle_transition(self):
+        engine = Engine()
+        device = build_device(engine, "pm1743", rng=RngStreams(0))
+        device = set_apst(device, idle_timeout_s=0.02)
+        engine.run(until=0.2)
+        assert not device.current_power_state.operational
+
+    def test_disabled_device_stays_operational(self):
+        engine = Engine()
+        device = build_device(engine, "pm1743", rng=RngStreams(0))
+        device = set_apst(device, idle_timeout_s=None)
+        engine.run(until=0.2)
+        assert device.current_power_state.operational
+
+    def test_armed_device_wakes_for_io(self):
+        engine = Engine()
+        device = build_device(engine, "pm1743", rng=RngStreams(0))
+        device = set_apst(device, idle_timeout_s=0.02)
+        engine.run(until=0.2)
+        event = device.submit(IORequest(IOKind.READ, 0, 16 * KiB))
+        while not event.processed:
+            engine.step()
+        assert event.value.latency > 1e-3  # paid the exit latency
+        assert device.current_power_state.operational
+
+    def test_device_without_non_op_states_rejected(self):
+        engine = Engine()
+        device = build_device(engine, "ssd2", rng=RngStreams(0))
+        with pytest.raises(ValueError):
+            set_apst(device, idle_timeout_s=0.02)
+
+    def test_invalid_timeout_rejected(self):
+        engine = Engine()
+        device = build_device(engine, "pm1743", rng=RngStreams(0))
+        with pytest.raises(ValueError):
+            set_apst(device, idle_timeout_s=0.0)

@@ -1,0 +1,105 @@
+"""Tests for the NVMe host interface (identify / features / cli)."""
+
+import pytest
+
+from repro.devices.catalog import build_device
+from repro.nvme.cli import NvmeCli
+from repro.nvme.features import get_power_state, set_power_state
+from repro.nvme.identify import identify_controller
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from tests.conftest import drive
+
+
+@pytest.fixture
+def ssd2(engine):
+    return build_device(engine, "ssd2", rng=RngStreams(0))
+
+
+class TestIdentify:
+    def test_psd_table_matches_config(self, ssd2):
+        identity = identify_controller(ssd2)
+        assert identity.model_number == "ssd2"
+        assert identity.npss == len(ssd2.config.power_states) - 1
+        assert identity.descriptor(1).max_power_w == pytest.approx(12.0)
+        assert identity.descriptor(2).max_power_w == pytest.approx(10.0)
+
+    def test_operational_states_filter(self, engine):
+        device = build_device(engine, "pm1743", rng=RngStreams(0))
+        identity = identify_controller(device)
+        operational = identity.operational_states()
+        assert all(not psd.non_operational for psd in operational)
+        assert len(operational) == 3
+
+    def test_unknown_ps_rejected(self, ssd2):
+        identity = identify_controller(ssd2)
+        with pytest.raises(ValueError):
+            identity.descriptor(9)
+
+    def test_sata_device_rejected(self, engine):
+        device = build_device(engine, "ssd3", rng=RngStreams(0))
+        with pytest.raises(ValueError):
+            identify_controller(device)
+
+    def test_render_includes_all_states(self, ssd2):
+        text = identify_controller(ssd2).render()
+        assert "mn : ssd2" in text
+        for ps in range(3):
+            assert f"ps    {ps}" in text
+
+
+class TestFeatures:
+    def test_get_power_state_default(self, ssd2):
+        assert get_power_state(ssd2) == 0
+
+    def test_set_power_state(self, engine, ssd2):
+        drive(engine, engine.process(set_power_state(ssd2, 2)))
+        assert get_power_state(ssd2) == 2
+        assert ssd2.governor.cap_w == pytest.approx(10.0)
+
+    def test_invalid_state_rejected(self, engine, ssd2):
+        with pytest.raises(ValueError):
+            drive(engine, engine.process(set_power_state(ssd2, 7)))
+
+    def test_sata_device_rejected(self, engine):
+        device = build_device(engine, "ssd3", rng=RngStreams(0))
+        with pytest.raises(ValueError):
+            get_power_state(device)
+
+
+class TestCli:
+    def test_register_assigns_paths(self, engine, ssd2):
+        cli = NvmeCli(engine)
+        assert cli.register(ssd2) == "/dev/nvme0n1"
+        other = build_device(engine, "ssd1", rng=RngStreams(1))
+        assert cli.register(other) == "/dev/nvme1n1"
+
+    def test_id_ctrl_command(self, engine, ssd2):
+        cli = NvmeCli(engine)
+        path = cli.register(ssd2)
+        output = cli.run(f"id-ctrl {path}")
+        assert output.startswith("mn : ssd2")
+
+    def test_get_and_set_feature_roundtrip(self, engine, ssd2):
+        cli = NvmeCli(engine)
+        path = cli.register(ssd2)
+        assert "Current value:0" in cli.run(f"get-feature {path} -f 2")
+        cli.run(f"set-feature {path} -f 2 -v 1")
+        assert "Current value:1" in cli.run(f"get-feature {path} -f 2")
+
+    def test_unknown_device_rejected(self, engine):
+        cli = NvmeCli(engine)
+        with pytest.raises(ValueError):
+            cli.run("id-ctrl /dev/nvme9n1")
+
+    def test_unknown_command_rejected(self, engine, ssd2):
+        cli = NvmeCli(engine)
+        path = cli.register(ssd2)
+        with pytest.raises(ValueError):
+            cli.run(f"format {path}")
+
+    def test_unsupported_feature_rejected(self, engine, ssd2):
+        cli = NvmeCli(engine)
+        path = cli.register(ssd2)
+        with pytest.raises(ValueError):
+            cli.run(f"get-feature {path} -f 5")

@@ -1,0 +1,89 @@
+"""Tests for power trace analysis (summaries, violins)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.analysis import (
+    summarize_samples,
+    summarize_trace,
+    violin_profile,
+)
+from repro.power.logger import PowerTrace
+from repro.sim.trace import StepTrace
+
+
+def _trace(watts):
+    watts = np.asarray(watts, float)
+    return PowerTrace(
+        np.arange(len(watts)) * 1e-3, watts, rail_voltage=12.0, sample_rate_hz=1000.0
+    )
+
+
+class TestSummarizeSamples:
+    def test_basic_statistics(self):
+        summary = summarize_samples(_trace([1, 2, 3, 4, 5]))
+        assert summary.mean_w == pytest.approx(3.0)
+        assert summary.median_w == pytest.approx(3.0)
+        assert summary.min_w == 1.0
+        assert summary.max_w == 5.0
+        assert summary.n_samples == 5
+
+    def test_quantiles_monotone(self):
+        rng = np.random.default_rng(0)
+        summary = summarize_samples(_trace(rng.uniform(3, 9, size=1000)))
+        qs = sorted(summary.quantiles)
+        values = [summary.quantiles[q] for q in qs]
+        assert values == sorted(values)
+
+    def test_peak_to_mean(self):
+        summary = summarize_samples(_trace([1.0, 1.0, 4.0]))
+        assert summary.peak_to_mean == pytest.approx(2.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples(_trace([]))
+
+    def test_single_sample_has_zero_std(self):
+        summary = summarize_samples(_trace([5.0]))
+        assert summary.std_w == 0.0
+
+
+class TestSummarizeTrace:
+    def test_time_weighted_median(self):
+        trace = StepTrace(initial=1.0)
+        trace.set(9.0, 100.0)  # 100 W only in the last 10%
+        summary = summarize_trace(trace, 0.0, 10.0)
+        assert summary.median_w == pytest.approx(1.0)
+        assert summary.mean_w == pytest.approx(0.9 * 1.0 + 0.1 * 100.0)
+
+    def test_energy_matches_integral(self):
+        trace = StepTrace(initial=2.0)
+        trace.set(5.0, 4.0)
+        summary = summarize_trace(trace, 0.0, 10.0)
+        assert summary.energy_j == pytest.approx(2.0 * 5 + 4.0 * 5)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=2, max_size=10)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_within_bounds(self, values):
+        trace = StepTrace(initial=values[0])
+        for i, v in enumerate(values[1:], start=1):
+            trace.set(float(i), v)
+        summary = summarize_trace(trace, 0.0, float(len(values)))
+        assert summary.min_w - 1e-9 <= summary.mean_w <= summary.max_w + 1e-9
+
+
+class TestViolinProfile:
+    def test_density_peaks_at_mode(self):
+        watts = np.concatenate([np.full(900, 5.0), np.full(100, 9.0)])
+        centers, density = violin_profile(_trace(watts), n_bins=10)
+        assert density.max() == pytest.approx(1.0)
+        mode_center = centers[np.argmax(density)]
+        assert abs(mode_center - 5.0) < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            violin_profile(_trace([]))

@@ -1,0 +1,119 @@
+"""Tests for the data logger and the end-to-end power meter."""
+
+import numpy as np
+import pytest
+
+from repro.power.logger import DataLogger, PowerTrace
+from repro.power.meter import MeterConfig, PowerMeter
+from repro.power.rail import PowerRail
+from repro.sim.engine import Engine
+
+
+class TestPowerTrace:
+    def _trace(self, watts):
+        watts = np.asarray(watts, float)
+        times = np.arange(len(watts)) * 1e-3
+        return PowerTrace(times, watts, rail_voltage=12.0, sample_rate_hz=1000.0)
+
+    def test_statistics(self):
+        trace = self._trace([1.0, 2.0, 3.0, 4.0])
+        assert trace.mean() == pytest.approx(2.5)
+        assert trace.median() == pytest.approx(2.5)
+        assert trace.min() == 1.0
+        assert trace.max() == 4.0
+
+    def test_energy_is_mean_times_duration(self):
+        trace = self._trace([2.0] * 1000)
+        assert trace.energy_joules() == pytest.approx(2.0, rel=1e-3)
+
+    def test_window_filters_samples(self):
+        trace = self._trace(np.arange(10.0))
+        window = trace.window(0.002, 0.005)
+        assert list(window.watts) == [2.0, 3.0, 4.0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(np.zeros(3), np.zeros(4), 12.0, 1000.0)
+
+
+class TestDataLogger:
+    def test_reconstruction_inverts_chain(self):
+        logger = DataLogger(nominal_shunt_ohm=0.1, nominal_gain=10.0, rail_voltage=12.0)
+        # 6 W at 12 V -> 0.5 A -> 50 mV across shunt -> 0.5 V amplified.
+        trace = logger.reconstruct(
+            np.array([0.0]), np.array([0.5]), sample_rate_hz=1000.0
+        )
+        assert trace.watts[0] == pytest.approx(6.0)
+
+    def test_negative_noise_clamped_to_zero(self):
+        logger = DataLogger(0.1, 10.0, 12.0)
+        trace = logger.reconstruct(
+            np.array([0.0]), np.array([-0.001]), sample_rate_hz=1000.0
+        )
+        assert trace.watts[0] == 0.0
+
+    def test_invalid_constants(self):
+        with pytest.raises(ValueError):
+            DataLogger(0.0, 10.0, 12.0)
+
+
+class TestPowerMeter:
+    def _rail_with_load(self, watts=8.0, duration=1.0):
+        engine = Engine()
+        rail = PowerRail(engine, voltage=12.0)
+        rail.set_draw("load", watts)
+        engine.timeout(duration)
+        engine.run()
+        return engine, rail
+
+    def test_ideal_meter_is_exact(self):
+        __, rail = self._rail_with_load(8.0)
+        meter = PowerMeter(rail, MeterConfig(ideal=True))
+        trace = meter.measure(0.0, 1.0)
+        assert trace.mean() == pytest.approx(8.0)
+
+    def test_realistic_meter_within_one_percent(self):
+        """The paper's headline accuracy claim for the rig."""
+        __, rail = self._rail_with_load(8.0)
+        for seed in range(10):
+            meter = PowerMeter(rail, rng=np.random.default_rng(seed))
+            assert meter.relative_error(0.0, 1.0) < 0.01
+
+    def test_accuracy_holds_at_low_power(self):
+        """Sub-watt devices (the 860 EVO) still measure within a percent."""
+        __, rail = self._rail_with_load(0.35)
+        meter = PowerMeter(rail, rng=np.random.default_rng(3))
+        assert meter.relative_error(0.0, 1.0) < 0.01
+
+    def test_sample_rate_respected(self):
+        __, rail = self._rail_with_load()
+        meter = PowerMeter(rail)
+        trace = meter.measure(0.0, 0.5)
+        assert len(trace) == 500
+
+    def test_tracks_step_changes(self):
+        engine = Engine()
+        rail = PowerRail(engine, voltage=12.0)
+        rail.set_draw("load", 2.0)
+        engine.timeout(0.5).add_callback(lambda e: rail.set_draw("load", 10.0))
+        engine.timeout(1.0)
+        engine.run()
+        meter = PowerMeter(rail, MeterConfig(ideal=True))
+        trace = meter.measure(0.0, 1.0)
+        assert trace.window(0.0, 0.5).mean() == pytest.approx(2.0)
+        assert trace.window(0.5, 1.0).mean() == pytest.approx(10.0)
+
+    def test_empty_window_rejected(self):
+        __, rail = self._rail_with_load()
+        meter = PowerMeter(rail)
+        with pytest.raises(ValueError):
+            meter.measure(1.0, 1.0)
+
+    def test_part_tolerances_fixed_per_instance(self):
+        """Two measurements by the same rig share its bias."""
+        __, rail = self._rail_with_load(8.0)
+        meter = PowerMeter(rail, rng=np.random.default_rng(5))
+        a = meter.measure(0.0, 0.5).mean()
+        b = meter.measure(0.5, 1.0).mean()
+        # Same as-built parts: the systematic part of the error matches.
+        assert a == pytest.approx(b, rel=2e-3)

@@ -1,0 +1,111 @@
+"""Tests for the analog front end: shunt, amplifier, ADC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.adc import ADS1256, AdcConfig, FULL_SCALE_CODE
+from repro.power.shunt import DifferentialAmplifier, ShuntResistor
+
+
+class TestShuntResistor:
+    def test_sense_voltage_is_ohms_law(self):
+        shunt = ShuntResistor(resistance_ohm=0.1)
+        volts = shunt.sense_voltage(np.array([1.0, 2.0]), actual_resistance=0.1)
+        assert volts == pytest.approx([0.1, 0.2])
+
+    def test_actual_resistance_within_tolerance(self):
+        shunt = ShuntResistor(resistance_ohm=0.1, tolerance=0.01)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            actual = shunt.actual_resistance(rng)
+            assert 0.099 <= actual <= 0.101
+
+    def test_invalid_resistance(self):
+        with pytest.raises(ValueError):
+            ShuntResistor(resistance_ohm=0.0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            ShuntResistor(tolerance=0.5)
+
+
+class TestAmplifier:
+    def test_gain_applied(self):
+        amp = DifferentialAmplifier(gain=10.0, offset_uv=0.0, noise_uv_rms=0.0)
+        rng = np.random.default_rng(0)
+        out = amp.amplify(np.array([0.1]), actual_gain=10.0, rng=rng)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_offset_is_input_referred(self):
+        amp = DifferentialAmplifier(gain=10.0, offset_uv=100.0, noise_uv_rms=0.0)
+        rng = np.random.default_rng(0)
+        out = amp.amplify(np.array([0.0]), actual_gain=10.0, rng=rng)
+        assert out[0] == pytest.approx(100e-6 * 10.0)
+
+    def test_noise_has_expected_scale(self):
+        amp = DifferentialAmplifier(gain=1.0, offset_uv=0.0, noise_uv_rms=5.0)
+        rng = np.random.default_rng(0)
+        out = amp.amplify(np.zeros(20000), actual_gain=1.0, rng=rng)
+        assert out.std() == pytest.approx(5e-6, rel=0.1)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            DifferentialAmplifier(gain=0.0)
+
+
+class TestAdc:
+    def test_roundtrip_accuracy(self):
+        adc = ADS1256(AdcConfig(noise_uv_rms=0.0))
+        rng = np.random.default_rng(0)
+        volts = np.array([0.0, 0.5, 1.25, -2.0])
+        recovered = adc.to_volts(adc.convert(volts, rng))
+        assert recovered == pytest.approx(volts, abs=2 * adc.config.lsb_volts)
+
+    def test_saturation_clips(self):
+        adc = ADS1256(AdcConfig(noise_uv_rms=0.0))
+        rng = np.random.default_rng(0)
+        codes = adc.convert(np.array([100.0, -100.0]), rng)
+        assert codes[0] == FULL_SCALE_CODE
+        assert codes[1] == -FULL_SCALE_CODE
+
+    def test_saturates_at_predicate(self):
+        adc = ADS1256(AdcConfig())
+        assert adc.saturates_at(10.0)
+        assert not adc.saturates_at(1.0)
+
+    def test_sample_times_rate_and_span(self):
+        adc = ADS1256(AdcConfig(sample_rate_hz=1000.0))
+        times = adc.sample_times(0.0, 0.1)
+        assert len(times) == 100
+        assert times[1] - times[0] == pytest.approx(1e-3)
+
+    def test_pga_shrinks_full_scale(self):
+        wide = AdcConfig(pga_gain=1)
+        narrow = AdcConfig(pga_gain=8)
+        assert narrow.full_scale_volts == pytest.approx(wide.full_scale_volts / 8)
+
+    def test_invalid_pga(self):
+        with pytest.raises(ValueError):
+            AdcConfig(pga_gain=3)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            AdcConfig(sample_rate_hz=0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-4.9, max_value=4.9),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_error_bounded(self, volts):
+        """Property: noiseless conversion error never exceeds one LSB."""
+        adc = ADS1256(AdcConfig(noise_uv_rms=0.0))
+        rng = np.random.default_rng(1)
+        arr = np.asarray(volts)
+        recovered = adc.to_volts(adc.convert(arr, rng))
+        assert np.abs(recovered - arr).max() <= adc.config.lsb_volts

@@ -1,0 +1,110 @@
+"""Tests for ALPM and the ATA power command set."""
+
+import pytest
+
+from repro.devices.catalog import build_device
+from repro.devices.link import LinkPowerMode
+from repro.sata.alpm import AlpmController, AlpmTransition
+from repro.sata.ata import (
+    AtaPowerMode,
+    check_power_mode,
+    idle_immediate,
+    standby_immediate,
+)
+from repro.sim.rng import RngStreams
+from tests.conftest import drive
+
+
+@pytest.fixture
+def evo(engine):
+    return build_device(engine, "860evo", rng=RngStreams(0))
+
+
+@pytest.fixture
+def hdd(engine):
+    return build_device(engine, "hdd")
+
+
+class TestAlpm:
+    def test_slumber_cuts_idle_power_in_half(self, engine, evo):
+        engine.run(until=0.1)
+        idle = evo.rail.mean_power(0.05, 0.1)
+        alpm = AlpmController(evo)
+        drive(engine, engine.process(alpm.set_mode(LinkPowerMode.SLUMBER)))
+        t0 = engine.now
+        engine.run(until=t0 + 0.1)
+        slumber = evo.rail.mean_power(t0 + 0.01, t0 + 0.1)
+        assert slumber == pytest.approx(0.17, abs=0.01)
+        assert slumber < 0.6 * idle
+
+    def test_transition_draws_extra_power(self, engine, evo):
+        alpm = AlpmController(
+            evo,
+            enter_slumber=AlpmTransition(duration_s=0.1, extra_power_w=0.6),
+        )
+        proc = engine.process(alpm.set_mode(LinkPowerMode.SLUMBER))
+        engine.run(until=0.05)
+        assert evo.rail.draw_of("alpm.transition") == pytest.approx(0.6)
+        drive(engine, proc)
+        assert evo.rail.draw_of("alpm.transition") == 0.0
+
+    def test_transition_duration(self, engine, evo):
+        alpm = AlpmController(evo)
+        drive(engine, engine.process(alpm.set_mode(LinkPowerMode.SLUMBER)))
+        assert engine.now == pytest.approx(0.15)  # ENTER_SLUMBER default
+
+    def test_same_mode_is_noop(self, engine, evo):
+        alpm = AlpmController(evo)
+        drive(engine, engine.process(alpm.set_mode(LinkPowerMode.ACTIVE)))
+        assert engine.now == 0.0
+        assert alpm.transitions_completed == 0
+
+    def test_exit_restores_idle_power(self, engine, evo):
+        alpm = AlpmController(evo)
+        drive(engine, engine.process(alpm.set_mode(LinkPowerMode.SLUMBER)))
+        drive(engine, engine.process(alpm.set_mode(LinkPowerMode.ACTIVE)))
+        t0 = engine.now
+        engine.run(until=t0 + 0.1)
+        assert evo.rail.mean_power(t0 + 0.01, t0 + 0.1) == pytest.approx(
+            0.35, abs=0.01
+        )
+
+    def test_partial_mode(self, engine, evo):
+        alpm = AlpmController(evo)
+        drive(engine, engine.process(alpm.set_mode(LinkPowerMode.PARTIAL)))
+        assert alpm.mode is LinkPowerMode.PARTIAL
+
+    def test_invalid_transition_parameters(self):
+        with pytest.raises(ValueError):
+            AlpmTransition(duration_s=-1.0, extra_power_w=0.1)
+
+
+class TestAta:
+    def test_check_power_mode_active(self, hdd):
+        assert check_power_mode(hdd) is AtaPowerMode.ACTIVE_OR_IDLE
+
+    def test_standby_immediate_spins_down(self, engine, hdd):
+        drive(engine, engine.process(standby_immediate(hdd)))
+        assert check_power_mode(hdd) is AtaPowerMode.STANDBY
+
+    def test_idle_immediate_spins_up(self, engine, hdd):
+        drive(engine, engine.process(standby_immediate(hdd)))
+        drive(engine, engine.process(idle_immediate(hdd)))
+        assert check_power_mode(hdd) is AtaPowerMode.ACTIVE_OR_IDLE
+
+    def test_transitioning_reported(self, engine, hdd):
+        drive(engine, engine.process(standby_immediate(hdd)))
+        engine.process(idle_immediate(hdd))
+        engine.run(until=engine.now + 0.5)  # mid spin-up
+        assert check_power_mode(hdd) is AtaPowerMode.TRANSITIONING
+
+    def test_standby_saves_most_power(self, engine, hdd):
+        engine.run(until=0.1)
+        idle = hdd.rail.mean_power(0.05, 0.1)
+        drive(engine, engine.process(standby_immediate(hdd)))
+        t0 = engine.now
+        engine.run(until=t0 + 0.2)
+        standby = hdd.rail.mean_power(t0 + 0.05, t0 + 0.2)
+        # Paper: 3.76 W idle -> 1.1 W standby.
+        assert idle == pytest.approx(3.76, abs=0.05)
+        assert standby == pytest.approx(1.1, abs=0.05)

@@ -1,0 +1,148 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Interrupt, Process
+from tests.conftest import drive
+
+
+class TestProcessBasics:
+    def test_process_runs_and_returns_value(self, engine):
+        def worker(eng):
+            yield eng.timeout(1.0)
+            return "done"
+
+        proc = engine.process(worker(engine))
+        assert drive(engine, proc) == "done"
+        assert engine.now == 1.0
+
+    def test_yield_receives_event_value(self, engine):
+        def worker(eng):
+            value = yield eng.timeout(1.0, value=99)
+            return value
+
+        proc = engine.process(worker(engine))
+        assert drive(engine, proc) == 99
+
+    def test_process_waits_on_child_process(self, engine):
+        def child(eng):
+            yield eng.timeout(2.0)
+            return 7
+
+        def parent(eng):
+            result = yield eng.process(child(eng))
+            return result * 2
+
+        proc = engine.process(parent(engine))
+        assert drive(engine, proc) == 14
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(TypeError):
+            Process(engine, lambda: None)
+
+    def test_yielding_non_event_is_an_error(self, engine):
+        def worker(eng):
+            yield 42
+
+        engine.process(worker(engine))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_is_alive_tracks_lifecycle(self, engine):
+        def worker(eng):
+            yield eng.timeout(1.0)
+
+        proc = engine.process(worker(engine))
+        assert proc.is_alive
+        engine.run()
+        assert not proc.is_alive
+
+    def test_creation_order_does_not_matter(self, engine):
+        log = []
+
+        def worker(eng, tag, delay):
+            yield eng.timeout(delay)
+            log.append(tag)
+
+        engine.process(worker(engine, "late", 2.0))
+        engine.process(worker(engine, "early", 1.0))
+        engine.run()
+        assert log == ["early", "late"]
+
+
+class TestProcessErrors:
+    def test_exception_fails_process_event(self, engine):
+        def worker(eng):
+            yield eng.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent(eng):
+            try:
+                yield eng.process(worker(eng))
+            except ValueError as error:
+                return f"caught {error}"
+
+        proc = engine.process(parent(engine))
+        assert drive(engine, proc) == "caught inner"
+
+    def test_failed_event_thrown_into_waiter(self, engine):
+        failing = engine.event()
+
+        def worker(eng):
+            try:
+                yield failing
+            except RuntimeError:
+                return "handled"
+
+        proc = engine.process(worker(engine))
+        failing.fail(RuntimeError("x"))
+        assert drive(engine, proc) == "handled"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, engine):
+        def sleeper(eng):
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        proc = engine.process(sleeper(engine))
+        engine.run(until=1.0)
+        proc.interrupt(cause="wake up")
+        assert drive(engine, proc) == "wake up"
+        assert engine.now < 100.0
+
+    def test_interrupting_finished_process_raises(self, engine):
+        def quick(eng):
+            yield eng.timeout(0.1)
+
+        proc = engine.process(quick(engine))
+        engine.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_unhandled_interrupt_is_an_error(self, engine):
+        def sleeper(eng):
+            yield eng.timeout(100.0)
+
+        proc = engine.process(sleeper(engine))
+        engine.run(until=1.0)
+        proc.interrupt()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_process_continues_after_handled_interrupt(self, engine):
+        def resilient(eng):
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt:
+                pass
+            yield eng.timeout(1.0)
+            return eng.now
+
+        proc = engine.process(resilient(engine))
+        engine.run(until=5.0)
+        proc.interrupt()
+        assert drive(engine, proc) == pytest.approx(6.0)

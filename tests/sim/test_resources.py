@@ -1,0 +1,198 @@
+"""Unit tests for resources, stores and gates."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.resources import AdjustableResource, Gate, Resource, Store
+from tests.conftest import drive
+
+
+def holder(engine, resource, hold_time, log, tag):
+    yield resource.request()
+    log.append(("start", tag, engine.now))
+    try:
+        yield engine.timeout(hold_time)
+    finally:
+        resource.release()
+    log.append(("end", tag, engine.now))
+
+
+class TestResource:
+    def test_capacity_validated(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+    def test_grants_up_to_capacity(self, engine):
+        resource = Resource(engine, capacity=2)
+        log = []
+        for tag in "abc":
+            engine.process(holder(engine, resource, 1.0, log, tag))
+        engine.run()
+        starts = {tag: t for kind, tag, t in log if kind == "start"}
+        assert starts["a"] == 0.0
+        assert starts["b"] == 0.0
+        assert starts["c"] == 1.0  # waited for a release
+
+    def test_fifo_grant_order(self, engine):
+        resource = Resource(engine, capacity=1)
+        log = []
+        for tag in "abcd":
+            engine.process(holder(engine, resource, 1.0, log, tag))
+        engine.run()
+        start_order = [tag for kind, tag, __ in log if kind == "start"]
+        assert start_order == list("abcd")
+
+    def test_release_without_holder_raises(self, engine):
+        resource = Resource(engine, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queued_counts_waiters(self, engine):
+        resource = Resource(engine, capacity=1)
+        resource.request()
+        resource.request()
+        resource.request()
+        assert resource.in_use == 1
+        assert resource.queued == 2
+
+
+class TestAdjustableResource:
+    def test_growing_capacity_grants_waiters(self, engine):
+        resource = AdjustableResource(engine, capacity=1)
+        log = []
+        for tag in "ab":
+            engine.process(holder(engine, resource, 5.0, log, tag))
+        engine.run(until=1.0)
+        assert [t for k, t, __ in log if k == "start"] == ["a"]
+        resource.set_capacity(2)
+        engine.run(until=2.0)
+        assert [t for k, t, __ in log if k == "start"] == ["a", "b"]
+
+    def test_shrinking_does_not_preempt(self, engine):
+        resource = AdjustableResource(engine, capacity=2)
+        log = []
+        for tag in "ab":
+            engine.process(holder(engine, resource, 3.0, log, tag))
+        engine.run(until=1.0)
+        resource.set_capacity(1)
+        # Both holders keep running to completion.
+        engine.run(until=4.0)
+        assert sorted(t for k, t, __ in log if k == "end") == ["a", "b"]
+
+    def test_shrunk_capacity_blocks_new_grants_until_drained(self, engine):
+        resource = AdjustableResource(engine, capacity=2)
+        log = []
+        engine.process(holder(engine, resource, 2.0, log, "a"))
+        engine.process(holder(engine, resource, 4.0, log, "b"))
+        engine.run(until=1.0)
+        resource.set_capacity(1)
+        engine.process(holder(engine, resource, 1.0, log, "c"))
+        engine.run()
+        start_c = [t for k, tag, t in log if k == "start" and tag == "c"][0]
+        # c must wait until BOTH a (t=2) and b (t=4) release, since the
+        # capacity is now 1 and b alone saturates it.
+        assert start_c == 4.0
+
+
+class TestStore:
+    def test_put_get_fifo(self, engine):
+        store = Store(engine)
+        store.put(1)
+        store.put(2)
+        first = store.get()
+        second = store.get()
+        engine.run()
+        assert first.value == 1
+        assert second.value == 2
+
+    def test_get_blocks_until_put(self, engine):
+        store = Store(engine)
+        result = []
+
+        def getter(eng):
+            item = yield store.get()
+            result.append((item, eng.now))
+
+        def putter(eng):
+            yield eng.timeout(2.0)
+            yield store.put("late")
+
+        engine.process(getter(engine))
+        engine.process(putter(engine))
+        engine.run()
+        assert result == [("late", 2.0)]
+
+    def test_bounded_put_blocks_when_full(self, engine):
+        store = Store(engine, capacity=1)
+        times = []
+
+        def producer(eng):
+            for i in range(2):
+                yield store.put(i)
+                times.append(eng.now)
+
+        def consumer(eng):
+            yield eng.timeout(3.0)
+            yield store.get()
+
+        engine.process(producer(engine))
+        engine.process(consumer(engine))
+        engine.run()
+        assert times[0] == 0.0
+        assert times[1] == 3.0
+
+    def test_try_put_respects_capacity(self, engine):
+        store = Store(engine, capacity=1)
+        assert store.try_put("a")
+        assert not store.try_put("b")
+        assert len(store) == 1
+
+    def test_invalid_capacity(self, engine):
+        with pytest.raises(SimulationError):
+            Store(engine, capacity=0)
+
+
+class TestGate:
+    def test_open_gate_passes_immediately(self, engine):
+        gate = Gate(engine, is_open=True)
+        event = gate.wait_open()
+        assert event.triggered
+
+    def test_closed_gate_blocks_until_open(self, engine):
+        gate = Gate(engine, is_open=False)
+        passed = []
+
+        def waiter(eng):
+            yield gate.wait_open()
+            passed.append(eng.now)
+
+        engine.process(waiter(engine))
+        engine.run(until=1.0)
+        assert passed == []
+        gate.open()
+        engine.run(until=1.0)
+        assert passed == [1.0]
+
+    def test_open_releases_all_waiters(self, engine):
+        gate = Gate(engine, is_open=False)
+        passed = []
+
+        def waiter(eng, tag):
+            yield gate.wait_open()
+            passed.append(tag)
+
+        for tag in range(5):
+            engine.process(waiter(engine, tag))
+        engine.run(until=0.5)
+        gate.open()
+        engine.run(until=0.5)
+        assert sorted(passed) == [0, 1, 2, 3, 4]
+
+    def test_reusable_after_close(self, engine):
+        gate = Gate(engine, is_open=True)
+        gate.close()
+        assert not gate.is_open
+        event = gate.wait_open()
+        assert not event.triggered
+        gate.open()
+        assert event.triggered

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--device", "ssd2"])
+        args_dict = vars(args)
+        assert args_dict["rw"] == "randwrite"
+        assert args_dict["iodepth"] == 64
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--device", "floppy"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_devices_lists_presets(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for label in ("ssd1", "ssd2", "ssd3", "hdd", "860evo", "pm1743"):
+            assert label in out
+
+    def test_run_prints_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--device",
+                "ssd3",
+                "--rw",
+                "randread",
+                "--bs",
+                "4k",
+                "--iodepth",
+                "4",
+                "--runtime",
+                "0.02",
+                "--size",
+                "2M",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ssd3" in out and "W" in out and "MiB/s" in out
+
+    def test_run_with_power_state(self, capsys):
+        main(
+            [
+                "run",
+                "--device",
+                "ssd2",
+                "--bs",
+                "64k",
+                "--runtime",
+                "0.02",
+                "--size",
+                "8M",
+                "--ps",
+                "2",
+            ]
+        )
+        assert "ps2" in capsys.readouterr().out
+
+    def test_figure_quick(self, capsys):
+        assert main(["figure", "table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_figure_fig7(self, capsys):
+        assert main(["figure", "fig7"]) == 0
+        assert "860 EVO" in capsys.readouterr().out
+
+    @pytest.mark.integration
+    def test_plan(self, capsys):
+        assert main(["plan", "--device", "ssd1", "--cut", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "power cut 20%" in out
+        assert "curtail" in out

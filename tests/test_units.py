@@ -1,0 +1,56 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro._units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_duration,
+    mib_per_s,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_suffixes(self):
+        assert parse_size("4k") == 4 * KiB
+        assert parse_size("4KiB") == 4 * KiB
+        assert parse_size("2m") == 2 * MiB
+        assert parse_size("2MB") == 2 * MiB
+        assert parse_size("1G") == GiB
+        assert parse_size("512") == 512
+
+    def test_integer_passthrough(self):
+        assert parse_size(8192) == 8192
+
+    def test_fractional_units(self):
+        assert parse_size("0.5k") == 512
+
+    def test_bad_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("4x")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("abc")
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3")
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512.0 B"
+        assert fmt_bytes(4 * KiB) == "4.0 KiB"
+        assert fmt_bytes(3 * GiB) == "3.0 GiB"
+
+    def test_fmt_duration(self):
+        assert fmt_duration(35e-6) == "35.0 us"
+        assert fmt_duration(2.5e-3) == "2.5 ms"
+        assert fmt_duration(3.0) == "3.00 s"
+
+    def test_mib_per_s(self):
+        assert mib_per_s(MiB) == 1.0
