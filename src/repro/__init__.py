@@ -26,7 +26,8 @@ paper-versus-measured record of every table and figure.
 from repro._units import GiB, KiB, MiB
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.core.model import ModelPoint, PowerThroughputModel
-from repro.core.sweep import SweepGrid, run_sweep
+from repro.core.parallel import PointFailure, SweepExecutionError, run_configs
+from repro.core.sweep import SweepGrid, SweepOutcome, run_sweep, sweep_outcome
 from repro.devices import build_device, DEVICE_PRESETS
 from repro.iogen import IoPattern, JobSpec
 
@@ -42,10 +43,15 @@ __all__ = [
     "KiB",
     "MiB",
     "ModelPoint",
+    "PointFailure",
     "PowerThroughputModel",
+    "SweepExecutionError",
     "SweepGrid",
+    "SweepOutcome",
     "build_device",
+    "run_configs",
     "run_experiment",
     "run_sweep",
+    "sweep_outcome",
     "__version__",
 ]

@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro ...``.
 
-Four subcommands cover the workflows a user of the artifact needs:
+Five subcommands cover the workflows a user of the artifact needs:
 
 - ``devices`` -- list the calibrated device presets;
 - ``run`` -- one experiment with fio-style options (the paper's inner
   measurement loop);
+- ``sweep`` -- a mechanism grid on one device, fanned out across worker
+  processes (``--workers``), with an optional on-disk result cache;
 - ``figure`` -- regenerate a paper table/figure and print its rows;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
@@ -65,10 +67,59 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--ps", type=int, default=None, help="NVMe power state")
     run_p.add_argument("--seed", type=int, default=0)
 
+    sweep_p = sub.add_parser(
+        "sweep", help="run a mechanism grid, optionally across worker processes"
+    )
+    sweep_p.add_argument("--device", required=True, choices=sorted(DEVICE_PRESETS))
+    sweep_p.add_argument(
+        "--rw",
+        action="append",
+        choices=[p.value for p in IoPattern],
+        help="access pattern; repeat for several (default: randwrite)",
+    )
+    sweep_p.add_argument(
+        "--bs",
+        action="append",
+        help="chunk size; repeat for several (default: the paper's six)",
+    )
+    sweep_p.add_argument(
+        "--iodepth",
+        action="append",
+        type=int,
+        help="queue depth; repeat for several (default: the paper's six)",
+    )
+    sweep_p.add_argument(
+        "--ps",
+        action="append",
+        type=int,
+        help="NVMe power state; repeat for several (default: none)",
+    )
+    sweep_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores; default 1 = in-process)",
+    )
+    sweep_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; re-runs skip already-computed points",
+    )
+    sweep_p.add_argument("--runtime", type=float, default=0.05, help="seconds")
+    sweep_p.add_argument("--size", default="32M", help="byte stop condition")
+    sweep_p.add_argument("--seed", type=int, default=0)
+
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=_FIGURES)
     fig_p.add_argument(
         "--quick", action="store_true", help="CI-scale run (coarser, faster)"
+    )
+    fig_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep-backed figures (0 = all cores)",
     )
 
     plan_p = sub.add_parser("plan", help="plan a power cut on a device model")
@@ -124,8 +175,68 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return result.summary()
 
 
+def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.core.reporting import format_table
+    from repro.core.sweep import SweepGrid, sweep_outcome
+    from repro.iogen.spec import (
+        JobSpec,
+        PAPER_CHUNK_SIZES,
+        PAPER_QUEUE_DEPTHS,
+    )
+
+    patterns = tuple(
+        IoPattern(rw) for rw in (args.rw or ["randwrite"])
+    )
+    grid = SweepGrid(
+        device=args.device,
+        patterns=patterns,
+        block_sizes=tuple(parse_size(bs) for bs in args.bs)
+        if args.bs
+        else PAPER_CHUNK_SIZES,
+        iodepths=tuple(args.iodepth) if args.iodepth else PAPER_QUEUE_DEPTHS,
+        power_states=tuple(args.ps) if args.ps else (None,),
+        base_job=JobSpec(
+            pattern=patterns[0],
+            block_size=4096,
+            iodepth=1,
+            runtime_s=args.runtime,
+            size_limit_bytes=parse_size(args.size),
+        ),
+        seed=args.seed,
+    )
+    outcome = sweep_outcome(
+        grid, n_workers=args.workers or None, cache_dir=args.cache
+    )
+    rows = [
+        [
+            point.describe(),
+            f"{result.mean_power_w:.2f}",
+            f"{result.throughput_mib_s:.0f}",
+            f"{result.latency().p99 * 1e6:.0f}",
+        ]
+        for point, result in outcome.results.items()
+    ]
+    blocks = [
+        format_table(
+            ["Point", "Mean W", "MiB/s", "p99 us"],
+            rows,
+            title=f"Sweep of {args.device}: {len(rows)} points.",
+        )
+    ]
+    if outcome.failures:
+        blocks.append(
+            f"{len(outcome.failures)} point(s) FAILED:\n"
+            + "\n".join(
+                f"  {failure.describe()}"
+                for failure in outcome.failures.values()
+            )
+        )
+    return "\n\n".join(blocks), 0 if outcome.ok else 1
+
+
 def _cmd_figure(args: argparse.Namespace) -> str:
     import importlib
+    import inspect
 
     from repro.studies.common import DEFAULT, QUICK
 
@@ -133,7 +244,10 @@ def _cmd_figure(args: argparse.Namespace) -> str:
     scale = QUICK if args.quick else DEFAULT
     if args.name == "fig7":  # trace study: no scale parameter
         return module.render(module.run())
-    return module.render(module.run(scale))
+    kwargs = {}
+    if "n_workers" in inspect.signature(module.run).parameters:
+        kwargs["n_workers"] = args.workers or None
+    return module.render(module.run(scale, **kwargs))
 
 
 def _cmd_plan(args: argparse.Namespace) -> str:
@@ -157,6 +271,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_devices())
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "sweep":
+        text, code = _cmd_sweep(args)
+        print(text)
+        return code
     elif args.command == "figure":
         print(_cmd_figure(args))
     elif args.command == "plan":

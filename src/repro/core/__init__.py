@@ -6,6 +6,9 @@ Everything in this package corresponds to sections 3.3 and 4 of the paper:
   a power-control configuration; returns power, throughput and latency.
 - :mod:`~repro.core.sweep` -- the full mechanism grid (chunk sizes x queue
   depths x power states x patterns) behind every figure.
+- :mod:`~repro.core.parallel` -- process-pool execution of experiment
+  batches: deterministic ordering, per-point failure capture, an on-disk
+  result cache keyed by config content hash.
 - :mod:`~repro.core.model` -- the per-device power-throughput model
   (Fig. 10): normalized operating points, dynamic range, configuration
   queries under power budgets.
@@ -34,8 +37,15 @@ from repro.core.controller import BudgetSignal, OnlinePowerController
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.core.latency_model import LatencyPoint, PowerLatencyModel
 from repro.core.model import ModelPoint, PowerThroughputModel
+from repro.core.parallel import (
+    PointFailure,
+    ResultCache,
+    SweepExecutionError,
+    config_content_hash,
+    run_configs,
+)
 from repro.core.pareto import pareto_frontier
-from repro.core.sweep import SweepGrid, run_sweep
+from repro.core.sweep import SweepGrid, SweepOutcome, run_sweep, sweep_outcome
 
 __all__ = [
     "AdaptivePlan",
@@ -45,10 +55,17 @@ __all__ = [
     "LatencyPoint",
     "ModelPoint",
     "OnlinePowerController",
+    "PointFailure",
     "PowerAdaptivePlanner",
     "PowerLatencyModel",
     "PowerThroughputModel",
+    "ResultCache",
+    "SweepExecutionError",
     "SweepGrid",
+    "SweepOutcome",
+    "config_content_hash",
     "pareto_frontier",
+    "run_configs",
     "run_sweep",
+    "sweep_outcome",
 ]

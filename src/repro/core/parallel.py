@@ -1,0 +1,241 @@
+"""Parallel experiment execution.
+
+Every figure in the paper comes from a grid of independent experiments,
+and each experiment is deterministic from its config alone — so fanning
+points out across a process pool must (and does) reproduce the sequential
+results bit for bit.  This module provides the execution substrate the
+sweep layer, the figure drivers and the CLI share:
+
+- :func:`run_configs` — run a batch of :class:`ExperimentConfig` across
+  ``n_workers`` processes, preserving submission order in the returned
+  list no matter which worker finishes first;
+- :class:`PointFailure` — per-point error capture: one failing point
+  reports its config and exception instead of killing the whole batch;
+- :class:`ResultCache` — an optional on-disk cache keyed by a stable
+  content hash of the config, so re-runs of overlapping grids skip
+  already-computed points;
+- graceful fallback to in-process execution when ``n_workers == 1`` or
+  the platform cannot provide a process pool.
+
+Determinism note: parallel execution only matches sequential execution
+because per-point seeds are *process-stable* (derived via
+:func:`repro.core.sweep.stable_point_salt`, not the builtin ``hash()``,
+which ``PYTHONHASHSEED`` randomizes per process).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = [
+    "PointFailure",
+    "ResultCache",
+    "SweepExecutionError",
+    "config_content_hash",
+    "resolve_workers",
+    "run_configs",
+]
+
+
+# -- stable config identity -------------------------------------------------
+
+
+def _canonical(obj: object) -> object:
+    """A stable, composition-friendly encoding of config values.
+
+    Dataclasses flatten to (type name, field items) pairs, enums to their
+    value — so the encoding never depends on object identity, dict order,
+    or the per-process string-hash randomization that makes ``hash()``
+    unusable as a key.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            [
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ],
+        ]
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.value]
+    if isinstance(obj, dict):
+        return [
+            "dict",
+            sorted(
+                ([_canonical(k), _canonical(v)] for k, v in obj.items()),
+                key=repr,
+            ),
+        ]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [_canonical(item) for item in obj]]
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    return repr(obj)
+
+
+def config_content_hash(config: ExperimentConfig) -> str:
+    """Hex digest identifying a config by content, stable across processes."""
+    payload = repr(_canonical(config)).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+# -- failure capture --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One experiment that raised, with enough context to reproduce it."""
+
+    config: ExperimentConfig
+    error_type: str
+    message: str
+    traceback: str
+
+    def describe(self) -> str:
+        return f"{self.config.describe()}: {self.error_type}: {self.message}"
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised when a sweep had failing points and the caller wanted none."""
+
+    def __init__(self, failures: Sequence[PointFailure]) -> None:
+        self.failures = list(failures)
+        lines = "\n".join(f"  {failure.describe()}" for failure in self.failures)
+        super().__init__(
+            f"{len(self.failures)} sweep point(s) failed:\n{lines}"
+        )
+
+
+# -- on-disk result cache ---------------------------------------------------
+
+
+class ResultCache:
+    """Pickled :class:`ExperimentResult` per config content hash.
+
+    Writes are atomic (tmp file + rename), so concurrent workers or
+    overlapping sweeps can share one cache directory; unreadable entries
+    are treated as misses and recomputed.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        return self.root / f"{config_content_hash(config)}.pkl"
+
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        path = self.path_for(config)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return result if isinstance(result, ExperimentResult) else None
+
+    def put(self, config: ExperimentConfig, result: ExperimentResult) -> None:
+        path = self.path_for(config)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh)
+        os.replace(tmp, path)
+
+
+# -- execution --------------------------------------------------------------
+
+
+def resolve_workers(n_workers: Optional[int]) -> int:
+    """Normalize a worker-count request (``None``/``0`` = all cores)."""
+    if n_workers is None or n_workers == 0:
+        return os.cpu_count() or 1
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0 or None, got {n_workers}")
+    return n_workers
+
+
+def _run_config(config: ExperimentConfig) -> Union[ExperimentResult, PointFailure]:
+    """Worker entry point: never raises, so one point cannot kill a batch."""
+    try:
+        return run_experiment(config)
+    except Exception as exc:  # noqa: BLE001 - captured by design
+        return PointFailure(
+            config=config,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+
+
+def _run_batch(
+    configs: Sequence[ExperimentConfig], workers: int
+) -> List[Union[ExperimentResult, PointFailure]]:
+    if workers > 1 and len(configs) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(configs))) as pool:
+                return list(pool.map(_run_config, configs))
+        except (OSError, BrokenProcessPool, PermissionError) as exc:
+            # Platforms without usable multiprocessing primitives (or a
+            # pool torn down under us): degrade to in-process execution
+            # rather than failing the sweep.
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                "falling back to in-process execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return [_run_config(config) for config in configs]
+
+
+def run_configs(
+    configs: Sequence[ExperimentConfig],
+    n_workers: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> List[Union[ExperimentResult, PointFailure]]:
+    """Run experiments, optionally across processes, preserving order.
+
+    Args:
+        configs: Experiments to run; the returned list is index-aligned
+            with this sequence regardless of worker completion order.
+        n_workers: ``1`` (default) runs in-process; ``None`` or ``0``
+            uses every core; ``N > 1`` uses a pool of N processes.
+        cache_dir: When set, results are read from / written to this
+            directory keyed by :func:`config_content_hash`, so only
+            configs not already cached are executed.  Failures are never
+            cached.
+
+    Returns:
+        One :class:`ExperimentResult` or :class:`PointFailure` per config.
+    """
+    configs = list(configs)
+    workers = resolve_workers(n_workers)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    outcomes: List[Union[ExperimentResult, PointFailure, None]] = [None] * len(configs)
+    pending: List[int] = []
+    for index, config in enumerate(configs):
+        cached = cache.get(config) if cache is not None else None
+        if cached is not None:
+            outcomes[index] = cached
+        else:
+            pending.append(index)
+
+    if pending:
+        fresh = _run_batch([configs[i] for i in pending], workers)
+        for index, outcome in zip(pending, fresh):
+            outcomes[index] = outcome
+            if cache is not None and isinstance(outcome, ExperimentResult):
+                cache.put(configs[index], outcome)
+    return outcomes  # type: ignore[return-value]

@@ -8,11 +8,17 @@ configuration, ready for :class:`~repro.core.model.PowerThroughputModel`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional, Sequence
 
 from repro._units import GiB, MiB
-from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.core.parallel import (
+    PointFailure,
+    SweepExecutionError,
+    run_configs,
+)
 from repro.iogen.spec import (
     IoPattern,
     JobSpec,
@@ -20,7 +26,14 @@ from repro.iogen.spec import (
     PAPER_QUEUE_DEPTHS,
 )
 
-__all__ = ["SweepGrid", "SweepPoint", "run_sweep"]
+__all__ = [
+    "SweepGrid",
+    "SweepOutcome",
+    "SweepPoint",
+    "run_sweep",
+    "stable_point_salt",
+    "sweep_outcome",
+]
 
 #: Default simulation-scale stop rule standing in for the paper's
 #: "one minute or 4 GiB": 80 simulated milliseconds or 48 MiB.
@@ -43,6 +56,26 @@ class SweepPoint:
             f"{self.pattern.value} bs={self.block_size // 1024}k "
             f"qd={self.iodepth}{ps}"
         )
+
+
+def stable_point_salt(point: SweepPoint) -> int:
+    """Process-stable seed salt for one grid coordinate.
+
+    The builtin ``hash()`` is randomized per interpreter process
+    (``PYTHONHASHSEED``) for any value containing a string, so it cannot
+    seed experiments: the same grid would draw different noise on every
+    run, and parallel workers would disagree with a sequential pass.  A
+    keyed digest over a canonical encoding is stable everywhere.
+    """
+    payload = "\x1f".join(
+        (
+            point.pattern.value,
+            str(point.block_size),
+            str(point.iodepth),
+            str(point.power_state),
+        )
+    ).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "big")
 
 
 @dataclass(frozen=True)
@@ -94,9 +127,7 @@ class SweepGrid:
         )
         # Derive a per-point seed so every experiment has independent noise
         # while the sweep stays reproducible as a whole.
-        salt = hash(
-            (point.pattern.value, point.block_size, point.iodepth, point.power_state)
-        )
+        salt = stable_point_salt(point)
         return ExperimentConfig(
             device=self.device,
             job=job,
@@ -106,6 +137,67 @@ class SweepGrid:
         )
 
 
-def run_sweep(grid: SweepGrid) -> dict[SweepPoint, ExperimentResult]:
-    """Execute every point of ``grid`` (sequentially, deterministic order)."""
-    return {point: run_experiment(grid.config_for(point)) for point in grid.points()}
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Everything a sweep execution produced, successes and failures alike.
+
+    Both mappings iterate in grid order.  A failed point never aborts the
+    sweep: its configuration and exception are captured in ``failures``
+    while every other point still lands in ``results``.
+    """
+
+    results: dict[SweepPoint, ExperimentResult]
+    failures: dict[SweepPoint, PointFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def sweep_outcome(
+    grid: SweepGrid,
+    n_workers: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepOutcome:
+    """Execute ``grid``, capturing per-point failures instead of raising.
+
+    Args:
+        grid: The sweep specification.
+        n_workers: Process-pool width; ``1`` runs in-process, ``None``
+            uses every core.  Results are identical either way — points
+            are independent and deterministic from their config — and
+            always returned in grid order regardless of completion order.
+        cache_dir: Optional on-disk result cache.  Points whose config
+            content hash is already present are not re-run, so re-runs of
+            overlapping grids only pay for the new points.
+    """
+    points = list(grid.points())
+    outcomes = run_configs(
+        [grid.config_for(point) for point in points],
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+    )
+    results: dict[SweepPoint, ExperimentResult] = {}
+    failures: dict[SweepPoint, PointFailure] = {}
+    for point, outcome in zip(points, outcomes):
+        if isinstance(outcome, PointFailure):
+            failures[point] = outcome
+        else:
+            results[point] = outcome
+    return SweepOutcome(results=results, failures=failures)
+
+
+def run_sweep(
+    grid: SweepGrid,
+    n_workers: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> dict[SweepPoint, ExperimentResult]:
+    """Execute every point of ``grid`` and return results in grid order.
+
+    Raises :class:`~repro.core.parallel.SweepExecutionError` if any point
+    failed; use :func:`sweep_outcome` to capture failures instead.
+    """
+    outcome = sweep_outcome(grid, n_workers=n_workers, cache_dir=cache_dir)
+    if not outcome.ok:
+        raise SweepExecutionError(list(outcome.failures.values()))
+    return outcome.results

@@ -9,9 +9,25 @@ experiment results stable across code changes.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 __all__ = ["RngStreams"]
+
+
+def _name_spawn_key(name: str) -> tuple[int, ...]:
+    """Map a stream name to a SeedSequence spawn key, stably.
+
+    The digest covers the *full* name: truncating to a prefix would hand
+    any two names sharing that prefix (``"controller.jitter"`` /
+    ``"controllerXYZ"``) the same stream, silently correlating what should
+    be independent noise sources.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=16).digest()
+    return tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    )
 
 
 class RngStreams:
@@ -35,11 +51,8 @@ class RngStreams:
         if stream is None:
             # Derive a child seed from (root seed, name) so stream identity
             # depends only on the name, not on creation order.
-            digest = np.frombuffer(
-                name.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64
-            )[0]
             seq = np.random.SeedSequence(
-                entropy=self.seed, spawn_key=(int(digest) & 0x7FFFFFFF,)
+                entropy=self.seed, spawn_key=_name_spawn_key(name)
             )
             stream = np.random.default_rng(seq)
             self._streams[name] = stream

@@ -128,12 +128,21 @@ class StepTrace:
         """
         if window <= 0 or step <= 0:
             raise ValueError("window and step must be positive")
-        worst = float("-inf")
-        t = t_start
-        while t + window <= t_end + 1e-12:
-            worst = max(worst, self.mean(t, t + window))
-            t += step
-        if worst == float("-inf"):
-            # Window longer than the trace: fall back to the full-span mean.
-            worst = self.mean(t_start, t_end)
-        return worst
+        last_start = np.floor((t_end - t_start - window + 1e-12) / step)
+        if last_start < 0:
+            # Window longer than the span: fall back to the full-span mean.
+            return self.mean(t_start, t_end)
+        # One pass over the breakpoints builds the cumulative integral;
+        # each window mean is then two O(log n) lookups instead of a full
+        # segment rebuild (the naive loop is O(windows x breakpoints)).
+        times, values = self.breakpoints()
+        cumulative = np.concatenate(([0.0], np.cumsum(np.diff(times) * values[:-1])))
+
+        def integral_to(ts: np.ndarray) -> np.ndarray:
+            idx = np.searchsorted(times, ts, side="right") - 1
+            idx = np.clip(idx, 0, None)
+            return cumulative[idx] + (ts - times[idx]) * values[idx]
+
+        starts = t_start + step * np.arange(int(last_start) + 1)
+        integrals = integral_to(starts + window) - integral_to(starts)
+        return float(integrals.max() / window)

@@ -16,7 +16,7 @@ from repro._units import GiB, MiB
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.iogen.spec import IoPattern, JobSpec
 
-__all__ = ["DEFAULT", "QUICK", "StudyScale", "run_point"]
+__all__ = ["DEFAULT", "QUICK", "StudyScale", "point_config", "run_point"]
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,32 @@ QUICK = StudyScale(
 )
 
 
+def point_config(
+    device: str,
+    pattern: IoPattern,
+    block_size: int,
+    iodepth: int,
+    power_state: int | None = None,
+    scale: StudyScale = DEFAULT,
+    latency_study: bool = False,
+    seed: int = 0,
+    keep_trace: bool = False,
+) -> ExperimentConfig:
+    """Config for one figure data point, with the study's scaling conventions.
+
+    Split out from :func:`run_point` so drivers can build whole batches of
+    configs and hand them to :func:`repro.core.parallel.run_configs`.
+    """
+    return ExperimentConfig(
+        device=device,
+        job=scale.job(pattern, block_size, iodepth, device, latency_study),
+        power_state=power_state,
+        warmup_fraction=scale.warmup(device),
+        seed=seed,
+        keep_trace=keep_trace,
+    )
+
+
 def run_point(
     device: str,
     pattern: IoPattern,
@@ -93,11 +119,14 @@ def run_point(
 ) -> ExperimentResult:
     """Run one figure data point with the study's scaling conventions."""
     return run_experiment(
-        ExperimentConfig(
-            device=device,
-            job=scale.job(pattern, block_size, iodepth, device, latency_study),
+        point_config(
+            device,
+            pattern,
+            block_size,
+            iodepth,
             power_state=power_state,
-            warmup_fraction=scale.warmup(device),
+            scale=scale,
+            latency_study=latency_study,
             seed=seed,
             keep_trace=keep_trace,
         )

@@ -23,10 +23,11 @@ from repro._units import GiB, KiB
 from repro.core.adaptive import AdaptivePlan, PowerAdaptivePlanner
 from repro.core.experiment import ExperimentResult
 from repro.core.model import ModelPoint, PowerThroughputModel
+from repro.core.parallel import PointFailure, SweepExecutionError, run_configs
 from repro.core.reporting import ascii_scatter, format_table
 from repro.core.sweep import SweepPoint
 from repro.iogen.spec import IoPattern
-from repro.studies.common import DEFAULT, StudyScale, run_point
+from repro.studies.common import DEFAULT, StudyScale, point_config
 
 __all__ = ["Fig10Result", "build_model", "render", "run"]
 
@@ -51,23 +52,39 @@ def build_model(
     chunks: tuple[int, ...] = SWEEP_CHUNKS,
     depths: tuple[int, ...] = SWEEP_DEPTHS,
     states: tuple[int | None, ...] | None = None,
+    n_workers: int | None = 1,
 ) -> PowerThroughputModel:
-    """Sweep one device's mechanism grid and fit its model."""
+    """Sweep one device's mechanism grid and fit its model.
+
+    ``n_workers > 1`` (or ``None`` for all cores) fans the grid out across
+    a process pool; results are identical to the sequential run.
+    """
     if states is None:
         states = DEVICE_STATES.get(device, (None,))
-    results: dict[SweepPoint, ExperimentResult] = {}
-    for ps in states:
-        for block_size in chunks:
-            for iodepth in depths:
-                point = SweepPoint(pattern, block_size, iodepth, ps)
-                results[point] = run_point(
-                    device,
-                    pattern,
-                    block_size,
-                    iodepth,
-                    power_state=ps,
-                    scale=scale,
-                )
+    points = [
+        SweepPoint(pattern, block_size, iodepth, ps)
+        for ps in states
+        for block_size in chunks
+        for iodepth in depths
+    ]
+    outcomes = run_configs(
+        [
+            point_config(
+                device,
+                point.pattern,
+                point.block_size,
+                point.iodepth,
+                power_state=point.power_state,
+                scale=scale,
+            )
+            for point in points
+        ],
+        n_workers=n_workers,
+    )
+    failures = [o for o in outcomes if isinstance(o, PointFailure)]
+    if failures:
+        raise SweepExecutionError(failures)
+    results: dict[SweepPoint, ExperimentResult] = dict(zip(points, outcomes))
     return PowerThroughputModel.from_sweep(device, results)
 
 
@@ -91,9 +108,10 @@ class Fig10Result:
         return self.models[device].min_normalized_throughput
 
 
-def run(scale: StudyScale = DEFAULT) -> Fig10Result:
+def run(scale: StudyScale = DEFAULT, n_workers: int | None = 1) -> Fig10Result:
     models = {
-        device: build_model(device, scale=scale) for device in DEVICE_STATES
+        device: build_model(device, scale=scale, n_workers=n_workers)
+        for device in DEVICE_STATES
     }
     planner = PowerAdaptivePlanner(models["ssd1"])
     plan = planner.plan_power_cut(0.20)

@@ -18,13 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._units import KiB
+from repro.core.parallel import PointFailure, SweepExecutionError, run_configs
 from repro.devices.catalog import build_device
 from repro.iogen.spec import IoPattern
 from repro.power.meter import MeterConfig, PowerMeter
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.core.reporting import format_table
-from repro.studies.common import DEFAULT, StudyScale, run_point
+from repro.studies.common import DEFAULT, StudyScale, point_config
 
 __all__ = ["DeviceRange", "PAPER_RANGES", "render", "run"]
 
@@ -70,15 +71,36 @@ def _quiescent_power(label: str, seed: int = 0) -> float:
     return meter.measure(start + 0.1, start + 0.3).mean()
 
 
-def run(scale: StudyScale = DEFAULT) -> list[DeviceRange]:
-    """Reproduce Table 1."""
+def run(
+    scale: StudyScale = DEFAULT, n_workers: int | None = 1
+) -> list[DeviceRange]:
+    """Reproduce Table 1.
+
+    The heavy max-power probes (two workloads per device) are independent
+    experiments, so they fan out across ``n_workers`` processes.
+    """
+    labels = list(PAPER_RANGES)
+    probes = [
+        (label, workload) for label in labels for workload in _HEAVY
+    ]
+    outcomes = run_configs(
+        [
+            point_config(label, pattern, block_size, iodepth, scale=scale)
+            for label, (pattern, block_size, iodepth) in probes
+        ],
+        n_workers=n_workers,
+    )
+    failures = [o for o in outcomes if isinstance(o, PointFailure)]
+    if failures:
+        raise SweepExecutionError(failures)
+    max_w: dict[str, float] = {label: 0.0 for label in labels}
+    for (label, __), result in zip(probes, outcomes):
+        max_w[label] = max(max_w[label], result.power.max_w)
+
     rows = []
     for label, (protocol, model, p_min, p_max) in PAPER_RANGES.items():
         low = _quiescent_power(label)
-        high = 0.0
-        for pattern, block_size, iodepth in _HEAVY:
-            result = run_point(label, pattern, block_size, iodepth, scale=scale)
-            high = max(high, result.power.max_w)
+        high = max_w[label]
         rows.append(
             DeviceRange(
                 label=label,

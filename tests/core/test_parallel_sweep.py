@@ -1,0 +1,210 @@
+"""Tests for the parallel sweep execution subsystem."""
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.core import parallel
+from repro.core.parallel import (
+    PointFailure,
+    ResultCache,
+    SweepExecutionError,
+    config_content_hash,
+    resolve_workers,
+    run_configs,
+)
+from repro.core.sweep import SweepGrid, run_sweep, sweep_outcome
+from repro.iogen.spec import IoPattern, JobSpec
+from tests.conftest import tiny_ssd_config
+
+
+def quick_job():
+    return JobSpec(
+        IoPattern.RANDREAD,
+        block_size=16 * KiB,
+        iodepth=4,
+        runtime_s=0.01,
+        size_limit_bytes=4 * MiB,
+    )
+
+
+def small_grid(**overrides):
+    defaults = dict(
+        device=tiny_ssd_config(),
+        patterns=(IoPattern.RANDREAD,),
+        block_sizes=(16 * KiB, 64 * KiB),
+        iodepths=(1, 8),
+        power_states=(0,),
+        base_job=quick_job(),
+    )
+    defaults.update(overrides)
+    return SweepGrid(**defaults)
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_sequential_exactly(self):
+        grid = small_grid()
+        sequential = run_sweep(grid, n_workers=1)
+        parallel_results = run_sweep(grid, n_workers=4)
+        assert list(parallel_results) == list(sequential)
+        for point, result in sequential.items():
+            other = parallel_results[point]
+            assert other.mean_power_w == result.mean_power_w
+            assert other.throughput_bps == result.throughput_bps
+            assert other.true_mean_power_w == result.true_mean_power_w
+            assert other.config.seed == result.config.seed
+
+    def test_results_in_grid_order(self):
+        grid = small_grid()
+        results = run_sweep(grid, n_workers=2)
+        assert list(results) == list(grid.points())
+
+    def test_pool_failure_falls_back_in_process(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores on this platform")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", broken_pool)
+        grid = small_grid()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            results = run_sweep(grid, n_workers=4)
+        assert len(results) == 4
+        for result in results.values():
+            assert result.mean_power_w > 0
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) == resolve_workers(None)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestFailureCapture:
+    def test_failing_point_does_not_kill_sweep(self):
+        # Power state 99 does not exist on the tiny SSD: those points must
+        # fail individually while the valid ps0 points still complete.
+        grid = small_grid(power_states=(0, 99))
+        outcome = sweep_outcome(grid, n_workers=2)
+        assert len(outcome.results) == 4
+        assert len(outcome.failures) == 4
+        assert not outcome.ok
+        for point, failure in outcome.failures.items():
+            assert point.power_state == 99
+            assert failure.error_type == "ValueError"
+            assert "power state" in failure.message
+            assert failure.config.power_state == 99
+            assert "ValueError" in failure.traceback
+
+    def test_run_sweep_raises_with_context(self):
+        grid = small_grid(power_states=(99,))
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_sweep(grid)
+        assert len(excinfo.value.failures) == 4
+        assert "power state" in str(excinfo.value)
+
+
+class TestResultCache:
+    def test_second_run_skips_execution(self, tmp_path, monkeypatch):
+        grid = small_grid()
+        first = run_sweep(grid, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.pkl"))) == 4
+
+        def boom(config):
+            raise AssertionError("cached point was re-executed")
+
+        monkeypatch.setattr(parallel, "run_experiment", boom)
+        second = run_sweep(grid, cache_dir=tmp_path)
+        assert list(second) == list(first)
+        for point, result in first.items():
+            assert second[point].mean_power_w == result.mean_power_w
+            assert second[point].throughput_bps == result.throughput_bps
+
+    def test_overlapping_grid_only_runs_new_points(self, tmp_path):
+        run_sweep(small_grid(block_sizes=(16 * KiB,)), cache_dir=tmp_path)
+        calls = []
+        original = parallel.run_experiment
+
+        def counting(config):
+            calls.append(config)
+            return original(config)
+
+        import unittest.mock
+
+        with unittest.mock.patch.object(parallel, "run_experiment", counting):
+            results = run_sweep(small_grid(), n_workers=1, cache_dir=tmp_path)
+        assert len(results) == 4
+        # Only the two 64 KiB points were new.
+        assert len(calls) == 2
+        assert all(c.job.block_size == 64 * KiB for c in calls)
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        grid = small_grid(block_sizes=(16 * KiB,), iodepths=(1,))
+        first = run_sweep(grid, cache_dir=tmp_path)
+        (entry,) = tmp_path.glob("*.pkl")
+        entry.write_bytes(b"not a pickle")
+        second = run_sweep(grid, cache_dir=tmp_path)
+        point = next(iter(first))
+        assert second[point].mean_power_w == first[point].mean_power_w
+
+    def test_failures_not_cached(self, tmp_path):
+        grid = small_grid(power_states=(99,), block_sizes=(16 * KiB,), iodepths=(1,))
+        outcome = sweep_outcome(grid, cache_dir=tmp_path)
+        assert not outcome.ok
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_cache_roundtrip_api(self, tmp_path):
+        grid = small_grid()
+        config = grid.config_for(next(iter(grid.points())))
+        cache = ResultCache(tmp_path)
+        assert cache.get(config) is None
+        result = parallel.run_experiment(config)
+        cache.put(config, result)
+        loaded = cache.get(config)
+        assert loaded is not None
+        assert loaded.mean_power_w == result.mean_power_w
+
+
+class TestContentHash:
+    def test_stable_for_equal_configs(self):
+        grid = small_grid()
+        point = next(iter(grid.points()))
+        assert config_content_hash(grid.config_for(point)) == config_content_hash(
+            grid.config_for(point)
+        )
+
+    def test_sensitive_to_seed_and_job(self):
+        grid_a = small_grid()
+        grid_b = small_grid(seed=1)
+        point = next(iter(grid_a.points()))
+        hash_a = config_content_hash(grid_a.config_for(point))
+        assert hash_a != config_content_hash(grid_b.config_for(point))
+        other = [p for p in grid_a.points() if p != point][0]
+        assert hash_a != config_content_hash(grid_a.config_for(other))
+
+    def test_preset_string_vs_config_differ(self):
+        job = quick_job()
+        from repro.core.experiment import ExperimentConfig
+
+        by_label = ExperimentConfig(device="ssd3", job=job)
+        by_config = ExperimentConfig(device=tiny_ssd_config(), job=job)
+        assert config_content_hash(by_label) != config_content_hash(by_config)
+
+
+class TestRunConfigs:
+    def test_order_preserved_and_index_aligned(self):
+        grid = small_grid()
+        configs = [grid.config_for(p) for p in grid.points()]
+        outcomes = run_configs(configs, n_workers=2)
+        assert len(outcomes) == len(configs)
+        for config, outcome in zip(configs, outcomes):
+            assert outcome.config == config
+
+    def test_mixed_failures_index_aligned(self):
+        grid = small_grid(power_states=(0, 99), iodepths=(1,))
+        configs = [grid.config_for(p) for p in grid.points()]
+        outcomes = run_configs(configs, n_workers=2)
+        for config, outcome in zip(configs, outcomes):
+            if config.power_state == 99:
+                assert isinstance(outcome, PointFailure)
+            else:
+                assert outcome.mean_power_w > 0

@@ -33,6 +33,22 @@ class TestRngStreams:
         order_b = second.get("two").normal(size=4)
         assert (order_a == order_b).all()
 
+    def test_names_sharing_8_byte_prefix_not_collide(self):
+        """Regression: child seeds were once derived from only the first
+        8 bytes of the name, so ``"controller.jitter"`` and
+        ``"controllerXYZ"`` (identical through ``"controll"``) silently
+        shared one stream."""
+        streams = RngStreams(seed=7)
+        a = streams.get("controller.jitter").normal(size=16)
+        b = streams.get("controllerXYZ").normal(size=16)
+        assert not (a == b).all()
+
+    def test_long_names_differing_past_prefix_not_collide(self):
+        streams = RngStreams(seed=7)
+        a = streams.get("device.channel.0.transfer").normal(size=16)
+        b = streams.get("device.channel.1.transfer").normal(size=16)
+        assert not (a == b).all()
+
     def test_fork_is_deterministic_and_distinct(self):
         root = RngStreams(seed=5)
         fork_a = root.fork(1).get("x").normal(size=4)

@@ -133,6 +133,42 @@ def step_traces(draw):
     return trace
 
 
+def naive_rolling_mean_max(trace, window, t_start, t_end, step):
+    """Pre-optimization oracle: per-window calls to ``mean``."""
+    worst = float("-inf")
+    t = t_start
+    while t + window <= t_end + 1e-12:
+        worst = max(worst, trace.mean(t, t + window))
+        t += step
+    if worst == float("-inf"):
+        worst = trace.mean(t_start, t_end)
+    return worst
+
+
+class TestRollingMeanMaxEquivalence:
+    @given(
+        step_traces(),
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_per_window_means(self, trace, window, step):
+        fast = trace.rolling_mean_max(window, 0.0, 10.0, step)
+        oracle = naive_rolling_mean_max(trace, window, 0.0, 10.0, step)
+        assert fast == pytest.approx(oracle, rel=1e-9, abs=1e-9)
+
+    def test_window_past_last_breakpoint_holds_value(self):
+        trace = StepTrace(initial=2.0)
+        trace.set(1.0, 6.0)
+        # Windows extend past the last breakpoint; the value holds.
+        assert trace.rolling_mean_max(2.0, 0.0, 20.0, 1.0) == pytest.approx(6.0)
+
+    def test_rejects_degenerate_span(self):
+        trace = StepTrace(initial=1.0)
+        with pytest.raises(ValueError):
+            trace.rolling_mean_max(1.0, 5.0, 5.0, 1.0)
+
+
 class TestStepTraceProperties:
     @given(step_traces())
     @settings(max_examples=60, deadline=None)

@@ -72,6 +72,83 @@ class TestCommands:
         )
         assert "ps2" in capsys.readouterr().out
 
+    def test_sweep_prints_grid(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--device",
+                "ssd3",
+                "--rw",
+                "randread",
+                "--bs",
+                "16k",
+                "--bs",
+                "64k",
+                "--iodepth",
+                "1",
+                "--iodepth",
+                "8",
+                "--workers",
+                "2",
+                "--runtime",
+                "0.01",
+                "--size",
+                "2M",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out
+        assert "bs=16k" in out and "bs=64k" in out
+
+    def test_sweep_with_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--device",
+            "ssd3",
+            "--rw",
+            "randread",
+            "--bs",
+            "16k",
+            "--iodepth",
+            "1",
+            "--runtime",
+            "0.01",
+            "--size",
+            "2M",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.pkl"))) == 1
+        assert main(argv) == 0  # served from cache
+        assert capsys.readouterr().out == first
+
+    def test_sweep_reports_failed_points(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--device",
+                "hdd",  # no NVMe power states -> ps point fails
+                "--rw",
+                "randread",
+                "--bs",
+                "16k",
+                "--iodepth",
+                "1",
+                "--ps",
+                "1",
+                "--runtime",
+                "0.01",
+                "--size",
+                "1M",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "ValueError" in out
+
     def test_figure_quick(self, capsys):
         assert main(["figure", "table1", "--quick"]) == 0
         out = capsys.readouterr().out

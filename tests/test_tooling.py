@@ -1,0 +1,34 @@
+"""The repo's lint checks, run as part of the test suite."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_no_bare_hash  # noqa: E402
+
+
+class TestNoBareHashLint:
+    def test_src_repro_is_clean(self):
+        """Builtin ``hash()`` is banned in src/repro: it is randomized per
+        process and once made sweep seeds irreproducible."""
+        assert check_no_bare_hash.main([]) == 0
+
+    def test_detects_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("salt = hash((a, b))\n")
+        assert check_no_bare_hash.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:1" in out
+
+    def test_ignores_legitimate_uses(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import hashlib\n"
+            "digest = hashlib.blake2b(b'x').hexdigest()\n"
+            "key = config_content_hash(config)\n"
+            "h = obj.__hash__()\n"
+            "# a comment mentioning hash( is fine\n"
+        )
+        assert check_no_bare_hash.main([str(tmp_path)]) == 0

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Lint: forbid the builtin ``hash()`` anywhere in ``src/repro``.
+
+``hash()`` over anything containing a string is randomized per interpreter
+process (``PYTHONHASHSEED``), which once made sweep seeds differ on every
+run and would make parallel workers disagree with sequential execution.
+Deterministic digests (``hashlib.blake2b``, ``zlib.crc32``) are the
+sanctioned replacements; this check keeps the bug class from returning.
+
+Run directly (``python tools/check_no_bare_hash.py``) or via the test
+suite (``tests/test_tooling.py``).  Exit status 0 = clean, 1 = violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator
+
+DEFAULT_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def find_violations(root: Path) -> Iterator[str]:
+    """Yield ``path:line: source`` for every builtin ``hash(...)`` call.
+
+    AST-based, so mentions in comments/docstrings and calls of *other*
+    callables ending in ``hash`` (``hashlib.blake2b``,
+    ``config_content_hash``, ``obj.__hash__``) do not trip it.
+    """
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                line = lines[node.lineno - 1].strip()
+                yield f"{path}:{node.lineno}: {line}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    root = Path(argv[0]) if argv else DEFAULT_ROOT
+    violations = list(find_violations(root))
+    if violations:
+        print(
+            "builtin hash() is randomized per process (PYTHONHASHSEED); "
+            "use hashlib.blake2b or zlib.crc32 instead:"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
