@@ -30,14 +30,30 @@ from repro.core.parallel import PointFailure, SweepExecutionError, run_configs
 from repro.core.sweep import SweepGrid, SweepOutcome, run_sweep, sweep_outcome
 from repro.devices import build_device, DEVICE_PRESETS
 from repro.iogen import IoPattern, JobSpec
+from repro.obs import (
+    EventKind,
+    MetricsCollector,
+    MetricsRegistry,
+    NullTracer,
+    RunProfiler,
+    SimEvent,
+    Tracer,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DEVICE_PRESETS",
+    "EventKind",
     "ExperimentConfig",
     "ExperimentResult",
     "GiB",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "NullTracer",
+    "RunProfiler",
+    "SimEvent",
+    "Tracer",
     "IoPattern",
     "JobSpec",
     "KiB",

@@ -10,6 +10,13 @@ Five subcommands cover the workflows a user of the artifact needs:
 - ``figure`` -- regenerate a paper table/figure and print its rows;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
+
+``run`` and ``sweep`` accept observability options: ``--trace PATH``
+(with ``--trace-format jsonl|chrome``) exports every mechanism event --
+power-state transitions, governor throttling, GC, spindle, ALPM -- and
+``--metrics PATH`` writes a sim-time metrics snapshot (power-state
+residency, queue depths, cache hit rates) plus runner profiling.  The
+chrome format loads directly in Perfetto (https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--size", default="48M", help="byte stop condition")
     run_p.add_argument("--ps", type=int, default=None, help="NVMe power state")
     run_p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(run_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="run a mechanism grid, optionally across worker processes"
@@ -109,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--runtime", type=float, default=0.05, help="seconds")
     sweep_p.add_argument("--size", default="32M", help="byte stop condition")
     sweep_p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(sweep_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=_FIGURES)
@@ -131,6 +140,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-p99-ms", type=float, default=None, help="latency SLO in ms"
     )
     return parser
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export mechanism events (power states, governor, GC, "
+        "spindle, ALPM, IO) to PATH",
+    )
+    obs.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=["jsonl", "chrome"],
+        help="jsonl = one event per line; chrome = Perfetto-loadable "
+        "trace_event JSON (default: jsonl)",
+    )
+    obs.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a sim-time metrics snapshot (JSON) to PATH",
+    )
+
+
+class _ObsSession:
+    """Tracer + metrics + profiler bundle behind --trace/--metrics."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.obs import MetricsCollector, RunProfiler, Tracer
+
+        self.trace_path = args.trace
+        self.trace_format = args.trace_format
+        self.metrics_path = args.metrics
+        self.enabled = bool(self.trace_path or self.metrics_path)
+        self.tracer = None
+        self.collector = None
+        self.profiler = None
+        if not self.enabled:
+            return
+        # Keep the event buffer only if a trace file was asked for.
+        self.tracer = Tracer(keep_events=bool(self.trace_path))
+        if self.metrics_path:
+            self.collector = MetricsCollector()
+            self.tracer.subscribe(self.collector)
+            self.profiler = RunProfiler()
+
+    def export(self, cache=None) -> list[str]:
+        """Write the requested files; returns human summary lines."""
+        from repro.obs import (
+            write_chrome_trace,
+            write_events_jsonl,
+            write_metrics_json,
+        )
+
+        notes = []
+        if self.trace_path:
+            if self.trace_format == "chrome":
+                count = write_chrome_trace(self.tracer.events, self.trace_path)
+                notes.append(
+                    f"trace: {count} trace events -> {self.trace_path} "
+                    "(chrome trace_event; open in https://ui.perfetto.dev)"
+                )
+            else:
+                count = write_events_jsonl(self.tracer.events, self.trace_path)
+                notes.append(f"trace: {count} events -> {self.trace_path} (jsonl)")
+        if self.metrics_path:
+            write_metrics_json(
+                self.collector.snapshot(),
+                self.metrics_path,
+                profile=self.profiler.snapshot() if self.profiler else None,
+                cache=cache.stats.snapshot() if cache is not None else None,
+            )
+            notes.append(f"metrics: -> {self.metrics_path}")
+            if self.profiler is not None and self.profiler.points:
+                notes.append(f"profile: {self.profiler.describe()}")
+        return notes
 
 
 def _cmd_devices() -> str:
@@ -164,18 +251,25 @@ def _cmd_run(args: argparse.Namespace) -> str:
         runtime_s=args.runtime,
         size_limit_bytes=parse_size(args.size),
     )
+    obs = _ObsSession(args)
     result = run_experiment(
         ExperimentConfig(
             device=args.device,
             job=job,
             power_state=args.ps,
             seed=args.seed,
-        )
+        ),
+        tracer=obs.tracer,
+        profiler=obs.profiler,
     )
-    return result.summary()
+    lines = [result.summary()]
+    if obs.enabled:
+        lines.extend(obs.export())
+    return "\n".join(lines)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.core.parallel import ResultCache
     from repro.core.reporting import format_table
     from repro.core.sweep import SweepGrid, sweep_outcome
     from repro.iogen.spec import (
@@ -204,8 +298,14 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
         ),
         seed=args.seed,
     )
+    obs = _ObsSession(args)
+    cache = ResultCache(args.cache) if args.cache else None
     outcome = sweep_outcome(
-        grid, n_workers=args.workers or None, cache_dir=args.cache
+        grid,
+        n_workers=args.workers or None,
+        cache_dir=cache if cache is not None else None,
+        tracer=obs.tracer,
+        profiler=obs.profiler,
     )
     rows = [
         [
@@ -231,6 +331,8 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
                 for failure in outcome.failures.values()
             )
         )
+    if obs.enabled:
+        blocks.append("\n".join(obs.export(cache=cache)))
     return "\n\n".join(blocks), 0 if outcome.ok else 1
 
 

@@ -20,6 +20,7 @@ from repro.devices.ssd import SimulatedSSD
 from repro.iogen.engine import FioJob
 from repro.iogen.spec import JobSpec
 from repro.iogen.stats import JobResult, LatencyStats
+from repro.obs.profile import RunProfiler
 from repro.power.adc import AdcConfig
 from repro.power.analysis import PowerSummary, summarize_samples
 from repro.power.logger import PowerTrace
@@ -184,8 +185,21 @@ def _apply_power_controls(
         _drive_to_completion(engine, engine.process(alpm.set_mode(config.alpm_mode)))
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig,
+    tracer=None,
+    profiler: Optional[RunProfiler] = None,
+) -> ExperimentResult:
     """Run one experiment end to end and return its results.
+
+    Args:
+        config: The experiment to run.
+        tracer: Optional :class:`repro.obs.events.Tracer`; the engine and
+            every device component emit structured events through it.
+            Tracing is strictly passive -- results are bit-identical with
+            and without it (the test suite asserts this).
+        profiler: Optional :class:`repro.obs.profile.RunProfiler`
+            collecting wall-clock cost and kernel-event throughput.
 
     >>> from repro.iogen import IoPattern, JobSpec
     >>> cfg = ExperimentConfig(
@@ -197,7 +211,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     >>> result.mean_power_w > 0
     True
     """
-    engine = Engine()
+    wall_start = RunProfiler.clock() if profiler is not None else 0.0
+    engine = Engine(tracer=tracer)
+    if tracer is not None and tracer.enabled:
+        tracer.set_scope(config.describe())
     rngs = RngStreams(config.seed)
     device = build_device(engine, config.device, rng=rngs)
     _apply_power_controls(engine, device, config)
@@ -217,6 +234,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     cap_w = None
     if isinstance(device, SimulatedSSD) and device.governor.cap_w is not None:
         cap_w = device.governor.cap_w
+    if profiler is not None:
+        profiler.record(
+            label=config.describe(),
+            wall_s=RunProfiler.clock() - wall_start,
+            sim_events=engine.events_processed,
+            sim_time_s=engine.now,
+        )
     return ExperimentResult(
         config=config,
         job=job_result,

@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence, Union
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 
 __all__ = [
+    "CacheStats",
     "PointFailure",
     "ResultCache",
     "SweepExecutionError",
@@ -122,17 +123,50 @@ class SweepExecutionError(RuntimeError):
 # -- on-disk result cache ---------------------------------------------------
 
 
+@dataclass
+class CacheStats:
+    """Observable behaviour of one :class:`ResultCache` over its lifetime.
+
+    Attributes:
+        hits: Lookups served from disk.
+        misses: Lookups with no entry on disk (includes corrupt entries,
+            which degrade to a recompute).
+        corrupt: Entries that existed but could not be loaded -- truncated
+            writes, foreign files, stale pickles from an incompatible
+            version.  Always also counted as misses.
+        puts: Results written.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    puts: int = 0
+
+    def snapshot(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "puts": self.puts,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
 class ResultCache:
     """Pickled :class:`ExperimentResult` per config content hash.
 
     Writes are atomic (tmp file + rename), so concurrent workers or
     overlapping sweeps can share one cache directory; unreadable entries
-    are treated as misses and recomputed.
+    are treated as misses and recomputed, never raised.  Every lookup and
+    store is counted in :attr:`stats` so sweeps can report cache
+    effectiveness (surfaced via ``repro sweep --metrics``).
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
 
     def path_for(self, config: ExperimentConfig) -> Path:
         return self.root / f"{config_content_hash(config)}.pkl"
@@ -142,9 +176,21 @@ class ResultCache:
         try:
             with open(path, "rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except FileNotFoundError:
+            self.stats.misses += 1
             return None
-        return result if isinstance(result, ExperimentResult) else None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, TypeError, ValueError):
+            # A present-but-unreadable entry: degrade to a recompute.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        if not isinstance(result, ExperimentResult):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        return result
 
     def put(self, config: ExperimentConfig, result: ExperimentResult) -> None:
         path = self.path_for(config)
@@ -152,6 +198,7 @@ class ResultCache:
         with open(tmp, "wb") as fh:
             pickle.dump(result, fh)
         os.replace(tmp, path)
+        self.stats.puts += 1
 
 
 # -- execution --------------------------------------------------------------
@@ -166,10 +213,16 @@ def resolve_workers(n_workers: Optional[int]) -> int:
     return n_workers
 
 
-def _run_config(config: ExperimentConfig) -> Union[ExperimentResult, PointFailure]:
+def _run_config(
+    config: ExperimentConfig, tracer=None, profiler=None
+) -> Union[ExperimentResult, PointFailure]:
     """Worker entry point: never raises, so one point cannot kill a batch."""
     try:
-        return run_experiment(config)
+        if tracer is None and profiler is None:
+            # Plain call when untraced: keeps the entry point compatible
+            # with single-argument stand-ins for run_experiment.
+            return run_experiment(config)
+        return run_experiment(config, tracer=tracer, profiler=profiler)
     except Exception as exc:  # noqa: BLE001 - captured by design
         return PointFailure(
             config=config,
@@ -202,7 +255,9 @@ def _run_batch(
 def run_configs(
     configs: Sequence[ExperimentConfig],
     n_workers: Optional[int] = 1,
-    cache_dir: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path, ResultCache]] = None,
+    tracer=None,
+    profiler=None,
 ) -> List[Union[ExperimentResult, PointFailure]]:
     """Run experiments, optionally across processes, preserving order.
 
@@ -214,14 +269,25 @@ def run_configs(
         cache_dir: When set, results are read from / written to this
             directory keyed by :func:`config_content_hash`, so only
             configs not already cached are executed.  Failures are never
-            cached.
+            cached.  Pass a :class:`ResultCache` instance instead of a
+            path to read its :class:`CacheStats` afterwards.
+        tracer: Optional :class:`repro.obs.events.Tracer`.  A tracer's
+            event buffer lives in this process, so tracing forces
+            in-process execution regardless of ``n_workers`` -- results
+            are identical either way (that equivalence is under test).
+        profiler: Optional :class:`repro.obs.profile.RunProfiler`; also
+            forces in-process execution (wall-clock timing of pool
+            workers would be meaningless through pickling overhead).
 
     Returns:
         One :class:`ExperimentResult` or :class:`PointFailure` per config.
     """
     configs = list(configs)
     workers = resolve_workers(n_workers)
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if isinstance(cache_dir, ResultCache):
+        cache: Optional[ResultCache] = cache_dir
+    else:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
 
     outcomes: List[Union[ExperimentResult, PointFailure, None]] = [None] * len(configs)
     pending: List[int] = []
@@ -233,7 +299,13 @@ def run_configs(
             pending.append(index)
 
     if pending:
-        fresh = _run_batch([configs[i] for i in pending], workers)
+        if tracer is not None or profiler is not None:
+            fresh = [
+                _run_config(configs[i], tracer=tracer, profiler=profiler)
+                for i in pending
+            ]
+        else:
+            fresh = _run_batch([configs[i] for i in pending], workers)
         for index, outcome in zip(pending, fresh):
             outcomes[index] = outcome
             if cache is not None and isinstance(outcome, ExperimentResult):

@@ -158,6 +158,8 @@ def sweep_outcome(
     grid: SweepGrid,
     n_workers: Optional[int] = 1,
     cache_dir: Optional[str] = None,
+    tracer=None,
+    profiler=None,
 ) -> SweepOutcome:
     """Execute ``grid``, capturing per-point failures instead of raising.
 
@@ -169,13 +171,22 @@ def sweep_outcome(
             always returned in grid order regardless of completion order.
         cache_dir: Optional on-disk result cache.  Points whose config
             content hash is already present are not re-run, so re-runs of
-            overlapping grids only pay for the new points.
+            overlapping grids only pay for the new points.  Accepts a
+            :class:`~repro.core.parallel.ResultCache` instance for
+            hit/miss statistics.
+        tracer: Optional :class:`repro.obs.events.Tracer` recording every
+            mechanism event of every point (forces in-process execution;
+            results are unchanged — tracing is passive).
+        profiler: Optional :class:`repro.obs.profile.RunProfiler`
+            collecting per-point wall-clock cost (also in-process).
     """
     points = list(grid.points())
     outcomes = run_configs(
         [grid.config_for(point) for point in points],
         n_workers=n_workers,
         cache_dir=cache_dir,
+        tracer=tracer,
+        profiler=profiler,
     )
     results: dict[SweepPoint, ExperimentResult] = {}
     failures: dict[SweepPoint, PointFailure] = {}
@@ -191,13 +202,21 @@ def run_sweep(
     grid: SweepGrid,
     n_workers: Optional[int] = 1,
     cache_dir: Optional[str] = None,
+    tracer=None,
+    profiler=None,
 ) -> dict[SweepPoint, ExperimentResult]:
     """Execute every point of ``grid`` and return results in grid order.
 
     Raises :class:`~repro.core.parallel.SweepExecutionError` if any point
     failed; use :func:`sweep_outcome` to capture failures instead.
     """
-    outcome = sweep_outcome(grid, n_workers=n_workers, cache_dir=cache_dir)
+    outcome = sweep_outcome(
+        grid,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        tracer=tracer,
+        profiler=profiler,
+    )
     if not outcome.ok:
         raise SweepExecutionError(list(outcome.failures.values()))
     return outcome.results

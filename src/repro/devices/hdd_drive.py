@@ -39,6 +39,7 @@ from repro.hdd.mechanics import (
     positioning_time,
 )
 from repro.hdd.spindle import Spindle, SpindleConfig
+from repro.obs.events import EventKind
 from repro.sim.engine import Engine, Event
 
 __all__ = ["HddConfig", "IdleCondition", "SimulatedHDD"]
@@ -150,7 +151,13 @@ class SimulatedHDD(StorageDevice):
         super().__init__(engine, config.name, config.rail_voltage)
         self.config = config
         self.rotation = RotationModel(config.geometry)
-        self.spindle = Spindle(engine, self.rail, config.spindle, start_spinning=True)
+        self.spindle = Spindle(
+            engine,
+            self.rail,
+            config.spindle,
+            start_spinning=True,
+            name=f"{config.name}.spindle",
+        )
         self.cache = WriteCache(engine, config.cache_bytes)
         self.link = HostLink(
             engine,
@@ -189,6 +196,15 @@ class SimulatedHDD(StorageDevice):
 
     def _io(self, request: IORequest, done: Event):
         submit_time = self.engine.now
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.IO_SUBMIT,
+                f"{self.name}.io",
+                kind=request.kind.value,
+                offset=request.offset,
+                nbytes=request.nbytes,
+            )
         self._standby_requested = False
         if not self.spindle.is_ready:
             # ATA semantics: any IO to a standby drive triggers spin-up,
@@ -199,11 +215,23 @@ class SimulatedHDD(StorageDevice):
         yield self.engine.timeout(self.config.command_time_s)
         if request.kind is IOKind.WRITE and self.config.write_cache_enabled:
             yield from self.link.transfer(request.nbytes)
+            if tracer.enabled:
+                # A hit completes in DRAM at DMA speed; a miss parks the
+                # host behind the media drain until space frees up.
+                tracer.emit(
+                    EventKind.CACHE_HIT
+                    if self.cache.fits(request.nbytes)
+                    else EventKind.CACHE_MISS,
+                    f"{self.name}.wcache",
+                    nbytes=request.nbytes,
+                    used=self.cache.used_bytes,
+                )
             while not self.cache.fits(request.nbytes):
                 yield self.cache.wait_for_space()
             self.cache.put(request.offset, request.nbytes)
             self._signal_work()
             self.record_completion(request)
+            self._trace_complete(request, submit_time)
             done.succeed(IOResult(request, submit_time, self.engine.now))
             return
         if request.kind is IOKind.WRITE:
@@ -216,7 +244,19 @@ class SimulatedHDD(StorageDevice):
         if request.kind is IOKind.READ:
             yield from self.link.transfer(request.nbytes)
         self.record_completion(request)
+        self._trace_complete(request, submit_time)
         done.succeed(IOResult(request, submit_time, self.engine.now))
+
+    def _trace_complete(self, request: IORequest, submit_time: float) -> None:
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.IO_COMPLETE,
+                f"{self.name}.io",
+                kind=request.kind.value,
+                nbytes=request.nbytes,
+                latency_s=self.engine.now - submit_time,
+            )
 
     # -- EPC idle conditions ------------------------------------------------
 
@@ -236,8 +276,19 @@ class SimulatedHDD(StorageDevice):
             IdleCondition.IDLE_B: self.config.idle_b_savings_w,
             IdleCondition.IDLE_C: self.config.idle_c_savings_w,
         }
+        previous = self._idle_condition
         self._idle_condition = condition
         self.spindle.set_derating(deratings[condition])
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.POWER_STATE,
+                f"{self.name}.power",
+                state=condition.value,
+                from_state=previous.value,
+                operational=True,
+                saving_w=deratings[condition],
+            )
 
     def _epc_recovery_s(self) -> float:
         if self._idle_condition is IdleCondition.IDLE_B:

@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
+from repro.obs.events import EventKind
 from repro.sim.engine import Engine, Event, SimulationError
 
 __all__ = ["NvmePowerState", "PowerGovernor"]
@@ -140,6 +141,15 @@ class PowerGovernor:
             self._grant(event, watts)
         else:
             self.total_stalls += 1
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.GOV_THROTTLE,
+                    self.name,
+                    watts=watts,
+                    queued=len(self._waiters) + 1,
+                    committed_w=self.committed_w,
+                )
             self._waiters.append((event, watts))
         return event
 
@@ -154,6 +164,14 @@ class PowerGovernor:
         ):
             # Float round-off from repeated add/subtract cycles.
             self.committed_w = 0.0
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.GOV_RELEASE,
+                self.name,
+                watts=watts,
+                committed_w=self.committed_w,
+            )
         self._drain()
 
     def set_cap(self, cap_w: Optional[float]) -> None:
@@ -163,13 +181,26 @@ class PowerGovernor:
         self._cap_w = cap_w
         self._drain()
 
-    def _grant(self, event: Event, watts: float) -> None:
+    def _grant(self, event: Event, watts: float, queued: bool = False) -> None:
         self.committed_w += watts
         self.granted_ops += 1
         self.total_grants += 1
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # One admission event per request (not a request/grant pair):
+            # governor traffic dominates a write-heavy trace, and the
+            # queued flag preserves the only information a separate
+            # request-time event would add.
+            tracer.emit(
+                EventKind.GOV_REQUEST,
+                self.name,
+                watts=watts,
+                committed_w=self.committed_w,
+                queued=queued,
+            )
         event.succeed()
 
     def _drain(self) -> None:
         while self._waiters and self._admissible(self._waiters[0][1]):
             event, watts = self._waiters.popleft()
-            self._grant(event, watts)
+            self._grant(event, watts, queued=True)

@@ -40,6 +40,7 @@ from repro.ftl.wear import WearTracker
 from repro.nand.die import NandArray
 from repro.nand.geometry import NandGeometry
 from repro.nand.ops import NandPower, NandTimings, OpKind
+from repro.obs.events import EventKind
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import Gate, Resource
 from repro.sim.rng import RngStreams
@@ -253,6 +254,7 @@ class SimulatedSSD(StorageDevice):
             config=effective_gc,
             wear=self.wear,
             admission=self._admit_and_execute,
+            name=f"{config.name}.gc",
         )
         # Buffer accounting (bytes) with explicit waiters.
         self._buffer_used = 0
@@ -271,6 +273,7 @@ class SimulatedSSD(StorageDevice):
         self._last_activity = engine.now
         self._inflight_ios = 0
         self._apply_idle_draws()
+        self._trace_power_state(None)  # baseline residency mark at t=0
         if config.maintenance_programs > 0 or config.maintenance_erases > 0:
             engine.process(self._maintenance_loop())
         if config.power_wave_w > 0:
@@ -291,6 +294,21 @@ class SimulatedSSD(StorageDevice):
     @property
     def buffer_used_bytes(self) -> int:
         return self._buffer_used
+
+    def _trace_power_state(self, previous: NvmePowerState | None) -> None:
+        """Emit the power-state transition that just took effect."""
+        tracer = self.engine.tracer
+        if not tracer.enabled or self._resident is None:
+            return
+        tracer.emit(
+            EventKind.POWER_STATE,
+            f"{self.name}.power",
+            state=f"ps{self._resident.index}",
+            state_index=self._resident.index,
+            from_state=None if previous is None else f"ps{previous.index}",
+            operational=self._resident.operational,
+            cap_w=self._resident.max_power_w,
+        )
 
     def _non_nand_power(self) -> float:
         """Live device power excluding all array-serving activity.
@@ -354,7 +372,9 @@ class SimulatedSSD(StorageDevice):
         target = states[index]
         if target.entry_latency_s > 0:
             yield self.engine.timeout(target.entry_latency_s)
+        previous = self._resident
         self._resident = target
+        self._trace_power_state(previous)
         if target.operational:
             self._operational_state = target
             self.governor.set_cap(target.max_power_w)
@@ -393,7 +413,9 @@ class SimulatedSSD(StorageDevice):
         finally:
             self._waking = False
         assert self._operational_state is not None
+        previous = self._resident
         self._resident = self._operational_state
+        self._trace_power_state(previous)
         self.governor.set_cap(self._operational_state.max_power_w)
         self._apply_idle_draws()
         self._ready.open()
@@ -408,6 +430,15 @@ class SimulatedSSD(StorageDevice):
 
     def _io(self, request: IORequest, done: Event):
         submit_time = self.engine.now
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.IO_SUBMIT,
+                f"{self.name}.io",
+                kind=request.kind.value,
+                offset=request.offset,
+                nbytes=request.nbytes,
+            )
         self._last_activity = submit_time
         self._inflight_ios += 1
         try:
@@ -424,6 +455,14 @@ class SimulatedSSD(StorageDevice):
             self._inflight_ios -= 1
             self._last_activity = self.engine.now
         self.record_completion(request)
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.IO_COMPLETE,
+                f"{self.name}.io",
+                kind=request.kind.value,
+                nbytes=request.nbytes,
+                latency_s=self.engine.now - submit_time,
+            )
         done.succeed(IOResult(request, submit_time, self.engine.now))
 
     def _controller_step(self, duration: float):
@@ -491,6 +530,18 @@ class SimulatedSSD(StorageDevice):
 
     def _buffer_reserve(self, nbytes: int):
         """Process generator: wait for ``nbytes`` of DRAM buffer space."""
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # Buffer admission is the capped-write stall mechanism (Fig. 5):
+            # a hit absorbs the write at DMA speed, a miss parks the host
+            # behind the throttled flush.
+            fits = self._buffer_used + nbytes <= self.config.write_buffer_bytes
+            tracer.emit(
+                EventKind.CACHE_HIT if fits else EventKind.CACHE_MISS,
+                f"{self.name}.wbuf",
+                nbytes=nbytes,
+                used=self._buffer_used,
+            )
         while self._buffer_used + nbytes > self.config.write_buffer_bytes:
             event = Event(self.engine)
             self._buffer_waiters.append(event)

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 from repro.ftl.allocator import WriteAllocator
 from repro.ftl.mapping import PageMap
 from repro.ftl.wear import WearTracker
+from repro.obs.events import EventKind
 from repro.sim.resources import Resource
 from repro.nand.die import NandArray
 from repro.nand.ops import OpKind
@@ -63,6 +64,7 @@ class GarbageCollector:
         config: GcConfig | None = None,
         wear: Optional[WearTracker] = None,
         admission: Optional[Callable[[OpKind], object]] = None,
+        name: str = "gc",
     ) -> None:
         self.array = array
         self.allocator = allocator
@@ -70,6 +72,7 @@ class GarbageCollector:
         self.config = config or GcConfig()
         self.wear = wear
         self._admission = admission
+        self.name = name
         self.blocks_erased = 0
         self.pages_relocated = 0
         # Many flush processes may demand collection at once; victim
@@ -109,36 +112,58 @@ class GarbageCollector:
         geometry = self.array.geometry
         engine = self.array.engine
         block = self.allocator.blocks[block_id]
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.GC_START,
+                self.name,
+                block=block_id,
+                valid_pages=len(block.valid),
+                free_blocks=self.allocator.free_blocks,
+            )
+        relocated_before = self.pages_relocated
         # Fan relocations out across the array: destinations are allocated
         # up front (round-robin over dies), then every valid page moves
         # concurrently -- real controllers parallelize cleaning exactly so
         # that GC throughput scales with die count.
-        relocators = []
-        for page_offset in sorted(block.valid):
-            src_ppn = block_id * geometry.pages_per_block + page_offset
-            lpn = self.page_map.lpn_of(src_ppn)
-            if lpn is None:
-                # Page became stale after victim selection; nothing to move.
-                self.allocator.mark_invalid(src_ppn)
-                continue
-            dst_ppn, dst_ppa = self.allocator.allocate(for_gc=True)
-            relocators.append(
-                engine.process(self._relocate(src_ppn, lpn, dst_ppn, dst_ppa))
+        erased_before = self.blocks_erased
+        try:
+            relocators = []
+            for page_offset in sorted(block.valid):
+                src_ppn = block_id * geometry.pages_per_block + page_offset
+                lpn = self.page_map.lpn_of(src_ppn)
+                if lpn is None:
+                    # Page became stale after victim selection; nothing to move.
+                    self.allocator.mark_invalid(src_ppn)
+                    continue
+                dst_ppn, dst_ppa = self.allocator.allocate(for_gc=True)
+                relocators.append(
+                    engine.process(self._relocate(src_ppn, lpn, dst_ppn, dst_ppa))
+                )
+            if relocators:
+                yield engine.all_of(relocators)
+            if block.valid:
+                # Defensive: a page re-validated under us; leave the block for
+                # a later pass rather than erasing live data.
+                return
+            yield from self._admit_and_execute(
+                geometry.ppa_from_index(block_id * geometry.pages_per_block),
+                OpKind.ERASE,
             )
-        if relocators:
-            yield engine.all_of(relocators)
-        if block.valid:
-            # Defensive: a page re-validated under us; leave the block for
-            # a later pass rather than erasing live data.
-            return
-        yield from self._admit_and_execute(
-            geometry.ppa_from_index(block_id * geometry.pages_per_block),
-            OpKind.ERASE,
-        )
-        self.allocator.erase(block_id)
-        self.blocks_erased += 1
-        if self.wear is not None:
-            self.wear.record_erase(block_id)
+            self.allocator.erase(block_id)
+            self.blocks_erased += 1
+            if self.wear is not None:
+                self.wear.record_erase(block_id)
+        finally:
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.GC_END,
+                    self.name,
+                    block=block_id,
+                    relocated=self.pages_relocated - relocated_before,
+                    erased=self.blocks_erased > erased_before,
+                    free_blocks=self.allocator.free_blocks,
+                )
 
     def _relocate(self, src_ppn: int, lpn: int, dst_ppn: int, dst_ppa):
         """Move one valid page; resolves races with concurrent host writes."""

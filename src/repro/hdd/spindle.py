@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs.events import EventKind
 from repro.power.rail import PowerRail
 from repro.sim.engine import Engine
 from repro.sim.resources import Gate
@@ -62,10 +63,12 @@ class Spindle:
         rail: PowerRail,
         config: SpindleConfig,
         start_spinning: bool = True,
+        name: str = "spindle",
     ) -> None:
         self.engine = engine
         self.rail = rail
         self.config = config
+        self.name = name
         self.ready_gate = Gate(engine, is_open=start_spinning, name="spindle-ready")
         self.spinups = 0
         self.spindowns = 0
@@ -111,12 +114,21 @@ class Spindle:
         self.state = SpindleState.SPINNING_UP
         self.spinups += 1
         surge = self.config.rotation_power_w + self.config.spinup_surge_w
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(EventKind.SPINUP_START, self.name, surge_w=surge)
         self.rail.set_draw("spindle", surge)
         yield self.engine.timeout(self.config.spinup_time_s)
         self.rail.set_draw(
             "spindle", self.config.rotation_power_w - self.derating_w
         )
         self.state = SpindleState.SPINNING
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.SPINUP_END,
+                self.name,
+                rotation_w=self.config.rotation_power_w - self.derating_w,
+            )
         self.ready_gate.open()
 
     def spin_down(self):
@@ -128,7 +140,12 @@ class Spindle:
         self.state = SpindleState.SPINNING_DOWN
         self.spindowns += 1
         self.ready_gate.close()
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(EventKind.SPINDOWN_START, self.name)
         # Coasting: the motor is unpowered while the platters slow.
         self.rail.set_draw("spindle", 0.0)
         yield self.engine.timeout(self.config.spindown_time_s)
         self.state = SpindleState.STANDBY
+        if tracer.enabled:
+            tracer.emit(EventKind.SPINDOWN_END, self.name)

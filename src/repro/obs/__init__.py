@@ -1,0 +1,57 @@
+"""Observability: structured tracing, sim-time metrics, export, profiling.
+
+The paper's whole contribution is visibility into *why* device power
+changes; ``repro.obs`` gives the simulators the same visibility.  See
+``events`` for the tracer and event taxonomy, ``metrics`` for sim-time
+aggregation, ``export`` for JSONL / Perfetto output, and ``profile`` for
+wall-clock runner telemetry.
+"""
+
+from repro.obs.events import (
+    EventKind,
+    NULL_TRACER,
+    NullTracer,
+    SimEvent,
+    Tracer,
+)
+from repro.obs.export import (
+    event_to_dict,
+    events_to_chrome_trace,
+    load_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    StateTimer,
+    TimeWeightedGauge,
+)
+from repro.obs.profile import PointProfile, RunProfiler
+
+__all__ = [
+    "Counter",
+    "EventKind",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PointProfile",
+    "RunProfiler",
+    "SimEvent",
+    "StateTimer",
+    "TimeWeightedGauge",
+    "Tracer",
+    "event_to_dict",
+    "events_to_chrome_trace",
+    "load_jsonl",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_json",
+]

@@ -1,0 +1,227 @@
+"""Trace and metrics export: JSONL, Chrome ``trace_event``, metrics JSON.
+
+Three serializations of one observability layer:
+
+- **JSONL** -- one event per line, machine-friendly, streams well, and is
+  what "Performance Modeling of Data Storage Systems using Generative
+  Models"-style pipelines want as training input;
+- **Chrome trace-event JSON** -- loads directly in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Each experiment
+  scope becomes a process group and each component a named track, with
+  paired ``*_START``/``*_END`` events rendered as duration slices and
+  everything else as instants.  Power-state transitions additionally emit
+  counter samples so the resident state plots as a stepped series;
+- **metrics JSON** -- a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot plus optional runner-profile and cache statistics.
+
+All output is deterministic: keys sorted, events in ``(time, seq)`` emit
+order, no wall-clock timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.obs.events import INTERVAL_PAIRS, EventKind, SimEvent
+
+__all__ = [
+    "event_to_dict",
+    "events_to_chrome_trace",
+    "load_jsonl",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_json",
+]
+
+_PathLike = Union[str, Path]
+
+#: Duration-slice display names for the paired kinds.
+_SLICE_NAMES = {
+    EventKind.GC_START: "gc",
+    EventKind.SPINUP_START: "spin_up",
+    EventKind.SPINDOWN_START: "spin_down",
+    EventKind.ALPM_START: "alpm",
+}
+_END_TO_START = {end: start for start, end in INTERVAL_PAIRS.items()}
+
+
+def event_to_dict(event: SimEvent) -> dict:
+    """Flatten one event to a JSON-ready mapping."""
+    return {
+        "t": event.time,
+        "seq": event.seq,
+        "kind": event.kind.value,
+        "component": event.component,
+        "scope": event.scope,
+        "fields": dict(sorted(event.fields.items())),
+    }
+
+
+def write_events_jsonl(events: Iterable[SimEvent], path: _PathLike) -> int:
+    """Write one JSON object per event; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: _PathLike) -> list[dict]:
+    """Parse a JSONL event file back into dictionaries (for analysis)."""
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def events_to_chrome_trace(events: Sequence[SimEvent]) -> dict:
+    """Convert events to the Chrome ``trace_event`` JSON object format.
+
+    Layout: one *process* per scope (experiment / sweep point), one
+    *thread* per component within it, named via metadata events so
+    Perfetto shows readable track labels.  Timestamps are simulated
+    microseconds.  Unbalanced interval ends (an ``*_END`` with no open
+    start, e.g. when tracing attached mid-interval) degrade to instants
+    rather than corrupting the nesting.
+    """
+    trace: list[dict] = []
+    pids: dict[Optional[str], int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    open_slices: dict[tuple[int, int, EventKind], int] = {}
+
+    def pid_for(scope: Optional[str]) -> int:
+        pid = pids.get(scope)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[scope] = pid
+            trace.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": scope or "simulation"},
+                }
+            )
+        return pid
+
+    def tid_for(pid: int, component: str) -> int:
+        tid = tids.get((pid, component))
+        if tid is None:
+            tid = sum(1 for (p, _c) in tids if p == pid) + 1
+            tids[(pid, component)] = tid
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": component},
+                }
+            )
+        return tid
+
+    for event in events:
+        if event.kind is EventKind.MARK:
+            continue
+        pid = pid_for(event.scope)
+        tid = tid_for(pid, event.component)
+        ts = event.time * 1e6
+        args = {k: _json_safe(v) for k, v in sorted(event.fields.items())}
+        category = event.kind.value.split("_")[0]
+        if event.kind in INTERVAL_PAIRS:
+            open_slices[(pid, tid, event.kind)] = (
+                open_slices.get((pid, tid, event.kind), 0) + 1
+            )
+            trace.append(
+                {
+                    "name": _SLICE_NAMES[event.kind],
+                    "cat": category,
+                    "ph": "B",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            continue
+        if event.kind in _END_TO_START:
+            start_kind = _END_TO_START[event.kind]
+            depth = open_slices.get((pid, tid, start_kind), 0)
+            if depth > 0:
+                open_slices[(pid, tid, start_kind)] = depth - 1
+                trace.append(
+                    {
+                        "name": _SLICE_NAMES[start_kind],
+                        "cat": category,
+                        "ph": "E",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+                continue
+            # Fall through: an end with no matching begin becomes an instant.
+        trace.append(
+            {
+                "name": event.kind.value,
+                "cat": category,
+                "ph": "i",
+                "s": "t",
+                "ts": ts,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        if event.kind is EventKind.POWER_STATE and "state_index" in event.fields:
+            # A stepped counter series: the resident power state over time.
+            trace.append(
+                {
+                    "name": f"{event.component} state",
+                    "cat": "power",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "args": {"state": event.fields["state_index"]},
+                }
+            )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[SimEvent], path: _PathLike) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count."""
+    payload = events_to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    return len(payload["traceEvents"])
+
+
+def write_metrics_json(
+    snapshot: dict,
+    path: _PathLike,
+    profile: Optional[dict] = None,
+    cache: Optional[dict] = None,
+) -> None:
+    """Write a metrics snapshot (plus optional profile/cache sections)."""
+    payload: dict = {"metrics": snapshot}
+    if profile is not None:
+        payload["profile"] = profile
+    if cache is not None:
+        payload["cache"] = cache
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")

@@ -1,0 +1,414 @@
+"""Sim-time metrics: counters, gauges, histograms, and state timers.
+
+Wall-clock metric libraries assume a real clock; a simulator needs
+*sim-time-weighted* aggregation -- "fraction of the run spent in ps2" or
+"mean outstanding queue depth" are integrals over simulated time, not
+sample averages.  This module provides:
+
+- :class:`Counter` / :class:`Gauge` / :class:`Histogram` -- the plain
+  trio, label-scoped through :class:`MetricsRegistry`;
+- :class:`TimeWeightedGauge` -- a gauge whose mean is the time integral of
+  its value divided by elapsed sim time (queue depths, buffer fill);
+- :class:`StateTimer` -- categorical occupancy (power states, link modes):
+  how long each state was resident and what fraction of the span;
+- :class:`MetricsRegistry` -- get-or-create registry keyed by metric name
+  plus a frozen label set (``device="ssd2", kind="write"``);
+- :class:`MetricsCollector` -- a tracer subscriber that derives the
+  standard mechanism metrics from the event stream, so metrics need no
+  instrumentation beyond the tracing already in place.
+
+Everything here is deterministic: label sets are sorted tuples, snapshots
+sort their keys, and no builtin ``hash()`` ordering leaks through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.events import EventKind, SimEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "StateTimer",
+    "TimeWeightedGauge",
+]
+
+
+class Counter:
+    """Monotone event count (IOs completed, governor stalls, GC erases)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self, end_time: Optional[float] = None) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self, end_time: Optional[float] = None) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class TimeWeightedGauge:
+    """A gauge integrated over simulated time.
+
+    ``set(v, now)`` closes the interval since the previous update at the
+    old value and opens a new one; ``mean(end)`` is the integral divided
+    by the observed span.  The paper-relevant uses are mean outstanding
+    queue depth and mean buffer occupancy.
+
+    Simulated time moving *backwards* is not an error: each experiment in
+    a sweep restarts its engine clock at zero, so a collector shared
+    across points sees a time reset per point.  A backwards update starts
+    a new integration epoch -- the accumulated integral and span carry
+    over, so ``mean`` remains the time-weighted mean over all epochs
+    (the unobserved tail of a finished epoch contributes nothing).
+    """
+
+    __slots__ = ("value", "_integral", "_span", "_last", "_seen")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._integral = 0.0
+        self._span = 0.0
+        self._last = 0.0
+        self._seen = False
+
+    def set(self, value: float, now: float) -> None:
+        self._advance(now)
+        self.value = value
+
+    def add(self, delta: float, now: float) -> None:
+        self.set(self.value + delta, now)
+
+    def _advance(self, now: float) -> None:
+        if not self._seen:
+            self._seen = True
+        elif now >= self._last:
+            self._integral += self.value * (now - self._last)
+            self._span += now - self._last
+        # else: clock reset (new sweep point) -- new epoch, keep totals.
+        self._last = now
+
+    def mean(self, end_time: Optional[float] = None) -> float:
+        integral, span = self._integral, self._span
+        if end_time is not None and self._seen and end_time > self._last:
+            integral += self.value * (end_time - self._last)
+            span += end_time - self._last
+        if span <= 0:
+            return self.value
+        return integral / span
+
+    def snapshot(self, end_time: Optional[float] = None) -> dict:
+        return {
+            "type": "time_weighted_gauge",
+            "value": self.value,
+            "mean": self.mean(end_time),
+        }
+
+
+class StateTimer:
+    """Categorical state occupancy over simulated time.
+
+    Tracks how long each named state was resident.  ``fractions`` divides
+    by the full observed span, which is how the paper reports power-state
+    residency (e.g. "the device idled in ps4 for 83 % of the trace").
+
+    Like :class:`TimeWeightedGauge`, a backwards timestamp means the
+    engine clock was reset (a new sweep point): residency accumulated so
+    far is kept and a new epoch begins at the reset time.
+    """
+
+    __slots__ = ("state", "_durations", "_last", "_seen")
+
+    def __init__(self) -> None:
+        self.state: Optional[str] = None
+        self._durations: dict[str, float] = {}
+        self._last = 0.0
+        self._seen = False
+
+    def set_state(self, state: str, now: float) -> None:
+        if not self._seen:
+            self._seen = True
+        elif now >= self._last:
+            if self.state is not None:
+                self._durations[self.state] = (
+                    self._durations.get(self.state, 0.0) + (now - self._last)
+                )
+        # else: clock reset (new sweep point) -- new epoch, keep totals.
+        self._last = now
+        self.state = state
+
+    def durations(self, end_time: Optional[float] = None) -> dict[str, float]:
+        out = dict(self._durations)
+        end = self._last if end_time is None else max(end_time, self._last)
+        if self.state is not None and end > self._last:
+            out[self.state] = out.get(self.state, 0.0) + (end - self._last)
+        return {k: out[k] for k in sorted(out)}
+
+    def fractions(self, end_time: Optional[float] = None) -> dict[str, float]:
+        durations = self.durations(end_time)
+        total = sum(durations.values())
+        if total <= 0:
+            return {k: 0.0 for k in durations}
+        return {k: v / total for k, v in durations.items()}
+
+    def snapshot(self, end_time: Optional[float] = None) -> dict:
+        return {
+            "type": "state_timer",
+            "state": self.state,
+            "durations_s": self.durations(end_time),
+            "fractions": self.fractions(end_time),
+        }
+
+
+class Histogram:
+    """Exact-sample histogram (simulation scale: thousands, not billions).
+
+    Stores raw observations so quantiles are exact; the snapshot reports
+    count/sum/min/max and the usual latency quantiles.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """Exact empirical quantile (nearest-rank on the sorted samples)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def snapshot(self, end_time: Optional[float] = None) -> dict:
+        if not self._samples:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self._samples),
+            "max": max(self._samples),
+            "mean": self.total / self.count,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metric series.
+
+    A series is identified by ``(name, frozen labels)``; requesting the
+    same identity twice returns the same instance, so instrumentation can
+    be stateless.  Requesting an existing name with a different metric
+    type is an error (it would silently fork the series).
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, tuple], object] = {}
+
+    def _get(self, factory, name: str, labels: dict):
+        key = (name, _label_key(labels))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = factory()
+            self._series[key] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def time_weighted_gauge(self, name: str, **labels) -> TimeWeightedGauge:
+        return self._get(TimeWeightedGauge, name, labels)
+
+    def state_timer(self, name: str, **labels) -> StateTimer:
+        return self._get(StateTimer, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self, end_time: Optional[float] = None) -> dict:
+        """JSON-ready nested mapping ``{name: {label string: summary}}``.
+
+        Keys are sorted so the snapshot is byte-stable for a given run.
+        """
+        out: dict[str, dict] = {}
+        for (name, labels), metric in sorted(
+            self._series.items(), key=lambda item: item[0]
+        ):
+            label_str = ",".join(f"{k}={v}" for k, v in labels) or "_"
+            out.setdefault(name, {})[label_str] = metric.snapshot(end_time)
+        return out
+
+
+class MetricsCollector:
+    """Derive the standard mechanism metrics from a tracer's event stream.
+
+    Subscribe it to a :class:`~repro.obs.events.Tracer` and every
+    simulation instrumented for tracing feeds the registry for free:
+
+    - ``io.submitted`` / ``io.completed`` counters and ``io.latency_s``
+      histograms per ``(component, kind)``;
+    - ``io.outstanding`` sim-time-weighted queue depth per component;
+    - ``power.state`` residency timers per component (the paper's
+      power-state occupancy);
+    - ``governor.requests/throttles/releases`` counters (plus
+      ``governor.stalled_admissions``) and the ``governor.committed_w``
+      time-weighted gauge;
+    - ``gc.collections`` / ``gc.pages_relocated`` / ``spindle.spinups`` /
+      ``alpm.transitions`` / ``cache.hits`` / ``cache.misses`` counters.
+
+    The collector tracks the latest event timestamp and uses it as the
+    snapshot end time.  One collector may span a whole sweep: each
+    point's clock restart simply opens a new epoch in the time-weighted
+    instruments (see :class:`TimeWeightedGauge`).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.last_time = 0.0
+        self.events_seen = 0
+        # Instrument memo: registry get-or-create sorts and stringifies a
+        # label set on every call, which at one-to-three lookups per event
+        # dominates collection cost.  All collector-made series use the
+        # same label shape, so ``(name, component, io-kind)`` resolves each
+        # instrument once and a tuple-keyed dict serves the hot path.
+        self._memo: dict[tuple, object] = {}
+
+    def _series(self, factory, name: str, component: str, iokind=None):
+        key = (name, component, iokind)
+        metric = self._memo.get(key)
+        if metric is None:
+            if iokind is None:
+                metric = factory(name, component=component)
+            else:
+                metric = factory(name, component=component, kind=iokind)
+            self._memo[key] = metric
+        return metric
+
+    def __call__(self, event: SimEvent) -> None:
+        self.events_seen += 1
+        # Plain assignment, not max: event time is monotone within one
+        # engine, and a *drop* means a sweep moved to its next point --
+        # the snapshot should finalize at the current epoch's clock.
+        self.last_time = event.time
+        registry = self.registry
+        series = self._series
+        kind = event.kind
+        component = event.component
+        fields = event.fields
+        if kind is EventKind.IO_SUBMIT:
+            series(
+                registry.counter, "io.submitted", component,
+                fields.get("kind", "?"),
+            ).inc()
+            series(
+                registry.time_weighted_gauge, "io.outstanding", component
+            ).add(1.0, event.time)
+        elif kind is EventKind.IO_COMPLETE:
+            series(
+                registry.counter, "io.completed", component,
+                fields.get("kind", "?"),
+            ).inc()
+            series(
+                registry.time_weighted_gauge, "io.outstanding", component
+            ).add(-1.0, event.time)
+            if "latency_s" in fields:
+                series(
+                    registry.histogram, "io.latency_s", component,
+                    fields.get("kind", "?"),
+                ).observe(fields["latency_s"])
+        elif kind is EventKind.POWER_STATE:
+            series(registry.state_timer, "power.state", component).set_state(
+                str(fields.get("state", "?")), event.time
+            )
+        elif kind is EventKind.GOV_REQUEST:
+            series(registry.counter, "governor.requests", component).inc()
+            if fields.get("queued"):
+                series(
+                    registry.counter, "governor.stalled_admissions", component
+                ).inc()
+            if "committed_w" in fields:
+                series(
+                    registry.time_weighted_gauge, "governor.committed_w",
+                    component,
+                ).set(fields["committed_w"], event.time)
+        elif kind is EventKind.GOV_THROTTLE:
+            series(registry.counter, "governor.throttles", component).inc()
+        elif kind is EventKind.GOV_RELEASE:
+            series(registry.counter, "governor.releases", component).inc()
+            if "committed_w" in fields:
+                series(
+                    registry.time_weighted_gauge, "governor.committed_w",
+                    component,
+                ).set(fields["committed_w"], event.time)
+        elif kind is EventKind.GC_START:
+            series(registry.counter, "gc.collections", component).inc()
+        elif kind is EventKind.GC_END:
+            series(registry.counter, "gc.pages_relocated", component).inc(
+                fields.get("relocated", 0)
+            )
+        elif kind is EventKind.SPINUP_START:
+            series(registry.counter, "spindle.spinups", component).inc()
+        elif kind is EventKind.SPINDOWN_START:
+            series(registry.counter, "spindle.spindowns", component).inc()
+        elif kind is EventKind.ALPM_END:
+            series(registry.counter, "alpm.transitions", component).inc()
+        elif kind is EventKind.CACHE_HIT:
+            series(registry.counter, "cache.hits", component).inc()
+        elif kind is EventKind.CACHE_MISS:
+            series(registry.counter, "cache.misses", component).inc()
+
+    def snapshot(self) -> dict:
+        """Registry snapshot finalized at the latest event time."""
+        return self.registry.snapshot(end_time=self.last_time)

@@ -1,0 +1,125 @@
+"""Wall-clock profiling of the experiment runner.
+
+Tracing and metrics (:mod:`repro.obs.events`, :mod:`repro.obs.metrics`)
+observe *simulated* time; this module observes the *simulator itself*:
+how long each sweep point took to run, how many kernel events it
+processed, and how the result cache behaved.  That is the telemetry a
+production deployment watches to know whether the hot path regressed --
+and what the observability-overhead benchmark reads to prove tracing
+stays within budget.
+
+The profiler is fed by :func:`repro.core.experiment.run_experiment`
+(pass ``profiler=``) and by the in-process path of
+:func:`repro.core.parallel.run_configs`; it is wall-clock-only and never
+touches simulation state, so profiling is as passive as tracing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["PointProfile", "RunProfiler"]
+
+
+@dataclass(frozen=True)
+class PointProfile:
+    """Runner-side cost of one experiment.
+
+    Attributes:
+        label: The experiment's ``config.describe()``.
+        wall_s: Wall-clock seconds spent inside ``run_experiment``.
+        sim_events: Kernel events the engine processed.
+        sim_time_s: Final simulated clock value.
+    """
+
+    label: str
+    wall_s: float
+    sim_events: int
+    sim_time_s: float
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulator throughput: kernel events per wall-clock second."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.sim_events / self.wall_s
+
+
+class RunProfiler:
+    """Accumulates :class:`PointProfile` records across a run or sweep."""
+
+    def __init__(self) -> None:
+        self.points: list[PointProfile] = []
+
+    def record(
+        self, label: str, wall_s: float, sim_events: int, sim_time_s: float
+    ) -> None:
+        self.points.append(PointProfile(label, wall_s, sim_events, sim_time_s))
+
+    @staticmethod
+    def clock() -> float:
+        """The wall clock used for point timing (monotonic)."""
+        return time.perf_counter()
+
+    # -- aggregates -------------------------------------------------------
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(p.wall_s for p in self.points)
+
+    @property
+    def total_sim_events(self) -> int:
+        return sum(p.sim_events for p in self.points)
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate simulator throughput across every profiled point."""
+        wall = self.total_wall_s
+        if wall <= 0:
+            return 0.0
+        return self.total_sim_events / wall
+
+    def slowest(self, n: int = 5) -> list[PointProfile]:
+        """The ``n`` most expensive points by wall time."""
+        return sorted(self.points, key=lambda p: -p.wall_s)[:n]
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary for :func:`repro.obs.export.write_metrics_json`."""
+        return {
+            "points": [
+                {
+                    "label": p.label,
+                    "wall_s": p.wall_s,
+                    "sim_events": p.sim_events,
+                    "sim_time_s": p.sim_time_s,
+                    "events_per_second": p.events_per_second,
+                }
+                for p in self.points
+            ],
+            "n_points": len(self.points),
+            "total_wall_s": self.total_wall_s,
+            "total_sim_events": self.total_sim_events,
+            "events_per_second": self.events_per_second,
+        }
+
+    def describe(self) -> str:
+        """One-line human summary for CLI footers."""
+        return (
+            f"{len(self.points)} point(s), {self.total_wall_s:.2f} s wall, "
+            f"{self.total_sim_events} kernel events "
+            f"({self.events_per_second:,.0f} ev/s)"
+        )
+
+
+def maybe_record(
+    profiler: Optional[RunProfiler],
+    label: str,
+    wall_s: float,
+    sim_events: int,
+    sim_time_s: float,
+) -> None:
+    """Record into ``profiler`` if one is present (runner convenience)."""
+    if profiler is not None:
+        profiler.record(label, wall_s, sim_events, sim_time_s)

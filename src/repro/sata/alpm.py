@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.devices.link import LinkPowerMode
 from repro.devices.ssd import SimulatedSSD
+from repro.obs.events import EventKind
 
 __all__ = ["AlpmController", "AlpmTransition"]
 
@@ -86,6 +87,16 @@ class AlpmController:
         transition = self._transitions[(current, mode)]
         engine = self.device.engine
         rail = self.device.rail
+        tracer = engine.tracer
+        component = f"{self.device.name}.alpm"
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.ALPM_START,
+                component,
+                from_mode=current.value,
+                to_mode=mode.value,
+                extra_w=transition.extra_power_w,
+            )
         if transition.duration_s > 0:
             rail.add_draw("alpm.transition", transition.extra_power_w)
             try:
@@ -94,3 +105,5 @@ class AlpmController:
                 rail.add_draw("alpm.transition", -transition.extra_power_w)
         self.device.link.set_mode(mode)
         self.transitions_completed += 1
+        if tracer.enabled:
+            tracer.emit(EventKind.ALPM_END, component, mode=mode.value)

@@ -9,12 +9,19 @@ The kernel is deliberately minimal: events are one-shot, callbacks run in
 deterministic FIFO order (ties broken by a monotonically increasing sequence
 number), and there is no wall-clock coupling.  Determinism matters here --
 every experiment in the reproduction must be exactly repeatable from a seed.
+
+The engine also carries the simulation's :mod:`repro.obs` tracer so any
+component holding the engine can emit structured observability events
+(``self.engine.tracer``).  The default is the zero-cost null tracer;
+tracing is strictly passive and never alters scheduling.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Optional
+
+from repro.obs.events import NULL_TRACER
 
 __all__ = ["Engine", "Event", "SimulationError", "StopEngine", "Timeout"]
 
@@ -191,10 +198,13 @@ class Engine:
         [1.0, 2.0, 3.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self.events_processed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.attach(self)
 
     @property
     def now(self) -> float:
@@ -266,6 +276,7 @@ class Engine:
             raise SimulationError("step() on an empty event queue")
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None

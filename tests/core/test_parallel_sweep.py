@@ -142,9 +142,47 @@ class TestResultCache:
         first = run_sweep(grid, cache_dir=tmp_path)
         (entry,) = tmp_path.glob("*.pkl")
         entry.write_bytes(b"not a pickle")
-        second = run_sweep(grid, cache_dir=tmp_path)
+        cache = ResultCache(tmp_path)
+        second = run_sweep(grid, cache_dir=cache)
         point = next(iter(first))
         assert second[point].mean_power_w == first[point].mean_power_w
+        # The unreadable entry was counted as corrupt, recomputed, and
+        # written back -- degradation, not failure.
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+        assert cache.stats.puts == 1
+
+    def test_wrong_type_entry_counts_corrupt(self, tmp_path):
+        grid = small_grid(block_sizes=(16 * KiB,), iodepths=(1,))
+        config = grid.config_for(next(iter(grid.points())))
+        cache = ResultCache(tmp_path)
+        import pickle
+
+        # A well-formed pickle of the wrong type must not be served.
+        cache.path_for(config).write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.get(config) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+
+    def test_stats_track_hits_misses_puts(self, tmp_path):
+        grid = small_grid()
+        cache = ResultCache(tmp_path)
+        run_sweep(grid, cache_dir=cache)
+        assert cache.stats.snapshot() == {
+            "hits": 0,
+            "misses": 4,
+            "corrupt": 0,
+            "puts": 4,
+            "hit_rate": 0.0,
+        }
+        rerun_cache = ResultCache(tmp_path)
+        run_sweep(grid, cache_dir=rerun_cache)
+        snap = rerun_cache.stats.snapshot()
+        assert snap["hits"] == 4
+        assert snap["misses"] == 0
+        assert snap["puts"] == 0
+        assert snap["hit_rate"] == 1.0
 
     def test_failures_not_cached(self, tmp_path):
         grid = small_grid(power_states=(99,), block_sizes=(16 * KiB,), iodepths=(1,))

@@ -1,0 +1,190 @@
+"""Tests for the structured event tracer."""
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.obs.events import (
+    INTERVAL_PAIRS,
+    NULL_TRACER,
+    EventKind,
+    NullTracer,
+    SimEvent,
+    Tracer,
+)
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.sim.engine import Engine
+
+
+class FakeEngine:
+    """Just a clock: what a tracer actually needs from an engine."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        device="ssd3",
+        job=JobSpec(
+            IoPattern.RANDREAD,
+            block_size=16 * KiB,
+            iodepth=4,
+            runtime_s=0.01,
+            size_limit_bytes=2 * MiB,
+        ),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.attach(object())
+        tracer.emit(EventKind.MARK, "x", anything=1)
+        tracer.subscribe(lambda e: pytest.fail("null tracer delivered"))
+        tracer.emit(EventKind.MARK, "x")
+        assert tracer.events == ()
+
+    def test_engine_default_is_shared_singleton(self):
+        assert Engine().tracer is NULL_TRACER
+        assert Engine().tracer is Engine().tracer
+
+    def test_explicit_tracer_is_attached(self):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+        assert engine.tracer is tracer
+        engine.timeout(1.5)
+        engine.step()
+        tracer.emit(EventKind.MARK, "probe")
+        assert tracer.events[-1].time == 1.5
+
+
+class TestTracer:
+    def test_emit_records_time_and_monotone_seq(self):
+        clock = FakeEngine()
+        tracer = Tracer()
+        tracer.attach(clock)
+        tracer.emit(EventKind.IO_SUBMIT, "dev.io", kind="read")
+        clock.now = 2.0
+        tracer.emit(EventKind.IO_COMPLETE, "dev.io", kind="read")
+        first, second = tracer.events
+        assert (first.time, first.seq) == (0.0, 1)
+        assert (second.time, second.seq) == (2.0, 2)
+        assert second.fields == {"kind": "read"}
+
+    def test_field_names_may_shadow_parameters(self):
+        # ``kind`` and ``component`` are positional-only on emit() exactly
+        # so payloads can use those natural names.
+        tracer = Tracer()
+        tracer.emit(EventKind.IO_SUBMIT, "dev", kind="write", component="q0")
+        assert tracer.events[0].fields == {"kind": "write", "component": "q0"}
+
+    def test_subscriber_fan_out_in_emit_order(self):
+        tracer = Tracer(keep_events=False)
+        seen_a, seen_b = [], []
+        tracer.subscribe(seen_a.append)
+        tracer.subscribe(seen_b.append)
+        tracer.emit(EventKind.GC_START, "gc", block=1)
+        tracer.emit(EventKind.GC_END, "gc", block=1)
+        assert [e.kind for e in seen_a] == [EventKind.GC_START, EventKind.GC_END]
+        assert seen_a == seen_b
+        # keep_events=False: fan-out only, no buffer.
+        assert tracer.events == ()
+
+    def test_scope_labels_subsequent_events(self):
+        tracer = Tracer()
+        tracer.emit(EventKind.MARK, "before")
+        tracer.set_scope("point A")
+        tracer.emit(EventKind.MARK, "during")
+        events = tracer.events
+        assert events[0].scope is None
+        assert events[-1].scope == "point A"
+        # set_scope itself drops a MARK carrying the new scope.
+        assert any(
+            e.kind is EventKind.MARK and e.fields.get("scope") == "point A"
+            for e in events
+        )
+
+    def test_of_kind_and_components(self):
+        tracer = Tracer()
+        tracer.emit(EventKind.IO_SUBMIT, "b.io")
+        tracer.emit(EventKind.GC_START, "a.gc")
+        tracer.emit(EventKind.IO_COMPLETE, "b.io")
+        assert [e.kind for e in tracer.of_kind(EventKind.GC_START)] == [
+            EventKind.GC_START
+        ]
+        assert len(tracer.of_kind(EventKind.IO_SUBMIT, EventKind.IO_COMPLETE)) == 2
+        # First-appearance order, not alphabetical.
+        assert tracer.components() == ["b.io", "a.gc"]
+
+    def test_clear_keeps_sequence_numbering(self):
+        tracer = Tracer()
+        tracer.emit(EventKind.MARK, "x")
+        tracer.clear()
+        tracer.emit(EventKind.MARK, "x")
+        assert tracer.events[0].seq == 2
+
+    def test_describe_is_readable(self):
+        event = SimEvent(
+            time=0.5, seq=3, kind=EventKind.GC_START, component="ssd.gc",
+            fields={"block": 7},
+        )
+        text = event.describe()
+        assert "ssd.gc" in text and "gc_start" in text and "block=7" in text
+
+    def test_interval_pairs_are_bijective(self):
+        assert len(set(INTERVAL_PAIRS.values())) == len(INTERVAL_PAIRS)
+        for start, end in INTERVAL_PAIRS.items():
+            assert start.value.endswith("_start")
+            assert end.value.endswith("_end")
+
+
+class TestExperimentTracing:
+    def test_experiment_emits_ordered_io_stream(self):
+        tracer = Tracer()
+        run_experiment(quick_config(), tracer=tracer)
+        events = tracer.events
+        assert events, "an instrumented experiment must emit events"
+        # Total order: (time, seq) is sorted as emitted.
+        keys = [(e.time, e.seq) for e in events]
+        assert keys == sorted(keys)
+        submits = tracer.of_kind(EventKind.IO_SUBMIT)
+        completes = tracer.of_kind(EventKind.IO_COMPLETE)
+        assert len(submits) == len(completes) > 0
+        assert all(e.scope == quick_config().describe() for e in events)
+
+    def test_power_state_transitions_traced(self):
+        tracer = Tracer()
+        run_experiment(quick_config(device="ssd1", power_state=2), tracer=tracer)
+        states = [
+            e.fields["state"] for e in tracer.of_kind(EventKind.POWER_STATE)
+        ]
+        assert states[0] == "ps0"  # baseline residency at t=0
+        assert "ps2" in states
+
+    def test_governor_admissions_balance_releases(self):
+        tracer = Tracer()
+        run_experiment(
+            quick_config(
+                device="ssd1",
+                job=JobSpec(
+                    IoPattern.RANDWRITE,
+                    block_size=256 * KiB,
+                    iodepth=16,
+                    runtime_s=0.01,
+                    size_limit_bytes=4 * MiB,
+                ),
+            ),
+            tracer=tracer,
+        )
+        admissions = tracer.of_kind(EventKind.GOV_REQUEST)
+        releases = tracer.of_kind(EventKind.GOV_RELEASE)
+        assert len(admissions) > 0
+        # Ops still in flight at the end of the run hold their grants, so
+        # releases may trail admissions but can never exceed them.
+        assert 0 < len(releases) <= len(admissions)
+        assert all("committed_w" in e.fields for e in admissions)
+        assert all(isinstance(e.fields["queued"], bool) for e in admissions)

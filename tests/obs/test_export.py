@@ -1,0 +1,169 @@
+"""Tests for trace/metrics export formats (JSONL, Chrome, metrics JSON)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventKind, SimEvent, Tracer
+from repro.obs.export import (
+    event_to_dict,
+    events_to_chrome_trace,
+    load_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_json,
+)
+
+
+def make_events():
+    """A small synthetic trace exercising every export shape."""
+    return [
+        SimEvent(0.0, 1, EventKind.MARK, "tracer", "pt A", {"scope": "pt A"}),
+        SimEvent(0.0, 2, EventKind.POWER_STATE, "d.power", "pt A",
+                 {"state": "ps0", "state_index": 0}),
+        SimEvent(0.001, 3, EventKind.IO_SUBMIT, "d.io", "pt A",
+                 {"kind": "read", "nbytes": 4096}),
+        SimEvent(0.002, 4, EventKind.GC_START, "d.gc", "pt A", {"block": 9}),
+        SimEvent(0.003, 5, EventKind.GC_END, "d.gc", "pt A",
+                 {"block": 9, "relocated": 12}),
+        SimEvent(0.004, 6, EventKind.IO_COMPLETE, "d.io", "pt A",
+                 {"kind": "read", "latency_s": 0.003}),
+        # Second scope: a sweep's next point, clock restarted.
+        SimEvent(0.0, 7, EventKind.SPINUP_START, "h.spindle", "pt B",
+                 {"surge_w": 24.0}),
+        SimEvent(0.005, 8, EventKind.SPINUP_END, "h.spindle", "pt B", {}),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = make_events()
+        assert write_events_jsonl(events, path) == len(events)
+        loaded = load_jsonl(path)
+        assert len(loaded) == len(events)
+        for original, parsed in zip(events, loaded):
+            assert parsed == event_to_dict(original)
+            assert parsed["t"] == original.time
+            assert parsed["seq"] == original.seq
+            assert parsed["kind"] == original.kind.value
+            assert parsed["component"] == original.component
+            assert parsed["scope"] == original.scope
+
+    def test_lines_are_independent_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(make_events(), path)
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line parses alone
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_events_jsonl(make_events(), a)
+        write_events_jsonl(make_events(), b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        payload = events_to_chrome_trace(make_events())
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        for entry in payload["traceEvents"]:
+            assert entry["ph"] in {"M", "B", "E", "i", "C"}
+
+    def test_one_process_per_scope_one_thread_per_component(self):
+        payload = events_to_chrome_trace(make_events())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert process_names == {"pt A", "pt B"}
+        assert thread_names == {"d.power", "d.io", "d.gc", "h.spindle"}
+
+    def test_interval_pairs_become_balanced_slices(self):
+        payload = events_to_chrome_trace(make_events())
+        begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "E"]
+        assert [e["name"] for e in begins] == ["gc", "spin_up"]
+        assert len(begins) == len(ends)
+        for b, e in zip(begins, ends):
+            assert (b["pid"], b["tid"]) == (e["pid"], e["tid"])
+            assert b["ts"] <= e["ts"]
+
+    def test_unmatched_end_degrades_to_instant(self):
+        orphan = [SimEvent(0.0, 1, EventKind.GC_END, "d.gc", None, {})]
+        payload = events_to_chrome_trace(orphan)
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        assert "E" not in phases
+        assert "i" in phases
+
+    def test_marks_are_skipped(self):
+        only_mark = [SimEvent(0.0, 1, EventKind.MARK, "tracer", None, {})]
+        assert events_to_chrome_trace(only_mark)["traceEvents"] == []
+
+    def test_power_state_emits_counter_series(self):
+        payload = events_to_chrome_trace(make_events())
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "d.power state"
+        assert counters[0]["args"] == {"state": 0}
+
+    def test_timestamps_in_microseconds(self):
+        payload = events_to_chrome_trace(make_events())
+        submit = next(
+            e for e in payload["traceEvents"] if e.get("name") == "io_submit"
+        )
+        assert submit["ts"] == pytest.approx(1000.0)  # 0.001 s
+
+    def test_write_returns_count_and_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(make_events(), path)
+        loaded = json.loads(path.read_text())
+        assert count == len(loaded["traceEvents"])
+
+    def test_non_json_fields_stringified(self):
+        weird = [
+            SimEvent(0.0, 1, EventKind.IO_SUBMIT, "d.io", None,
+                     {"pattern": EventKind.MARK}),
+        ]
+        payload = events_to_chrome_trace(weird)
+        entry = payload["traceEvents"][-1]  # after process/thread metadata
+        assert entry["ph"] == "i"
+        assert isinstance(entry["args"]["pattern"], str)
+
+
+class TestMetricsJson:
+    def test_sections(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(
+            {"io.completed": {"_": {"type": "counter", "value": 3.0}}},
+            path,
+            profile={"n_points": 1},
+            cache={"hits": 2, "misses": 1},
+        )
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"metrics", "profile", "cache"}
+        assert payload["metrics"]["io.completed"]["_"]["value"] == 3.0
+
+    def test_optional_sections_omitted(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json({}, path)
+        assert set(json.loads(path.read_text())) == {"metrics"}
+
+
+class TestTracerToExport:
+    def test_real_tracer_events_export_cleanly(self, tmp_path):
+        tracer = Tracer()
+        tracer.set_scope("demo")
+        tracer.emit(EventKind.ALPM_START, "d.alpm", from_mode="active",
+                    to_mode="slumber")
+        tracer.emit(EventKind.ALPM_END, "d.alpm", mode="slumber")
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        assert write_events_jsonl(tracer.events, jsonl) == 3
+        write_chrome_trace(tracer.events, chrome)
+        payload = json.loads(chrome.read_text())
+        slices = [e for e in payload["traceEvents"] if e["ph"] in "BE"]
+        assert [e["name"] for e in slices] == ["alpm", "alpm"]

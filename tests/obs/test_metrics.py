@@ -1,0 +1,236 @@
+"""Tests for sim-time metrics instruments and the event-driven collector."""
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.obs.events import EventKind, Tracer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    StateTimer,
+    TimeWeightedGauge,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert c.snapshot() == {"type": "counter", "value": 3.5}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(4.0)
+        g.set(2.0)
+        assert g.snapshot() == {"type": "gauge", "value": 2.0}
+
+
+class TestTimeWeightedGauge:
+    def test_mean_is_time_weighted(self):
+        g = TimeWeightedGauge()
+        g.set(0.0, 0.0)
+        g.set(10.0, 1.0)  # value 0 for [0, 1)
+        g.set(0.0, 3.0)  # value 10 for [1, 3)
+        # integral = 0*1 + 10*2 = 20 over span 3.
+        assert g.mean() == pytest.approx(20.0 / 3.0)
+
+    def test_mean_extends_to_end_time(self):
+        g = TimeWeightedGauge()
+        g.set(4.0, 0.0)
+        # value 4 held for [0, 2]: mean is 4 regardless of updates.
+        assert g.mean(end_time=2.0) == pytest.approx(4.0)
+
+    def test_clock_reset_starts_new_epoch(self):
+        g = TimeWeightedGauge()
+        g.set(2.0, 0.0)
+        g.set(2.0, 1.0)  # epoch 1: value 2 over 1 s
+        g.set(6.0, 0.0)  # sweep moved to its next point: clock reset
+        g.set(6.0, 1.0)  # epoch 2: value 6 over 1 s
+        # No negative interval, both epochs weighted equally.
+        assert g.mean() == pytest.approx(4.0)
+
+    def test_add_is_relative(self):
+        g = TimeWeightedGauge()
+        g.add(1.0, 0.0)
+        g.add(1.0, 1.0)
+        g.add(-2.0, 2.0)
+        assert g.value == 0.0
+        # 1 for [0,1), 2 for [1,2): integral 3 over span 2.
+        assert g.mean() == pytest.approx(1.5)
+
+
+class TestStateTimer:
+    def test_durations_and_fractions(self):
+        t = StateTimer()
+        t.set_state("ps0", 0.0)
+        t.set_state("ps4", 1.0)
+        t.set_state("ps0", 4.0)
+        durations = t.durations(end_time=5.0)
+        assert durations == {"ps0": 2.0, "ps4": 3.0}
+        fractions = t.fractions(end_time=5.0)
+        assert fractions["ps0"] == pytest.approx(0.4)
+        assert fractions["ps4"] == pytest.approx(0.6)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_keys_sorted_deterministically(self):
+        t = StateTimer()
+        t.set_state("zeta", 0.0)
+        t.set_state("alpha", 1.0)
+        t.set_state("zeta", 2.0)
+        assert list(t.durations(end_time=3.0)) == ["alpha", "zeta"]
+
+    def test_clock_reset_keeps_residency(self):
+        t = StateTimer()
+        t.set_state("ps0", 0.0)
+        t.set_state("ps2", 2.0)  # ps0 resident 2 s in epoch 1
+        t.set_state("ps0", 0.0)  # clock reset: epoch 2
+        t.set_state("ps2", 1.0)  # ps0 resident 1 s more
+        assert t.durations()["ps0"] == pytest.approx(3.0)
+
+
+class TestHistogram:
+    def test_snapshot_quantiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0
+        assert snap["max"] == 100.0
+        assert snap["mean"] == pytest.approx(50.5)
+        assert snap["p50"] == pytest.approx(51.0)  # nearest rank
+        assert snap["p99"] == pytest.approx(100.0)
+
+    def test_empty_snapshot(self):
+        assert Histogram().snapshot() == {"type": "histogram", "count": 0}
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("io.submitted", component="ssd.io", kind="read")
+        b = reg.counter("io.submitted", kind="read", component="ssd.io")
+        c = reg.counter("io.submitted", component="ssd.io", kind="write")
+        assert a is b  # label order is irrelevant
+        assert a is not c
+        assert len(reg) == 2
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", device="d")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x", device="d")
+
+    def test_snapshot_shape_and_ordering(self):
+        reg = MetricsRegistry()
+        reg.counter("b.metric", device="d2").inc()
+        reg.counter("b.metric", device="d1").inc()
+        reg.gauge("a.metric").set(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.metric", "b.metric"]
+        assert list(snap["b.metric"]) == ["device=d1", "device=d2"]
+        assert snap["a.metric"]["_"] == {"type": "gauge", "value": 1.0}
+
+
+class TestMetricsCollector:
+    class _Clock:
+        def __init__(self) -> None:
+            self.now = 0.0
+
+    def _traced(self):
+        clock = self._Clock()
+        tracer = Tracer(keep_events=False)
+        tracer.attach(clock)
+        collector = MetricsCollector()
+        tracer.subscribe(collector)
+        return clock, tracer, collector
+
+    def test_io_counters_and_outstanding_depth(self):
+        clock, tracer, collector = self._traced()
+        tracer.emit(EventKind.IO_SUBMIT, "d.io", kind="read")
+        clock.now = 1.0
+        tracer.emit(EventKind.IO_SUBMIT, "d.io", kind="read")
+        clock.now = 2.0
+        tracer.emit(
+            EventKind.IO_COMPLETE, "d.io", kind="read", latency_s=2.0
+        )
+        snap = collector.snapshot()
+        label = "component=d.io,kind=read"
+        assert snap["io.submitted"][label]["value"] == 2.0
+        assert snap["io.completed"][label]["value"] == 1.0
+        assert snap["io.latency_s"][label]["count"] == 1
+        # Depth: 1 over [0,1), 2 over [1,2) -> mean 1.5 at t=2.
+        assert snap["io.outstanding"]["component=d.io"]["mean"] == pytest.approx(
+            1.5
+        )
+
+    def test_power_state_residency(self):
+        clock, tracer, collector = self._traced()
+        tracer.emit(EventKind.POWER_STATE, "d.power", state="ps0")
+        clock.now = 1.0
+        tracer.emit(EventKind.POWER_STATE, "d.power", state="ps4")
+        clock.now = 4.0
+        tracer.emit(EventKind.MARK, "tick")  # advances last_time only
+        snap = collector.snapshot()
+        fractions = snap["power.state"]["component=d.power"]["fractions"]
+        assert fractions == {"ps0": 0.25, "ps4": 0.75}
+
+    def test_mechanism_counters(self):
+        clock, tracer, collector = self._traced()
+        tracer.emit(EventKind.GC_START, "d.gc", block=1)
+        tracer.emit(EventKind.GC_END, "d.gc", block=1, relocated=17)
+        tracer.emit(EventKind.SPINUP_START, "h.spindle")
+        tracer.emit(EventKind.SPINDOWN_START, "h.spindle")
+        tracer.emit(EventKind.ALPM_END, "d.alpm", mode="slumber")
+        tracer.emit(EventKind.CACHE_HIT, "d.wbuf")
+        tracer.emit(EventKind.CACHE_MISS, "d.wbuf")
+        snap = collector.snapshot()
+        assert snap["gc.collections"]["component=d.gc"]["value"] == 1.0
+        assert snap["gc.pages_relocated"]["component=d.gc"]["value"] == 17.0
+        assert snap["spindle.spinups"]["component=h.spindle"]["value"] == 1.0
+        assert snap["spindle.spindowns"]["component=h.spindle"]["value"] == 1.0
+        assert snap["alpm.transitions"]["component=d.alpm"]["value"] == 1.0
+        assert snap["cache.hits"]["component=d.wbuf"]["value"] == 1.0
+        assert snap["cache.misses"]["component=d.wbuf"]["value"] == 1.0
+
+    def test_collector_over_real_experiment(self):
+        tracer = Tracer(keep_events=False)
+        collector = MetricsCollector()
+        tracer.subscribe(collector)
+        config = ExperimentConfig(
+            device="ssd1",
+            job=JobSpec(
+                IoPattern.RANDREAD,
+                block_size=16 * KiB,
+                iodepth=4,
+                runtime_s=0.01,
+                size_limit_bytes=2 * MiB,
+            ),
+            power_state=2,
+        )
+        result = run_experiment(config, tracer=tracer)
+        snap = collector.snapshot()
+        io = snap["io.completed"]["component=ssd1.io,kind=read"]
+        assert io["value"] == len(result.job.records)
+        fractions = snap["power.state"]["component=ssd1.power"]["fractions"]
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert "ps2" in fractions
+        assert collector.events_seen > 0
+        assert collector.last_time > 0.0

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -148,6 +150,83 @@ class TestCommands:
         assert code == 1
         out = capsys.readouterr().out
         assert "FAILED" in out and "ValueError" in out
+
+    def test_run_trace_jsonl_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "run", "--device", "ssd1", "--rw", "randwrite",
+                "--bs", "64k", "--iodepth", "8",
+                "--runtime", "0.01", "--size", "2M", "--ps", "2",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert str(trace) in capsys.readouterr().out
+        from repro.obs.export import load_jsonl
+
+        events = load_jsonl(trace)
+        assert events, "trace file must contain events"
+        kinds = {e["kind"] for e in events}
+        assert {"io_submit", "io_complete", "power_state"} <= kinds
+        # Deterministic total order: (t, seq) ascending.
+        keys = [(e["t"], e["seq"]) for e in events]
+        assert keys == sorted(keys)
+
+    def test_run_metrics_round_trip(self, capsys, tmp_path):
+        metrics = tmp_path / "run.metrics.json"
+        code = main(
+            [
+                "run", "--device", "ssd3", "--rw", "randread",
+                "--bs", "16k", "--iodepth", "4",
+                "--runtime", "0.01", "--size", "1M",
+                "--metrics", str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "profile:" in capsys.readouterr().out
+        payload = json.loads(metrics.read_text())
+        assert "metrics" in payload and "profile" in payload
+        assert payload["profile"]["n_points"] == 1
+        completed = payload["metrics"]["io.completed"]
+        assert sum(v["value"] for v in completed.values()) > 0
+
+    def test_sweep_chrome_trace_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.trace.json"
+        metrics = tmp_path / "sweep.metrics.json"
+        cache = tmp_path / "cache"
+        argv = [
+            "sweep", "--device", "ssd1", "--rw", "randwrite",
+            "--bs", "64k", "--iodepth", "1", "--iodepth", "8",
+            "--ps", "0", "--ps", "2",
+            "--runtime", "0.01", "--size", "2M",
+            "--cache", str(cache),
+            "--trace", str(trace), "--trace-format", "chrome",
+            "--metrics", str(metrics),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        payload = json.loads(trace.read_text())
+        entries = payload["traceEvents"]
+        # One process per sweep point, named via metadata.
+        process_names = {
+            e["args"]["name"]
+            for e in entries
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert len(process_names) == 4
+        assert all("ssd1" in name for name in process_names)
+        thread_names = {
+            e["args"]["name"]
+            for e in entries
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "ssd1.io" in thread_names and "ssd1.power" in thread_names
+        metrics_payload = json.loads(metrics.read_text())
+        assert metrics_payload["cache"]["misses"] == 4
+        assert metrics_payload["cache"]["puts"] == 4
+        assert metrics_payload["profile"]["n_points"] == 4
 
     def test_figure_quick(self, capsys):
         assert main(["figure", "table1", "--quick"]) == 0

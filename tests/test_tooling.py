@@ -7,6 +7,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 import check_no_bare_hash  # noqa: E402
+import check_no_print  # noqa: E402
 
 
 class TestNoBareHashLint:
@@ -32,3 +33,42 @@ class TestNoBareHashLint:
             "# a comment mentioning hash( is fine\n"
         )
         assert check_no_bare_hash.main([str(tmp_path)]) == 0
+
+
+class TestNoPrintLint:
+    def test_src_repro_is_clean(self):
+        """Library code must not write to stdout: output belongs to return
+        values and the repro.obs layer, stdout to the CLI alone."""
+        assert check_no_print.main([]) == 0
+
+    def test_detects_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f():\n    print('debugging')\n")
+        assert check_no_print.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2" in out
+
+    def test_cli_module_exempt(self, tmp_path):
+        cli = tmp_path / "cli.py"
+        cli.write_text("print('the CLI is the stdout boundary')\n")
+        assert check_no_print.main([str(tmp_path)]) == 0
+
+    def test_main_guard_exempt(self, tmp_path):
+        study = tmp_path / "study.py"
+        study.write_text(
+            "def run():\n"
+            "    return 42\n"
+            "\n"
+            "if __name__ == '__main__':\n"
+            "    print(run())\n"
+        )
+        assert check_no_print.main([str(tmp_path)]) == 0
+
+    def test_strings_and_methods_ignored(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "doc = 'call print(x) to show it'\n"
+            "logger.print('not the builtin')\n"
+            "# print('commented out')\n"
+        )
+        assert check_no_print.main([str(tmp_path)]) == 0

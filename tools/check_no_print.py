@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Lint: forbid bare ``print()`` in ``src/repro`` library code.
+
+The library's observable output goes through return values, the tracer
+(:mod:`repro.obs.events`), and the metrics registry -- never stdout.  A
+stray ``print()`` in a device model or sweep runner corrupts piped CLI
+output, breaks byte-stable golden comparisons, and hides information
+from the structured observability layer that should carry it.
+
+Exemptions, by design:
+
+- files named ``cli.py`` (the CLI *is* the stdout boundary);
+- calls inside an ``if __name__ == "__main__":`` block (the studies
+  modules are runnable scripts; their demo output is fine).
+
+Run directly (``python tools/check_no_print.py``) or via the test suite
+(``tests/test_tooling.py``).  Exit status 0 = clean, 1 = violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator
+
+DEFAULT_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+EXEMPT_FILENAMES = {"cli.py"}
+
+
+def _is_main_guard(node: ast.If) -> bool:
+    """True for ``if __name__ == "__main__":`` (either operand order)."""
+    test = node.test
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left, *test.comparators]
+    names = {o.id for o in operands if isinstance(o, ast.Name)}
+    consts = {o.value for o in operands if isinstance(o, ast.Constant)}
+    return "__name__" in names and "__main__" in consts
+
+
+def _main_guard_ranges(tree: ast.Module) -> list[tuple[int, int]]:
+    return [
+        (node.lineno, node.end_lineno or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.If) and _is_main_guard(node)
+    ]
+
+
+def find_violations(root: Path) -> Iterator[str]:
+    """Yield ``path:line: source`` for every bare ``print(...)`` call.
+
+    AST-based: ``print`` mentioned in strings/comments, or methods named
+    ``print`` on other objects, do not trip it.
+    """
+    for path in sorted(root.rglob("*.py")):
+        if path.name in EXEMPT_FILENAMES:
+            continue
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(path))
+        guards = _main_guard_ranges(tree)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                if any(lo <= node.lineno <= hi for lo, hi in guards):
+                    continue
+                line = lines[node.lineno - 1].strip()
+                yield f"{path}:{node.lineno}: {line}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    root = Path(argv[0]) if argv else DEFAULT_ROOT
+    violations = list(find_violations(root))
+    if violations:
+        print(
+            "bare print() is banned in library code; return strings, or "
+            "emit through repro.obs (cli.py and __main__ blocks excepted):"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
