@@ -24,11 +24,18 @@ paper-versus-measured record of every table and figure.
 """
 
 from repro._units import GiB, KiB, MiB
+from repro.core.checkpoint import CheckpointJournal, PointState
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.core.model import ModelPoint, PowerThroughputModel
-from repro.core.parallel import PointFailure, SweepExecutionError, run_configs
+from repro.core.parallel import (
+    PointFailure,
+    RetryPolicy,
+    SweepExecutionError,
+    run_configs,
+)
 from repro.core.sweep import SweepGrid, SweepOutcome, run_sweep, sweep_outcome
 from repro.devices import build_device, DEVICE_PRESETS
+from repro.faults import FaultInjector, FaultPlan, FaultSummary, parse_fault_plan
 from repro.iogen import IoPattern, JobSpec
 from repro.obs import (
     EventKind,
@@ -43,10 +50,14 @@ from repro.obs import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointJournal",
     "DEVICE_PRESETS",
     "EventKind",
     "ExperimentConfig",
     "ExperimentResult",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSummary",
     "GiB",
     "MetricsCollector",
     "MetricsRegistry",
@@ -60,11 +71,14 @@ __all__ = [
     "MiB",
     "ModelPoint",
     "PointFailure",
+    "PointState",
     "PowerThroughputModel",
+    "RetryPolicy",
     "SweepExecutionError",
     "SweepGrid",
     "SweepOutcome",
     "build_device",
+    "parse_fault_plan",
     "run_configs",
     "run_experiment",
     "run_sweep",

@@ -6,12 +6,17 @@ Five subcommands cover the workflows a user of the artifact needs:
 - ``run`` -- one experiment with fio-style options (the paper's inner
   measurement loop);
 - ``sweep`` -- a mechanism grid on one device, fanned out across worker
-  processes (``--workers``), with an optional on-disk result cache;
+  processes (``--workers``), with an optional on-disk result cache,
+  resilience controls (``--timeout``, ``--retries``) and checkpointed
+  resume (``--resume``);
 - ``figure`` -- regenerate a paper table/figure and print its rows;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
 
-``run`` and ``sweep`` accept observability options: ``--trace PATH``
+``run`` and ``sweep`` accept ``--faults SPEC`` for deterministic fault
+injection (see :func:`repro.faults.parse_fault_plan` for the grammar,
+e.g. ``io_error:p=0.01;governor:at=0.02``) and observability options:
+``--trace PATH``
 (with ``--trace-format jsonl|chrome``) exports every mechanism event --
 power-state transitions, governor throttling, GC, spindle, ALPM -- and
 ``--metrics PATH`` writes a sim-time metrics snapshot (power-state
@@ -31,6 +36,32 @@ from repro.devices.catalog import DEVICE_PRESETS
 from repro.iogen.spec import IoPattern, JobSpec
 
 __all__ = ["build_parser", "main"]
+
+
+def _workers_arg(value: str) -> Optional[int]:
+    """Parse ``--workers``: a positive integer, or ``all`` for all cores."""
+    if value.strip().lower() == "all":
+        return None
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'all', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1 (or 'all'), got {workers}"
+        )
+    return workers
+
+
+def _faults_arg(value: str):
+    from repro.faults import FaultSpecError, parse_fault_plan
+
+    try:
+        return parse_fault_plan(value)
+    except FaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 _FIGURES = (
     "table1",
@@ -73,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--size", default="48M", help="byte stop condition")
     run_p.add_argument("--ps", type=int, default=None, help="NVMe power state")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--faults",
+        type=_faults_arg,
+        default=None,
+        metavar="SPEC",
+        help="inject faults, e.g. 'io_error:p=0.01;governor:at=0.02' "
+        "(kinds: io_error, spike, throttle, stuck, governor, spinup)",
+    )
     _add_obs_args(run_p)
 
     sweep_p = sub.add_parser(
@@ -104,9 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=1,
-        help="worker processes (0 = all cores; default 1 = in-process)",
+        help="worker processes: a positive integer or 'all' "
+        "(default 1 = in-process)",
     )
     sweep_p.add_argument(
         "--cache",
@@ -117,6 +157,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--runtime", type=float, default=0.05, help="seconds")
     sweep_p.add_argument("--size", default="32M", help="byte stop condition")
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--faults",
+        type=_faults_arg,
+        default=None,
+        metavar="SPEC",
+        help="inject faults into every point, e.g. 'io_error:p=0.01'",
+    )
+    resil = sweep_p.add_argument_group("resilience")
+    resil.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per point attempt; hung workers are "
+        "killed and the point retried",
+    )
+    resil.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per failing point (timeouts, crashes, "
+        "exceptions)",
+    )
+    resil.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep: requires --cache; completed "
+        "points are skipped via the cache and checkpoint journal",
+    )
     _add_obs_args(sweep_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
@@ -126,9 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig_p.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=1,
-        help="worker processes for sweep-backed figures (0 = all cores)",
+        help="worker processes for sweep-backed figures: a positive "
+        "integer or 'all'",
     )
 
     plan_p = sub.add_parser("plan", help="plan a power cut on a device model")
@@ -258,17 +328,23 @@ def _cmd_run(args: argparse.Namespace) -> str:
             job=job,
             power_state=args.ps,
             seed=args.seed,
+            faults=args.faults,
         ),
         tracer=obs.tracer,
         profiler=obs.profiler,
     )
     lines = [result.summary()]
+    if result.faults is not None:
+        lines.append(f"faults: {result.faults.describe()}")
     if obs.enabled:
         lines.extend(obs.export())
     return "\n".join(lines)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
+    from pathlib import Path
+
+    from repro.core.checkpoint import CheckpointJournal
     from repro.core.parallel import ResultCache
     from repro.core.reporting import format_table
     from repro.core.sweep import SweepGrid, sweep_outcome
@@ -278,6 +354,12 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
         PAPER_QUEUE_DEPTHS,
     )
 
+    if args.resume and not args.cache:
+        return (
+            "sweep: --resume requires --cache (completed points are "
+            "skipped via their cached results)",
+            2,
+        )
     patterns = tuple(
         IoPattern(rw) for rw in (args.rw or ["randwrite"])
     )
@@ -297,15 +379,27 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
             size_limit_bytes=parse_size(args.size),
         ),
         seed=args.seed,
+        faults=args.faults,
     )
     obs = _ObsSession(args)
     cache = ResultCache(args.cache) if args.cache else None
+    checkpoint = Path(args.cache) / "checkpoint.jsonl" if args.cache else None
+    notes = []
+    if args.resume and checkpoint is not None:
+        entries = CheckpointJournal.load(checkpoint)
+        notes.append(
+            f"resuming from {checkpoint}: {CheckpointJournal.summarize(entries)}"
+        )
     outcome = sweep_outcome(
         grid,
-        n_workers=args.workers or None,
+        n_workers=args.workers,
         cache_dir=cache if cache is not None else None,
         tracer=obs.tracer,
         profiler=obs.profiler,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        checkpoint=checkpoint,
+        resume=args.resume,
     )
     rows = [
         [
@@ -316,13 +410,16 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
         ]
         for point, result in outcome.results.items()
     ]
-    blocks = [
+    blocks = []
+    if notes:
+        blocks.append("\n".join(notes))
+    blocks.append(
         format_table(
             ["Point", "Mean W", "MiB/s", "p99 us"],
             rows,
             title=f"Sweep of {args.device}: {len(rows)} points.",
         )
-    ]
+    )
     if outcome.failures:
         blocks.append(
             f"{len(outcome.failures)} point(s) FAILED:\n"
@@ -348,7 +445,7 @@ def _cmd_figure(args: argparse.Namespace) -> str:
         return module.render(module.run())
     kwargs = {}
     if "n_workers" in inspect.signature(module.run).parameters:
-        kwargs["n_workers"] = args.workers or None
+        kwargs["n_workers"] = args.workers
     return module.render(module.run(scale, **kwargs))
 
 

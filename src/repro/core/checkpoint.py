@@ -1,0 +1,171 @@
+"""Sweep checkpoint journal.
+
+A sweep that dies halfway -- power loss, OOM kill, a stray Ctrl-C --
+should not cost the points it already finished.  The journal is an
+append-only JSONL file recording each point's lifecycle keyed by its
+config content hash:
+
+- ``in_flight``: dispatched to a worker (possibly attempt > 1),
+- ``done``: completed and (when a cache is attached) persisted,
+- ``failed``: one attempt failed (timeout, crash, or exception),
+- ``exhausted``: retry budget spent; the point is a final failure.
+
+Append-only JSONL is deliberately the simplest crash-safe structure:
+a torn final line (the crash that motivated resuming) parses as garbage
+and is skipped, every earlier line is intact, and the *last* entry per
+key wins.  Results themselves live in the
+:class:`~repro.core.parallel.ResultCache`; the journal only records
+progress, so ``repro sweep --resume`` can report what happened and the
+cache can skip recomputation.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, TextIO, Union
+
+__all__ = ["CheckpointEntry", "CheckpointJournal", "PointState"]
+
+
+class PointState(enum.Enum):
+    """Lifecycle of one sweep point in the journal."""
+
+    IN_FLIGHT = "in_flight"
+    DONE = "done"
+    FAILED = "failed"
+    EXHAUSTED = "exhausted"
+
+
+@dataclass(frozen=True)
+class CheckpointEntry:
+    """Last recorded state of one point.
+
+    Attributes:
+        key: Config content hash identifying the point.
+        state: Last journaled lifecycle state.
+        attempt: Attempt number the state refers to (1-based).
+        detail: Free-form context (error summary, ``"cached"``).
+    """
+
+    key: str
+    state: PointState
+    attempt: int = 1
+    detail: str = ""
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether the point was dispatched but never finished."""
+        return self.state is PointState.IN_FLIGHT
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of sweep-point states.
+
+    >>> import tempfile
+    >>> path = Path(tempfile.mkdtemp()) / "checkpoint.jsonl"
+    >>> journal = CheckpointJournal(path)
+    >>> journal.open(fresh=True)
+    >>> journal.record("abc123", PointState.IN_FLIGHT)
+    >>> journal.record("abc123", PointState.DONE)
+    >>> journal.close()
+    >>> CheckpointJournal.load(path)["abc123"].state
+    <PointState.DONE: 'done'>
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = None
+
+    def open(self, fresh: bool = False) -> None:
+        """Open for recording; ``fresh`` truncates (non-resume runs)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w" if fresh else "a", encoding="utf-8")
+
+    def record(
+        self,
+        key: str,
+        state: PointState,
+        attempt: int = 1,
+        detail: str = "",
+    ) -> None:
+        """Append one state line and push it to the OS.
+
+        Flushed per line so a crashed parent leaves at most one torn
+        line; fsync is deliberately skipped (a per-point fsync would
+        dominate short experiments, and losing the last line only costs
+        one recomputation).
+        """
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        entry = {"key": key, "state": state.value, "attempt": attempt}
+        if detail:
+            entry["detail"] = detail
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        if self._fh is None:
+            self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> Dict[str, CheckpointEntry]:
+        """Last recorded entry per key; ``{}`` if the journal is absent.
+
+        Corrupt or truncated lines (the torn tail of an interrupted run)
+        are skipped rather than raised -- the journal must be readable
+        precisely after the crashes it exists to survive.
+        """
+        path = Path(path)
+        if not path.exists():
+            return {}
+        entries: Dict[str, CheckpointEntry] = {}
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                    entry = CheckpointEntry(
+                        key=raw["key"],
+                        state=PointState(raw["state"]),
+                        attempt=int(raw.get("attempt", 1)),
+                        detail=str(raw.get("detail", "")),
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    continue
+                entries[entry.key] = entry
+        return entries
+
+    @staticmethod
+    def summarize(entries: Dict[str, CheckpointEntry]) -> str:
+        """One-line state census, e.g. ``"12 done, 1 in-flight, 2 failed"``."""
+        if not entries:
+            return "empty journal"
+        counts: Dict[PointState, int] = {}
+        for entry in entries.values():
+            counts[entry.state] = counts.get(entry.state, 0) + 1
+        order = (
+            PointState.DONE,
+            PointState.IN_FLIGHT,
+            PointState.FAILED,
+            PointState.EXHAUSTED,
+        )
+        return ", ".join(
+            f"{counts[state]} {state.value.replace('_', '-')}"
+            for state in order
+            if state in counts
+        )

@@ -17,6 +17,8 @@ from repro.devices.base import StorageDevice
 from repro.devices.catalog import DeviceConfig, build_device
 from repro.devices.link import LinkPowerMode
 from repro.devices.ssd import SimulatedSSD
+from repro.faults.injector import FaultInjector, FaultSummary
+from repro.faults.plan import FaultPlan
 from repro.iogen.engine import FioJob
 from repro.iogen.spec import JobSpec
 from repro.iogen.stats import JobResult, LatencyStats
@@ -58,6 +60,10 @@ class ExperimentConfig:
         keep_trace: Retain the full measured power trace on the result
             (costs memory across big sweeps; figure drivers that plot
             traces turn it on).
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` injected
+            deterministically (from the same root seed) while the job
+            runs.  ``None`` -- the default -- leaves every device on the
+            null injector and reproduces pre-fault results bit for bit.
     """
 
     device: Union[str, DeviceConfig]
@@ -72,6 +78,7 @@ class ExperimentConfig:
         )
     )
     keep_trace: bool = False
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.warmup_fraction < 1:
@@ -102,8 +109,12 @@ class ExperimentResult:
         power: Measured power summary over the steady-state window.
         true_mean_power_w: Ground-truth rail mean over the same window
             (for meter-accuracy accounting).
-        cap_w: Active power cap during the run, if any.
+        cap_w: The power cap the run *intended* (NVMe Set Features), if
+            any.  Under an injected governor failure the device stops
+            enforcing it, which :attr:`cap_respected` then reports.
         trace: Full measured power trace when ``keep_trace`` was set.
+        faults: Fault accounting when the experiment configured a fault
+            plan (``None`` for clean runs).
     """
 
     config: ExperimentConfig
@@ -112,6 +123,7 @@ class ExperimentResult:
     true_mean_power_w: float
     cap_w: Optional[float]
     trace: Optional[PowerTrace] = None
+    faults: Optional[FaultSummary] = None
 
     # -- the quantities the paper's figures plot --------------------------
 
@@ -216,7 +228,14 @@ def run_experiment(
     if tracer is not None and tracer.enabled:
         tracer.set_scope(config.describe())
     rngs = RngStreams(config.seed)
-    device = build_device(engine, config.device, rng=rngs)
+    faults = (
+        FaultInjector(engine, config.faults, rngs)
+        if config.faults is not None
+        else None
+    )
+    device = build_device(engine, config.device, rng=rngs, faults=faults)
+    if faults is not None:
+        faults.install(device)
     _apply_power_controls(engine, device, config)
 
     job = FioJob(engine, device, config.job, rng=rngs.get("io.offsets"))
@@ -232,8 +251,10 @@ def run_experiment(
     trace = meter.measure(t_measure, t_end, label=config.describe())
     power = summarize_samples(trace)
     cap_w = None
-    if isinstance(device, SimulatedSSD) and device.governor.cap_w is not None:
-        cap_w = device.governor.cap_w
+    if isinstance(device, SimulatedSSD):
+        # intended_cap_w survives an injected governor failure, so the
+        # result still knows which cap the run was *supposed* to honour.
+        cap_w = device.governor.intended_cap_w
     if profiler is not None:
         profiler.record(
             label=config.describe(),
@@ -248,4 +269,5 @@ def run_experiment(
         true_mean_power_w=device.rail.trace.mean(t_measure, t_end),
         cap_w=cap_w,
         trace=trace if config.keep_trace else None,
+        faults=faults.summary() if faults is not None else None,
     )

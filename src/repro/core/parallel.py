@@ -14,8 +14,21 @@ sweep layer, the figure drivers and the CLI share:
 - :class:`ResultCache` — an optional on-disk cache keyed by a stable
   content hash of the config, so re-runs of overlapping grids skip
   already-computed points;
+- :class:`RetryPolicy` — resilient execution: per-point wall-clock
+  timeouts, bounded retries with exponential backoff and deterministic
+  jitter, and survival of hard worker crashes (the crashed point is
+  re-dispatched to a fresh worker);
 - graceful fallback to in-process execution when ``n_workers == 1`` or
   the platform cannot provide a process pool.
+
+Resilience note: a :class:`RetryPolicy` with a timeout or retries runs
+points on a dedicated pipe-connected worker pool rather than
+``ProcessPoolExecutor`` — the stdlib pool cannot kill a hung worker
+(``shutdown`` joins it), while a directly-owned process can be
+``terminate()``-d at its deadline and replaced.  Retry scheduling
+(backoff, jitter) is wall-clock only and never touches simulation
+state, so resilient execution reproduces plain execution bit for bit
+for every point that completes.
 
 Determinism note: parallel execution only matches sequential execution
 because per-point seeds are *process-stable* (derived via
@@ -25,26 +38,37 @@ which ``PYTHONHASHSEED`` randomizes per process).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
+import heapq
+import multiprocessing
 import os
 import pickle
+import time
 import traceback
 import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.checkpoint import CheckpointJournal, PointState
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 
 __all__ = [
     "CacheStats",
     "PointFailure",
+    "PointTimeoutError",
     "ResultCache",
+    "RetryPolicy",
     "SweepExecutionError",
+    "WorkerCrashError",
+    "backoff_delay",
     "config_content_hash",
     "resolve_workers",
     "run_configs",
@@ -93,30 +117,120 @@ def config_content_hash(config: ExperimentConfig) -> str:
     return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
+# -- retry policy -----------------------------------------------------------
+
+
+class PointTimeoutError(RuntimeError):
+    """A point exceeded its per-attempt wall-clock budget and was killed."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (segfault, OOM kill, ``os._exit``) mid-point."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor survives slow, flaky, and crashing points.
+
+    Attributes:
+        timeout_s: Per-attempt wall-clock budget; a worker still running
+            at its deadline is terminated and the attempt counts as a
+            failure.  ``None`` disables timeouts.
+        retries: Extra attempts after the first failure (so a point runs
+            at most ``1 + retries`` times).
+        backoff_base_s: Delay before retry 1; doubles per retry.
+        backoff_cap_s: Upper bound on any single backoff delay.
+        jitter: Fractional spread added to each delay, derived
+            deterministically from the point's content hash and attempt
+            number — re-running a sweep re-produces the same schedule,
+            while distinct points still decorrelate.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive or None")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    @property
+    def resilient(self) -> bool:
+        """Whether this policy needs the resilient (kill-capable) pool."""
+        return self.timeout_s is not None or self.retries > 0
+
+
+def backoff_delay(key: str, attempt: int, policy: RetryPolicy) -> float:
+    """Deterministic exponential-backoff delay before retry ``attempt``.
+
+    Jitter comes from a keyed digest of ``(key, attempt)`` rather than a
+    live RNG: the retry schedule is part of the run's reproducible
+    behaviour, not a source of noise.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based")
+    base = min(policy.backoff_cap_s, policy.backoff_base_s * 2 ** (attempt - 1))
+    digest = hashlib.blake2b(
+        f"{key}:{attempt}".encode("utf-8"), digest_size=8
+    ).digest()
+    frac = int.from_bytes(digest, "big") / 2**64
+    return base * (1.0 + policy.jitter * frac)
+
+
 # -- failure capture --------------------------------------------------------
 
 
 @dataclass(frozen=True)
 class PointFailure:
-    """One experiment that raised, with enough context to reproduce it."""
+    """One experiment that raised, with enough context to reproduce it.
+
+    Attributes:
+        attempts: How many times the executor ran the point before
+            giving up (1 unless a :class:`RetryPolicy` allowed retries).
+    """
 
     config: ExperimentConfig
     error_type: str
     message: str
     traceback: str
+    attempts: int = 1
 
     def describe(self) -> str:
-        return f"{self.config.describe()}: {self.error_type}: {self.message}"
+        suffix = f" (after {self.attempts} attempts)" if self.attempts > 1 else ""
+        return (
+            f"{self.config.describe()}: {self.error_type}: {self.message}{suffix}"
+        )
+
+
+#: Failures rendered in a SweepExecutionError message before truncating.
+MAX_RENDERED_FAILURES = 5
 
 
 class SweepExecutionError(RuntimeError):
-    """Raised when a sweep had failing points and the caller wanted none."""
+    """Raised when a sweep had failing points and the caller wanted none.
+
+    The message renders at most :data:`MAX_RENDERED_FAILURES` failures
+    (a 720-point sweep failing wholesale should not print 720
+    tracebacks' worth of text); the full list stays on ``failures``.
+    """
 
     def __init__(self, failures: Sequence[PointFailure]) -> None:
         self.failures = list(failures)
-        lines = "\n".join(f"  {failure.describe()}" for failure in self.failures)
+        shown = self.failures[:MAX_RENDERED_FAILURES]
+        lines = [f"  {failure.describe()}" for failure in shown]
+        remaining = len(self.failures) - len(shown)
+        if remaining > 0:
+            lines.append(f"  ...and {remaining} more")
         super().__init__(
-            f"{len(self.failures)} sweep point(s) failed:\n{lines}"
+            f"{len(self.failures)} sweep point(s) failed:\n" + "\n".join(lines)
         )
 
 
@@ -195,9 +309,22 @@ class ResultCache:
     def put(self, config: ExperimentConfig, result: ExperimentResult) -> None:
         path = self.path_for(config)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        with open(tmp, "wb") as fh:
-            pickle.dump(result, fh)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh)
+                fh.flush()
+                # Entries must survive the very crashes --resume exists
+                # for; without the fsync the rename can land while the
+                # data blocks are still unwritten, leaving a truncated
+                # "committed" entry after power loss.
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            # Never leave orphaned .tmp litter behind a failed or
+            # interrupted write; the cache directory is shared.
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
         self.stats.puts += 1
 
 
@@ -205,11 +332,19 @@ class ResultCache:
 
 
 def resolve_workers(n_workers: Optional[int]) -> int:
-    """Normalize a worker-count request (``None``/``0`` = all cores)."""
-    if n_workers is None or n_workers == 0:
+    """Normalize a worker-count request (``None`` = all cores).
+
+    Zero and negative counts are rejected rather than silently mapped:
+    a scripted ``--workers $N`` with an unset ``N`` collapsing to "all
+    cores" is the kind of surprise that takes a shared machine down.
+    """
+    if n_workers is None:
         return os.cpu_count() or 1
-    if n_workers < 0:
-        raise ValueError(f"n_workers must be >= 0 or None, got {n_workers}")
+    if n_workers < 1:
+        raise ValueError(
+            f"n_workers must be a positive integer or None (= all cores), "
+            f"got {n_workers}"
+        )
     return n_workers
 
 
@@ -230,6 +365,304 @@ def _run_config(
             message=str(exc),
             traceback=traceback.format_exc(),
         )
+
+
+def _journal_final(
+    journal: Optional[CheckpointJournal],
+    key: str,
+    outcome: Union[ExperimentResult, PointFailure],
+    attempt: int,
+) -> None:
+    if journal is None:
+        return
+    if isinstance(outcome, PointFailure):
+        journal.record(
+            key, PointState.EXHAUSTED, attempt=attempt, detail=outcome.describe()
+        )
+    else:
+        journal.record(key, PointState.DONE, attempt=attempt)
+
+
+def _run_point_inprocess(
+    config: ExperimentConfig,
+    key: str,
+    policy: Optional[RetryPolicy],
+    journal: Optional[CheckpointJournal],
+    cache: Optional["ResultCache"] = None,
+    tracer=None,
+    profiler=None,
+) -> Union[ExperimentResult, PointFailure]:
+    """In-process execution with the policy's retry loop.
+
+    Timeouts are not enforceable here (there is no worker to kill);
+    callers that need them route through the resilient pool instead.
+    The cache write happens *before* the DONE journal record so a crash
+    between the two can never leave a "done" point without its result --
+    resume trusts the journal's DONE to mean "persisted".
+    """
+    attempts_allowed = 1 + (policy.retries if policy is not None else 0)
+    outcome: Union[ExperimentResult, PointFailure, None] = None
+    for attempt in range(1, attempts_allowed + 1):
+        if journal is not None:
+            journal.record(key, PointState.IN_FLIGHT, attempt=attempt)
+        outcome = _run_config(config, tracer=tracer, profiler=profiler)
+        if isinstance(outcome, ExperimentResult):
+            if cache is not None:
+                cache.put(config, outcome)
+            _journal_final(journal, key, outcome, attempt)
+            return outcome
+        outcome = dataclasses.replace(outcome, attempts=attempt)
+        if attempt < attempts_allowed:
+            if journal is not None:
+                journal.record(
+                    key,
+                    PointState.FAILED,
+                    attempt=attempt,
+                    detail=outcome.describe(),
+                )
+            if policy is not None:
+                time.sleep(backoff_delay(key, attempt, policy))
+    assert outcome is not None
+    _journal_final(journal, key, outcome, attempts_allowed)
+    return outcome
+
+
+# -- resilient pool ---------------------------------------------------------
+
+
+def _pipe_worker_main(conn) -> None:
+    """Worker loop: receive ``(index, config)`` tasks, send outcomes back.
+
+    ``None`` is the shutdown sentinel.  A vanished parent (EOF/OSError
+    on the pipe) just ends the loop — the worker has nobody to report to.
+    """
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                return
+            index, config = task
+            conn.send((index, _run_config(config)))
+    except (EOFError, OSError):
+        return
+
+
+@dataclass
+class _Attempt:
+    """One point making its way through the resilient pool."""
+
+    index: int
+    config: ExperimentConfig
+    key: str
+    attempt: int = 0
+
+
+class _WorkerSlot:
+    """One owned worker process and its command pipe."""
+
+    def __init__(self, ctx) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_pipe_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[_Attempt] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def dispatch(self, task: _Attempt, timeout_s: Optional[float]) -> None:
+        self.conn.send((task.index, task.config))
+        self.task = task
+        self.deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+
+    def kill(self) -> None:
+        with contextlib.suppress(OSError, ValueError):
+            self.conn.close()
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+def _run_resilient(
+    tasks: List[_Attempt],
+    workers: int,
+    policy: RetryPolicy,
+    journal: Optional[CheckpointJournal],
+    cache: Optional["ResultCache"] = None,
+) -> Dict[int, Union[ExperimentResult, PointFailure]]:
+    """Run points on an owned worker pool that can kill and re-dispatch.
+
+    The loop keeps every worker busy while work remains, terminates
+    workers that blow their per-attempt deadline, treats a dead pipe as
+    a worker crash, and re-queues failed attempts (after their backoff
+    delay) until the retry budget is spent.  Worker loss of any kind is
+    survived by spawning a replacement.
+    """
+    ctx = multiprocessing.get_context("fork")
+    results: Dict[int, Union[ExperimentResult, PointFailure]] = {}
+    queue = deque(tasks)
+    delayed: List[tuple[float, int, _Attempt]] = []  # (ready_at, tiebreak, task)
+    tiebreak = 0
+    pool: List[_WorkerSlot] = [
+        _WorkerSlot(ctx) for _ in range(min(workers, len(tasks)))
+    ]
+
+    def give_up(task: _Attempt, error: str, message: str) -> None:
+        failure = PointFailure(
+            config=task.config,
+            error_type=error,
+            message=message,
+            traceback="",
+            attempts=task.attempt,
+        )
+        results[task.index] = failure
+        _journal_final(journal, task.key, failure, task.attempt)
+
+    def retry_or_give_up(
+        task: _Attempt,
+        error: str,
+        message: str,
+        final: Optional[PointFailure] = None,
+    ) -> None:
+        nonlocal tiebreak
+        if journal is not None:
+            journal.record(
+                task.key,
+                PointState.FAILED,
+                attempt=task.attempt,
+                detail=f"{error}: {message}",
+            )
+        if task.attempt <= policy.retries:
+            ready_at = time.monotonic() + backoff_delay(
+                task.key, task.attempt, policy
+            )
+            tiebreak += 1
+            heapq.heappush(delayed, (ready_at, tiebreak, task))
+        elif final is not None:
+            # Keep the captured failure (it carries the real traceback).
+            results[task.index] = final
+            _journal_final(journal, task.key, final, task.attempt)
+        else:
+            give_up(task, error, message)
+
+    def replace_worker(slot: _WorkerSlot) -> None:
+        slot.kill()
+        pool.remove(slot)
+        outstanding = len(queue) + len(delayed) + sum(s.busy for s in pool)
+        if outstanding > len(pool):
+            pool.append(_WorkerSlot(ctx))
+
+    try:
+        while queue or delayed or any(slot.busy for slot in pool):
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                queue.append(heapq.heappop(delayed)[2])
+            # Self-heal: never spin with queued work and no worker to take
+            # it (every slot may have been killed since the last pass).
+            if queue and all(slot.busy for slot in pool) and len(pool) < workers:
+                pool.append(_WorkerSlot(ctx))
+            for slot in pool:
+                if slot.busy or not queue:
+                    continue
+                task = queue.popleft()
+                task.attempt += 1
+                if journal is not None:
+                    journal.record(
+                        task.key, PointState.IN_FLIGHT, attempt=task.attempt
+                    )
+                try:
+                    slot.dispatch(task, policy.timeout_s)
+                except (BrokenPipeError, OSError):
+                    # The worker died between tasks; the attempt never
+                    # started, so re-queue it uncharged.
+                    task.attempt -= 1
+                    queue.appendleft(task)
+                    replace_worker(slot)
+                    break
+            busy = [slot for slot in pool if slot.busy]
+            if not busy:
+                if delayed and not queue:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+            wait_bounds = [
+                slot.deadline for slot in busy if slot.deadline is not None
+            ]
+            if delayed:
+                wait_bounds.append(delayed[0][0])
+            timeout = (
+                max(0.0, min(wait_bounds) - time.monotonic())
+                if wait_bounds
+                else None
+            )
+            ready = _connection_wait([slot.conn for slot in busy], timeout)
+            now = time.monotonic()
+            for slot in busy:
+                task = slot.task
+                if task is None:
+                    continue
+                if slot.conn in ready:
+                    try:
+                        index, outcome = slot.conn.recv()
+                    except (EOFError, OSError):
+                        # Hard crash mid-point (segfault, OOM kill,
+                        # os._exit): the pipe breaks before a result.
+                        # Queue the retry *before* replacing the worker so
+                        # the replacement head-count sees the pending work.
+                        slot.task = None
+                        retry_or_give_up(
+                            task,
+                            WorkerCrashError.__name__,
+                            "worker process died mid-experiment",
+                        )
+                        replace_worker(slot)
+                        continue
+                    slot.task = None
+                    slot.deadline = None
+                    if isinstance(outcome, PointFailure):
+                        # An in-experiment exception spends a retry like a
+                        # timeout or crash does (the docstring's "alike"):
+                        # usually it replays deterministically to the same
+                        # raise, but env-dependent failures can recover.
+                        outcome = dataclasses.replace(
+                            outcome, attempts=task.attempt
+                        )
+                        retry_or_give_up(
+                            task,
+                            outcome.error_type,
+                            outcome.message,
+                            final=outcome,
+                        )
+                        continue
+                    if cache is not None:
+                        # Persist before journaling DONE: resume trusts
+                        # DONE to mean the result is on disk.
+                        cache.put(task.config, outcome)
+                    results[index] = outcome
+                    _journal_final(journal, task.key, outcome, task.attempt)
+                elif slot.deadline is not None and now >= slot.deadline:
+                    slot.task = None
+                    retry_or_give_up(
+                        task,
+                        PointTimeoutError.__name__,
+                        f"exceeded {policy.timeout_s:g}s wall-clock budget",
+                    )
+                    replace_worker(slot)
+    finally:
+        for slot in pool:
+            if slot.busy:
+                slot.kill()
+            else:
+                with contextlib.suppress(OSError, ValueError):
+                    slot.conn.send(None)
+                slot.process.join(timeout=1.0)
+                slot.kill()
+    return results
 
 
 def _run_batch(
@@ -258,14 +691,17 @@ def run_configs(
     cache_dir: Optional[Union[str, Path, ResultCache]] = None,
     tracer=None,
     profiler=None,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[CheckpointJournal] = None,
 ) -> List[Union[ExperimentResult, PointFailure]]:
     """Run experiments, optionally across processes, preserving order.
 
     Args:
         configs: Experiments to run; the returned list is index-aligned
             with this sequence regardless of worker completion order.
-        n_workers: ``1`` (default) runs in-process; ``None`` or ``0``
-            uses every core; ``N > 1`` uses a pool of N processes.
+        n_workers: ``1`` (default) runs in-process; ``None`` uses every
+            core; ``N > 1`` uses a pool of N processes.
         cache_dir: When set, results are read from / written to this
             directory keyed by :func:`config_content_hash`, so only
             configs not already cached are executed.  Failures are never
@@ -278,6 +714,14 @@ def run_configs(
         profiler: Optional :class:`repro.obs.profile.RunProfiler`; also
             forces in-process execution (wall-clock timing of pool
             workers would be meaningless through pickling overhead).
+        policy: Optional :class:`RetryPolicy`.  A resilient policy
+            (timeout or retries) runs points on an owned worker pool
+            that can terminate hung workers at their deadline, survive
+            hard crashes, and re-dispatch failed attempts after a
+            deterministic backoff.
+        journal: Optional open :class:`CheckpointJournal` recording each
+            point's lifecycle (keyed by :func:`config_content_hash`), so
+            an interrupted sweep can be resumed and audited.
 
     Returns:
         One :class:`ExperimentResult` or :class:`PointFailure` per config.
@@ -289,25 +733,68 @@ def run_configs(
     else:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
 
+    keys: Dict[int, str] = {}
+
+    def key_for(index: int) -> str:
+        if index not in keys:
+            keys[index] = config_content_hash(configs[index])
+        return keys[index]
+
     outcomes: List[Union[ExperimentResult, PointFailure, None]] = [None] * len(configs)
     pending: List[int] = []
     for index, config in enumerate(configs):
         cached = cache.get(config) if cache is not None else None
         if cached is not None:
             outcomes[index] = cached
+            if journal is not None:
+                journal.record(key_for(index), PointState.DONE, detail="cached")
         else:
             pending.append(index)
 
     if pending:
+        resilient = policy is not None and policy.resilient
         if tracer is not None or profiler is not None:
+            if resilient and policy.timeout_s is not None:
+                warnings.warn(
+                    "tracing/profiling forces in-process execution; "
+                    "per-point timeouts cannot be enforced without a "
+                    "worker process to kill",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             fresh = [
-                _run_config(configs[i], tracer=tracer, profiler=profiler)
+                _run_point_inprocess(
+                    configs[i],
+                    key_for(i),
+                    policy,
+                    journal,
+                    cache,
+                    tracer=tracer,
+                    profiler=profiler,
+                )
                 for i in pending
             ]
-        else:
+        elif resilient:
+            tasks = [
+                _Attempt(index=i, config=configs[i], key=key_for(i))
+                for i in pending
+            ]
+            by_index = _run_resilient(tasks, workers, policy, journal, cache)
+            fresh = [by_index[i] for i in pending]
+        elif workers > 1 and len(pending) > 1:
+            if journal is not None:
+                for i in pending:
+                    journal.record(key_for(i), PointState.IN_FLIGHT)
             fresh = _run_batch([configs[i] for i in pending], workers)
+            for i, outcome in zip(pending, fresh):
+                if cache is not None and isinstance(outcome, ExperimentResult):
+                    cache.put(configs[i], outcome)
+                _journal_final(journal, key_for(i), outcome, 1)
+        else:
+            fresh = [
+                _run_point_inprocess(configs[i], key_for(i), policy, journal, cache)
+                for i in pending
+            ]
         for index, outcome in zip(pending, fresh):
             outcomes[index] = outcome
-            if cache is not None and isinstance(outcome, ExperimentResult):
-                cache.put(configs[index], outcome)
     return outcomes  # type: ignore[return-value]

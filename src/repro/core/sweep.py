@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional, Sequence
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
 
 from repro._units import GiB, MiB
+from repro.core.checkpoint import CheckpointJournal
 from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.faults.plan import FaultPlan
 from repro.core.parallel import (
     PointFailure,
+    RetryPolicy,
     SweepExecutionError,
     run_configs,
 )
@@ -92,6 +96,9 @@ class SweepGrid:
         base_job: Template providing stop conditions and region; the grid
             overrides pattern/bs/iodepth per point.
         seed: Root seed; each point forks its own streams.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` applied to
+            every point (each point derives its own fault randomness from
+            its per-point seed).
     """
 
     device: object
@@ -110,6 +117,7 @@ class SweepGrid:
     )
     warmup_fraction: float = 0.25
     seed: int = 0
+    faults: Optional[FaultPlan] = None
 
     def points(self) -> Iterator[SweepPoint]:
         for power_state in self.power_states:
@@ -134,6 +142,7 @@ class SweepGrid:
             power_state=point.power_state,
             warmup_fraction=self.warmup_fraction,
             seed=(self.seed * 1_000_003 + salt) & 0x7FFFFFFF,
+            faults=self.faults,
         )
 
 
@@ -160,6 +169,11 @@ def sweep_outcome(
     cache_dir: Optional[str] = None,
     tracer=None,
     profiler=None,
+    *,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> SweepOutcome:
     """Execute ``grid``, capturing per-point failures instead of raising.
 
@@ -179,15 +193,47 @@ def sweep_outcome(
             results are unchanged — tracing is passive).
         profiler: Optional :class:`repro.obs.profile.RunProfiler`
             collecting per-point wall-clock cost (also in-process).
+        timeout_s: Per-attempt wall-clock budget for one point; a worker
+            still running at the deadline is killed and the point
+            retried (or reported as a timeout failure).
+        retries: Extra attempts per failing point (timeouts, worker
+            crashes, and exceptions alike).
+        checkpoint: Path of a
+            :class:`~repro.core.checkpoint.CheckpointJournal` recording
+            point lifecycle.  Truncated at the start of a fresh run,
+            appended to under ``resume``.
+        resume: Continue an interrupted sweep: keeps the journal and
+            relies on ``cache_dir`` (required) to skip every point that
+            already completed, so only unfinished points recompute.
     """
+    if resume and cache_dir is None:
+        raise ValueError(
+            "resume requires cache_dir: completed points are skipped via "
+            "their cached results"
+        )
+    if resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint journal path")
+    policy = None
+    if timeout_s is not None or retries:
+        policy = RetryPolicy(timeout_s=timeout_s, retries=retries)
+    journal = None
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
+        journal.open(fresh=not resume)
     points = list(grid.points())
-    outcomes = run_configs(
-        [grid.config_for(point) for point in points],
-        n_workers=n_workers,
-        cache_dir=cache_dir,
-        tracer=tracer,
-        profiler=profiler,
-    )
+    try:
+        outcomes = run_configs(
+            [grid.config_for(point) for point in points],
+            n_workers=n_workers,
+            cache_dir=cache_dir,
+            tracer=tracer,
+            profiler=profiler,
+            policy=policy,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     results: dict[SweepPoint, ExperimentResult] = {}
     failures: dict[SweepPoint, PointFailure] = {}
     for point, outcome in zip(points, outcomes):
@@ -204,11 +250,18 @@ def run_sweep(
     cache_dir: Optional[str] = None,
     tracer=None,
     profiler=None,
+    *,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> dict[SweepPoint, ExperimentResult]:
     """Execute every point of ``grid`` and return results in grid order.
 
     Raises :class:`~repro.core.parallel.SweepExecutionError` if any point
     failed; use :func:`sweep_outcome` to capture failures instead.
+    See :func:`sweep_outcome` for the resilience keywords (``timeout_s``,
+    ``retries``, ``checkpoint``, ``resume``).
     """
     outcome = sweep_outcome(
         grid,
@@ -216,6 +269,10 @@ def run_sweep(
         cache_dir=cache_dir,
         tracer=tracer,
         profiler=profiler,
+        timeout_s=timeout_s,
+        retries=retries,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     if not outcome.ok:
         raise SweepExecutionError(list(outcome.failures.values()))

@@ -19,6 +19,7 @@ import abc
 import enum
 from dataclasses import dataclass
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.power.rail import PowerRail
 from repro.sim.engine import Engine, Event
 
@@ -77,10 +78,15 @@ class IOResult:
 class StorageDevice(abc.ABC):
     """Common behaviour of all simulated drives."""
 
-    def __init__(self, engine: Engine, name: str, rail_voltage: float) -> None:
+    def __init__(
+        self, engine: Engine, name: str, rail_voltage: float, faults=None
+    ) -> None:
         self.engine = engine
         self.name = name
         self.rail = PowerRail(engine, voltage=rail_voltage, name=f"{name}.rail")
+        # Fault sites guard on ``self.faults.enabled``; the null injector
+        # makes the clean path one attribute load per site.
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.ios_completed = 0
         self.bytes_read = 0
         self.bytes_written = 0

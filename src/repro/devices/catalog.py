@@ -360,8 +360,14 @@ def build_device(
     engine: Engine,
     preset: str | DeviceConfig,
     rng: RngStreams | None = None,
+    faults=None,
 ):
     """Construct a simulated device from a preset name or explicit config.
+
+    ``faults`` is an optional :class:`~repro.faults.injector.FaultInjector`
+    threaded through to the device's fault sites (IO paths, power-state
+    transitions, GC, spindle); call ``faults.install(device)`` afterwards
+    to schedule its episode processes.
 
     >>> engine = Engine()
     >>> dev = build_device(engine, "ssd2")
@@ -379,5 +385,5 @@ def build_device(
     else:
         config = preset
     if isinstance(config, HddConfig):
-        return SimulatedHDD(engine, config)
-    return SimulatedSSD(engine, config, rng=rng)
+        return SimulatedHDD(engine, config, faults=faults)
+    return SimulatedSSD(engine, config, rng=rng, faults=faults)

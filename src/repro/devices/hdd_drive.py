@@ -147,8 +147,8 @@ class _PendingMediaOp:
 class SimulatedHDD(StorageDevice):
     """See module docstring."""
 
-    def __init__(self, engine: Engine, config: HddConfig) -> None:
-        super().__init__(engine, config.name, config.rail_voltage)
+    def __init__(self, engine: Engine, config: HddConfig, faults=None) -> None:
+        super().__init__(engine, config.name, config.rail_voltage, faults=faults)
         self.config = config
         self.rotation = RotationModel(config.geometry)
         self.spindle = Spindle(
@@ -157,6 +157,7 @@ class SimulatedHDD(StorageDevice):
             config.spindle,
             start_spinning=True,
             name=f"{config.name}.spindle",
+            faults=self.faults,
         )
         self.cache = WriteCache(engine, config.cache_bytes)
         self.link = HostLink(
@@ -206,6 +207,8 @@ class SimulatedHDD(StorageDevice):
                 nbytes=request.nbytes,
             )
         self._standby_requested = False
+        if self.faults.enabled:
+            yield from self.faults.io_delay(f"{self.name}.io", request.kind.value)
         if not self.spindle.is_ready:
             # ATA semantics: any IO to a standby drive triggers spin-up,
             # and the command (cached or not) is not accepted until the
@@ -270,7 +273,19 @@ class SimulatedHDD(StorageDevice):
         Power drops immediately; the *cost* is deferred -- the next media
         access pays the condition's recovery time (head reload and, for
         IDLE_C, spindle re-acceleration).
+
+        Under a ``stuck_transitions`` fault plan the drive may silently
+        refuse to leave IDLE_A (firmware rejecting the EPC command), the
+        failure mode a power-control rollout has to detect from measured
+        power rather than command status.
         """
+        if (
+            condition is not self._idle_condition
+            and condition is not IdleCondition.IDLE_A
+            and self.faults.enabled
+            and self.faults.epc_refused(f"{self.name}.epc")
+        ):
+            return
         deratings = {
             IdleCondition.IDLE_A: 0.0,
             IdleCondition.IDLE_B: self.config.idle_b_savings_w,
@@ -383,6 +398,15 @@ class SimulatedHDD(StorageDevice):
         """Seek + rotational wait + media transfer, with power draws."""
         recovery = self._epc_recovery_s()
         if recovery > 0:
+            if self.faults.enabled:
+                # Head reload can fail transiently; each stuck attempt
+                # re-pays the recovery latency.
+                stuck = self.faults.transition_stuck(f"{self.name}.epc", "epc")
+                for attempt in range(1, stuck + 1):
+                    self.faults.note_retry(
+                        "stuck_transition", f"{self.name}.epc", attempt
+                    )
+                    yield self.engine.timeout(recovery)
             # Leave the EPC idle condition: reload heads (and re-spin for
             # IDLE_C) before the access can proceed.
             self.set_idle_condition(IdleCondition.IDLE_A)

@@ -100,16 +100,30 @@ class PowerGovernor:
         self.other_power_fn = other_power_fn
         self.headroom_w = headroom_w
         self._cap_w = cap_w
+        self._intended_cap_w = cap_w
         self.committed_w = 0.0
         self.granted_ops = 0
         self._waiters: Deque[tuple[Event, float]] = deque()
         self.total_grants = 0
         self.total_stalls = 0
+        self.failed = False
+        self.throttle_scale = 1.0
 
     @property
     def cap_w(self) -> Optional[float]:
         """Active power cap; ``None`` means uncapped."""
         return self._cap_w
+
+    @property
+    def intended_cap_w(self) -> Optional[float]:
+        """The cap the last Set Features command asked for.
+
+        Equal to :attr:`cap_w` while the governor works; after
+        :meth:`fail_unconstrained` it keeps tracking what firmware *should*
+        be enforcing, so experiment accounting can report the violated cap
+        (paper §4.1's failure hazard).
+        """
+        return self._intended_cap_w
 
     @property
     def budget_w(self) -> float:
@@ -121,7 +135,7 @@ class PowerGovernor:
             if self.other_power_fn is not None
             else self.baseline_w
         )
-        return max(self._cap_w - other - self.headroom_w, 0.0)
+        return max(self._cap_w * self.throttle_scale - other - self.headroom_w, 0.0)
 
     @property
     def queued(self) -> int:
@@ -175,10 +189,36 @@ class PowerGovernor:
         self._drain()
 
     def set_cap(self, cap_w: Optional[float]) -> None:
-        """Change the active cap (entering a new power state)."""
+        """Change the active cap (entering a new power state).
+
+        A failed governor (:meth:`fail_unconstrained`) records the intent
+        but ignores the command -- the §4.1 failure mode where the device
+        no longer responds to power control.
+        """
         if cap_w is not None and cap_w <= 0:
             raise ValueError("cap must be positive or None")
+        self._intended_cap_w = cap_w
+        if self.failed:
+            return
         self._cap_w = cap_w
+        self._drain()
+
+    def set_throttle(self, scale: float) -> None:
+        """Derate the effective cap to ``scale`` x cap (thermal throttle)."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("throttle scale must be in (0, 1]")
+        self.throttle_scale = scale
+        self._drain()
+
+    def fail_unconstrained(self) -> None:
+        """Stop enforcing the cap: the device reverts to uncapped draw.
+
+        The paper-§4.1 hazard a :class:`~repro.core.safety.PowerDomain`
+        must survive.  All queued admissions drain immediately and every
+        later :meth:`set_cap` is ignored (only recorded as intent).
+        """
+        self.failed = True
+        self._cap_w = None
         self._drain()
 
     def _grant(self, event: Event, watts: float, queued: bool = False) -> None:

@@ -196,8 +196,9 @@ class SimulatedSSD(StorageDevice):
         engine: Engine,
         config: SsdConfig,
         rng: RngStreams | None = None,
+        faults=None,
     ) -> None:
-        super().__init__(engine, config.name, config.rail_voltage)
+        super().__init__(engine, config.name, config.rail_voltage, faults=faults)
         self.config = config
         rngs = rng or RngStreams(0)
         self.array = NandArray(
@@ -255,6 +256,7 @@ class SimulatedSSD(StorageDevice):
             wear=self.wear,
             admission=self._admit_and_execute,
             name=f"{config.name}.gc",
+            faults=self.faults,
         )
         # Buffer accounting (bytes) with explicit waiters.
         self._buffer_used = 0
@@ -371,6 +373,14 @@ class SimulatedSSD(StorageDevice):
             raise ValueError(f"{self.name} has no power state {index}")
         target = states[index]
         if target.entry_latency_s > 0:
+            if self.faults.enabled:
+                # A stuck transition re-pays the entry latency before the
+                # state change finally takes.
+                component = f"{self.name}.power"
+                stuck = self.faults.transition_stuck(component, "nvme_ps")
+                for attempt in range(1, stuck + 1):
+                    self.faults.note_retry("stuck_transition", component, attempt)
+                    yield self.engine.timeout(target.entry_latency_s)
             yield self.engine.timeout(target.entry_latency_s)
         previous = self._resident
         self._resident = target
@@ -409,6 +419,13 @@ class SimulatedSSD(StorageDevice):
             return
         self._waking = True
         try:
+            if self.faults.enabled:
+                # A wake that refuses to complete: re-pay the exit latency.
+                component = f"{self.name}.power"
+                stuck = self.faults.transition_stuck(component, "nvme_ps")
+                for attempt in range(1, stuck + 1):
+                    self.faults.note_retry("stuck_transition", component, attempt)
+                    yield self.engine.timeout(self._resident.exit_latency_s)
             yield self.engine.timeout(self._resident.exit_latency_s)
         finally:
             self._waking = False
@@ -442,6 +459,10 @@ class SimulatedSSD(StorageDevice):
         self._last_activity = submit_time
         self._inflight_ios += 1
         try:
+            if self.faults.enabled:
+                yield from self.faults.io_delay(
+                    f"{self.name}.io", request.kind.value
+                )
             if self._resident is not None and not self._resident.operational:
                 yield from self._wake()
             yield from self._controller_step(self.config.controller.command_time_s)

@@ -1,0 +1,42 @@
+"""Deterministic fault injection (paper §4.1's failure modes, executable).
+
+- :mod:`repro.faults.plan` -- frozen fault specifications
+  (:class:`FaultPlan` and its per-mechanism specs);
+- :mod:`repro.faults.injector` -- the runtime :class:`FaultInjector`
+  devices consult at their fault sites, plus the zero-cost
+  :data:`NULL_INJECTOR` default;
+- :mod:`repro.faults.spec` -- the ``--faults`` CLI grammar.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultSummary,
+    NULL_INJECTOR,
+    NullFaultInjector,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    GovernorFailureSpec,
+    IoErrorSpec,
+    LatencySpikeSpec,
+    SpinupFailureSpec,
+    StuckTransitionSpec,
+    ThermalThrottleSpec,
+)
+from repro.faults.spec import FaultSpecError, parse_fault_plan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpecError",
+    "FaultSummary",
+    "GovernorFailureSpec",
+    "IoErrorSpec",
+    "LatencySpikeSpec",
+    "NULL_INJECTOR",
+    "NullFaultInjector",
+    "SpinupFailureSpec",
+    "StuckTransitionSpec",
+    "ThermalThrottleSpec",
+    "parse_fault_plan",
+]

@@ -1,0 +1,251 @@
+"""Fault plans: declarative specifications of what goes wrong, and when.
+
+The paper's §4.1 deployment discussion turns on failure modes of
+power-adaptive control: devices reverting to maximum draw, spin-up stalls,
+governors that stop responding.  A :class:`FaultPlan` declares a set of
+such faults for one experiment; the :class:`~repro.faults.injector.
+FaultInjector` executes them deterministically from the experiment's own
+:class:`~repro.sim.rng.RngStreams`.
+
+Every spec here is a frozen dataclass so a plan can ride inside a frozen
+:class:`~repro.core.experiment.ExperimentConfig`: the plan participates in
+the config content hash (a faulted run never collides with a clean run in
+the result cache) and pickles across worker processes unchanged.
+
+Taxonomy (one spec per mechanism):
+
+- :class:`IoErrorSpec` -- transient per-IO errors; each hit costs the
+  device-internal retries it declares.
+- :class:`LatencySpikeSpec` -- a (possibly periodic) window during which
+  every IO pays extra latency (firmware pause, background scrub, bus
+  contention).
+- :class:`ThermalThrottleSpec` -- a window during which the power
+  governor's effective cap is scaled down (thermal derating).
+- :class:`StuckTransitionSpec` -- power-state transitions (NVMe PS entry/
+  exit, ALPM link transitions, ATA EPC idle conditions) that stick and
+  must be re-attempted, or are refused outright (EPC entry).
+- :class:`GovernorFailureSpec` -- the §4.1 hazard: at a chosen time the
+  governor stops enforcing its cap and the device reverts to uncapped
+  maximum draw, ignoring all later cap commands.
+- :class:`SpinupFailureSpec` -- HDD spin-up attempts that abort mid-surge
+  and retry (motor stiction / supply droop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+__all__ = [
+    "FaultPlan",
+    "GovernorFailureSpec",
+    "IoErrorSpec",
+    "LatencySpikeSpec",
+    "SpinupFailureSpec",
+    "StuckTransitionSpec",
+    "ThermalThrottleSpec",
+]
+
+#: Transition sites :class:`StuckTransitionSpec` may target.
+STUCK_TARGETS = ("nvme_ps", "alpm", "epc")
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p!r}")
+
+
+@dataclass(frozen=True)
+class IoErrorSpec:
+    """Transient IO errors on the device IO paths (host IO and GC).
+
+    Attributes:
+        probability: Per-IO chance of a transient error.
+        retry_cost_s: Simulated time one device-internal retry costs.
+        max_retries: A hit costs between 1 and this many retries
+            (uniformly drawn), each paying ``retry_cost_s``.
+    """
+
+    probability: float
+    retry_cost_s: float = 1e-3
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        if self.retry_cost_s < 0:
+            raise ValueError("retry cost must be non-negative")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+
+@dataclass(frozen=True)
+class LatencySpikeSpec:
+    """A window during which every IO pays extra latency.
+
+    Attributes:
+        start_s: Window start (sim time).
+        duration_s: Window length.
+        extra_s: Added latency per IO submitted inside the window.
+        repeat_every_s: Period for a recurring episode (must exceed
+            ``duration_s``); ``None`` for a one-shot window.
+    """
+
+    start_s: float
+    duration_s: float
+    extra_s: float
+    repeat_every_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0 or self.extra_s <= 0:
+            raise ValueError("spike needs start >= 0, duration > 0, extra > 0")
+        if self.repeat_every_s is not None and self.repeat_every_s <= self.duration_s:
+            raise ValueError("repeat period must exceed the episode duration")
+
+    def active_at(self, now: float) -> bool:
+        """Whether ``now`` falls inside the (possibly periodic) window."""
+        if now < self.start_s:
+            return False
+        offset = now - self.start_s
+        if self.repeat_every_s is not None:
+            offset %= self.repeat_every_s
+        return offset < self.duration_s
+
+
+@dataclass(frozen=True)
+class ThermalThrottleSpec:
+    """A window during which the governor's effective cap is derated.
+
+    Attributes:
+        start_s: Episode start (sim time).
+        duration_s: Episode length.
+        cap_scale: Multiplier applied to the active cap while throttled
+            (0.5 = the device must fit half its cap).
+        repeat_every_s: Period for a recurring episode; ``None`` one-shot.
+    """
+
+    start_s: float
+    duration_s: float
+    cap_scale: float
+    repeat_every_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("throttle needs start >= 0 and duration > 0")
+        if not 0.0 < self.cap_scale < 1.0:
+            raise ValueError("cap_scale must be in (0, 1)")
+        if self.repeat_every_s is not None and self.repeat_every_s <= self.duration_s:
+            raise ValueError("repeat period must exceed the episode duration")
+
+
+@dataclass(frozen=True)
+class StuckTransitionSpec:
+    """Power-state transitions that stick (or, for EPC entry, refuse).
+
+    A stuck transition re-pays its latency between 1 and ``max_stuck``
+    extra times; an EPC *entry* hit is modelled as an outright refusal
+    (the drive stays in its previous idle condition) because the command
+    is instant.  Recovery paths (wake, EPC exit before a media access)
+    are never refused, only delayed -- a device must always be able to
+    serve IO eventually.
+
+    Attributes:
+        probability: Per-transition chance of sticking.
+        max_stuck: Upper bound on extra attempts for a stuck transition.
+        targets: Which transition sites the spec covers (subset of
+            ``("nvme_ps", "alpm", "epc")``).
+    """
+
+    probability: float
+    max_stuck: int = 2
+    targets: tuple[str, ...] = STUCK_TARGETS
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        if self.max_stuck < 1:
+            raise ValueError("max_stuck must be >= 1")
+        unknown = set(self.targets) - set(STUCK_TARGETS)
+        if unknown:
+            raise ValueError(
+                f"unknown stuck-transition targets {sorted(unknown)}; "
+                f"valid: {list(STUCK_TARGETS)}"
+            )
+
+
+@dataclass(frozen=True)
+class GovernorFailureSpec:
+    """§4.1 governor failure: the cap stops being enforced at ``at_s``.
+
+    From that point the device reverts to uncapped maximum draw and
+    ignores every later cap command (power-state changes still switch
+    residency draws, but the governor no longer rations NAND power).
+    """
+
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("failure time must be non-negative")
+
+
+@dataclass(frozen=True)
+class SpinupFailureSpec:
+    """HDD spin-up attempts that abort partway and retry.
+
+    Each failed attempt draws the full spin-up surge for
+    ``abort_fraction`` of the nominal spin-up time, then the motor rests
+    ``backoff_s`` before retrying -- so a flaky spin-up costs both time
+    and energy before the platters finally reach speed.
+
+    Attributes:
+        probability: Per-spin-up chance of at least one failed attempt.
+        max_retries: A hit fails between 1 and this many attempts.
+        abort_fraction: Fraction of the spin-up time a failed attempt
+            draws surge power before giving up.
+        backoff_s: Motor rest between attempts.
+    """
+
+    probability: float
+    max_retries: int = 2
+    abort_fraction: float = 0.4
+    backoff_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if not 0.0 < self.abort_fraction < 1.0:
+            raise ValueError("abort_fraction must be in (0, 1)")
+        if self.backoff_s < 0:
+            raise ValueError("backoff must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one experiment.
+
+    All fields default to "no such fault"; an all-default plan is inert
+    (the injector built from it reports ``enabled = False`` and the run
+    is bit-identical to one with no injector at all -- asserted by
+    ``benchmarks/bench_fault_overhead.py``).
+    """
+
+    io_errors: Optional[IoErrorSpec] = None
+    latency_spikes: tuple[LatencySpikeSpec, ...] = ()
+    thermal_throttle: Optional[ThermalThrottleSpec] = None
+    stuck_transitions: Optional[StuckTransitionSpec] = None
+    governor_failure: Optional[GovernorFailureSpec] = None
+    spinup_failure: Optional[SpinupFailureSpec] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault is configured at all."""
+        return any(
+            getattr(self, f.name) not in (None, ())
+            for f in fields(self)
+        )
+
+    def spike_extra_s(self, now: float) -> float:
+        """Total extra per-IO latency from spike windows active at ``now``."""
+        return sum(
+            spec.extra_s for spec in self.latency_spikes if spec.active_at(now)
+        )

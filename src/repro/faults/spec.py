@@ -1,0 +1,159 @@
+"""Parse ``--faults`` command-line specifications into a FaultPlan.
+
+Grammar (semicolon-separated clauses, comma-separated ``key=value`` args)::
+
+    SPEC     := CLAUSE (";" CLAUSE)*
+    CLAUSE   := KIND [":" ARG ("," ARG)*]
+    ARG      := KEY "=" VALUE
+
+Kinds and their arguments (times in seconds, probabilities in [0, 1]):
+
+- ``io_error:p=0.01[,cost=1e-3][,retries=3]``
+- ``spike:at=0.01,dur=0.005,extra=0.002[,every=0.02]``
+- ``throttle:at=0.01,dur=0.02,scale=0.5[,every=0.05]``
+- ``stuck:p=0.5[,max=2][,targets=nvme_ps|alpm|epc]``
+- ``governor:at=0.02``
+- ``spinup:p=1.0[,retries=2][,fraction=0.4][,backoff=0.5]``
+
+>>> plan = parse_fault_plan("io_error:p=0.05;governor:at=0.02")
+>>> plan.io_errors.probability
+0.05
+>>> plan.governor_failure.at_s
+0.02
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import (
+    FaultPlan,
+    GovernorFailureSpec,
+    IoErrorSpec,
+    LatencySpikeSpec,
+    SpinupFailureSpec,
+    StuckTransitionSpec,
+    ThermalThrottleSpec,
+)
+
+__all__ = ["FaultSpecError", "parse_fault_plan"]
+
+
+class FaultSpecError(ValueError):
+    """A ``--faults`` specification that does not parse."""
+
+
+def _parse_args(kind: str, text: str, allowed: dict[str, str]) -> dict:
+    """Split ``k=v,k=v`` into a kwargs dict using the ``allowed`` mapping."""
+    out: dict[str, object] = {}
+    if not text:
+        return out
+    for chunk in text.split(","):
+        if "=" not in chunk:
+            raise FaultSpecError(
+                f"{kind}: expected key=value, got {chunk!r}"
+            )
+        key, _, value = chunk.partition("=")
+        key = key.strip()
+        if key not in allowed:
+            raise FaultSpecError(
+                f"{kind}: unknown argument {key!r}; "
+                f"valid: {sorted(allowed)}"
+            )
+        field = allowed[key]
+        if field == "targets":
+            out[field] = tuple(value.split("|"))
+        elif field in ("max_retries", "max_stuck"):
+            out[field] = int(value)
+        else:
+            try:
+                out[field] = float(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"{kind}: argument {key}={value!r} is not a number"
+                ) from None
+    return out
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse a ``--faults`` string into a :class:`FaultPlan`.
+
+    Raises :class:`FaultSpecError` (a ``ValueError``) on any malformed
+    clause, naming the clause and the valid vocabulary.
+    """
+    io_errors = None
+    spikes: list[LatencySpikeSpec] = []
+    throttle = None
+    stuck = None
+    governor = None
+    spinup = None
+    for raw in spec.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        kind, _, argtext = clause.partition(":")
+        kind = kind.strip()
+        try:
+            if kind == "io_error":
+                args = _parse_args(kind, argtext, {
+                    "p": "probability",
+                    "cost": "retry_cost_s",
+                    "retries": "max_retries",
+                })
+                io_errors = IoErrorSpec(**args)
+            elif kind == "spike":
+                args = _parse_args(kind, argtext, {
+                    "at": "start_s",
+                    "dur": "duration_s",
+                    "extra": "extra_s",
+                    "every": "repeat_every_s",
+                })
+                spikes.append(LatencySpikeSpec(**args))
+            elif kind == "throttle":
+                args = _parse_args(kind, argtext, {
+                    "at": "start_s",
+                    "dur": "duration_s",
+                    "scale": "cap_scale",
+                    "every": "repeat_every_s",
+                })
+                throttle = ThermalThrottleSpec(**args)
+            elif kind == "stuck":
+                args = _parse_args(kind, argtext, {
+                    "p": "probability",
+                    "max": "max_stuck",
+                    "targets": "targets",
+                })
+                stuck = StuckTransitionSpec(**args)
+            elif kind == "governor":
+                args = _parse_args(kind, argtext, {"at": "at_s"})
+                governor = GovernorFailureSpec(**args)
+            elif kind == "spinup":
+                args = _parse_args(kind, argtext, {
+                    "p": "probability",
+                    "retries": "max_retries",
+                    "fraction": "abort_fraction",
+                    "backoff": "backoff_s",
+                })
+                spinup = SpinupFailureSpec(**args)
+            else:
+                raise FaultSpecError(
+                    f"unknown fault kind {kind!r}; valid: "
+                    "io_error, spike, throttle, stuck, governor, spinup"
+                )
+        except TypeError as exc:
+            # A spec dataclass missing a required argument.
+            raise FaultSpecError(f"{kind}: {exc}") from None
+        except FaultSpecError:
+            raise
+        except ValueError as exc:
+            # A spec dataclass rejecting a value in __post_init__.
+            raise FaultSpecError(f"{kind}: {exc}") from None
+    plan = FaultPlan(
+        io_errors=io_errors,
+        latency_spikes=tuple(spikes),
+        thermal_throttle=throttle,
+        stuck_transitions=stuck,
+        governor_failure=governor,
+        spinup_failure=spinup,
+    )
+    if not plan.active:
+        raise FaultSpecError(f"fault spec {spec!r} configures no faults")
+    return plan

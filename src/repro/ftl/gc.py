@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.ftl.allocator import WriteAllocator
 from repro.ftl.mapping import PageMap
 from repro.ftl.wear import WearTracker
@@ -65,6 +66,7 @@ class GarbageCollector:
         wear: Optional[WearTracker] = None,
         admission: Optional[Callable[[OpKind], object]] = None,
         name: str = "gc",
+        faults=None,
     ) -> None:
         self.array = array
         self.allocator = allocator
@@ -73,6 +75,7 @@ class GarbageCollector:
         self.wear = wear
         self._admission = admission
         self.name = name
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.blocks_erased = 0
         self.pages_relocated = 0
         # Many flush processes may demand collection at once; victim
@@ -169,6 +172,10 @@ class GarbageCollector:
         """Move one valid page; resolves races with concurrent host writes."""
         geometry = self.array.geometry
         src_ppa = geometry.ppa_from_index(src_ppn)
+        if self.faults.enabled:
+            # Relocation reads hit the same media as host IO: a transient
+            # error here stalls cleaning and backs up the write path.
+            yield from self.faults.io_delay(self.name, "relocate")
         yield from self._admit_and_execute(src_ppa, OpKind.READ)
         yield from self._admit_and_execute(dst_ppa, OpKind.PROGRAM)
         if self.wear is not None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.events import EventKind
 from repro.power.rail import PowerRail
 from repro.sim.engine import Engine
@@ -64,11 +65,13 @@ class Spindle:
         config: SpindleConfig,
         start_spinning: bool = True,
         name: str = "spindle",
+        faults=None,
     ) -> None:
         self.engine = engine
         self.rail = rail
         self.config = config
         self.name = name
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.ready_gate = Gate(engine, is_open=start_spinning, name="spindle-ready")
         self.spinups = 0
         self.spindowns = 0
@@ -117,6 +120,21 @@ class Spindle:
         tracer = self.engine.tracer
         if tracer.enabled:
             tracer.emit(EventKind.SPINUP_START, self.name, surge_w=surge)
+        if self.faults.enabled:
+            # Each failed attempt draws the surge for part of the spin-up,
+            # aborts, and backs off before firmware retries -- so a flaky
+            # spindle costs both time and energy before the drive is ready.
+            failures = self.faults.spinup_failures(self.name)
+            spec = self.faults.plan.spinup_failure
+            for attempt in range(1, failures + 1):
+                self.faults.note_retry("spinup_failure", self.name, attempt)
+                self.rail.set_draw("spindle", surge)
+                yield self.engine.timeout(
+                    self.config.spinup_time_s * spec.abort_fraction
+                )
+                self.rail.set_draw("spindle", 0.0)
+                if spec.backoff_s > 0:
+                    yield self.engine.timeout(spec.backoff_s)
         self.rail.set_draw("spindle", surge)
         yield self.engine.timeout(self.config.spinup_time_s)
         self.rail.set_draw(

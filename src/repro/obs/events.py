@@ -73,6 +73,15 @@ class EventKind(enum.Enum):
     #: Host IO accepted by a device / completed back to the host.
     IO_SUBMIT = "io_submit"
     IO_COMPLETE = "io_complete"
+    #: An injected fault fired (field ``fault`` names the fault kind).
+    FAULT = "fault"
+    #: One retry attempt forced by an injected fault (``attempt`` counts).
+    FAULT_RETRY = "fault_retry"
+    #: A degraded-mode episode (latency spike, thermal throttle, governor
+    #: failure) began / ended.  A governor failure never ends: its start
+    #: marks the rest of the run as degraded.
+    FAULT_START = "fault_start"
+    FAULT_END = "fault_end"
     #: Free-form annotation (scope boundaries, experiment markers).
     MARK = "mark"
 
@@ -83,6 +92,7 @@ INTERVAL_PAIRS = {
     EventKind.SPINUP_START: EventKind.SPINUP_END,
     EventKind.SPINDOWN_START: EventKind.SPINDOWN_END,
     EventKind.ALPM_START: EventKind.ALPM_END,
+    EventKind.FAULT_START: EventKind.FAULT_END,
 }
 
 

@@ -43,6 +43,7 @@ _SLICE_NAMES = {
     EventKind.SPINUP_START: "spin_up",
     EventKind.SPINDOWN_START: "spin_down",
     EventKind.ALPM_START: "alpm",
+    EventKind.FAULT_START: "fault",
 }
 _END_TO_START = {end: start for start, end in INTERVAL_PAIRS.items()}
 

@@ -306,7 +306,10 @@ class MetricsCollector:
       ``governor.stalled_admissions``) and the ``governor.committed_w``
       time-weighted gauge;
     - ``gc.collections`` / ``gc.pages_relocated`` / ``spindle.spinups`` /
-      ``alpm.transitions`` / ``cache.hits`` / ``cache.misses`` counters.
+      ``alpm.transitions`` / ``cache.hits`` / ``cache.misses`` counters;
+    - ``faults.injected`` / ``faults.retries`` counters per fault kind and
+      the ``faults.degraded`` residency timer (share of sim time inside
+      injected fault episodes).
 
     The collector tracks the latest event timestamp and uses it as the
     snapshot end time.  One collector may span a whole sweep: each
@@ -408,6 +411,26 @@ class MetricsCollector:
             series(registry.counter, "cache.hits", component).inc()
         elif kind is EventKind.CACHE_MISS:
             series(registry.counter, "cache.misses", component).inc()
+        elif kind is EventKind.FAULT:
+            series(
+                registry.counter, "faults.injected", component,
+                fields.get("fault", "?"),
+            ).inc()
+        elif kind is EventKind.FAULT_RETRY:
+            series(
+                registry.counter, "faults.retries", component,
+                fields.get("fault", "?"),
+            ).inc()
+        elif kind is EventKind.FAULT_START:
+            # Degraded-mode residency: the timer's non-"ok" fractions are
+            # the share of sim time spent inside fault episodes.
+            series(registry.state_timer, "faults.degraded", component).set_state(
+                str(fields.get("fault", "?")), event.time
+            )
+        elif kind is EventKind.FAULT_END:
+            series(registry.state_timer, "faults.degraded", component).set_state(
+                "ok", event.time
+            )
 
     def snapshot(self) -> dict:
         """Registry snapshot finalized at the latest event time."""

@@ -97,6 +97,21 @@ class AlpmController:
                 to_mode=mode.value,
                 extra_w=transition.extra_power_w,
             )
+        faults = self.device.faults
+        if faults.enabled:
+            # A stuck link transition re-pays the transient (time and the
+            # extra draw) per failed PHY handshake before it completes.
+            stuck = faults.transition_stuck(component, "alpm")
+            for attempt in range(1, stuck + 1):
+                faults.note_retry("stuck_transition", component, attempt)
+                if transition.duration_s > 0:
+                    rail.add_draw("alpm.transition", transition.extra_power_w)
+                    try:
+                        yield engine.timeout(transition.duration_s)
+                    finally:
+                        rail.add_draw(
+                            "alpm.transition", -transition.extra_power_w
+                        )
         if transition.duration_s > 0:
             rail.add_draw("alpm.transition", transition.extra_power_w)
             try:

@@ -74,8 +74,12 @@ class TestParallelEquivalence:
         assert resolve_workers(1) == 1
         assert resolve_workers(3) == 3
         assert resolve_workers(None) >= 1
-        assert resolve_workers(0) == resolve_workers(None)
-        with pytest.raises(ValueError):
+        # Zero and negatives are rejected with a clear message -- a silent
+        # "0 means all cores" once turned an unset shell variable into a
+        # machine-wide fan-out.
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(0)
+        with pytest.raises(ValueError, match="positive integer"):
             resolve_workers(-2)
 
 
@@ -101,6 +105,46 @@ class TestFailureCapture:
             run_sweep(grid)
         assert len(excinfo.value.failures) == 4
         assert "power state" in str(excinfo.value)
+
+
+class TestFailureRendering:
+    def _failure(self, index=0, attempts=1):
+        grid = small_grid(power_states=(99,))
+        config = grid.config_for(list(grid.points())[index])
+        return PointFailure(
+            config=config,
+            error_type="ValueError",
+            message=f"boom {index}",
+            traceback="",
+            attempts=attempts,
+        )
+
+    def test_describe_without_retries(self):
+        failure = self._failure()
+        text = failure.describe()
+        assert "ValueError: boom 0" in text
+        assert "attempts" not in text
+
+    def test_describe_with_retries(self):
+        assert "(after 3 attempts)" in self._failure(attempts=3).describe()
+
+    def test_sweep_error_renders_all_when_few(self):
+        error = SweepExecutionError([self._failure(i) for i in range(3)])
+        message = str(error)
+        assert "3 sweep point(s) failed" in message
+        assert "more" not in message
+        for i in range(3):
+            assert f"boom {i}" in message
+
+    def test_sweep_error_truncates_long_failure_lists(self):
+        failures = [self._failure(i % 4) for i in range(12)]
+        error = SweepExecutionError(failures)
+        message = str(error)
+        assert "12 sweep point(s) failed" in message
+        assert message.count("ValueError") == parallel.MAX_RENDERED_FAILURES
+        assert "...and 7 more" in message
+        # The full list is still available programmatically.
+        assert len(error.failures) == 12
 
 
 class TestResultCache:
@@ -189,6 +233,72 @@ class TestResultCache:
         outcome = sweep_outcome(grid, cache_dir=tmp_path)
         assert not outcome.ok
         assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_interrupted_put_leaves_no_litter(self, tmp_path, monkeypatch):
+        """A crash mid-write must not leave .tmp files or half an entry."""
+        import pickle
+
+        grid = small_grid(block_sizes=(16 * KiB,), iodepths=(1,))
+        config = grid.config_for(next(iter(grid.points())))
+        result = parallel.run_experiment(config)
+        cache = ResultCache(tmp_path)
+
+        def exploding_dump(obj, fh):
+            fh.write(b"partial garbage")
+            raise KeyboardInterrupt  # simulates Ctrl-C mid-pickle
+
+        monkeypatch.setattr(pickle, "dump", exploding_dump)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(config, result)
+        monkeypatch.undo()
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.get(config) is None  # nothing half-committed
+        # The cache remains fully usable after the failed write.
+        cache.put(config, result)
+        assert cache.get(config).mean_power_w == result.mean_power_w
+
+    def test_put_overwrite_failure_keeps_old_entry(self, tmp_path, monkeypatch):
+        import pickle
+
+        grid = small_grid(block_sizes=(16 * KiB,), iodepths=(1,))
+        config = grid.config_for(next(iter(grid.points())))
+        result = parallel.run_experiment(config)
+        cache = ResultCache(tmp_path)
+        cache.put(config, result)
+
+        def boom(obj, fh):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", boom)
+        with pytest.raises(OSError):
+            cache.put(config, result)
+        monkeypatch.undo()
+        # The original committed entry survived the failed overwrite.
+        assert cache.get(config).mean_power_w == result.mean_power_w
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_corrupt_entry_recomputed_under_retry_policy(self, tmp_path):
+        """Cache corruption plus a retry policy: the point recomputes on
+        the resilient pool and the rewritten entry is valid."""
+        from repro.core.parallel import RetryPolicy
+
+        grid = small_grid(block_sizes=(16 * KiB,), iodepths=(1,))
+        first = run_sweep(grid, cache_dir=tmp_path)
+        (entry,) = tmp_path.glob("*.pkl")
+        entry.write_bytes(b"definitely not a pickle")
+        cache = ResultCache(tmp_path)
+        second = run_sweep(
+            grid, n_workers=2, cache_dir=cache, timeout_s=120.0, retries=2
+        )
+        point = next(iter(first))
+        assert second[point].mean_power_w == first[point].mean_power_w
+        assert cache.stats.corrupt == 1
+        assert cache.stats.puts == 1
+        # The rewritten entry is readable again.
+        rerun = ResultCache(tmp_path)
+        third = run_sweep(grid, cache_dir=rerun)
+        assert rerun.stats.hits == 1
+        assert third[point].mean_power_w == first[point].mean_power_w
 
     def test_cache_roundtrip_api(self, tmp_path):
         grid = small_grid()

@@ -1,0 +1,306 @@
+"""Behavioural tests: each fault mechanism measurably degrades its target."""
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.safety import DeviceGroup, measured_device_group
+from repro.devices.catalog import build_device
+from repro.devices.hdd_drive import IdleCondition
+from repro.devices.link import LinkPowerMode
+from repro.devices.ssd import SimulatedSSD
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    GovernorFailureSpec,
+    IoErrorSpec,
+    LatencySpikeSpec,
+    SpinupFailureSpec,
+    StuckTransitionSpec,
+    ThermalThrottleSpec,
+)
+from repro.faults.injector import NULL_INJECTOR
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.sata.alpm import AlpmController
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from tests.conftest import drive, tiny_ssd_config
+
+
+def job(pattern=IoPattern.RANDREAD, **overrides):
+    defaults = dict(
+        block_size=16 * KiB,
+        iodepth=4,
+        runtime_s=0.01,
+        size_limit_bytes=4 * MiB,
+    )
+    defaults.update(overrides)
+    return JobSpec(pattern, **defaults)
+
+
+def run(faults=None, **config_overrides):
+    defaults = dict(device=tiny_ssd_config(), job=job(), seed=42)
+    defaults.update(config_overrides)
+    return run_experiment(ExperimentConfig(faults=faults, **defaults))
+
+
+class TestNullInjector:
+    def test_devices_default_to_null_injector(self, engine, rngs):
+        ssd = SimulatedSSD(engine, tiny_ssd_config(), rng=rngs)
+        assert ssd.faults is NULL_INJECTOR
+        assert not ssd.faults.enabled
+        assert ssd.faults.summary() is None
+
+    def test_inert_plan_disables_injector(self, engine, rngs):
+        injector = FaultInjector(engine, FaultPlan(), rngs)
+        assert not injector.enabled
+        assert injector.summary().total == 0
+
+    def test_clean_run_has_no_fault_summary(self):
+        assert run(faults=None).faults is None
+
+
+class TestIoErrors:
+    def test_io_errors_cost_latency_and_retries(self):
+        clean = run()
+        faulted = run(
+            faults=FaultPlan(
+                io_errors=IoErrorSpec(probability=0.2, retry_cost_s=1e-3)
+            )
+        )
+        summary = faulted.faults
+        assert summary.count("io_error") > 0
+        assert summary.retries >= summary.count("io_error")
+        assert summary.extra_latency_s > 0
+        # Retries steal time from useful IO.
+        assert faulted.throughput_bps < clean.throughput_bps
+        assert faulted.latency().mean > clean.latency().mean
+
+    def test_zero_probability_never_fires(self):
+        result = run(faults=FaultPlan(io_errors=IoErrorSpec(probability=0.0)))
+        assert result.faults.count("io_error") == 0
+        assert result.faults.retries == 0
+
+    def test_gc_path_also_faulted(self):
+        # A write-heavy job on the tiny array forces GC; relocations go
+        # through the same io_delay fault site as host IO.
+        result = run(
+            faults=FaultPlan(io_errors=IoErrorSpec(probability=1.0)),
+            job=job(IoPattern.RANDWRITE, iodepth=8, size_limit_bytes=8 * MiB),
+        )
+        summary = result.faults
+        assert summary.count("io_error") > 0
+        assert summary.retries > 0
+
+
+class TestLatencySpikes:
+    def test_always_active_spike_slows_every_io(self):
+        clean = run()
+        spiked = run(
+            faults=FaultPlan(
+                latency_spikes=(
+                    LatencySpikeSpec(start_s=0.0, duration_s=10.0, extra_s=2e-4),
+                )
+            )
+        )
+        summary = spiked.faults
+        assert summary.count("latency_spike") > 0
+        assert summary.extra_latency_s > 0
+        assert spiked.latency().mean > clean.latency().mean
+
+    def test_window_outside_run_never_fires(self):
+        result = run(
+            faults=FaultPlan(
+                latency_spikes=(
+                    LatencySpikeSpec(start_s=100.0, duration_s=1.0, extra_s=1e-3),
+                )
+            )
+        )
+        assert result.faults.count("latency_spike") == 0
+
+
+class TestThermalThrottle:
+    def test_throttle_reduces_power_under_cap(self):
+        write_job = job(IoPattern.RANDWRITE, iodepth=8)
+        capped = run(job=write_job, power_state=1)
+        throttled = run(
+            job=write_job,
+            power_state=1,
+            faults=FaultPlan(
+                thermal_throttle=ThermalThrottleSpec(
+                    start_s=0.0, duration_s=10.0, cap_scale=0.5
+                )
+            ),
+        )
+        assert throttled.faults.count("thermal_throttle") >= 1
+        # Half the cap budget admits less NAND work: lower draw, lower rate.
+        assert throttled.true_mean_power_w < capped.true_mean_power_w
+        assert throttled.throughput_bps < capped.throughput_bps
+
+
+class TestGovernorFailure:
+    def _hazard_pair(self):
+        write_job = job(IoPattern.RANDWRITE, iodepth=8)
+        capped = run(job=write_job, power_state=1)
+        failed = run(
+            job=write_job,
+            power_state=1,
+            faults=FaultPlan(governor_failure=GovernorFailureSpec(at_s=2e-4)),
+        )
+        return capped, failed
+
+    def test_failure_reverts_to_uncapped_draw(self):
+        capped, failed = self._hazard_pair()
+        summary = failed.faults
+        assert summary.governor_failed
+        assert summary.count("governor_failure") == 1
+        assert summary.intended_cap_w == pytest.approx(3.5)
+        # The result still records the cap the run was *supposed* to hold.
+        assert failed.cap_w == pytest.approx(3.5)
+        # Without rationing the device draws more than the working cap let it.
+        assert failed.true_mean_power_w > capped.true_mean_power_w
+
+    def test_measured_device_group_from_hazard_pair(self):
+        capped, failed = self._hazard_pair()
+        group = measured_device_group(
+            count=8, adaptive_count=6, capped=capped, uncontrolled=failed
+        )
+        assert isinstance(group, DeviceGroup)
+        assert group.count == 8
+        assert group.adaptive_count == 6
+        assert group.adaptive_power_w <= group.max_power_w
+        assert group.max_power_w == pytest.approx(
+            max(capped.true_mean_power_w, failed.true_mean_power_w)
+        )
+
+    def test_measured_device_group_rejects_uncapped_baseline(self):
+        import dataclasses
+
+        capped, failed = self._hazard_pair()
+        uncapped = dataclasses.replace(capped, cap_w=None)
+        with pytest.raises(ValueError, match="active power cap"):
+            measured_device_group(2, 1, capped=uncapped, uncontrolled=failed)
+
+    def test_measured_device_group_rejects_clean_uncontrolled_run(self):
+        capped, _ = self._hazard_pair()
+        with pytest.raises(ValueError, match="governor-failure"):
+            measured_device_group(2, 1, capped=capped, uncontrolled=capped)
+
+
+class TestStuckTransitions:
+    def test_stuck_nvme_transition_pays_extra_latency(self, engine, rngs):
+        plan = FaultPlan(
+            stuck_transitions=StuckTransitionSpec(
+                probability=1.0, targets=("nvme_ps",)
+            )
+        )
+        injector = FaultInjector(engine, plan, rngs)
+        ssd = SimulatedSSD(engine, tiny_ssd_config(), rng=rngs, faults=injector)
+        drive(engine, engine.process(ssd.set_power_state(1)))
+        entry = ssd.config.power_states[1].entry_latency_s
+        # At least one stuck re-attempt doubled the entry latency.
+        assert engine.now >= 2 * entry
+        assert injector.counts.get("stuck_transition", 0) >= 1
+        assert injector.retries >= 1
+
+    def _alpm_transition_time(self, probability):
+        engine = Engine()
+        rngs = RngStreams(seed=7)
+        plan = FaultPlan(
+            stuck_transitions=StuckTransitionSpec(
+                probability=probability, targets=("alpm",)
+            )
+        )
+        injector = FaultInjector(engine, plan, rngs)
+        ssd = SimulatedSSD(engine, tiny_ssd_config(), rng=rngs, faults=injector)
+        alpm = AlpmController(ssd)
+        drive(engine, engine.process(alpm.set_mode(LinkPowerMode.SLUMBER)))
+        return engine.now, injector
+
+    def test_stuck_alpm_transition_takes_longer(self):
+        clean_time, clean_injector = self._alpm_transition_time(0.0)
+        stuck_time, stuck_injector = self._alpm_transition_time(1.0)
+        assert clean_injector.counts.get("stuck_transition", 0) == 0
+        assert stuck_injector.counts.get("stuck_transition", 0) >= 1
+        assert stuck_time > clean_time
+
+    def test_epc_entry_refused(self, engine, rngs):
+        plan = FaultPlan(
+            stuck_transitions=StuckTransitionSpec(probability=1.0, targets=("epc",))
+        )
+        injector = FaultInjector(engine, plan, rngs)
+        hdd = build_device(engine, "hdd", rng=rngs, faults=injector)
+        hdd.set_idle_condition(IdleCondition.IDLE_B)
+        # Firmware silently refused the command: the drive never left IDLE_A.
+        assert hdd.idle_condition is IdleCondition.IDLE_A
+        assert injector.counts["stuck_transition"] >= 1
+
+    def test_epc_return_to_idle_a_never_refused(self, engine, rngs):
+        plan = FaultPlan(
+            stuck_transitions=StuckTransitionSpec(probability=0.0, targets=("epc",))
+        )
+        injector = FaultInjector(engine, plan, rngs)
+        hdd = build_device(engine, "hdd", rng=rngs, faults=injector)
+        hdd.set_idle_condition(IdleCondition.IDLE_B)
+        assert hdd.idle_condition is IdleCondition.IDLE_B
+        hdd.set_idle_condition(IdleCondition.IDLE_A)
+        assert hdd.idle_condition is IdleCondition.IDLE_A
+
+
+class TestSpinupFailure:
+    def _standby_cycle(self, probability):
+        engine = Engine()
+        rngs = RngStreams(seed=11)
+        plan = FaultPlan(
+            spinup_failure=SpinupFailureSpec(
+                probability=probability, max_retries=2, backoff_s=0.5
+            )
+        )
+        injector = FaultInjector(engine, plan, rngs)
+        hdd = build_device(engine, "hdd", rng=rngs, faults=injector)
+        drive(engine, engine.process(hdd.enter_standby()))
+        start = engine.now
+        drive(engine, engine.process(hdd.exit_standby()))
+        return engine.now - start, injector
+
+    def test_flaky_spinup_costs_time(self):
+        clean_time, _ = self._standby_cycle(0.0)
+        flaky_time, injector = self._standby_cycle(1.0)
+        assert injector.counts["spinup_failure"] == 1
+        assert injector.retries >= 1
+        spec = injector.plan.spinup_failure
+        # Each failed attempt draws surge for part of the spin-up and then
+        # rests; the drive must come up at least one aborted attempt later.
+        assert flaky_time >= clean_time + spec.backoff_s
+
+    def test_summary_describe_mentions_faults(self):
+        _, injector = self._standby_cycle(1.0)
+        text = injector.summary().describe()
+        assert "spinup_failure" in text
+        assert "retries" in text
+
+
+class TestFaultSummary:
+    def test_counts_and_total(self):
+        result = run(
+            faults=FaultPlan(
+                io_errors=IoErrorSpec(probability=0.2, retry_cost_s=1e-4)
+            )
+        )
+        summary = result.faults
+        assert summary.total == sum(count for _, count in summary.injected)
+        assert summary.count("io_error") > 0
+        assert summary.count("not_a_fault") == 0
+        assert "io_error x" in summary.describe()
+
+    def test_clean_summary_describe(self):
+        from repro.faults import FaultSummary
+
+        assert FaultSummary().describe() == "no faults injected"
+        failed = FaultSummary(
+            injected=(("governor_failure", 1),),
+            governor_failed=True,
+            intended_cap_w=10.0,
+        )
+        assert "governor FAILED" in failed.describe()
+        assert "cap 10 W lost" in failed.describe()

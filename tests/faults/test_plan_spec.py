@@ -1,0 +1,163 @@
+"""Validation of fault plans and the ``--faults`` spec grammar."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultSpecError,
+    GovernorFailureSpec,
+    IoErrorSpec,
+    LatencySpikeSpec,
+    SpinupFailureSpec,
+    StuckTransitionSpec,
+    ThermalThrottleSpec,
+    parse_fault_plan,
+)
+
+
+class TestSpecValidation:
+    def test_probabilities_bounded(self):
+        with pytest.raises(ValueError, match="probability"):
+            IoErrorSpec(probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            StuckTransitionSpec(probability=-0.1)
+        with pytest.raises(ValueError, match="probability"):
+            SpinupFailureSpec(probability=2.0)
+
+    def test_io_error_rejects_bad_costs(self):
+        with pytest.raises(ValueError, match="retry cost"):
+            IoErrorSpec(probability=0.1, retry_cost_s=-1e-3)
+        with pytest.raises(ValueError, match="max_retries"):
+            IoErrorSpec(probability=0.1, max_retries=0)
+
+    def test_spike_window_validation(self):
+        with pytest.raises(ValueError):
+            LatencySpikeSpec(start_s=-1.0, duration_s=0.01, extra_s=1e-3)
+        with pytest.raises(ValueError):
+            LatencySpikeSpec(start_s=0.0, duration_s=0.0, extra_s=1e-3)
+        with pytest.raises(ValueError, match="repeat period"):
+            LatencySpikeSpec(
+                start_s=0.0, duration_s=0.01, extra_s=1e-3, repeat_every_s=0.005
+            )
+
+    def test_throttle_scale_is_a_proper_derating(self):
+        with pytest.raises(ValueError, match="cap_scale"):
+            ThermalThrottleSpec(start_s=0.0, duration_s=0.01, cap_scale=1.0)
+        with pytest.raises(ValueError, match="cap_scale"):
+            ThermalThrottleSpec(start_s=0.0, duration_s=0.01, cap_scale=0.0)
+
+    def test_stuck_targets_validated(self):
+        with pytest.raises(ValueError, match="unknown stuck-transition"):
+            StuckTransitionSpec(probability=0.5, targets=("nvme_ps", "warp"))
+
+    def test_governor_failure_time_nonnegative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GovernorFailureSpec(at_s=-0.001)
+
+    def test_spinup_abort_fraction_bounded(self):
+        with pytest.raises(ValueError, match="abort_fraction"):
+            SpinupFailureSpec(probability=1.0, abort_fraction=1.0)
+
+
+class TestSpikeWindows:
+    def test_one_shot_window(self):
+        spec = LatencySpikeSpec(start_s=0.01, duration_s=0.005, extra_s=1e-3)
+        assert not spec.active_at(0.0)
+        assert spec.active_at(0.012)
+        assert not spec.active_at(0.016)
+
+    def test_periodic_window_repeats(self):
+        spec = LatencySpikeSpec(
+            start_s=0.01, duration_s=0.005, extra_s=1e-3, repeat_every_s=0.02
+        )
+        assert spec.active_at(0.012)
+        assert not spec.active_at(0.018)
+        assert spec.active_at(0.032)  # next period
+        assert not spec.active_at(0.038)
+
+    def test_plan_sums_overlapping_spikes(self):
+        plan = FaultPlan(
+            latency_spikes=(
+                LatencySpikeSpec(start_s=0.0, duration_s=1.0, extra_s=1e-3),
+                LatencySpikeSpec(start_s=0.5, duration_s=1.0, extra_s=2e-3),
+            )
+        )
+        assert plan.spike_extra_s(0.25) == pytest.approx(1e-3)
+        assert plan.spike_extra_s(0.75) == pytest.approx(3e-3)
+        assert plan.spike_extra_s(1.25) == pytest.approx(2e-3)
+
+
+class TestPlanActivity:
+    def test_default_plan_is_inert(self):
+        assert not FaultPlan().active
+
+    def test_any_spec_activates(self):
+        assert FaultPlan(io_errors=IoErrorSpec(probability=0.0)).active
+        assert FaultPlan(governor_failure=GovernorFailureSpec(at_s=0.0)).active
+        assert FaultPlan(
+            latency_spikes=(
+                LatencySpikeSpec(start_s=0.0, duration_s=0.01, extra_s=1e-3),
+            )
+        ).active
+
+
+class TestParseFaultPlan:
+    def test_full_grammar_round_trip(self):
+        plan = parse_fault_plan(
+            "io_error:p=0.05,cost=2e-3,retries=4;"
+            "spike:at=0.01,dur=0.005,extra=0.002,every=0.02;"
+            "throttle:at=0.01,dur=0.02,scale=0.5;"
+            "stuck:p=0.5,max=3,targets=nvme_ps|alpm;"
+            "governor:at=0.02;"
+            "spinup:p=1.0,retries=2,fraction=0.3,backoff=0.1"
+        )
+        assert plan.io_errors == IoErrorSpec(
+            probability=0.05, retry_cost_s=2e-3, max_retries=4
+        )
+        assert plan.latency_spikes == (
+            LatencySpikeSpec(
+                start_s=0.01, duration_s=0.005, extra_s=0.002, repeat_every_s=0.02
+            ),
+        )
+        assert plan.thermal_throttle.cap_scale == 0.5
+        assert plan.stuck_transitions.targets == ("nvme_ps", "alpm")
+        assert plan.governor_failure == GovernorFailureSpec(at_s=0.02)
+        assert plan.spinup_failure.abort_fraction == 0.3
+
+    def test_multiple_spikes_accumulate(self):
+        plan = parse_fault_plan(
+            "spike:at=0.0,dur=0.01,extra=1e-3;spike:at=0.02,dur=0.01,extra=1e-3"
+        )
+        assert len(plan.latency_spikes) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            parse_fault_plan("gremlins:p=1.0")
+
+    def test_unknown_argument_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown argument"):
+            parse_fault_plan("io_error:p=0.1,colour=red")
+
+    def test_missing_required_argument_rejected(self):
+        with pytest.raises(FaultSpecError, match="io_error"):
+            parse_fault_plan("io_error:cost=1e-3")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(FaultSpecError, match="not a number"):
+            parse_fault_plan("io_error:p=often")
+
+    def test_post_init_rejection_wrapped(self):
+        with pytest.raises(FaultSpecError, match="probability"):
+            parse_fault_plan("io_error:p=3.0")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(FaultSpecError, match="key=value"):
+            parse_fault_plan("io_error:0.1")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(FaultSpecError, match="configures no faults"):
+            parse_fault_plan("  ;  ")
+
+    def test_error_is_a_value_error(self):
+        # argparse-facing code relies on this subclassing.
+        assert issubclass(FaultSpecError, ValueError)

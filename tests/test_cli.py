@@ -26,6 +26,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_nonpositive_workers_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--device", "ssd3", "--workers", bad]
+            )
+        assert "worker count must be >= 1" in capsys.readouterr().err
+
+    def test_workers_all_means_every_core(self):
+        args = build_parser().parse_args(
+            ["sweep", "--device", "ssd3", "--workers", "all"]
+        )
+        assert args.workers is None
+
+    def test_malformed_faults_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--device", "ssd3", "--faults", "meteor:p=1"]
+            )
+        assert "unknown fault kind" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_devices_lists_presets(self, capsys):
@@ -126,6 +147,79 @@ class TestCommands:
         assert len(list(tmp_path.glob("*.pkl"))) == 1
         assert main(argv) == 0  # served from cache
         assert capsys.readouterr().out == first
+
+    def test_run_with_faults_prints_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--device",
+                "ssd3",
+                "--rw",
+                "randread",
+                "--bs",
+                "16k",
+                "--iodepth",
+                "4",
+                "--runtime",
+                "0.01",
+                "--size",
+                "2M",
+                "--faults",
+                "io_error:p=0.5,cost=5e-4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out and "io_error" in out
+
+    def test_sweep_resume_requires_cache(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--device",
+                "ssd3",
+                "--rw",
+                "randread",
+                "--bs",
+                "16k",
+                "--iodepth",
+                "1",
+                "--runtime",
+                "0.01",
+                "--size",
+                "2M",
+                "--resume",
+            ]
+        )
+        assert code == 2
+        assert "--resume requires --cache" in capsys.readouterr().out
+
+    def test_sweep_resume_round_trip(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--device",
+            "ssd3",
+            "--rw",
+            "randread",
+            "--bs",
+            "16k",
+            "--iodepth",
+            "1",
+            "--runtime",
+            "0.01",
+            "--size",
+            "2M",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert (tmp_path / "checkpoint.jsonl").exists()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "1 done" in out
+        assert "1 points" in out  # the table still shows the full grid
 
     def test_sweep_reports_failed_points(self, capsys):
         code = main(

@@ -6,6 +6,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
+import check_no_bare_except  # noqa: E402
 import check_no_bare_hash  # noqa: E402
 import check_no_print  # noqa: E402
 
@@ -33,6 +34,53 @@ class TestNoBareHashLint:
             "# a comment mentioning hash( is fine\n"
         )
         assert check_no_bare_hash.main([str(tmp_path)]) == 0
+
+
+class TestNoBareExceptLint:
+    def test_src_repro_is_clean(self):
+        """Bare ``except:`` and ``except Exception: pass`` are banned in
+        src/repro: a resilience layer must never swallow errors silently."""
+        assert check_no_bare_except.main([]) == 0
+
+    def test_detects_bare_except(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    risky()\nexcept:\n    handle()\n"
+        )
+        assert check_no_bare_except.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:3" in out
+        assert "bare 'except:'" in out
+
+    def test_detects_swallowed_exception(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    risky()\nexcept Exception:\n    pass\n"
+        )
+        assert check_no_bare_except.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "swallows" in out
+
+    def test_detects_swallowed_tuple_and_ellipsis(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    risky()\nexcept (ValueError, BaseException):\n    ...\n"
+        )
+        assert check_no_bare_except.main([str(tmp_path)]) == 1
+
+    def test_allows_handled_and_narrow(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n"
+            "    risky()\n"
+            "except Exception as exc:\n"
+            "    record(exc)\n"
+            "try:\n"
+            "    cleanup()\n"
+            "except OSError:\n"
+            "    pass\n"
+        )
+        assert check_no_bare_except.main([str(tmp_path)]) == 0
 
 
 class TestNoPrintLint:

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Lint: forbid exception-swallowing handlers in ``src/repro``.
+
+A resilience subsystem lives or dies by honest error propagation.  Two
+patterns silently eat errors and are banned in library code:
+
+- bare ``except:`` -- catches ``KeyboardInterrupt`` and ``SystemExit``,
+  so a Ctrl-C during a sweep can be swallowed by the very code whose job
+  is to checkpoint and stop cleanly;
+- ``except Exception: pass`` (or ``...``) -- keeps the interrupt path
+  alive but turns every programming error into silence.
+
+What remains legal, deliberately:
+
+- catching ``Exception`` and *doing something* with it (``PointFailure``
+  capture in the executor does exactly this);
+- narrow swallows such as ``except OSError: pass`` or
+  ``contextlib.suppress(OSError)`` -- naming the exception is the
+  reviewer-visible statement that this specific failure is expected.
+
+Run directly (``python tools/check_no_bare_except.py``) or via the test
+suite (``tests/test_tooling.py``).  Exit status 0 = clean, 1 = violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator
+
+DEFAULT_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Handler types whose body may not be only ``pass``/``...``.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches Exception/BaseException (incl. tuples)."""
+    def names(node: ast.expr) -> Iterator[str]:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.Tuple):
+            for element in node.elts:
+                yield from names(element)
+
+    assert handler.type is not None
+    return any(name in _BROAD_NAMES for name in names(handler.type))
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing (``pass`` / ``...`` only)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+def find_violations(root: Path) -> Iterator[str]:
+    """Yield ``path:line: reason`` for every banned handler."""
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield (
+                    f"{path}:{node.lineno}: bare 'except:' (catches "
+                    "KeyboardInterrupt/SystemExit; name the exception)"
+                )
+            elif _is_broad(node) and _swallows(node):
+                yield (
+                    f"{path}:{node.lineno}: 'except Exception: pass' "
+                    "silently swallows errors (handle it or narrow the type)"
+                )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    root = Path(argv[0]) if argv else DEFAULT_ROOT
+    violations = list(find_violations(root))
+    if violations:
+        print(
+            "exception-swallowing handlers are banned in library code "
+            "(capture the error or name the specific exception type):"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
