@@ -1,0 +1,228 @@
+"""Continuous kernel benchmark: ``python -m benchmarks.run``.
+
+Runs a pinned micro-grid (randread / randwrite / seqwrite x 2 devices x
+2 queue depths) through :func:`repro.core.experiment.run_experiment` and
+reports, per point and in aggregate:
+
+- wall-clock seconds (best of ``--repeats`` runs, first run discarded as
+  warmup when repeats allow),
+- kernel events per second (the engine's processed-event count over wall
+  time -- the simulator's native throughput metric),
+- peak RSS of the process.
+
+Results land in a machine-readable ``BENCH_<n>.json`` at the repo root so
+successive PRs accumulate a performance trajectory, and ``--check`` turns
+the run into a regression gate: aggregate events/sec more than 10 % below
+the committed ``benchmarks/baseline.json`` fails with exit code 1.
+
+Usage::
+
+    python -m benchmarks.run                     # run, write BENCH_<n>.json
+    python -m benchmarks.run --check             # also gate vs baseline
+    python -m benchmarks.run --update-baseline   # re-pin the baseline
+
+The grid, seeds and stop conditions are pinned: changing them invalidates
+the trajectory, so treat them like golden fixtures.  Baselines are
+machine-relative -- re-pin with ``--update-baseline`` when moving to new
+hardware, in the same commit that explains why.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Version stamp of the emitted trajectory file (matches the PR number).
+BENCH_INDEX = 4
+
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline.json"
+
+#: Regression gate: fail --check when aggregate events/sec drops by more
+#: than this fraction below the committed baseline.
+REGRESSION_TOLERANCE = 0.10
+
+#: The pinned micro-grid.
+GRID_DEVICES = ("ssd2", "hdd")
+GRID_PATTERNS = ("randread", "randwrite", "write")
+GRID_IODEPTHS = (4, 16)
+GRID_BLOCK_SIZE = 64 * 1024
+GRID_RUNTIME_S = 0.02
+GRID_SIZE_LIMIT = 8 * 1024 * 1024
+GRID_SEED = 11
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak * 1024 if sys.platform != "darwin" else peak
+
+
+def grid_configs():
+    from repro.core.experiment import ExperimentConfig
+    from repro.iogen.spec import IoPattern, JobSpec
+
+    configs = []
+    for device in GRID_DEVICES:
+        for pattern in GRID_PATTERNS:
+            for iodepth in GRID_IODEPTHS:
+                configs.append(
+                    ExperimentConfig(
+                        device=device,
+                        job=JobSpec(
+                            pattern=IoPattern(pattern),
+                            block_size=GRID_BLOCK_SIZE,
+                            iodepth=iodepth,
+                            runtime_s=GRID_RUNTIME_S,
+                            size_limit_bytes=GRID_SIZE_LIMIT,
+                        ),
+                        seed=GRID_SEED,
+                    )
+                )
+    return configs
+
+
+def run_grid(repeats: int) -> dict:
+    """Execute the pinned grid; returns the benchmark report dict."""
+    from repro.core.experiment import run_experiment
+    from repro.obs.profile import RunProfiler
+
+    points = []
+    for config in grid_configs():
+        best = None
+        for rep in range(max(1, repeats)):
+            profiler = RunProfiler()
+            t0 = time.perf_counter()
+            run_experiment(config, profiler=profiler)
+            wall_s = time.perf_counter() - t0
+            profile = profiler.points[-1]
+            sample = {
+                "label": config.describe(),
+                "wall_s": wall_s,
+                "sim_events": profile.sim_events,
+                "sim_time_s": profile.sim_time_s,
+                "events_per_second": profile.sim_events / wall_s,
+            }
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        points.append(best)
+
+    total_wall = sum(p["wall_s"] for p in points)
+    total_events = sum(p["sim_events"] for p in points)
+    return {
+        "bench_index": BENCH_INDEX,
+        "grid": {
+            "devices": list(GRID_DEVICES),
+            "patterns": list(GRID_PATTERNS),
+            "iodepths": list(GRID_IODEPTHS),
+            "block_size": GRID_BLOCK_SIZE,
+            "runtime_s": GRID_RUNTIME_S,
+            "size_limit_bytes": GRID_SIZE_LIMIT,
+            "seed": GRID_SEED,
+            "repeats": repeats,
+        },
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "points": points,
+        "total_wall_s": total_wall,
+        "total_sim_events": total_events,
+        "events_per_second": total_events / total_wall if total_wall else 0.0,
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def check_against_baseline(report: dict) -> tuple[bool, str]:
+    """Gate ``report`` against the committed baseline.
+
+    Returns ``(ok, message)``; missing baseline is a failure -- the gate
+    must never silently pass because someone forgot to commit the pin.
+    """
+    if not BASELINE_PATH.exists():
+        return False, (
+            f"no baseline at {BASELINE_PATH}; run "
+            "`python -m benchmarks.run --update-baseline` and commit it"
+        )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_eps = baseline["events_per_second"]
+    current = report["events_per_second"]
+    floor = base_eps * (1.0 - REGRESSION_TOLERANCE)
+    ratio = current / base_eps if base_eps else float("inf")
+    message = (
+        f"events/sec: current {current:,.0f} vs baseline {base_eps:,.0f} "
+        f"({ratio:.2f}x, floor {floor:,.0f})"
+    )
+    if current < floor:
+        return False, f"REGRESSION: {message}"
+    return True, f"ok: {message}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.run", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per grid point; the best wall time is kept (default 3)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if events/sec regressed >10%% vs the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"write this run as the new {BASELINE_PATH.name}",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / f"BENCH_{BENCH_INDEX}.json"),
+        help="path of the machine-readable report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_grid(args.repeats)
+    for point in report["points"]:
+        print(
+            f"{point['label']:<42} {point['wall_s'] * 1e3:8.1f} ms "
+            f"{point['events_per_second']:12,.0f} ev/s"
+        )
+    print(
+        f"{'TOTAL':<42} {report['total_wall_s'] * 1e3:8.1f} ms "
+        f"{report['events_per_second']:12,.0f} ev/s  "
+        f"peak RSS {report['peak_rss_bytes'] / 2**20:.0f} MiB"
+    )
+
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        report["baseline_events_per_second"] = baseline["events_per_second"]
+        report["speedup_vs_baseline"] = (
+            report["events_per_second"] / baseline["events_per_second"]
+        )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"report -> {output}")
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"baseline -> {BASELINE_PATH}")
+
+    if args.check:
+        ok, message = check_against_baseline(report)
+        print(message)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,13 +11,17 @@ policies the paper discusses, on models fitted from the simulated PM1743:
 Run:  python examples/fleet_demand_response.py
 """
 
-from repro._units import GiB, KiB
-from repro.core.asymmetric import AsymmetricPlanner
-from repro.core.fleet import FleetModel
-from repro.core.redirection import RedirectionPolicy, StandbyProfile
-from repro.iogen.spec import IoPattern
-from repro.studies.common import QUICK
-from repro.studies.fig10 import build_model
+from repro.api import (
+    AsymmetricPlanner,
+    FleetModel,
+    GiB,
+    IoPattern,
+    KiB,
+    QUICK,
+    RedirectionPolicy,
+    StandbyProfile,
+    build_model,
+)
 
 N = 16
 

@@ -11,12 +11,17 @@ Event-driven scenario on the simulated Exos 7E2000:
 Run:  python examples/hdd_spindown_tradeoff.py
 """
 
-from repro._units import KiB, MiB
-from repro.core.tiering import WriteAbsorptionScenario
-from repro.devices import build_device
-from repro.devices.base import IOKind, IORequest
-from repro.sata.ata import check_power_mode, standby_immediate
-from repro.sim.engine import Engine
+from repro.api import (
+    Engine,
+    IOKind,
+    IORequest,
+    KiB,
+    MiB,
+    WriteAbsorptionScenario,
+    build_device,
+    check_power_mode,
+    standby_immediate,
+)
 
 
 def drive(engine, process):

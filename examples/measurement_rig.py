@@ -16,13 +16,16 @@ Run:  python examples/measurement_rig.py
 
 import numpy as np
 
-from repro.devices import build_device
-from repro.devices.link import LinkPowerMode
-from repro.nvme.cli import NvmeCli
-from repro.power.meter import MeterConfig, PowerMeter
-from repro.sata.alpm import AlpmController
-from repro.sim.engine import Engine
-from repro.sim.rng import RngStreams
+from repro.api import (
+    AlpmController,
+    Engine,
+    LinkPowerMode,
+    MeterConfig,
+    NvmeCli,
+    PowerMeter,
+    RngStreams,
+    build_device,
+)
 
 
 def main() -> None:

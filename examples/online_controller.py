@@ -11,8 +11,7 @@ and shed requests while the cut lasts.
 Run:  python examples/online_controller.py   (~20 s)
 """
 
-from repro._units import GiB
-from repro.core.controller import BudgetSignal, run_demand_response
+from repro.api import BudgetSignal, GiB, run_demand_response
 
 
 def main() -> None:

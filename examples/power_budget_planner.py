@@ -13,10 +13,7 @@ to end, including a latency-SLO-constrained variant.
 Run:  python examples/power_budget_planner.py
 """
 
-from repro._units import GiB, KiB
-from repro.core.adaptive import PowerAdaptivePlanner
-from repro.studies.common import QUICK
-from repro.studies.fig10 import build_model
+from repro.api import GiB, KiB, PowerAdaptivePlanner, QUICK, build_model
 
 
 def main() -> None:

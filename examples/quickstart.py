@@ -8,9 +8,7 @@ throughput and latency -- the core loop of the paper's methodology.
 Run:  python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, run_experiment
-from repro._units import KiB, MiB
-from repro.iogen import IoPattern, JobSpec
+from repro import ExperimentConfig, IoPattern, JobSpec, KiB, MiB, run_experiment
 
 
 def main() -> None:

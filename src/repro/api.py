@@ -1,0 +1,161 @@
+"""The supported public surface of :mod:`repro`, in one place.
+
+Import from here (or from the :mod:`repro` top level, which re-exports the
+same names) rather than from submodules: everything below is covered by
+the API-surface snapshot test (``tests/test_api_surface.py``) and the
+README/examples import lint (``tools/check_api_surface.py``), so it cannot
+change or disappear without a deliberate snapshot update.  Submodule paths
+are implementation detail and may move between releases.
+
+The surface in one screen::
+
+    from repro.api import (
+        ExperimentConfig, run_experiment,          # one experiment
+        SweepGrid, ExecutionOptions, run_sweep,    # a grid of them
+        PowerThroughputModel,                      # fit the paper's model
+        OnlinePowerController, FleetModel,         # act on it
+        Tracer, MetricsCollector, RunProfiler,     # observe any of it
+        FaultPlan,                                 # and break it on purpose
+    )
+"""
+
+from repro._units import GiB, KiB, MiB
+from repro.core.adaptive import AdaptivePlan, PowerAdaptivePlanner
+from repro.core.asymmetric import AsymmetricPlan, AsymmetricPlanner
+from repro.core.checkpoint import CheckpointJournal, PointState
+from repro.core.controller import (
+    BudgetSignal,
+    ControlAction,
+    ControllerConfig,
+    DemandResponseResult,
+    OnlinePowerController,
+    run_demand_response,
+)
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.fleet import FleetAllocation, FleetModel
+from repro.core.model import ModelPoint, PowerThroughputModel
+from repro.core.options import ExecutionOptions
+from repro.core.parallel import (
+    PointFailure,
+    ResultCache,
+    RetryPolicy,
+    SweepExecutionError,
+    run_configs,
+)
+from repro.core.redirection import (
+    RedirectionDecision,
+    RedirectionPolicy,
+    StandbyProfile,
+)
+from repro.core.sweep import (
+    SweepGrid,
+    SweepOutcome,
+    SweepPoint,
+    run_sweep,
+    sweep_outcome,
+)
+from repro.core.tiering import AbsorptionResult, WriteAbsorptionScenario
+from repro.devices import DEVICE_PRESETS, build_device
+from repro.devices.base import IOKind, IORequest, IOResult, StorageDevice
+from repro.devices.link import LinkPowerMode
+from repro.faults import FaultInjector, FaultPlan, FaultSummary, parse_fault_plan
+from repro.iogen import IoPattern, JobSpec
+from repro.nvme.cli import NvmeCli
+from repro.obs import (
+    EventKind,
+    MetricsCollector,
+    MetricsRegistry,
+    NullTracer,
+    RunProfiler,
+    SimEvent,
+    Tracer,
+)
+from repro.power.adc import AdcConfig
+from repro.power.meter import MeterConfig, PowerMeter
+from repro.sata.alpm import AlpmController
+from repro.sata.ata import (
+    AtaPowerMode,
+    check_power_mode,
+    idle_immediate,
+    standby_immediate,
+)
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.studies.common import DEFAULT, QUICK, StudyScale
+from repro.studies.fig10 import build_model
+
+__all__ = [
+    "AbsorptionResult",
+    "AdaptivePlan",
+    "AdcConfig",
+    "AlpmController",
+    "AsymmetricPlan",
+    "AsymmetricPlanner",
+    "AtaPowerMode",
+    "BudgetSignal",
+    "CheckpointJournal",
+    "ControlAction",
+    "ControllerConfig",
+    "DEFAULT",
+    "DEVICE_PRESETS",
+    "DemandResponseResult",
+    "Engine",
+    "EventKind",
+    "ExecutionOptions",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSummary",
+    "FleetAllocation",
+    "FleetModel",
+    "GiB",
+    "IOKind",
+    "IORequest",
+    "IOResult",
+    "IoPattern",
+    "JobSpec",
+    "KiB",
+    "LinkPowerMode",
+    "MeterConfig",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "MiB",
+    "ModelPoint",
+    "NullTracer",
+    "NvmeCli",
+    "OnlinePowerController",
+    "PointFailure",
+    "PointState",
+    "PowerAdaptivePlanner",
+    "PowerMeter",
+    "PowerThroughputModel",
+    "QUICK",
+    "RedirectionDecision",
+    "RedirectionPolicy",
+    "ResultCache",
+    "RetryPolicy",
+    "RngStreams",
+    "RunProfiler",
+    "SimEvent",
+    "StandbyProfile",
+    "StorageDevice",
+    "StudyScale",
+    "SweepExecutionError",
+    "SweepGrid",
+    "SweepOutcome",
+    "SweepPoint",
+    "Tracer",
+    "WriteAbsorptionScenario",
+    "build_device",
+    "build_model",
+    "check_power_mode",
+    "idle_immediate",
+    "parse_fault_plan",
+    "run_configs",
+    "run_demand_response",
+    "run_experiment",
+    "run_sweep",
+    "standby_immediate",
+    "sweep_outcome",
+]

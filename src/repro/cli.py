@@ -345,6 +345,7 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
     from pathlib import Path
 
     from repro.core.checkpoint import CheckpointJournal
+    from repro.core.options import ExecutionOptions
     from repro.core.parallel import ResultCache
     from repro.core.reporting import format_table
     from repro.core.sweep import SweepGrid, sweep_outcome
@@ -392,14 +393,16 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
         )
     outcome = sweep_outcome(
         grid,
-        n_workers=args.workers,
-        cache_dir=cache if cache is not None else None,
-        tracer=obs.tracer,
-        profiler=obs.profiler,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        checkpoint=checkpoint,
-        resume=args.resume,
+        ExecutionOptions(
+            n_workers=args.workers,
+            cache_dir=cache if cache is not None else None,
+            tracer=obs.tracer,
+            profiler=obs.profiler,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        ),
     )
     rows = [
         [

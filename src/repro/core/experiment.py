@@ -22,6 +22,7 @@ from repro.faults.plan import FaultPlan
 from repro.iogen.engine import FioJob
 from repro.iogen.spec import JobSpec
 from repro.iogen.stats import JobResult, LatencyStats
+from repro.obs.events import Tracer
 from repro.obs.profile import RunProfiler
 from repro.power.adc import AdcConfig
 from repro.power.analysis import PowerSummary, summarize_samples
@@ -175,8 +176,7 @@ def _drive_to_completion(engine: Engine, process) -> None:
     ``engine.run()`` alone would never return: devices keep housekeeping
     processes alive forever.
     """
-    while process.is_alive:
-        engine.step()
+    engine.run_until_complete(process)
 
 
 def _apply_power_controls(
@@ -199,7 +199,7 @@ def _apply_power_controls(
 
 def run_experiment(
     config: ExperimentConfig,
-    tracer=None,
+    tracer: Optional[Tracer] = None,
     profiler: Optional[RunProfiler] = None,
 ) -> ExperimentResult:
     """Run one experiment end to end and return its results.

@@ -58,6 +58,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.checkpoint import CheckpointJournal, PointState
+from repro.core.options import UNSET, coerce_execution_options
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 
 __all__ = [
@@ -687,33 +688,26 @@ def _run_batch(
 
 def run_configs(
     configs: Sequence[ExperimentConfig],
-    n_workers: Optional[int] = 1,
-    cache_dir: Optional[Union[str, Path, ResultCache]] = None,
-    tracer=None,
-    profiler=None,
-    *,
+    options=UNSET,
+    *legacy_args,
     policy: Optional[RetryPolicy] = None,
     journal: Optional[CheckpointJournal] = None,
+    **legacy_kwargs,
 ) -> List[Union[ExperimentResult, PointFailure]]:
     """Run experiments, optionally across processes, preserving order.
 
     Args:
         configs: Experiments to run; the returned list is index-aligned
             with this sequence regardless of worker completion order.
-        n_workers: ``1`` (default) runs in-process; ``None`` uses every
-            core; ``N > 1`` uses a pool of N processes.
-        cache_dir: When set, results are read from / written to this
-            directory keyed by :func:`config_content_hash`, so only
-            configs not already cached are executed.  Failures are never
-            cached.  Pass a :class:`ResultCache` instance instead of a
-            path to read its :class:`CacheStats` afterwards.
-        tracer: Optional :class:`repro.obs.events.Tracer`.  A tracer's
-            event buffer lives in this process, so tracing forces
-            in-process execution regardless of ``n_workers`` -- results
-            are identical either way (that equivalence is under test).
-        profiler: Optional :class:`repro.obs.profile.RunProfiler`; also
-            forces in-process execution (wall-clock timing of pool
-            workers would be meaningless through pickling overhead).
+        options: An :class:`~repro.core.options.ExecutionOptions`.  Its
+            ``n_workers``/``cache_dir``/``tracer``/``profiler`` fields map
+            onto the execution knobs documented there; ``timeout_s`` and
+            ``retries`` build a :class:`RetryPolicy` unless an explicit
+            ``policy`` is given, and ``checkpoint``/``resume`` open a
+            journal for the duration of the call unless an explicit
+            ``journal`` is given.  The legacy individual-argument form
+            (``n_workers``, ``cache_dir``, ``tracer``, ``profiler``)
+            still works but emits a :class:`DeprecationWarning`.
         policy: Optional :class:`RetryPolicy`.  A resilient policy
             (timeout or retries) runs points on an owned worker pool
             that can terminate hung workers at their deadline, survive
@@ -726,7 +720,45 @@ def run_configs(
     Returns:
         One :class:`ExperimentResult` or :class:`PointFailure` per config.
     """
-    configs = list(configs)
+    opts = coerce_execution_options("run_configs", options, legacy_args, legacy_kwargs)
+    if policy is None and (opts.timeout_s is not None or opts.retries):
+        policy = RetryPolicy(timeout_s=opts.timeout_s, retries=opts.retries)
+    own_journal = journal is None and opts.checkpoint is not None
+    if own_journal:
+        journal = CheckpointJournal(opts.checkpoint)
+        journal.open(fresh=not opts.resume)
+    try:
+        return _execute_configs(
+            list(configs),
+            n_workers=opts.n_workers,
+            cache_dir=opts.cache_dir,
+            tracer=opts.tracer,
+            profiler=opts.profiler,
+            policy=policy,
+            journal=journal,
+        )
+    finally:
+        if own_journal:
+            journal.close()
+
+
+def _execute_configs(
+    configs: List[ExperimentConfig],
+    *,
+    n_workers: Optional[int],
+    cache_dir: Optional[Union[str, Path, ResultCache]],
+    tracer,
+    profiler,
+    policy: Optional[RetryPolicy],
+    journal: Optional[CheckpointJournal],
+) -> List[Union[ExperimentResult, PointFailure]]:
+    """The execution engine behind :func:`run_configs` (resolved knobs).
+
+    ``cache_dir`` reads/writes results keyed by
+    :func:`config_content_hash` (failures are never cached); a tracer or
+    profiler forces in-process execution regardless of ``n_workers`` --
+    results are identical either way (that equivalence is under test).
+    """
     workers = resolve_workers(n_workers)
     if isinstance(cache_dir, ResultCache):
         cache: Optional[ResultCache] = cache_dir

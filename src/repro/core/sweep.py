@@ -16,6 +16,7 @@ from typing import Iterator, Optional, Sequence, Union
 from repro._units import GiB, MiB
 from repro.core.checkpoint import CheckpointJournal
 from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.core.options import UNSET, ExecutionOptions, coerce_execution_options
 from repro.faults.plan import FaultPlan
 from repro.core.parallel import (
     PointFailure,
@@ -165,69 +166,49 @@ class SweepOutcome:
 
 def sweep_outcome(
     grid: SweepGrid,
-    n_workers: Optional[int] = 1,
-    cache_dir: Optional[str] = None,
-    tracer=None,
-    profiler=None,
-    *,
-    timeout_s: Optional[float] = None,
-    retries: int = 0,
-    checkpoint: Optional[Union[str, Path]] = None,
-    resume: bool = False,
+    options: Optional[ExecutionOptions] = UNSET,
+    *legacy_args,
+    **legacy_kwargs,
 ) -> SweepOutcome:
     """Execute ``grid``, capturing per-point failures instead of raising.
 
     Args:
         grid: The sweep specification.
-        n_workers: Process-pool width; ``1`` runs in-process, ``None``
-            uses every core.  Results are identical either way — points
+        options: An :class:`~repro.core.options.ExecutionOptions` bundling
+            every execution setting: worker count, result cache, tracing,
+            profiling, per-point timeouts, retries, checkpointing and
+            resume.  Omit it for the defaults (one in-process worker, no
+            cache).  Results are identical for any worker count — points
             are independent and deterministic from their config — and
             always returned in grid order regardless of completion order.
-        cache_dir: Optional on-disk result cache.  Points whose config
-            content hash is already present are not re-run, so re-runs of
-            overlapping grids only pay for the new points.  Accepts a
-            :class:`~repro.core.parallel.ResultCache` instance for
-            hit/miss statistics.
-        tracer: Optional :class:`repro.obs.events.Tracer` recording every
-            mechanism event of every point (forces in-process execution;
-            results are unchanged — tracing is passive).
-        profiler: Optional :class:`repro.obs.profile.RunProfiler`
-            collecting per-point wall-clock cost (also in-process).
-        timeout_s: Per-attempt wall-clock budget for one point; a worker
-            still running at the deadline is killed and the point
-            retried (or reported as a timeout failure).
-        retries: Extra attempts per failing point (timeouts, worker
-            crashes, and exceptions alike).
-        checkpoint: Path of a
-            :class:`~repro.core.checkpoint.CheckpointJournal` recording
-            point lifecycle.  Truncated at the start of a fresh run,
-            appended to under ``resume``.
-        resume: Continue an interrupted sweep: keeps the journal and
-            relies on ``cache_dir`` (required) to skip every point that
-            already completed, so only unfinished points recompute.
+
+    The pre-:class:`ExecutionOptions` calling convention (``n_workers``,
+    ``cache_dir``, ``tracer``, ``profiler``, ``timeout_s``, ``retries``,
+    ``checkpoint``, ``resume`` as individual arguments) still works and
+    behaves identically, but emits a :class:`DeprecationWarning`.
     """
-    if resume and cache_dir is None:
+    opts = coerce_execution_options(
+        "sweep_outcome", options, legacy_args, legacy_kwargs
+    )
+    if opts.resume and opts.cache_dir is None:
         raise ValueError(
             "resume requires cache_dir: completed points are skipped via "
             "their cached results"
         )
-    if resume and checkpoint is None:
+    if opts.resume and opts.checkpoint is None:
         raise ValueError("resume requires a checkpoint journal path")
     policy = None
-    if timeout_s is not None or retries:
-        policy = RetryPolicy(timeout_s=timeout_s, retries=retries)
+    if opts.timeout_s is not None or opts.retries:
+        policy = RetryPolicy(timeout_s=opts.timeout_s, retries=opts.retries)
     journal = None
-    if checkpoint is not None:
-        journal = CheckpointJournal(checkpoint)
-        journal.open(fresh=not resume)
+    if opts.checkpoint is not None:
+        journal = CheckpointJournal(opts.checkpoint)
+        journal.open(fresh=not opts.resume)
     points = list(grid.points())
     try:
         outcomes = run_configs(
             [grid.config_for(point) for point in points],
-            n_workers=n_workers,
-            cache_dir=cache_dir,
-            tracer=tracer,
-            profiler=profiler,
+            opts.evolve(timeout_s=None, retries=0, checkpoint=None, resume=False),
             policy=policy,
             journal=journal,
         )
@@ -246,34 +227,19 @@ def sweep_outcome(
 
 def run_sweep(
     grid: SweepGrid,
-    n_workers: Optional[int] = 1,
-    cache_dir: Optional[str] = None,
-    tracer=None,
-    profiler=None,
-    *,
-    timeout_s: Optional[float] = None,
-    retries: int = 0,
-    checkpoint: Optional[Union[str, Path]] = None,
-    resume: bool = False,
+    options: Optional[ExecutionOptions] = UNSET,
+    *legacy_args,
+    **legacy_kwargs,
 ) -> dict[SweepPoint, ExperimentResult]:
     """Execute every point of ``grid`` and return results in grid order.
 
     Raises :class:`~repro.core.parallel.SweepExecutionError` if any point
-    failed; use :func:`sweep_outcome` to capture failures instead.
-    See :func:`sweep_outcome` for the resilience keywords (``timeout_s``,
-    ``retries``, ``checkpoint``, ``resume``).
+    failed; use :func:`sweep_outcome` to capture failures instead.  See
+    :func:`sweep_outcome` for the ``options`` parameter; the legacy
+    individual-keyword form works but warns.
     """
-    outcome = sweep_outcome(
-        grid,
-        n_workers=n_workers,
-        cache_dir=cache_dir,
-        tracer=tracer,
-        profiler=profiler,
-        timeout_s=timeout_s,
-        retries=retries,
-        checkpoint=checkpoint,
-        resume=resume,
-    )
+    opts = coerce_execution_options("run_sweep", options, legacy_args, legacy_kwargs)
+    outcome = sweep_outcome(grid, opts)
     if not outcome.ok:
         raise SweepExecutionError(list(outcome.failures.values()))
     return outcome.results

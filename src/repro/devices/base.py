@@ -31,7 +31,7 @@ class IOKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IORequest:
     """One host IO.
 
@@ -56,7 +56,7 @@ class IORequest:
         return self.offset + self.nbytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IOResult:
     """Completion record for one IO.
 

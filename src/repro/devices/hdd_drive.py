@@ -25,6 +25,8 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
+from operator import itemgetter
 from typing import Deque, Optional
 
 from repro._units import MiB
@@ -32,12 +34,7 @@ from repro.devices.base import IOKind, IORequest, IOResult, StorageDevice
 from repro.devices.link import HostLink, LinkPowerTable
 from repro.hdd.cache import CachedWrite, WriteCache
 from repro.hdd.geometry import HddGeometry
-from repro.hdd.mechanics import (
-    RotationModel,
-    SeekModel,
-    pick_next_rpo,
-    positioning_time,
-)
+from repro.hdd.mechanics import RotationModel, SeekModel, pick_next_rpo
 from repro.hdd.spindle import Spindle, SpindleConfig
 from repro.obs.events import EventKind
 from repro.sim.engine import Engine, Event
@@ -150,6 +147,11 @@ class SimulatedHDD(StorageDevice):
     def __init__(self, engine: Engine, config: HddConfig, faults=None) -> None:
         super().__init__(engine, config.name, config.rail_voltage, faults=faults)
         self.config = config
+        # Hot-path aliases: the RPO cost function runs once per queued
+        # candidate per actuator decision, so skip the config attribute
+        # chains there.
+        self._geometry = config.geometry
+        self._seek = config.seek
         self.rotation = RotationModel(config.geometry)
         self.spindle = Spindle(
             engine,
@@ -355,16 +357,18 @@ class SimulatedHDD(StorageDevice):
     def _serve_one(self):
         """Pick the cheapest pending media op by RPO and execute it."""
         now = self.engine.now
-        candidates: list[tuple[float, object]] = []
         window = self.config.rpo_window
-        for op in list(self._media_queue)[:window]:
-            candidates.append((self._cost(op.request.offset, op.request.kind, now), op))
+        cost_of = self._cost
+        candidates: list[tuple[float, object]] = [
+            (cost_of(op.request.offset, op.request.kind, now), op)
+            for op in islice(self._media_queue, window)
+        ]
         for entry in self.cache.window(window):
-            candidates.append((self._cost(entry.offset, IOKind.WRITE, now), entry))
+            candidates.append((cost_of(entry.offset, IOKind.WRITE, now), entry))
         if not candidates:
             return False
         __, picked = pick_next_rpo(
-            candidates, cost=lambda pair: pair[0], window=len(candidates)
+            candidates, cost=itemgetter(0), window=len(candidates)
         )
         cost, target = picked
         if isinstance(target, CachedWrite):
@@ -382,17 +386,17 @@ class SimulatedHDD(StorageDevice):
         return True
 
     def _cost(self, offset: int, kind: IOKind, now: float) -> float:
-        sequential = self._sequential_end == offset
-        return positioning_time(
-            self.config.geometry,
-            self.config.seek,
-            self.rotation,
-            now,
-            self._head_byte,
-            offset,
-            is_write=(kind is IOKind.WRITE),
-            sequential_hint=sequential,
+        # Inlined positioning_time() with the config lookups hoisted: this
+        # runs for every candidate in the RPO window on every decision.
+        if self._sequential_end == offset:
+            return 0.0
+        geometry = self._geometry
+        distance = abs(
+            geometry.radial_fraction(offset) - geometry.radial_fraction(self._head_byte)
         )
+        seek = self._seek.seek_time(distance, kind is IOKind.WRITE)
+        rot = self.rotation.rotational_wait(now, seek, geometry.angular_offset(offset))
+        return seek + rot
 
     def _media_access(self, offset: int, nbytes: int, kind: IOKind, positioning: float):
         """Seek + rotational wait + media transfer, with power draws."""

@@ -81,12 +81,14 @@ class HostLink:
         self.name = name
         self.mode = LinkPowerMode.ACTIVE
         self._bus = Resource(engine, capacity=1, name=f"{name}.bus")
+        self._xfer_component = f"{name}.xfer"
+        self._phy_component = f"{name}.phy"
         self.bytes_transferred = 0
         self._apply_phy_power()
 
     def _apply_phy_power(self) -> None:
         self.rail.set_draw(
-            f"{self.name}.phy", self.power_table.phy_power_w[self.mode]
+            self._phy_component, self.power_table.phy_power_w[self.mode]
         )
 
     def transfer_time(self, nbytes: int) -> float:
@@ -102,12 +104,15 @@ class HostLink:
         try:
             if self.mode is not LinkPowerMode.ACTIVE:
                 yield from self._wake()
-            self.rail.add_draw(f"{self.name}.xfer", self.transfer_power_w)
+            rail = self.rail
+            component = self._xfer_component
+            power = self.transfer_power_w
+            rail.add_draw(component, power)
             try:
-                yield self.engine.timeout(self.transfer_time(nbytes))
+                yield self.engine.timeout(nbytes / self.bandwidth)
                 self.bytes_transferred += nbytes
             finally:
-                self.rail.add_draw(f"{self.name}.xfer", -self.transfer_power_w)
+                rail.add_draw(component, -power)
         finally:
             self._bus.release()
 

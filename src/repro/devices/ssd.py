@@ -274,6 +274,24 @@ class SimulatedSSD(StorageDevice):
         self._maintenance_rr_die = 0
         self._last_activity = engine.now
         self._inflight_ios = 0
+        # Per-op governor bookkeeping is invariant over a run: precompute
+        # the committed-power extras and share one adapter per op kind so
+        # the flush path does no arithmetic or allocation per program.
+        self._link_xfer_component = f"{config.name}.link.xfer"
+        # Hot-path config scalars, hoisted out of the chained dataclass
+        # attribute lookups the per-IO generators would otherwise repeat.
+        self._page_size = config.geometry.page_size
+        self._command_time_s = config.controller.command_time_s
+        self._completion_time_s = config.controller.completion_time_s
+        self._core_active_w = config.controller.core_active_power_w
+        self._write_buffer_bytes = config.write_buffer_bytes
+        self._governor_adapters = {
+            kind: _GovernorAdapter(
+                self.governor,
+                extra_w=self._governed_op_power(kind) - config.nand_power.draw(kind),
+            )
+            for kind in (OpKind.PROGRAM, OpKind.ERASE)
+        }
         self._apply_idle_draws()
         self._trace_power_state(None)  # baseline residency mark at t=0
         if config.maintenance_programs > 0 or config.maintenance_erases > 0:
@@ -322,12 +340,13 @@ class SimulatedSSD(StorageDevice):
         transfer activity must not shrink the budget it is admitted
         against).
         """
+        rail = self.rail
         return (
-            self.rail.total_watts
-            - self.rail.draw_of_prefix("die")
-            - self.rail.draw_of_prefix("chan")
-            - self.rail.draw_of_prefix("nand.wave")
-            - self.rail.draw_of(f"{self.name}.link.xfer")
+            rail.total_watts
+            - rail.draw_of_prefix("die")
+            - rail.draw_of_prefix("chan")
+            - rail.draw_of_prefix("nand.wave")
+            - rail.draw_of(self._link_xfer_component)
         )
 
     def _governed_op_power(self, kind: OpKind) -> float:
@@ -446,8 +465,9 @@ class SimulatedSSD(StorageDevice):
         return done
 
     def _io(self, request: IORequest, done: Event):
-        submit_time = self.engine.now
-        tracer = self.engine.tracer
+        engine = self.engine
+        submit_time = engine._now
+        tracer = engine.tracer
         if tracer.enabled:
             tracer.emit(
                 EventKind.IO_SUBMIT,
@@ -465,16 +485,16 @@ class SimulatedSSD(StorageDevice):
                 )
             if self._resident is not None and not self._resident.operational:
                 yield from self._wake()
-            yield from self._controller_step(self.config.controller.command_time_s)
+            yield from self._controller_step(self._command_time_s)
             if request.kind is IOKind.READ:
                 yield from self._read(request)
             else:
                 yield from self._write(request)
-            if self.config.controller.completion_time_s > 0:
-                yield self.engine.timeout(self.config.controller.completion_time_s)
+            if self._completion_time_s > 0:
+                yield engine.timeout(self._completion_time_s)
         finally:
             self._inflight_ios -= 1
-            self._last_activity = self.engine.now
+            self._last_activity = engine._now
         self.record_completion(request)
         if tracer.enabled:
             tracer.emit(
@@ -482,26 +502,26 @@ class SimulatedSSD(StorageDevice):
                 f"{self.name}.io",
                 kind=request.kind.value,
                 nbytes=request.nbytes,
-                latency_s=self.engine.now - submit_time,
+                latency_s=engine._now - submit_time,
             )
-        done.succeed(IOResult(request, submit_time, self.engine.now))
+        done.succeed(IOResult(request, submit_time, engine._now))
 
     def _controller_step(self, duration: float):
         """Occupy a controller core, drawing core-active power."""
         yield self.cores.request()
-        self.rail.add_draw("ctrl.active", self.config.controller.core_active_power_w)
+        rail = self.rail
+        active_w = self._core_active_w
+        rail.add_draw("ctrl.active", active_w)
         try:
             yield self.engine.timeout(duration)
         finally:
-            self.rail.add_draw(
-                "ctrl.active", -self.config.controller.core_active_power_w
-            )
+            rail.add_draw("ctrl.active", -active_w)
             self.cores.release()
 
     # -- read path ---------------------------------------------------------------
 
     def _read(self, request: IORequest):
-        page_size = self.config.geometry.page_size
+        page_size = self._page_size
         first = request.offset // page_size
         last = (request.end - 1) // page_size
         readers = []
@@ -516,15 +536,45 @@ class SimulatedSSD(StorageDevice):
 
     def _read_page(self, lpn: int, nbytes: int):
         ppn = self.page_map.lookup(lpn)
+        geometry = self.config.geometry
         if ppn is None:
             if not self.config.phantom_reads:
                 # Unmapped and no preconditioning emulation: zero-fill, only
                 # the controller/DMA cost applies (no NAND touch).
                 return
-            ppn = (lpn * _PHANTOM_HASH) % _PHANTOM_MOD % self.config.geometry.total_pages
-        ppa = self.config.geometry.ppa_from_index(ppn)
-        # Reads are not power-governed: see module docstring.
-        yield from self.array.execute(ppa, OpKind.READ, nbytes)
+            ppn = (lpn * _PHANTOM_HASH) % _PHANTOM_MOD % geometry.total_pages
+        ppa = geometry.ppa_from_index(ppn)
+        # Reads are not power-governed: see module docstring.  The array's
+        # READ path (die sense, then bus transfer) is inlined verbatim from
+        # NandArray.execute / ChannelBus.transfer: page reads are per-page
+        # processes, and every helper generator frame taxes each event.
+        array = self.array
+        die = array.dies[ppa.die_index(geometry)]
+        watts = array._op_draw[OpKind.READ]
+        engine = self.engine
+        yield die._server.request()
+        try:
+            rail = die.rail
+            component = die._component
+            rail.add_draw(component, watts)
+            try:
+                yield engine.timeout(die._op_duration[OpKind.READ])
+                die.op_counts[OpKind.READ] += 1
+            finally:
+                rail.add_draw(component, -watts)
+            channel = array.channels[ppa.channel]
+            yield channel._bus.request()
+            component = channel._component
+            power = channel.transfer_power_w
+            rail.add_draw(component, power)
+            try:
+                yield engine.timeout(nbytes / channel.bandwidth)
+                channel.bytes_transferred += nbytes
+            finally:
+                rail.add_draw(component, -power)
+                channel._bus.release()
+        finally:
+            die._server.release()
 
     # -- write path -----------------------------------------------------------------
 
@@ -533,7 +583,7 @@ class SimulatedSSD(StorageDevice):
         yield from self._buffer_reserve(request.nbytes)
         self.wear.record_host_write(request.nbytes)
         self._stage_mapped_lpns(request)
-        page_size = self.config.geometry.page_size
+        page_size = self._page_size
         self._pending_program_bytes += request.nbytes
         while self._pending_program_bytes >= page_size:
             self._pending_program_bytes -= page_size
@@ -542,7 +592,7 @@ class SimulatedSSD(StorageDevice):
 
     def _stage_mapped_lpns(self, request: IORequest) -> None:
         """Queue LPNs fully covered by this write for mapping updates."""
-        page_size = self.config.geometry.page_size
+        page_size = self._page_size
         first_full = -(-request.offset // page_size)  # ceil div
         last_full = request.end // page_size  # exclusive
         for lpn in range(first_full, last_full):
@@ -556,14 +606,14 @@ class SimulatedSSD(StorageDevice):
             # Buffer admission is the capped-write stall mechanism (Fig. 5):
             # a hit absorbs the write at DMA speed, a miss parks the host
             # behind the throttled flush.
-            fits = self._buffer_used + nbytes <= self.config.write_buffer_bytes
+            fits = self._buffer_used + nbytes <= self._write_buffer_bytes
             tracer.emit(
                 EventKind.CACHE_HIT if fits else EventKind.CACHE_MISS,
                 f"{self.name}.wbuf",
                 nbytes=nbytes,
                 used=self._buffer_used,
             )
-        while self._buffer_used + nbytes > self.config.write_buffer_bytes:
+        while self._buffer_used + nbytes > self._write_buffer_bytes:
             event = Event(self.engine)
             self._buffer_waiters.append(event)
             yield event
@@ -578,37 +628,27 @@ class SimulatedSSD(StorageDevice):
             event.succeed()
 
     def _program_unit(self):
-        """Flush one page of buffered write data to NAND."""
-        page_size = self.config.geometry.page_size
-        ppn, ppa = yield from self._allocate_with_gc()
-        if self._staged_lpns:
-            lpn = self._staged_lpns.pop(0)
-            stale = self.page_map.bind(lpn, ppn)
-            if stale is not None:
-                self.allocator.mark_invalid(stale)
-        else:
-            # Sub-page log traffic: the page holds fragments that are not
-            # tracked at map granularity; it is immediately reclaimable.
-            self.allocator.mark_invalid(ppn)
-        yield from self._admit_and_execute(ppa, OpKind.PROGRAM)
-        self.wear.record_nand_write(page_size)
-        self._writes_since_maintenance += 1
-        self._buffer_release(page_size)
+        """Flush one page of buffered write data to NAND.
 
-    def _allocate_with_gc(self):
-        """Allocate a physical page, garbage-collecting as needed.
+        The allocate-with-GC loop lives inline (not in a helper generator)
+        and the program op goes straight to ``array.execute`` with the
+        precomputed admission adapter: this is the per-page hot path, and
+        every helper generator here adds a frame that taxes each event.
 
-        Many flush processes race for the free pool, so a single
-        pressure-check before allocating is not enough: the reserve can
-        drain between the check and the allocation.  Retry with GC until a
-        page is produced; a device whose GC cannot reclaim anything (all
-        data valid -- genuine capacity exhaustion) re-raises.
+        Allocation retries with GC until a page is produced.  Many flush
+        processes race for the free pool, so a single pressure-check
+        before allocating is not enough: the reserve can drain between
+        the check and the allocation.  A device whose GC cannot reclaim
+        anything (all data valid -- genuine capacity exhaustion)
+        re-raises.
         """
+        page_size = self._page_size
         while True:
             if self.gc.pressure:
                 yield from self.gc.maybe_collect()
             try:
-                return self.allocator.allocate()
+                ppn, ppa = self.allocator.allocate()
+                break
             except RuntimeError:
                 relocated_before = self.gc.pages_relocated
                 erased_before = self.gc.blocks_erased
@@ -619,6 +659,77 @@ class SimulatedSSD(StorageDevice):
                 )
                 if not made_progress and self.allocator.free_blocks == 0:
                     raise
+        if self._staged_lpns:
+            lpn = self._staged_lpns.pop(0)
+            stale = self.page_map.bind(lpn, ppn)
+            if stale is not None:
+                self.allocator.mark_invalid(stale)
+        else:
+            # Sub-page log traffic: the page holds fragments that are not
+            # tracked at map granularity; it is immediately reclaimable.
+            self.allocator.mark_invalid(ppn)
+        # Inlined NandArray.execute's PROGRAM branch (bus transfer, governor
+        # admission, die-busy phase) and ChannelBus.transfer: page programs
+        # are the hottest NAND op in any write-heavy run, and each helper
+        # generator in the yield-from chain adds a frame every event must
+        # bubble through.  Statement order mirrors the originals exactly.
+        array = self.array
+        die = array.dies[ppa.die_index(array.geometry)]
+        watts = array._op_draw[OpKind.PROGRAM]
+        admission = self._governor_adapters[OpKind.PROGRAM]
+        engine = self.engine
+        nand_page = array.geometry.page_size
+        yield die._server.request()
+        try:
+            channel = array.channels[ppa.channel]
+            yield channel._bus.request()
+            rail = channel.rail
+            component = channel._component
+            power = channel.transfer_power_w
+            rail.add_draw(component, power)
+            try:
+                yield engine.timeout(nand_page / channel.bandwidth)
+                channel.bytes_transferred += nand_page
+            finally:
+                rail.add_draw(component, -power)
+                channel._bus.release()
+            yield admission.request(watts)
+            try:
+                if die._pulsed_programs:
+                    t_pulse = die._prog_t_pulse
+                    p_pulse = die._prog_p_pulse
+                    p_rest = die._prog_p_rest
+                    t_before = float(die._rng.uniform(0.0, die._prog_span))
+                    t_after = die._prog_span - t_before
+                    component = die._component
+                    for power_w, phase_time in (
+                        (p_rest, t_before),
+                        (p_pulse, t_pulse),
+                        (p_rest, t_after),
+                    ):
+                        if phase_time <= 0:
+                            continue
+                        rail.add_draw(component, power_w)
+                        try:
+                            yield engine.timeout(phase_time)
+                        finally:
+                            rail.add_draw(component, -power_w)
+                    die.op_counts[OpKind.PROGRAM] += 1
+                else:
+                    component = die._component
+                    rail.add_draw(component, watts)
+                    try:
+                        yield engine.timeout(die._op_duration[OpKind.PROGRAM])
+                        die.op_counts[OpKind.PROGRAM] += 1
+                    finally:
+                        rail.add_draw(component, -watts)
+            finally:
+                admission.release(watts)
+        finally:
+            die._server.release()
+        self.wear.record_nand_write(page_size)
+        self._writes_since_maintenance += 1
+        self._buffer_release(page_size)
 
     # -- governor plumbing -----------------------------------------------------------
 
@@ -632,10 +743,9 @@ class SimulatedSSD(StorageDevice):
         if kind is OpKind.READ:
             yield from self.array.execute(ppa, kind)
             return
-        adapter = _GovernorAdapter(
-            self.governor, extra_w=self._governed_op_power(kind) - self.config.nand_power.draw(kind)
+        yield from self.array.execute(
+            ppa, kind, admission=self._governor_adapters[kind]
         )
-        yield from self.array.execute(ppa, kind, admission=adapter)
 
     # -- housekeeping -------------------------------------------------------------------
 

@@ -26,7 +26,7 @@ class BlockState(enum.Enum):
     FULL = "full"
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockInfo:
     """Per-block bookkeeping.
 
@@ -67,27 +67,32 @@ class WriteAllocator:
             raise ValueError("reserve cannot cover the whole array")
         self.geometry = geometry
         self.gc_reserve_blocks = gc_reserve_blocks
-        self.blocks: list[BlockInfo] = []
+        # block_id enumerates (die, plane, block) in order, so ids are
+        # contiguous per die: die d owns [d * bpd, (d + 1) * bpd).  Bulk
+        # construction from ranges replaces the triple nested loop -- the
+        # allocator is rebuilt for every experiment, which made __init__
+        # itself a measurable slice of short benchmark runs.
+        blocks_per_die = geometry.planes_per_die * geometry.blocks_per_plane
+        self.blocks: list[BlockInfo] = [
+            BlockInfo(block_id, block_id // blocks_per_die)
+            for block_id in range(geometry.total_blocks)
+        ]
         self._free_per_die: list[Deque[int]] = [
-            deque() for _ in range(geometry.total_dies)
+            deque(range(die * blocks_per_die, (die + 1) * blocks_per_die))
+            for die in range(geometry.total_dies)
         ]
         self._open_per_die: list[Optional[int]] = [None] * geometry.total_dies
         self._rr_die = 0
-        # Enumerate blocks in (die, plane, block) order matching block_id.
-        for die_index in range(geometry.total_dies):
-            for plane in range(geometry.planes_per_die):
-                for block in range(geometry.blocks_per_plane):
-                    block_id = (
-                        die_index * geometry.planes_per_die + plane
-                    ) * geometry.blocks_per_plane + block
-                    self.blocks.append(BlockInfo(block_id, die_index))
-                    self._free_per_die[die_index].append(block_id)
+        # Running total of free blocks across dies; kept in sync by
+        # _open_block/erase so the GC pressure check (which runs on every
+        # program) never rescans the per-die deques.
+        self._free_total = geometry.total_blocks
 
     # -- derived queries ----------------------------------------------------
 
     @property
     def free_blocks(self) -> int:
-        return sum(len(q) for q in self._free_per_die)
+        return self._free_total
 
     def free_blocks_on_die(self, die_index: int) -> int:
         return len(self._free_per_die[die_index])
@@ -151,6 +156,7 @@ class WriteAllocator:
         if not self._free_per_die[die_index]:
             raise RuntimeError(f"die {die_index} has no free blocks")
         block_id = self._free_per_die[die_index].popleft()
+        self._free_total -= 1
         block = self.blocks[block_id]
         if block.state is not BlockState.FREE:
             raise AssertionError(f"block {block_id} in free list but {block.state}")
@@ -180,6 +186,7 @@ class WriteAllocator:
         block.state = BlockState.FREE
         block.next_page = 0
         self._free_per_die[block.die_index].append(block_id)
+        self._free_total += 1
 
     def victim_candidates(self) -> list[BlockInfo]:
         """FULL blocks, cheapest victims (fewest valid pages) first."""

@@ -20,6 +20,7 @@ Three pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Sequence, TypeVar
 
 from repro.hdd.geometry import HddGeometry
@@ -55,9 +56,13 @@ class SeekModel:
         if self.write_settle_extra < 0:
             raise ValueError("write_settle_extra must be non-negative")
 
-    @property
+    @cached_property
     def coeff(self) -> float:
-        """sqrt-law coefficient reproducing the datasheet average seek."""
+        """sqrt-law coefficient reproducing the datasheet average seek.
+
+        Cached: the RPO scheduler evaluates the seek curve once per queued
+        candidate per decision.
+        """
         return (self.average_seek_read - self.settle_time) / MEAN_SQRT_RANDOM_DISTANCE
 
     def seek_time(self, radial_distance: float, is_write: bool = False) -> float:
@@ -81,16 +86,19 @@ class RotationModel:
 
     def __init__(self, geometry: HddGeometry) -> None:
         self.geometry = geometry
+        # revolution_time is a derived property on a frozen dataclass;
+        # cache the float -- it is read twice per RPO candidate.
+        self._revolution_time = geometry.revolution_time
 
     def angle_at(self, time: float) -> float:
         """Platter angle at simulated ``time``, in revolutions [0, 1)."""
-        return (time / self.geometry.revolution_time) % 1.0
+        return (time / self._revolution_time) % 1.0
 
     def rotational_wait(self, now: float, seek_time: float, target_angle: float) -> float:
         """Wait after the seek lands until ``target_angle`` passes the head."""
-        angle_after_seek = self.angle_at(now + seek_time)
+        angle_after_seek = ((now + seek_time) / self._revolution_time) % 1.0
         delta = (target_angle - angle_after_seek) % 1.0
-        return delta * self.geometry.revolution_time
+        return delta * self._revolution_time
 
 
 def positioning_time(

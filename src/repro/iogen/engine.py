@@ -101,20 +101,26 @@ class FioJob:
         )
 
     def _worker(self):
-        kind = IOKind.READ if self.spec.pattern.is_read else IOKind.WRITE
         spec = self.spec
-        while not self._stop():
-            offset = self._offsets.next_offset()
-            self._issued_bytes += spec.block_size
-            submit_time = self.engine.now
-            result = yield self.device.submit(
-                IORequest(kind, offset, spec.block_size)
+        kind = IOKind.READ if spec.pattern.is_read else IOKind.WRITE
+        engine = self.engine
+        submit = self.device.submit
+        next_offset = self._offsets.next_offset
+        append_record = self.records.append
+        block_size = spec.block_size
+        size_limit = spec.size_limit_bytes
+        host_overhead = spec.host_overhead_s
+        deadline = self.deadline
+        while engine._now < deadline and self._issued_bytes < size_limit:
+            offset = next_offset()
+            self._issued_bytes += block_size
+            submit_time = engine._now
+            result = yield submit(IORequest(kind, offset, block_size))
+            append_record(
+                IoRecord(submit_time, result.complete_time, block_size)
             )
-            self.records.append(
-                IoRecord(submit_time, result.complete_time, spec.block_size)
-            )
-            if spec.host_overhead_s > 0:
-                yield self.engine.timeout(spec.host_overhead_s)
+            if host_overhead > 0:
+                yield engine.timeout(host_overhead)
 
     # -- results --------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from repro.iogen.spec import JobSpec
 __all__ = ["IoRecord", "JobResult", "LatencyStats"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IoRecord:
     """Timing of one completed IO."""
 

@@ -68,6 +68,23 @@ class NandDie:
         self._rng = rng
         self._server = Resource(engine, capacity=1, name=f"die{die_index}")
         self._component = f"die{die_index}"
+        # Timings/power are frozen per run; table lookups replace the
+        # per-op if-chains in the hot path.
+        self._op_draw = {kind: power.draw(kind) for kind in OpKind}
+        self._op_duration = {kind: timings.duration(kind) for kind in OpKind}
+        self._pulsed_programs = pulse_ratio > 1.0 and rng is not None
+        # The pulse profile's shape is fixed per die -- only the pulse
+        # placement is random.  Precompute the three phase powers and the
+        # placement span with the exact arithmetic run_op used inline, so
+        # the values are bit-identical.
+        duration = self._op_duration[OpKind.PROGRAM]
+        draw = self._op_draw[OpKind.PROGRAM]
+        self._prog_t_pulse = pulse_fraction * duration
+        self._prog_p_pulse = pulse_ratio * draw
+        self._prog_span = duration - self._prog_t_pulse
+        self._prog_p_rest = (
+            draw * duration - self._prog_p_pulse * self._prog_t_pulse
+        ) / (duration - self._prog_t_pulse)
         self.op_counts: dict[OpKind, int] = {kind: 0 for kind in OpKind}
         if power.p_idle:
             rail.set_draw(self._component, power.p_idle)
@@ -93,41 +110,36 @@ class NandDie:
         Draws the op's power above idle for its duration; programs use the
         pulse profile when configured.
         """
-        draw = self.power.draw(kind)
-        duration = self.timings.duration(kind)
-        pulsed = (
-            kind is OpKind.PROGRAM
-            and self.pulse_ratio > 1.0
-            and self._rng is not None
-        )
-        if not pulsed:
-            self.rail.add_draw(self._component, draw)
+        draw = self._op_draw[kind]
+        duration = self._op_duration[kind]
+        if not (self._pulsed_programs and kind is OpKind.PROGRAM):
+            rail = self.rail
+            component = self._component
+            rail.add_draw(component, draw)
             try:
                 yield self.engine.timeout(duration)
                 self.op_counts[kind] += 1
             finally:
-                self.rail.add_draw(self._component, -draw)
+                rail.add_draw(component, -draw)
             return
 
-        t_pulse = self.pulse_fraction * duration
-        p_pulse = self.pulse_ratio * draw
-        # Off-pulse power chosen so the op's total energy stays draw*duration.
-        p_rest = (draw * duration - p_pulse * t_pulse) / (duration - t_pulse)
-        t_before = float(self._rng.uniform(0.0, duration - t_pulse))
-        t_after = duration - t_pulse - t_before
+        # Off-pulse power (precomputed) keeps the op's total energy at
+        # draw*duration; only the pulse placement is drawn per op.
+        t_pulse = self._prog_t_pulse
+        p_pulse = self._prog_p_pulse
+        p_rest = self._prog_p_rest
+        t_before = float(self._rng.uniform(0.0, self._prog_span))
+        t_after = self._prog_span - t_before
         phases = ((p_rest, t_before), (p_pulse, t_pulse), (p_rest, t_after))
-        try:
-            for power_w, phase_time in phases:
-                if phase_time <= 0:
-                    continue
-                self.rail.add_draw(self._component, power_w)
-                try:
-                    yield self.engine.timeout(phase_time)
-                finally:
-                    self.rail.add_draw(self._component, -power_w)
-            self.op_counts[kind] += 1
-        finally:
-            pass
+        for power_w, phase_time in phases:
+            if phase_time <= 0:
+                continue
+            self.rail.add_draw(self._component, power_w)
+            try:
+                yield self.engine.timeout(phase_time)
+            finally:
+                self.rail.add_draw(self._component, -power_w)
+        self.op_counts[kind] += 1
 
 
 class NandArray:
@@ -164,6 +176,7 @@ class NandArray:
             )
             for i in range(geometry.total_dies)
         ]
+        self._op_draw = {kind: power.draw(kind) for kind in OpKind}
         self.channels = [
             ChannelBus(
                 engine,
@@ -206,32 +219,87 @@ class NandArray:
         """
         if nbytes is None:
             nbytes = self.geometry.page_size
-        die = self.die_for(ppa)
-        channel = self.channel_for(ppa)
-        watts = self.power.draw(kind)
+        geometry = self.geometry
+        die = self.dies[ppa.die_index(geometry)]
+        channel = self.channels[ppa.channel]
+        watts = self._op_draw[kind]
         yield die.acquire()
         try:
+            # The admission bracket and the non-pulsed die-busy phase are
+            # inlined rather than delegated to helper generators: every
+            # simulated page op passes through here, and each extra frame
+            # in the yield-from chain taxes every event that bubbles
+            # through it.  The inlined statements mirror die.run_op's
+            # un-pulsed path exactly so the event sequence is unchanged.
+            pulsed = die._pulsed_programs and kind is OpKind.PROGRAM
             if kind is OpKind.PROGRAM:
                 yield from channel.transfer(nbytes)
-                yield from self._admitted_op(die, kind, watts, admission)
+                if admission is not None:
+                    yield admission.request(watts)
+                try:
+                    if pulsed:
+                        # Inlined die.run_op's pulsed-program path: same
+                        # phases, same RNG draw, one fewer generator frame.
+                        t_pulse = die._prog_t_pulse
+                        p_pulse = die._prog_p_pulse
+                        p_rest = die._prog_p_rest
+                        t_before = float(die._rng.uniform(0.0, die._prog_span))
+                        t_after = die._prog_span - t_before
+                        rail = die.rail
+                        component = die._component
+                        engine = self.engine
+                        for power_w, phase_time in (
+                            (p_rest, t_before),
+                            (p_pulse, t_pulse),
+                            (p_rest, t_after),
+                        ):
+                            if phase_time <= 0:
+                                continue
+                            rail.add_draw(component, power_w)
+                            try:
+                                yield engine.timeout(phase_time)
+                            finally:
+                                rail.add_draw(component, -power_w)
+                        die.op_counts[kind] += 1
+                    else:
+                        rail = die.rail
+                        component = die._component
+                        rail.add_draw(component, watts)
+                        try:
+                            yield self.engine.timeout(die._op_duration[kind])
+                            die.op_counts[kind] += 1
+                        finally:
+                            rail.add_draw(component, -watts)
+                finally:
+                    if admission is not None:
+                        admission.release(watts)
             elif kind is OpKind.READ:
-                yield from self._admitted_op(die, kind, watts, admission)
+                if admission is not None:
+                    yield admission.request(watts)
+                try:
+                    rail = die.rail
+                    component = die._component
+                    rail.add_draw(component, watts)
+                    try:
+                        yield self.engine.timeout(die._op_duration[kind])
+                        die.op_counts[kind] += 1
+                    finally:
+                        rail.add_draw(component, -watts)
+                finally:
+                    if admission is not None:
+                        admission.release(watts)
                 yield from channel.transfer(nbytes)
             else:  # ERASE
-                yield from self._admitted_op(die, kind, watts, admission)
+                if admission is None:
+                    yield from die.run_op(kind)
+                else:
+                    yield admission.request(watts)
+                    try:
+                        yield from die.run_op(kind)
+                    finally:
+                        admission.release(watts)
         finally:
             die.release()
-
-    @staticmethod
-    def _admitted_op(die: NandDie, kind: OpKind, watts: float, admission):
-        if admission is None:
-            yield from die.run_op(kind)
-            return
-        yield admission.request(watts)
-        try:
-            yield from die.run_op(kind)
-        finally:
-            admission.release(watts)
 
     def op_counts(self) -> dict[OpKind, int]:
         """Aggregate operation counts across all dies."""

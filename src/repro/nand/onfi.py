@@ -62,12 +62,15 @@ class ChannelBus:
         then releases.  Intended for ``yield from`` inside a device process.
         """
         yield self._bus.request()
-        self.rail.add_draw(self._component, self.transfer_power_w)
+        rail = self.rail
+        component = self._component
+        power = self.transfer_power_w
+        rail.add_draw(component, power)
         try:
-            yield self.engine.timeout(self.transfer_time(nbytes))
+            yield self.engine.timeout(nbytes / self.bandwidth)
             self.bytes_transferred += nbytes
         finally:
-            self.rail.add_draw(self._component, -self.transfer_power_w)
+            rail.add_draw(component, -power)
             self._bus.release()
 
     @property

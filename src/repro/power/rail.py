@@ -36,6 +36,13 @@ class PowerRail:
         self.name = name
         self._draws: dict[str, float] = {}
         self._total = 0.0
+        # Memoized prefix -> matching component names (insertion order).
+        # The component set only ever grows, so each cached list stays
+        # valid until a new component appears; the count stamp detects
+        # that cheaply.  Governor feedback reads prefix sums on every
+        # admission decision, which made the naive scan a sweep hot spot.
+        self._prefix_members: dict[str, list[str]] = {}
+        self._prefix_stamp = 0
         self.trace = StepTrace(t0=engine.now, initial=0.0)
 
     @property
@@ -58,19 +65,70 @@ class PowerRail:
                 raise ValueError(
                     f"{self.name}/{component}: negative power draw {watts!r} W"
                 )
-        previous = self._draws.get(component, 0.0)
+        draws = self._draws
+        previous = draws.get(component, 0.0)
         if watts == previous:
             return
-        self._draws[component] = watts
-        self._total += watts - previous
+        draws[component] = watts
+        total = self._total + (watts - previous)
         # Guard against float drift accumulating into tiny negatives.
-        if -1e-9 < self._total < 0:
-            self._total = 0.0
-        self.trace.set(self.engine.now, self._total)
+        if -1e-9 < total < 0:
+            total = 0.0
+        self._total = total
+        # Inlined StepTrace.set (same semantics): the trace append runs on
+        # every draw change, which is several times per simulated IO.
+        trace = self.trace
+        times = trace._times
+        values = trace._values
+        t = self.engine._now
+        last_t = times[-1]
+        if t < last_t:
+            raise ValueError(
+                f"StepTrace.set at t={t!r} before last breakpoint {last_t!r}"
+            )
+        if t == last_t:
+            values[-1] = total
+        elif total != values[-1]:
+            times.append(t)
+            values.append(total)
 
     def add_draw(self, component: str, delta_watts: float) -> None:
-        """Adjust ``component``'s draw by a delta (e.g. one more die busy)."""
-        self.set_draw(component, self._draws.get(component, 0.0) + delta_watts)
+        """Adjust ``component``'s draw by a delta (e.g. one more die busy).
+
+        Same semantics as ``set_draw(component, current + delta)`` with the
+        body inlined: die busy/idle brackets call this twice per NAND op.
+        """
+        draws = self._draws
+        previous = draws.get(component, 0.0)
+        watts = previous + delta_watts
+        if watts < 0:
+            if watts > -1e-9:
+                watts = 0.0
+            else:
+                raise ValueError(
+                    f"{self.name}/{component}: negative power draw {watts!r} W"
+                )
+        if watts == previous:
+            return
+        draws[component] = watts
+        total = self._total + (watts - previous)
+        if -1e-9 < total < 0:
+            total = 0.0
+        self._total = total
+        trace = self.trace
+        times = trace._times
+        values = trace._values
+        t = self.engine._now
+        last_t = times[-1]
+        if t < last_t:
+            raise ValueError(
+                f"StepTrace.set at t={t!r} before last breakpoint {last_t!r}"
+            )
+        if t == last_t:
+            values[-1] = total
+        elif total != values[-1]:
+            times.append(t)
+            values.append(total)
 
     def draw_of(self, component: str) -> float:
         """Current draw registered for ``component`` (0 if never set)."""
@@ -86,9 +144,20 @@ class PowerRail:
         Used by feedback power governors to separate, e.g., total NAND
         draw (components ``die0`` .. ``dieN``) from the rest of the device.
         """
-        return sum(
-            watts for name, watts in self._draws.items() if name.startswith(prefix)
-        )
+        draws = self._draws
+        if len(draws) != self._prefix_stamp:
+            self._prefix_members.clear()
+            self._prefix_stamp = len(draws)
+        members = self._prefix_members.get(prefix)
+        if members is None:
+            # Insertion order, exactly like scanning draws.items(): the
+            # cached path must sum the same floats in the same order so
+            # results stay bit-identical to the naive scan.
+            members = [name for name in draws if name.startswith(prefix)]
+            self._prefix_members[prefix] = members
+        # map() keeps the same left-to-right float additions as the naive
+        # scan without a generator frame per element.
+        return sum(map(draws.__getitem__, members))
 
     def mean_power(self, t_start: Optional[float] = None, t_end: Optional[float] = None) -> float:
         """Ground-truth time-weighted mean power over a window.

@@ -17,6 +17,7 @@ value, so processes can wait on each other::
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Generator, Optional
 
 from repro.sim.engine import Engine, Event, SimulationError
@@ -61,9 +62,15 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off on the next engine step so creation order does not matter.
+        # Inlined start.succeed() + add_callback: a fresh event cannot be
+        # triggered, scheduled or processed yet, and process spawns are
+        # per-IO in the device models.
         start = Event(engine)
-        start.succeed()
-        start.add_callback(self._resume)
+        start._ok = True
+        start._scheduled = True
+        engine._seq += 1
+        heapq.heappush(engine._queue, (engine._now, engine._seq, start))
+        start.callbacks.append(self._resume)
         self._waiting_on = start
 
     @property
@@ -92,7 +99,7 @@ class Process(Event):
         wakeup.add_callback(self._resume)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._ok is not None:  # finished; late wakeups are no-ops
             return
         self._waiting_on = None
         try:
@@ -122,4 +129,10 @@ class Process(Event):
         if target is self:
             raise SimulationError(f"process {self.name!r} waited on itself")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined target.add_callback(self._resume): one method call per
+        # yield adds up at millions of events per run.
+        callbacks = target.callbacks
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume)

@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Any, Deque, Optional
 
@@ -57,10 +58,18 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that fires when a unit is granted."""
-        event = Event(self.engine)
+        engine = self.engine
+        event = Event(engine)
         if self.in_use < self._capacity:
             self.in_use += 1
-            event.succeed(self)
+            # Inlined event.succeed(self): a fresh event can be neither
+            # triggered nor scheduled, and grants happen once per die/bus/
+            # core acquisition -- several times per simulated IO.
+            event._ok = True
+            event._value = self
+            event._scheduled = True
+            engine._seq += 1
+            heapq.heappush(engine._queue, (engine._now, engine._seq, event))
         else:
             self._waiters.append(event)
         return event

@@ -23,6 +23,7 @@ from repro._units import GiB, KiB
 from repro.core.adaptive import AdaptivePlan, PowerAdaptivePlanner
 from repro.core.experiment import ExperimentResult
 from repro.core.model import ModelPoint, PowerThroughputModel
+from repro.core.options import ExecutionOptions
 from repro.core.parallel import PointFailure, SweepExecutionError, run_configs
 from repro.core.reporting import ascii_scatter, format_table
 from repro.core.sweep import SweepPoint
@@ -79,7 +80,7 @@ def build_model(
             )
             for point in points
         ],
-        n_workers=n_workers,
+        ExecutionOptions(n_workers=n_workers),
     )
     failures = [o for o in outcomes if isinstance(o, PointFailure)]
     if failures:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._units import KiB
+from repro.core.options import ExecutionOptions
 from repro.core.parallel import PointFailure, SweepExecutionError, run_configs
 from repro.devices.catalog import build_device
 from repro.iogen.spec import IoPattern
@@ -88,7 +89,7 @@ def run(
             point_config(label, pattern, block_size, iodepth, scale=scale)
             for label, (pattern, block_size, iodepth) in probes
         ],
-        n_workers=n_workers,
+        ExecutionOptions(n_workers=n_workers),
     )
     failures = [o for o in outcomes if isinstance(o, PointFailure)]
     if failures:

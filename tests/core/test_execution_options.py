@@ -1,0 +1,193 @@
+"""``ExecutionOptions`` and the legacy-kwarg deprecation shims.
+
+One frozen options object now carries everything about *how* a sweep
+executes.  The old per-call kwargs must keep working -- warning, once
+per call site, via ``DeprecationWarning`` -- and must produce
+``SweepOutcome``s identical to the options path, or downstream scripts
+would silently change results when migrating.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.core.options import ExecutionOptions, coerce_execution_options
+from repro.core.parallel import run_configs
+from repro.core.sweep import SweepGrid, run_sweep, sweep_outcome
+from repro.iogen.spec import IoPattern, JobSpec
+from tests.conftest import tiny_ssd_config
+
+
+def quick_job():
+    return JobSpec(
+        IoPattern.RANDREAD,
+        block_size=16 * KiB,
+        iodepth=2,
+        runtime_s=0.01,
+        size_limit_bytes=4 * MiB,
+    )
+
+
+def small_grid():
+    return SweepGrid(
+        device=tiny_ssd_config(),
+        patterns=(IoPattern.RANDREAD,),
+        block_sizes=(16 * KiB,),
+        iodepths=(1, 4),
+        power_states=(0,),
+        base_job=quick_job(),
+    )
+
+
+class TestExecutionOptions:
+    def test_defaults(self):
+        opts = ExecutionOptions()
+        assert opts.n_workers == 1
+        assert opts.cache_dir is None
+        assert opts.tracer is None
+        assert opts.profiler is None
+        assert opts.timeout_s is None
+        assert opts.retries == 0
+        assert opts.checkpoint is None
+        assert opts.resume is False
+
+    def test_frozen(self):
+        opts = ExecutionOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.n_workers = 4
+
+    def test_evolve_returns_new_instance(self):
+        opts = ExecutionOptions(n_workers=2)
+        evolved = opts.evolve(retries=3)
+        assert evolved is not opts
+        assert evolved.n_workers == 2
+        assert evolved.retries == 3
+        assert opts.retries == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_workers=0),
+            dict(n_workers=-1),
+            dict(timeout_s=0.0),
+            dict(timeout_s=-5.0),
+            dict(retries=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionOptions(**kwargs)
+
+    def test_resilient_property(self):
+        assert not ExecutionOptions().resilient
+        assert ExecutionOptions(timeout_s=1.0).resilient
+        assert ExecutionOptions(retries=2).resilient
+
+
+class TestCoercion:
+    def test_options_object_passes_through(self):
+        opts = ExecutionOptions(n_workers=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            coerced = coerce_execution_options("f", opts, (), {})
+        assert coerced is opts
+
+    def test_no_arguments_yields_defaults(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.core.options import UNSET
+
+            assert coerce_execution_options("f", UNSET, (), {}) == (
+                ExecutionOptions()
+            )
+
+    def test_legacy_kwargs_warn_and_map(self):
+        from repro.core.options import UNSET
+
+        with pytest.warns(DeprecationWarning, match="n_workers"):
+            coerced = coerce_execution_options(
+                "f", UNSET, (), {"n_workers": 4, "retries": 2}
+            )
+        assert coerced == ExecutionOptions(n_workers=4, retries=2)
+
+    def test_legacy_positional_none_means_all_cores(self):
+        # run_sweep(grid, None) historically meant "all cores".
+        with pytest.warns(DeprecationWarning):
+            coerced = coerce_execution_options("f", None, (), {})
+        assert coerced.n_workers is None
+
+    def test_mixing_raises(self):
+        with pytest.raises(TypeError, match="both"):
+            coerce_execution_options(
+                "f", ExecutionOptions(), (), {"n_workers": 2}
+            )
+
+    def test_unknown_kwarg_raises(self):
+        from repro.core.options import UNSET
+
+        with pytest.raises(TypeError, match="bogus"):
+            coerce_execution_options("f", UNSET, (), {"bogus": 1})
+
+    def test_duplicate_positional_and_kwarg_raises(self):
+        from repro.core.options import UNSET
+
+        with pytest.raises(TypeError, match="multiple values"):
+            coerce_execution_options("f", 2, (), {"n_workers": 2})
+
+
+class TestShimEquivalence:
+    """The acceptance bar: old kwargs warn but change nothing."""
+
+    def test_run_sweep_old_kwargs_identical(self):
+        grid = small_grid()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # new style must not warn
+            new = run_sweep(grid, ExecutionOptions(n_workers=1))
+        with pytest.warns(DeprecationWarning):
+            old = run_sweep(grid, n_workers=1)
+        assert list(old) == list(new)
+        for point in new:
+            assert old[point] == new[point]
+
+    def test_sweep_outcome_old_kwargs_identical(self):
+        grid = small_grid()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = sweep_outcome(grid, ExecutionOptions(n_workers=2))
+        with pytest.warns(DeprecationWarning):
+            old = sweep_outcome(grid, n_workers=2)
+        assert list(old.results) == list(new.results)
+        assert old.results == new.results
+        assert old.failures == new.failures
+
+    def test_legacy_positional_form_warns_and_matches(self):
+        grid = small_grid()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = run_sweep(grid, ExecutionOptions(n_workers=1))
+        # run_sweep(grid, 1) was the old positional n_workers form.
+        with pytest.warns(DeprecationWarning):
+            old = run_sweep(grid, 1)
+        assert old == new
+
+    def test_run_configs_old_kwargs_identical(self):
+        grid = small_grid()
+        configs = [grid.config_for(point) for point in grid.points()]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            new = run_configs(configs, ExecutionOptions(n_workers=1))
+        with pytest.warns(DeprecationWarning):
+            old = run_configs(configs, n_workers=1)
+        assert old == new
+
+    def test_cli_path_does_not_warn(self):
+        """repro.cli routes through ExecutionOptions -- no deprecations."""
+        grid = small_grid()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            outcome = sweep_outcome(
+                grid, ExecutionOptions(n_workers=1, retries=1, timeout_s=60.0)
+            )
+        assert not outcome.failures

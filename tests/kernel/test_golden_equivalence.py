@@ -1,0 +1,33 @@
+"""Bit-identity gate for the optimized simulation kernel.
+
+``tools/golden_result.py`` replays the committed fixture grid (all four
+catalog devices across read/write patterns) and flattens every
+``ExperimentResult`` to a canonical form where floats are compared by
+``float.hex()``.  Any kernel "optimization" that changes a single bit of any
+result -- a reordered float sum, a skipped event, a shifted RNG draw --
+fails here, not in a downstream study.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import golden_result  # noqa: E402
+
+
+class TestGoldenEquivalence:
+    def test_all_fixtures_bit_identical(self):
+        """Every committed golden fixture must replay bit-identically."""
+        assert golden_result.main([]) == 0
+
+    def test_fixture_set_is_nonempty(self):
+        """An empty fixture directory must never silently pass the gate."""
+        fixtures = sorted(golden_result.GOLDEN_DIR.glob("*.json"))
+        assert len(fixtures) >= 10
+
+    def test_covers_every_catalog_device(self):
+        """The grid must exercise each catalog device class at least once."""
+        names = {p.stem.split("_")[0] for p in golden_result.GOLDEN_DIR.glob("*.json")}
+        assert {"ssd1", "ssd2", "ssd3", "hdd"} <= names

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Canonical bit-exact flattening of experiment results.
+
+The kernel-performance work (and any future hot-path change) is gated on
+a hard correctness bar: the optimized simulator must produce *bit-identical*
+``ExperimentResult`` values for every catalog device.  Raw ``pickle`` bytes
+are the wrong comparison medium -- adding ``__slots__`` to a dataclass or
+reordering its fields changes the pickle byte stream without changing a
+single simulated value.  This module instead flattens a result to a
+canonical JSON structure in which every float is rendered with
+``float.hex()`` (a lossless, bit-exact encoding), so two results compare
+equal iff every numeric value in them is bit-for-bit identical, regardless
+of class layout.
+
+Used by ``tests/kernel/test_golden_equivalence.py`` (fixtures live in
+``tests/kernel/golden/``) and regenerable via::
+
+    PYTHONPATH=src python tools/golden_result.py --write
+
+Regenerating is only legitimate when simulated *behaviour* is meant to
+change (a model fix, a new noise draw order); a perf-only PR must leave
+these fixtures untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import enum
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GOLDEN_DIR = REPO_ROOT / "tests" / "kernel" / "golden"
+
+
+def flatten(obj: object) -> object:
+    """Flatten a result object tree to a canonical JSON-able structure.
+
+    Floats become ``float.hex()`` strings (bit-exact, including inf/nan);
+    dataclasses become ``[type name, [(field, value)...]]`` pairs; numpy
+    arrays become lists of hex floats.  The encoding depends only on the
+    *values* a simulation produced, never on class layout, ``__slots__``,
+    dict ordering, or pickle protocol details.
+    """
+    import numpy as np
+
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj).hex()
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, flatten(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            [
+                [f.name, flatten(getattr(obj, f.name))]
+                for f in dataclasses.fields(obj)
+            ],
+        ]
+    if isinstance(obj, np.ndarray):
+        return ["ndarray", [flatten(v) for v in obj.tolist()]]
+    if isinstance(obj, np.floating):
+        return float(obj).hex()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, dict):
+        return [
+            "dict",
+            sorted(
+                ([flatten(k), flatten(v)] for k, v in obj.items()), key=repr
+            ),
+        ]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [flatten(item) for item in obj]]
+    raise TypeError(
+        f"golden flattening does not know how to encode {type(obj).__name__}"
+    )
+
+
+def golden_configs() -> dict:
+    """The pinned per-device-class experiments the goldens cover.
+
+    One governed write path and one read path per catalog device; the
+    capped SSD additionally runs under a non-default power state so the
+    governor admission loop is exercised.  Stop conditions are small
+    enough that the whole golden suite replays in a few seconds.
+    """
+    from repro._units import MiB
+    from repro.core.experiment import ExperimentConfig
+    from repro.iogen.spec import IoPattern, JobSpec
+
+    def job(pattern: IoPattern, iodepth: int) -> JobSpec:
+        return JobSpec(
+            pattern=pattern,
+            block_size=64 * 1024,
+            iodepth=iodepth,
+            runtime_s=0.02,
+            size_limit_bytes=8 * MiB,
+        )
+
+    configs = {}
+    for device in ("ssd1", "ssd2", "ssd3", "hdd"):
+        configs[f"{device}_randwrite"] = ExperimentConfig(
+            device=device, job=job(IoPattern.RANDWRITE, 8), seed=7
+        )
+        configs[f"{device}_randread"] = ExperimentConfig(
+            device=device, job=job(IoPattern.RANDREAD, 8), seed=7
+        )
+    # Governor admission under a real cap (ssd2 publishes NVMe states).
+    configs["ssd2_randwrite_ps2"] = ExperimentConfig(
+        device="ssd2", job=job(IoPattern.RANDWRITE, 16), power_state=2, seed=7
+    )
+    configs["ssd2_seqwrite"] = ExperimentConfig(
+        device="ssd2", job=job(IoPattern.WRITE, 4), seed=7
+    )
+    return configs
+
+
+def compute_golden(name: str) -> object:
+    from repro.core.experiment import run_experiment
+
+    return flatten(run_experiment(golden_configs()[name]))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="(re)generate the golden fixtures instead of verifying them",
+    )
+    args = parser.parse_args(argv)
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    failures = []
+    for name in sorted(golden_configs()):
+        path = GOLDEN_DIR / f"{name}.json"
+        flat = compute_golden(name)
+        if args.write:
+            path.write_text(json.dumps(flat, indent=1) + "\n")
+            print(f"wrote {path.relative_to(REPO_ROOT)}")
+        else:
+            if not path.exists():
+                failures.append(f"{name}: missing fixture {path}")
+                continue
+            if json.loads(path.read_text()) != flat:
+                failures.append(f"{name}: result diverged from golden fixture")
+            else:
+                print(f"ok {name}")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
