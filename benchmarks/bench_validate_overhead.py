@@ -1,0 +1,91 @@
+"""Engineering benchmark: validation overhead.
+
+The validation subsystem promises **zero** cost when disabled: the
+default path never imports ``repro.validate``, the rail pays one
+``None`` test per draw update for the unattached audit hook, and
+``ExecutionOptions(validate=False)`` adds no work to a sweep.  With
+validation *on*, the post-hoc checkers read frozen results only -- so
+the physics must be **bit-identical** either way; what grows is wall
+time, and only by the checker pass itself.
+
+Three rows: disabled baseline, enabled equivalence (bit-identity of
+every physics float asserted against the disabled run), and the live
+auditors (RailAudit + LiveAuditor wired in), which shadow every rail
+update and are expected to cost more; that row is asserted only for
+bit-identity, not budget.
+"""
+
+from repro._units import KiB, MiB
+from repro.core.experiment import run_experiment
+from repro.core.options import ExecutionOptions
+from repro.core.sweep import SweepGrid, sweep_outcome
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.validate import live_validate
+
+
+def _grid() -> SweepGrid:
+    return SweepGrid(
+        device="ssd2",
+        patterns=(IoPattern.RANDREAD,),
+        block_sizes=(64 * KiB, 256 * KiB),
+        iodepths=(8, 64),
+        base_job=JobSpec(
+            pattern=IoPattern.RANDREAD,
+            block_size=4096,
+            iodepth=1,
+            runtime_s=0.05,
+            size_limit_bytes=32 * MiB,
+        ),
+    )
+
+
+def _fingerprints(results):
+    return {
+        point: (
+            r.true_mean_power_w.hex(),
+            r.power.mean_w.hex(),
+            r.power.energy_j.hex(),
+            r.throughput_bps.hex(),
+        )
+        for point, r in results.items()
+    }
+
+
+def test_baseline_validation_disabled(benchmark):
+    """The default path: no checkers, no audit, no validate import."""
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(_grid(), ExecutionOptions(n_workers=1)),
+        iterations=1,
+        rounds=3,
+    )
+    assert len(outcome.results) == 4
+    assert outcome.validation is None
+
+
+def test_enabled_is_bit_identical(benchmark):
+    """validate=True must change nothing but the report it returns."""
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(
+            _grid(), ExecutionOptions(n_workers=1, validate=True)
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    assert outcome.validation is not None
+    assert outcome.validation.ok, outcome.validation.render()
+    baseline = sweep_outcome(_grid(), ExecutionOptions(n_workers=1))
+    assert _fingerprints(outcome.results) == _fingerprints(baseline.results)
+
+
+def test_live_audit_documented(benchmark):
+    """Live auditors shadow every rail update: slower by design, still
+    bit-identical physics."""
+    config = _grid().config_for(next(iter(_grid().points())))
+    result, report = benchmark.pedantic(
+        lambda: live_validate(config), iterations=1, rounds=3
+    )
+    assert report.ok, report.render()
+    bare = run_experiment(config)
+    assert result.true_mean_power_w == bare.true_mean_power_w
+    assert result.power.energy_j == bare.power.energy_j
+    assert result.throughput_bps == bare.throughput_bps

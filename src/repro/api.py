@@ -83,6 +83,14 @@ from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.studies.common import DEFAULT, QUICK, StudyScale
 from repro.studies.fig10 import build_model
+from repro.validate import (
+    InvariantViolationError,
+    Tolerances,
+    ValidationReport,
+    Violation,
+    validate_outcome,
+    validate_result,
+)
 
 __all__ = [
     "AbsorptionResult",
@@ -113,6 +121,7 @@ __all__ = [
     "IOKind",
     "IORequest",
     "IOResult",
+    "InvariantViolationError",
     "IoPattern",
     "JobSpec",
     "KiB",
@@ -145,7 +154,10 @@ __all__ = [
     "SweepGrid",
     "SweepOutcome",
     "SweepPoint",
+    "Tolerances",
     "Tracer",
+    "ValidationReport",
+    "Violation",
     "WriteAbsorptionScenario",
     "build_device",
     "build_model",
@@ -158,4 +170,6 @@ __all__ = [
     "run_sweep",
     "standby_immediate",
     "sweep_outcome",
+    "validate_outcome",
+    "validate_result",
 ]

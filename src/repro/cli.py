@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Five subcommands cover the workflows a user of the artifact needs:
+Six subcommands cover the workflows a user of the artifact needs:
 
 - ``devices`` -- list the calibrated device presets;
 - ``run`` -- one experiment with fio-style options (the paper's inner
@@ -10,6 +10,9 @@ Five subcommands cover the workflows a user of the artifact needs:
   resilience controls (``--timeout``, ``--retries``) and checkpointed
   resume (``--resume``);
 - ``figure`` -- regenerate a paper table/figure and print its rows;
+- ``validate`` -- audit the physics invariants (energy conservation,
+  power envelopes, Little's law, monotonicity contracts) over a
+  mechanism sweep of each device, exiting non-zero on any violation;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
 
@@ -200,6 +203,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sweep-backed figures: a positive "
         "integer or 'all'",
     )
+
+    val_p = sub.add_parser(
+        "validate",
+        help="audit physics invariants over a mechanism sweep",
+        description=(
+            "Run a fig10-style mechanism sweep per device with every "
+            "repro.validate invariant checker enabled (energy "
+            "conservation, power envelopes, Little's law, monotonicity "
+            "contracts, ...) plus one live-audited experiment per device, "
+            "and report any violation.  Exit status 1 if an invariant "
+            "failed."
+        ),
+    )
+    val_p.add_argument(
+        "--device",
+        action="append",
+        choices=sorted(DEVICE_PRESETS),
+        help="device to audit; repeat for several (default: the paper's "
+        "four Table 1 devices)",
+    )
+    val_p.add_argument(
+        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
+    )
+    val_p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="worker processes: a positive integer or 'all' "
+        "(default 1 = in-process)",
+    )
+    val_p.add_argument("--seed", type=int, default=0)
 
     plan_p = sub.add_parser("plan", help="plan a power cut on a device model")
     plan_p.add_argument("--device", required=True, choices=sorted(DEVICE_PRESETS))
@@ -452,6 +486,71 @@ def _cmd_figure(args: argparse.Namespace) -> str:
     return module.render(module.run(scale, **kwargs))
 
 
+def _cmd_validate(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.core.options import ExecutionOptions
+    from repro.core.sweep import SweepGrid, sweep_outcome
+    from repro.iogen.spec import IoPattern
+    from repro.studies.common import DEFAULT, QUICK, point_config
+    from repro.studies.fig10 import DEVICE_STATES, SWEEP_CHUNKS, SWEEP_DEPTHS
+    from repro.validate import live_validate
+    from repro.validate.strategies import PAPER_DEVICES
+
+    devices = tuple(args.device) if args.device else PAPER_DEVICES
+    scale = QUICK if args.quick else DEFAULT
+    pattern = IoPattern.RANDWRITE
+    blocks = []
+    total_checked = 0
+    total_violations = 0
+    for device in devices:
+        grid = SweepGrid(
+            device=device,
+            patterns=(pattern,),
+            block_sizes=SWEEP_CHUNKS,
+            iodepths=SWEEP_DEPTHS,
+            power_states=DEVICE_STATES.get(device, (None,)),
+            base_job=scale.job(pattern, 4096, 1, device),
+            warmup_fraction=scale.warmup(device),
+            seed=args.seed,
+        )
+        outcome = sweep_outcome(
+            grid,
+            ExecutionOptions(n_workers=args.workers, validate=True),
+        )
+        report = outcome.validation
+        lines = [f"{device}: {report.render()}"]
+        if outcome.failures:
+            lines.append(
+                f"{device}: {len(outcome.failures)} point(s) failed to run:\n"
+                + "\n".join(
+                    f"  {failure.describe()}"
+                    for failure in outcome.failures.values()
+                )
+            )
+        # One fully live-audited experiment on top of the post-hoc sweep
+        # checks: rail energy conservation and event-stream invariants
+        # need in-process shadow state a worker pool cannot ship back.
+        _result, live_report = live_validate(
+            point_config(device, pattern, 256 * 1024, 8, scale=scale,
+                         seed=args.seed)
+        )
+        lines.append(f"{device} (live audit): {live_report.render()}")
+        total_checked += report.checked + live_report.checked
+        total_violations += (
+            len(report.violations)
+            + len(live_report.violations)
+            + len(outcome.failures)
+        )
+        blocks.append("\n".join(lines))
+    verdict = (
+        f"validated {total_checked} experiment(s) across "
+        f"{len(devices)} device(s): "
+        + ("all invariants hold" if total_violations == 0
+           else f"{total_violations} violation(s)")
+    )
+    blocks.append(verdict)
+    return "\n\n".join(blocks), 0 if total_violations == 0 else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> str:
     from repro.studies.common import QUICK
     from repro.studies.fig10 import build_model
@@ -479,6 +578,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return code
     elif args.command == "figure":
         print(_cmd_figure(args))
+    elif args.command == "validate":
+        text, code = _cmd_validate(args)
+        print(text)
+        return code
     elif args.command == "plan":
         print(_cmd_plan(args))
     return 0

@@ -201,6 +201,7 @@ def run_experiment(
     config: ExperimentConfig,
     tracer: Optional[Tracer] = None,
     profiler: Optional[RunProfiler] = None,
+    audit=None,
 ) -> ExperimentResult:
     """Run one experiment end to end and return its results.
 
@@ -212,6 +213,10 @@ def run_experiment(
             and without it (the test suite asserts this).
         profiler: Optional :class:`repro.obs.profile.RunProfiler`
             collecting wall-clock cost and kernel-event throughput.
+        audit: Optional :class:`repro.validate.audit.RailAudit` attached
+            to the device's power rail for per-component energy
+            accounting.  Like tracing, auditing is strictly passive:
+            results are bit-identical with and without it.
 
     >>> from repro.iogen import IoPattern, JobSpec
     >>> cfg = ExperimentConfig(
@@ -234,6 +239,8 @@ def run_experiment(
         else None
     )
     device = build_device(engine, config.device, rng=rngs, faults=faults)
+    if audit is not None:
+        device.rail.attach_audit(audit)
     if faults is not None:
         faults.install(device)
     _apply_power_controls(engine, device, config)

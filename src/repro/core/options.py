@@ -73,6 +73,13 @@ class ExecutionOptions:
             point lifecycle.
         resume: Continue an interrupted sweep; requires both
             ``cache_dir`` and ``checkpoint``.
+        validate: Run the :mod:`repro.validate` invariant checkers over
+            the completed results.  :func:`~repro.core.sweep.sweep_outcome`
+            attaches the report to the outcome;
+            :func:`~repro.core.sweep.run_sweep` raises
+            :class:`~repro.validate.report.InvariantViolationError` if any
+            invariant fails.  Validation is post-hoc and passive: results
+            are bit-identical with and without it.
     """
 
     n_workers: Optional[int] = 1
@@ -83,6 +90,7 @@ class ExecutionOptions:
     retries: int = 0
     checkpoint: Optional[Union[str, Path]] = None
     resume: bool = False
+    validate: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers is not None and self.n_workers < 1:

@@ -154,14 +154,21 @@ class SweepOutcome:
     Both mappings iterate in grid order.  A failed point never aborts the
     sweep: its configuration and exception are captured in ``failures``
     while every other point still lands in ``results``.
+
+    ``validation`` carries the :class:`~repro.validate.report.ValidationReport`
+    when the sweep ran with ``ExecutionOptions(validate=True)``; ``None``
+    means validation was not requested.
     """
 
     results: dict[SweepPoint, ExperimentResult]
     failures: dict[SweepPoint, PointFailure]
+    validation: Optional[object] = None
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        if self.failures:
+            return False
+        return self.validation is None or self.validation.ok
 
 
 def sweep_outcome(
@@ -222,7 +229,16 @@ def sweep_outcome(
             failures[point] = outcome
         else:
             results[point] = outcome
-    return SweepOutcome(results=results, failures=failures)
+    validation = None
+    if opts.validate:
+        # Imported lazily: repro.validate imports this module for typing,
+        # and validation is opt-in -- the common path never pays for it.
+        from repro.validate import emit_violations, validate_results
+
+        validation = validate_results(results)
+        if opts.tracer is not None and not validation.ok:
+            emit_violations(validation, opts.tracer)
+    return SweepOutcome(results=results, failures=failures, validation=validation)
 
 
 def run_sweep(
@@ -234,12 +250,19 @@ def run_sweep(
     """Execute every point of ``grid`` and return results in grid order.
 
     Raises :class:`~repro.core.parallel.SweepExecutionError` if any point
-    failed; use :func:`sweep_outcome` to capture failures instead.  See
+    failed; use :func:`sweep_outcome` to capture failures instead.  With
+    ``ExecutionOptions(validate=True)``, additionally raises
+    :class:`~repro.validate.report.InvariantViolationError` if the
+    completed results violate any physics invariant.  See
     :func:`sweep_outcome` for the ``options`` parameter; the legacy
     individual-keyword form works but warns.
     """
     opts = coerce_execution_options("run_sweep", options, legacy_args, legacy_kwargs)
     outcome = sweep_outcome(grid, opts)
-    if not outcome.ok:
+    if outcome.failures:
         raise SweepExecutionError(list(outcome.failures.values()))
+    if outcome.validation is not None and not outcome.validation.ok:
+        from repro.validate import InvariantViolationError
+
+        raise InvariantViolationError(outcome.validation)
     return outcome.results

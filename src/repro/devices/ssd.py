@@ -278,6 +278,7 @@ class SimulatedSSD(StorageDevice):
         # the committed-power extras and share one adapter per op kind so
         # the flush path does no arithmetic or allocation per program.
         self._link_xfer_component = f"{config.name}.link.xfer"
+        self._wave_avg_w = config.power_wave_w * config.power_wave_duty
         # Hot-path config scalars, hoisted out of the chained dataclass
         # attribute lookups the per-IO generators would otherwise repeat.
         self._page_size = config.geometry.page_size
@@ -339,6 +340,14 @@ class SimulatedSSD(StorageDevice):
         keeps the feedback loop free of self-correlation (an op's own
         transfer activity must not shrink the budget it is admitted
         against).
+
+        The program-intensity wave is replaced by its duty-cycled average
+        at full die utilization (``power_wave_w * duty``): the live wave
+        signal self-correlates with governed work just like die draws, but
+        no grant brackets it (it fires on busy dies regardless of who
+        holds admission), so ops cannot carry its cost either.  Budgeting
+        the static average is exact in the saturated regime -- the only
+        regime where a cap binds -- and merely conservative below it.
         """
         rail = self.rail
         return (
@@ -347,6 +356,7 @@ class SimulatedSSD(StorageDevice):
             - rail.draw_of_prefix("chan")
             - rail.draw_of_prefix("nand.wave")
             - rail.draw_of(self._link_xfer_component)
+            + self._wave_avg_w
         )
 
     def _governed_op_power(self, kind: OpKind) -> float:
@@ -355,6 +365,12 @@ class SimulatedSSD(StorageDevice):
         The op's average draw plus the amortized channel/link transfer
         power its page data costs over the op's duration, so the cap
         budget accounts for the whole power footprint of admitting it.
+
+        The program-intensity wave is handled in :meth:`_non_nand_power`
+        (as a static expected draw), not here: the wave fires on *busy*
+        dies whether or not their op holds a grant (channel-transfer
+        phases, GC reads), so a per-granted-op share systematically
+        undercounts it exactly when the cap binds.
         """
         config = self.config
         base = config.nand_power.draw(kind)

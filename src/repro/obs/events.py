@@ -82,6 +82,10 @@ class EventKind(enum.Enum):
     #: marks the rest of the run as degraded.
     FAULT_START = "fault_start"
     FAULT_END = "fault_end"
+    #: A physics invariant failed validation (emitted by
+    #: :mod:`repro.validate`, never by the simulators themselves; fields
+    #: carry the invariant name, subject, and measured/expected values).
+    VIOLATION = "violation"
     #: Free-form annotation (scope boundaries, experiment markers).
     MARK = "mark"
 

@@ -43,7 +43,23 @@ class PowerRail:
         # admission decision, which made the naive scan a sweep hot spot.
         self._prefix_members: dict[str, list[str]] = {}
         self._prefix_stamp = 0
+        # Optional per-component shadow accounting (energy-conservation
+        # validation).  None by default: the hot path pays one load +
+        # None test, the same guard pattern as the null tracer.
+        self._audit = None
         self.trace = StepTrace(t0=engine.now, initial=0.0)
+
+    def attach_audit(self, audit) -> None:
+        """Shadow every future draw update into ``audit``.
+
+        ``audit`` is a :class:`repro.validate.audit.RailAudit`; it
+        snapshots the current component draws on attachment and receives
+        ``record(component, watts, t)`` for every subsequent change.
+        Auditing is strictly passive -- it reads updates, never alters
+        them -- so audited results are bit-identical to unaudited ones.
+        """
+        audit.attach(self)
+        self._audit = audit
 
     @property
     def total_watts(self) -> float:
@@ -91,6 +107,9 @@ class PowerRail:
         elif total != values[-1]:
             times.append(t)
             values.append(total)
+        audit = self._audit
+        if audit is not None:
+            audit.record(component, watts, t)
 
     def add_draw(self, component: str, delta_watts: float) -> None:
         """Adjust ``component``'s draw by a delta (e.g. one more die busy).
@@ -129,6 +148,9 @@ class PowerRail:
         elif total != values[-1]:
             times.append(t)
             values.append(total)
+        audit = self._audit
+        if audit is not None:
+            audit.record(component, watts, t)
 
     def draw_of(self, component: str) -> float:
         """Current draw registered for ``component`` (0 if never set)."""

@@ -1,0 +1,309 @@
+"""Live invariants: auditing a simulation while it runs.
+
+Two auditors cover what post-hoc result checkers cannot see:
+
+- :class:`RailAudit` shadows every per-component draw update on a
+  :class:`~repro.power.rail.PowerRail` into its own per-component step
+  traces, then checks **energy conservation**: the rail's ground-truth
+  integral must equal the sum of per-component energies over any window.
+  The rail maintains its total incrementally (and the hot path is
+  inlined), so this is the check that catches a component update
+  bypassing or double-counting the trace.
+- :class:`LiveAuditor` subscribes to a :class:`~repro.obs.events.Tracer`
+  and checks the event stream itself: ``(time, seq)`` ordering, interval
+  begin/end balance, and power-state residency summing to the observed
+  span.
+
+Both are strictly opt-in: an unattached rail pays one ``None`` test per
+draw update (the same guard pattern as the null tracer and the null
+fault injector), and results with auditing on are bit-identical to
+results without -- auditors only ever *read* simulation state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.obs.events import INTERVAL_PAIRS, EventKind, SimEvent
+from repro.sim.trace import StepTrace
+from repro.validate.report import Tolerances, Violation
+
+__all__ = [
+    "AUDIT_INVARIANTS",
+    "LIVE_INVARIANTS",
+    "LiveAuditor",
+    "RailAudit",
+]
+
+#: Invariants :meth:`RailAudit.check` evaluates.
+AUDIT_INVARIANTS = ("energy_conservation", "component_non_negative")
+
+#: Invariants :class:`LiveAuditor` evaluates over an event stream.
+LIVE_INVARIANTS = ("event_ordering", "interval_balance", "state_residency")
+
+#: Kinds that close an interval, mapped back to the kind that opens it.
+_END_TO_START = {end: start for start, end in INTERVAL_PAIRS.items()}
+
+
+class RailAudit:
+    """Per-component energy accounting against one power rail.
+
+    Attach via :meth:`repro.power.rail.PowerRail.attach_audit` (or the
+    ``audit`` parameter of :func:`~repro.core.experiment.run_experiment`).
+    From then on every draw update lands both on the rail's total trace
+    and in this audit's per-component trace; :meth:`check` compares the
+    two integrals.
+    """
+
+    def __init__(self) -> None:
+        self._rail = None
+        self._traces: dict[str, StepTrace] = {}
+        self._t0 = 0.0
+
+    @property
+    def attached(self) -> bool:
+        return self._rail is not None
+
+    def attach(self, rail) -> None:
+        """Bind to ``rail``, snapshotting its current component draws.
+
+        Components registered before attachment start their shadow trace
+        at the attachment time with their current draw; components that
+        appear later start at zero (they drew nothing before their first
+        update).
+        """
+        if self._rail is not None:
+            raise RuntimeError("RailAudit is already attached to a rail")
+        self._rail = rail
+        self._t0 = rail.engine.now
+        self._traces = {
+            component: StepTrace(t0=self._t0, initial=watts)
+            for component, watts in rail.components().items()
+        }
+
+    def record(self, component: str, watts: float, t: float) -> None:
+        """Shadow one draw update (called by the rail's hot path)."""
+        trace = self._traces.get(component)
+        if trace is None:
+            trace = StepTrace(t0=self._t0, initial=0.0)
+            self._traces[component] = trace
+        trace.set(t, watts)
+
+    def component_energy(self, t_start: float, t_end: float) -> dict[str, float]:
+        """Per-component energy (J) over a window, sorted by name."""
+        return {
+            component: self._traces[component].integrate(t_start, t_end)
+            for component in sorted(self._traces)
+        }
+
+    def check(
+        self,
+        t_start: Optional[float] = None,
+        t_end: Optional[float] = None,
+        tolerances: Optional[Tolerances] = None,
+        subject: str = "rail",
+    ) -> list[Violation]:
+        """Check conservation and non-negativity over a window.
+
+        Defaults to the span from attachment to the engine's current
+        time.  Returns the violations found.
+        """
+        if self._rail is None:
+            raise RuntimeError("RailAudit.check before attach")
+        tol = tolerances if tolerances is not None else Tolerances()
+        t0 = self._t0 if t_start is None else t_start
+        t1 = self._rail.engine.now if t_end is None else t_end
+        if t1 <= t0:
+            return []
+        violations: list[Violation] = []
+        rail_energy = self._rail.trace.integrate(t0, t1)
+        component_sum = math.fsum(
+            trace.integrate(t0, t1)
+            for _name, trace in sorted(self._traces.items())
+        )
+        slack = tol.conservation_abs_j + tol.conservation_rel * max(
+            abs(rail_energy), abs(component_sum)
+        )
+        if abs(rail_energy - component_sum) > slack:
+            violations.append(
+                Violation(
+                    "energy_conservation",
+                    subject,
+                    f"rail integral {rail_energy:.9g} J disagrees with the "
+                    f"sum of per-component energies {component_sum:.9g} J "
+                    f"over [{t0:.6g}, {t1:.6g}] s",
+                    rail_energy,
+                    component_sum,
+                )
+            )
+        for component in sorted(self._traces):
+            low = self._traces[component].min(t0, t1)
+            if low < 0:
+                violations.append(
+                    Violation(
+                        "component_non_negative",
+                        f"{subject}/{component}",
+                        f"component draw dips to {low:.6g} W",
+                        low,
+                        0.0,
+                    )
+                )
+        return violations
+
+
+class _Residency:
+    """Minimal power-state residency ledger for one component."""
+
+    __slots__ = ("first_time", "last_time", "state", "durations")
+
+    def __init__(self, time: float, state: str) -> None:
+        self.first_time = time
+        self.last_time = time
+        self.state = state
+        self.durations: dict[str, float] = {}
+
+    def transition(self, time: float, state: str) -> None:
+        self.durations[self.state] = (
+            self.durations.get(self.state, 0.0) + (time - self.last_time)
+        )
+        self.last_time = time
+        self.state = state
+
+    def total(self, end_time: float) -> float:
+        tail = max(0.0, end_time - self.last_time)
+        return math.fsum(self.durations.values()) + tail
+
+
+class LiveAuditor:
+    """Tracer subscriber checking the event stream's own invariants.
+
+    Subscribe to a :class:`~repro.obs.events.Tracer` before the run::
+
+        tracer = Tracer(keep_events=False)
+        auditor = LiveAuditor()
+        tracer.subscribe(auditor)
+        result = run_experiment(config, tracer=tracer)
+        violations = auditor.finalize(end_time=...)
+
+    Streaming checks (reported as they happen): ``(time, seq)`` total
+    order, and interval ``*_END`` events with no matching open
+    ``*_START``.  :meth:`finalize` adds power-state residency: per
+    component, state durations must sum to the span from its first
+    ``POWER_STATE`` event to the end time.
+
+    A fresh scope (``set_scope``) restarts the clock epoch, mirroring
+    :class:`~repro.obs.metrics.MetricsCollector`: sweeps reuse one
+    tracer across engines that each start at time zero.
+    """
+
+    def __init__(
+        self, tolerances: Optional[Tolerances] = None, subject: str = "trace"
+    ) -> None:
+        self.tolerances = tolerances if tolerances is not None else Tolerances()
+        self.subject = subject
+        self.violations: list[Violation] = []
+        self.events_seen = 0
+        self._last_time = -math.inf
+        self._last_seq = 0
+        self._open: dict[tuple[str, EventKind], int] = {}
+        self._residency: dict[str, _Residency] = {}
+
+    def __call__(self, event: SimEvent) -> None:
+        self.events_seen += 1
+        if event.seq <= self._last_seq:
+            self.violations.append(
+                Violation(
+                    "event_ordering",
+                    self.subject,
+                    f"sequence number went backwards: {event.seq} after "
+                    f"{self._last_seq}",
+                    float(event.seq),
+                    float(self._last_seq),
+                )
+            )
+        self._last_seq = max(self._last_seq, event.seq)
+        if event.kind is EventKind.MARK and "scope" in event.fields:
+            # New scope: the next engine restarts simulated time at zero.
+            # The MARK itself is stamped by whichever engine was bound
+            # when the scope changed (usually the *previous* point's end
+            # time), so its timestamp must not seed the new epoch.
+            self._last_time = -math.inf
+            self._open.clear()
+            self._residency.clear()
+            return
+        if event.time < self._last_time:
+            self.violations.append(
+                Violation(
+                    "event_ordering",
+                    self.subject,
+                    f"time went backwards without a scope change: "
+                    f"{event.time!r} after {self._last_time!r} "
+                    f"({event.kind.value} from {event.component})",
+                    event.time,
+                    self._last_time,
+                )
+            )
+        self._last_time = max(self._last_time, event.time)
+
+        kind = event.kind
+        if kind in INTERVAL_PAIRS:
+            key = (event.component, kind)
+            self._open[key] = self._open.get(key, 0) + 1
+        elif kind in _END_TO_START:
+            key = (event.component, _END_TO_START[kind])
+            pending = self._open.get(key, 0)
+            if pending <= 0:
+                self.violations.append(
+                    Violation(
+                        "interval_balance",
+                        f"{self.subject}/{event.component}",
+                        f"{kind.value} at t={event.time:.6g} with no open "
+                        f"{_END_TO_START[kind].value}",
+                        0.0,
+                        1.0,
+                    )
+                )
+            else:
+                self._open[key] = pending - 1
+        elif kind is EventKind.POWER_STATE:
+            state = str(event.fields.get("state", "?"))
+            ledger = self._residency.get(event.component)
+            if ledger is None:
+                self._residency[event.component] = _Residency(
+                    event.time, state
+                )
+            else:
+                ledger.transition(event.time, state)
+
+    def finalize(self, end_time: Optional[float] = None) -> list[Violation]:
+        """Run end-of-stream checks and return every violation found.
+
+        Args:
+            end_time: Final simulated time of the run; defaults to the
+                last event's time.  Residency is summed against the span
+                from each component's first power-state event to here.
+        """
+        violations = list(self.violations)
+        end = self._last_time if end_time is None else end_time
+        if end == -math.inf:
+            return violations
+        tol = self.tolerances
+        for component in sorted(self._residency):
+            ledger = self._residency[component]
+            span = end - ledger.first_time
+            if span < 0:
+                continue  # end_time predates this component's events
+            total = ledger.total(end)
+            if abs(total - span) > tol.residency_abs_s:
+                violations.append(
+                    Violation(
+                        "state_residency",
+                        f"{self.subject}/{component}",
+                        f"power-state residencies sum to {total:.9g} s "
+                        f"over a {span:.9g} s span",
+                        total,
+                        span,
+                    )
+                )
+        return violations

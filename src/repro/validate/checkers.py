@@ -1,0 +1,330 @@
+"""Post-hoc physics invariants over one :class:`ExperimentResult`.
+
+Each checker inspects only what the result already carries -- the power
+summary, the ground-truth rail mean, the raw IO records -- so the whole
+set runs on results computed anywhere (worker processes, the on-disk
+cache) with no access to the live simulation.  Live-only invariants
+(per-component energy conservation, event ordering, power-state
+residency) are in :mod:`repro.validate.audit`.
+
+Every checker returns :class:`~repro.validate.report.Violation` records
+rather than raising, so one pass reports every broken invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.experiment import ExperimentResult
+from repro.devices.catalog import DEVICE_PRESETS, DeviceConfig
+from repro.validate.envelope import power_envelope
+from repro.validate.report import Tolerances, Violation
+
+__all__ = ["RESULT_INVARIANTS", "check_result"]
+
+#: Invariants :func:`check_result` evaluates, in order.
+RESULT_INVARIANTS = (
+    "window_sanity",
+    "non_negative_power",
+    "energy_consistency",
+    "meter_consistency",
+    "power_envelope",
+    "littles_law",
+    "cap_adherence",
+    "latency_ordering",
+)
+
+
+def _device_config(result: ExperimentResult) -> DeviceConfig:
+    device = result.config.device
+    if isinstance(device, str):
+        return DEVICE_PRESETS[device]()
+    return device
+
+
+def _check_window_sanity(result: ExperimentResult, tol: Tolerances):
+    job = result.job
+    if job.end_time < job.start_time:
+        yield Violation(
+            "window_sanity",
+            result.config.describe(),
+            f"job ends at {job.end_time!r} before it starts at "
+            f"{job.start_time!r}",
+            job.end_time,
+            job.start_time,
+        )
+    if not job.start_time <= job.measure_start <= job.end_time:
+        yield Violation(
+            "window_sanity",
+            result.config.describe(),
+            f"measure_start {job.measure_start!r} outside the job span "
+            f"[{job.start_time!r}, {job.end_time!r}]",
+            job.measure_start,
+            job.start_time,
+        )
+    if result.power.duration_s <= 0 or result.power.n_samples < 1:
+        yield Violation(
+            "window_sanity",
+            result.config.describe(),
+            f"degenerate power summary: {result.power.n_samples} samples "
+            f"over {result.power.duration_s!r} s",
+            result.power.duration_s,
+            0.0,
+        )
+    for record in job.records:
+        if record.complete_time < record.submit_time:
+            yield Violation(
+                "window_sanity",
+                result.config.describe(),
+                f"IO completes at {record.complete_time!r} before its "
+                f"submission at {record.submit_time!r}",
+                record.latency,
+                0.0,
+            )
+            break  # one representative record is enough
+
+
+def _check_non_negative(result: ExperimentResult, tol: Tolerances):
+    subject = result.config.describe()
+    if result.power.min_w < -tol.negative_w:
+        yield Violation(
+            "non_negative_power",
+            subject,
+            f"measured power dips to {result.power.min_w:.6g} W "
+            f"(allowed floor {-tol.negative_w:.6g} W)",
+            result.power.min_w,
+            -tol.negative_w,
+        )
+    if result.true_mean_power_w < 0:
+        yield Violation(
+            "non_negative_power",
+            subject,
+            f"ground-truth mean power is negative: "
+            f"{result.true_mean_power_w:.6g} W",
+            result.true_mean_power_w,
+            0.0,
+        )
+    if result.power.energy_j < -tol.negative_w * result.power.duration_s:
+        yield Violation(
+            "non_negative_power",
+            subject,
+            f"negative energy: {result.power.energy_j:.6g} J",
+            result.power.energy_j,
+            0.0,
+        )
+
+
+def _check_energy(result: ExperimentResult, tol: Tolerances):
+    """``energy_j`` must equal ``mean_w * duration_s``.
+
+    The uniform sampler makes this an identity (the Riemann sum *is*
+    ``mean * n / rate``); any drift means the summary's energy and mean
+    came from different data.
+    """
+    power = result.power
+    expected = power.mean_w * power.duration_s
+    slack = tol.energy_rel * max(abs(expected), abs(power.energy_j), 1e-12)
+    if abs(power.energy_j - expected) > slack:
+        yield Violation(
+            "energy_consistency",
+            result.config.describe(),
+            f"summary energy {power.energy_j:.6g} J disagrees with "
+            f"mean x duration = {expected:.6g} J",
+            power.energy_j,
+            expected,
+        )
+
+
+def _check_meter(result: ExperimentResult, tol: Tolerances):
+    """Measured mean power must track the ground-truth rail mean.
+
+    The measurement chain has as-built part tolerances (shunt, amplifier
+    gain) plus per-sample noise; ``meter_rel`` bounds the total.  A gap
+    beyond it means the meter measured a different window than the rail
+    integral, or the rail trace itself is wrong.
+    """
+    true_mean = result.true_mean_power_w
+    if true_mean <= 0:
+        return  # the non-negativity checker reports this case
+    if result.meter_relative_error > tol.meter_rel:
+        yield Violation(
+            "meter_consistency",
+            result.config.describe(),
+            f"measured mean {result.power.mean_w:.4f} W is "
+            f"{result.meter_relative_error:.2%} from ground truth "
+            f"{true_mean:.4f} W (tolerance {tol.meter_rel:.2%})",
+            result.power.mean_w,
+            true_mean,
+        )
+
+
+def _check_envelope(result: ExperimentResult, tol: Tolerances):
+    envelope = power_envelope(_device_config(result))
+    subject = result.config.describe()
+    # Measured peaks see meter gain error on top of the true peak.
+    peak_bound = (
+        envelope.peak_w * (1.0 + tol.meter_rel) + tol.envelope_margin_w
+    )
+    if result.power.max_w > peak_bound:
+        yield Violation(
+            "power_envelope",
+            subject,
+            f"measured peak {result.power.max_w:.4f} W exceeds the "
+            f"catalog envelope {envelope.peak_w:.4f} W "
+            f"(+{tol.meter_rel:.0%} meter margin)",
+            result.power.max_w,
+            peak_bound,
+        )
+    # The ground-truth mean is noise-free: it must sit inside the
+    # envelope exactly (a mean cannot exceed the instantaneous bound).
+    if not envelope.floor_w - 1e-9 <= result.true_mean_power_w <= envelope.peak_w + 1e-9:
+        yield Violation(
+            "power_envelope",
+            subject,
+            f"ground-truth mean {result.true_mean_power_w:.4f} W outside "
+            f"the catalog envelope "
+            f"[{envelope.floor_w:.4f}, {envelope.peak_w:.4f}] W",
+            result.true_mean_power_w,
+            envelope.peak_w,
+        )
+
+
+def _check_littles_law(result: ExperimentResult, tol: Tolerances):
+    """Little's law: mean outstanding IOs = arrival rate x mean latency.
+
+    Both sides are computed from the same records over the steady-state
+    window, which makes the law an identity up to a window-edge term:
+    IOs submitted before the window but completing inside it contribute
+    their *full* latency to the right-hand side but only their in-window
+    part to the left.  At most ``iodepth`` records straddle the edge,
+    each off by at most the maximum latency, so the bound is computable
+    -- ``littles_rel`` only covers float round-off on top.
+    """
+    job = result.job
+    t0, t1 = job.measure_window
+    window = t1 - t0
+    if window <= 0 or not job.records:
+        return
+    measured = [r for r in job.records if r.complete_time >= t0]
+    if not measured:
+        return
+    # Left side: exact time-average of outstanding IOs over the window.
+    in_system = sum(
+        max(0.0, min(r.complete_time, t1) - max(r.submit_time, t0))
+        for r in job.records
+    )
+    mean_outstanding = in_system / window
+    # Right side: throughput x latency from the completed-in-window set.
+    latencies = [r.latency for r in measured]
+    rate_times_latency = sum(latencies) / window
+    edge_bound = job.spec.iodepth * max(latencies) / window
+    slack = edge_bound + tol.littles_rel * max(
+        mean_outstanding, rate_times_latency, 1e-9
+    )
+    subject = result.config.describe()
+    if abs(mean_outstanding - rate_times_latency) > slack:
+        yield Violation(
+            "littles_law",
+            subject,
+            f"mean queue depth {mean_outstanding:.4f} disagrees with "
+            f"throughput x latency = {rate_times_latency:.4f} "
+            f"(edge bound {edge_bound:.4f})",
+            mean_outstanding,
+            rate_times_latency,
+        )
+    if mean_outstanding > job.spec.iodepth * (1.0 + tol.littles_rel):
+        yield Violation(
+            "littles_law",
+            subject,
+            f"mean queue depth {mean_outstanding:.4f} exceeds the "
+            f"configured iodepth {job.spec.iodepth}",
+            mean_outstanding,
+            float(job.spec.iodepth),
+        )
+
+
+def _check_cap(result: ExperimentResult, tol: Tolerances):
+    """An intended power cap must hold unless a governor failure fired."""
+    governor_failed = (
+        result.faults is not None and result.faults.governor_failed
+    )
+    if result.cap_w is None or governor_failed:
+        return
+    if not result.cap_respected:
+        yield Violation(
+            "cap_adherence",
+            result.config.describe(),
+            f"ground-truth mean {result.true_mean_power_w:.4f} W exceeds "
+            f"the intended cap {result.cap_w:.4f} W with no governor "
+            "failure injected",
+            result.true_mean_power_w,
+            result.cap_w,
+        )
+
+
+def _check_latency_ordering(result: ExperimentResult, tol: Tolerances):
+    job = result.job
+    if not [r for r in job.records if r.complete_time >= job.measure_start]:
+        return
+    stats = result.latency()
+    subject = result.config.describe()
+    if stats.min < 0:
+        yield Violation(
+            "latency_ordering",
+            subject,
+            f"negative latency: min {stats.min:.6g} s",
+            stats.min,
+            0.0,
+        )
+    quantile_chain = (
+        ("min", stats.min),
+        ("p50", stats.p50),
+        ("p95", stats.p95),
+        ("p99", stats.p99),
+        ("p999", stats.p999),
+        ("max", stats.max),
+    )
+    for (lo_name, lo), (hi_name, hi) in zip(quantile_chain, quantile_chain[1:]):
+        if lo > hi * (1 + 1e-12) + 1e-15:
+            yield Violation(
+                "latency_ordering",
+                subject,
+                f"{lo_name} {lo:.6g} s exceeds {hi_name} {hi:.6g} s",
+                lo,
+                hi,
+            )
+    if not stats.min - 1e-15 <= stats.mean <= stats.max + 1e-15:
+        yield Violation(
+            "latency_ordering",
+            subject,
+            f"mean latency {stats.mean:.6g} s outside "
+            f"[{stats.min:.6g}, {stats.max:.6g}] s",
+            stats.mean,
+            stats.max,
+        )
+
+
+_CHECKERS = (
+    _check_window_sanity,
+    _check_non_negative,
+    _check_energy,
+    _check_meter,
+    _check_envelope,
+    _check_littles_law,
+    _check_cap,
+    _check_latency_ordering,
+)
+
+
+def check_result(
+    result: ExperimentResult, tolerances: Optional[Tolerances] = None
+) -> list[Violation]:
+    """Run every post-hoc invariant over one result.
+
+    Returns the violations found (empty list = all invariants hold).
+    """
+    tol = tolerances if tolerances is not None else Tolerances()
+    violations: list[Violation] = []
+    for checker in _CHECKERS:
+        violations.extend(checker(result, tol))
+    return violations

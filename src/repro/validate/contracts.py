@@ -1,0 +1,129 @@
+"""Cross-result monotonicity contracts over a sweep.
+
+Single-result checkers cannot see relationships *between* operating
+points, but the paper's whole premise depends on two of them:
+
+- **Cap monotonicity.**  A tighter power cap buys power savings by
+  curtailing work; it must never yield *higher* throughput than a looser
+  cap at the same workload shape (pattern, chunk size, queue depth).
+- **Queue-depth monotonicity.**  More outstanding IOs can only expose
+  more parallelism; at a fixed chunk size and power state, raising the
+  queue depth must not lower throughput -- *unless the power budget is
+  the limiter*.  Under a binding cap, a deeper queue burns more
+  controller and link power, which comes straight out of the NAND
+  admission budget, so throughput can legitimately fall with depth
+  (the paper's Fig. 9 power-versus-QD mechanism).  Points whose mean
+  power sits within ``Tolerances.cap_binding_fraction`` of the intended
+  cap are therefore exempt from this contract.
+
+Each point in a sweep draws independent noise (per-point seeds), so both
+contracts carry a relative slack: a genuine inversion -- the kind a
+scheduling or governor bug produces -- clears it by a wide margin, while
+seed-to-seed jitter does not.  The queue-depth contract uses the wider
+``Tolerances.qd_slack`` because its endpoints are independent short-run
+samples of what may be a flat curve; ``Tolerances`` documents the noise
+measurement behind the default.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.experiment import ExperimentResult
+from repro.core.sweep import SweepPoint
+from repro.validate.report import Tolerances, Violation
+
+__all__ = ["CONTRACT_INVARIANTS", "check_contracts"]
+
+#: Invariants :func:`check_contracts` evaluates.
+CONTRACT_INVARIANTS = ("cap_monotonicity", "qd_monotonicity")
+
+
+def _cap_of(result: ExperimentResult) -> float:
+    """Effective cap for ordering: uncapped compares as infinitely loose."""
+    return float("inf") if result.cap_w is None else result.cap_w
+
+
+def _check_cap_monotonicity(
+    results: Mapping[SweepPoint, ExperimentResult], tol: Tolerances
+):
+    groups: dict[tuple, list[tuple[SweepPoint, ExperimentResult]]] = {}
+    for point, result in results.items():
+        key = (point.pattern, point.block_size, point.iodepth)
+        groups.setdefault(key, []).append((point, result))
+    for group in groups.values():
+        # Loosest cap first; every tighter point must not beat a looser one.
+        group.sort(key=lambda pair: -_cap_of(pair[1]))
+        for i, (loose_point, loose) in enumerate(group):
+            for tight_point, tight in group[i + 1:]:
+                if _cap_of(tight) >= _cap_of(loose):
+                    continue  # equal caps carry no ordering obligation
+                bound = loose.throughput_bps * (1.0 + tol.monotonicity_slack)
+                if tight.throughput_bps > bound:
+                    yield Violation(
+                        "cap_monotonicity",
+                        f"{tight_point.describe()} vs {loose_point.describe()}",
+                        f"cap {_cap_of(tight):.4g} W reaches "
+                        f"{tight.throughput_mib_s:.1f} MiB/s, beating the "
+                        f"looser cap {_cap_of(loose):.4g} W at "
+                        f"{loose.throughput_mib_s:.1f} MiB/s by more than "
+                        f"{tol.monotonicity_slack:.0%}",
+                        tight.throughput_bps,
+                        bound,
+                    )
+
+
+def _power_limited(result: ExperimentResult, tol: Tolerances) -> bool:
+    """Is the cap, not the workload, the throughput limiter at this point?
+
+    When mean power sits close to the intended cap the governor is
+    actively curtailing NAND work, and queue depth stops being a pure
+    parallelism knob: a deeper queue spends more of the fixed budget on
+    controller and link draw, so throughput may *fall* with depth.  That
+    is the paper's operating regime, not a bug, so the QD contract must
+    not apply there.
+    """
+    if result.cap_w is None or result.cap_w <= 0:
+        return False
+    return result.true_mean_power_w >= tol.cap_binding_fraction * result.cap_w
+
+
+def _check_qd_monotonicity(
+    results: Mapping[SweepPoint, ExperimentResult], tol: Tolerances
+):
+    groups: dict[tuple, list[tuple[SweepPoint, ExperimentResult]]] = {}
+    for point, result in results.items():
+        key = (point.pattern, point.block_size, point.power_state)
+        groups.setdefault(key, []).append((point, result))
+    for group in groups.values():
+        group.sort(key=lambda pair: pair[0].iodepth)
+        for i, (shallow_point, shallow) in enumerate(group):
+            for deep_point, deep in group[i + 1:]:
+                if deep_point.iodepth <= shallow_point.iodepth:
+                    continue
+                if _power_limited(shallow, tol) or _power_limited(deep, tol):
+                    continue
+                bound = shallow.throughput_bps * (1.0 - tol.qd_slack)
+                if deep.throughput_bps < bound:
+                    yield Violation(
+                        "qd_monotonicity",
+                        f"{deep_point.describe()} vs {shallow_point.describe()}",
+                        f"qd={deep_point.iodepth} reaches "
+                        f"{deep.throughput_mib_s:.1f} MiB/s, below "
+                        f"qd={shallow_point.iodepth} at "
+                        f"{shallow.throughput_mib_s:.1f} MiB/s by more than "
+                        f"{tol.qd_slack:.0%}",
+                        deep.throughput_bps,
+                        bound,
+                    )
+
+
+def check_contracts(
+    results: Mapping[SweepPoint, ExperimentResult],
+    tolerances: Optional[Tolerances] = None,
+) -> list[Violation]:
+    """Check the monotonicity contracts over one sweep's results."""
+    tol = tolerances if tolerances is not None else Tolerances()
+    violations = list(_check_cap_monotonicity(results, tol))
+    violations.extend(_check_qd_monotonicity(results, tol))
+    return violations

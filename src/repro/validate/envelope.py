@@ -1,0 +1,110 @@
+"""Per-device power envelopes derived from the catalog configuration.
+
+Every simulated component draws a configured wattage while active, so the
+device's instantaneous total is bounded by the sum of every component's
+worst case -- a bound computable *from the config alone*, without running
+anything.  A measured sample outside the envelope means some component
+drew power its configuration does not explain (or went negative), which
+is exactly the class of silent power-model bug the validation subsystem
+exists to catch.
+
+The bounds are deliberately loose in the safe direction: the peak assumes
+every die programs at full pulse current while every channel and the host
+link stream simultaneously, which real schedules rarely reach.  The floor
+is the smallest resident draw any power state can explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.hdd_drive import HddConfig
+from repro.devices.link import LinkPowerMode
+from repro.devices.ssd import SsdConfig
+
+__all__ = ["PowerEnvelope", "power_envelope"]
+
+
+@dataclass(frozen=True)
+class PowerEnvelope:
+    """Configuration-derived bounds on a device's instantaneous power.
+
+    Attributes:
+        floor_w: Smallest resident draw any configured state explains
+            (deepest idle / standby).  Ground-truth power never sits
+            below it.
+        peak_w: Sum of every component's worst-case simultaneous draw.
+            Ground-truth power never exceeds it.
+    """
+
+    floor_w: float
+    peak_w: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.floor_w <= self.peak_w:
+            raise ValueError(
+                f"envelope needs 0 <= floor <= peak, got "
+                f"[{self.floor_w!r}, {self.peak_w!r}]"
+            )
+
+
+def _ssd_envelope(config: SsdConfig) -> PowerEnvelope:
+    geometry = config.geometry
+    nand = config.nand_power
+    # Worst per-die draw: the program pulse concentrates the program
+    # energy into pulse_ratio x p_program for a fraction of the op.
+    die_peak = max(
+        nand.p_read,
+        nand.p_program * config.program_pulse_ratio,
+        nand.p_erase,
+    )
+    phy_active = config.link_power_table.phy_power_w[LinkPowerMode.ACTIVE]
+    resident_peak = max(
+        config.controller.idle_power_w + config.dram_power_w + phy_active,
+        max((ps.idle_power_w for ps in config.power_states), default=0.0),
+    )
+    peak = (
+        resident_peak
+        + config.controller.cores * config.controller.core_active_power_w
+        + config.link_transfer_power_w
+        + geometry.channels * config.channel_transfer_power_w
+        + geometry.total_dies * (nand.p_idle + die_peak)
+        + config.power_wave_w
+    )
+    # Deepest resident draw: the controller/DRAM floor with the cheapest
+    # link mode, or a non-operational NVMe state's declared idle power,
+    # whichever is lower.
+    floors = [
+        config.controller.idle_power_w
+        + config.dram_power_w
+        + min(config.link_power_table.phy_power_w.values())
+    ]
+    floors.extend(ps.idle_power_w for ps in config.power_states)
+    return PowerEnvelope(floor_w=min(floors), peak_w=peak)
+
+
+def _hdd_envelope(config: HddConfig) -> PowerEnvelope:
+    phy_table = config.link_power_table.phy_power_w
+    peak = (
+        config.electronics_power_w
+        # Spin-up draws rotation + surge simultaneously (motor model).
+        + config.spindle.rotation_power_w
+        + config.spindle.spinup_surge_w
+        + config.seek_power_w
+        + config.transfer_power_w
+        + phy_table[LinkPowerMode.ACTIVE]
+        + config.link_transfer_power_w
+    )
+    # Standby: spindle stopped, heads parked -- electronics plus the
+    # cheapest link mode is all that remains.
+    floor = config.electronics_power_w + min(phy_table.values())
+    return PowerEnvelope(floor_w=floor, peak_w=peak)
+
+
+def power_envelope(config: SsdConfig | HddConfig) -> PowerEnvelope:
+    """Compute the instantaneous-power envelope of one device config."""
+    if isinstance(config, HddConfig):
+        return _hdd_envelope(config)
+    if isinstance(config, SsdConfig):
+        return _ssd_envelope(config)
+    raise TypeError(f"unsupported device config type: {type(config).__name__}")

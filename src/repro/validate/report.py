@@ -1,0 +1,164 @@
+"""Violations, tolerances, and the validation report.
+
+A checker never raises on a physics inconsistency -- it returns
+:class:`Violation` records so a sweep can report *every* broken invariant
+at once.  :class:`ValidationReport` aggregates them; callers that want
+fail-fast semantics (``run_sweep`` with ``validate=True``, the ``repro
+validate`` CLI) raise :class:`InvariantViolationError` on a non-empty
+report.
+
+Tolerances are explicit and centralized (:class:`Tolerances`): every
+comparison in :mod:`repro.validate` names which knob it uses, and
+DESIGN.md section 11 documents why each default is what it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "InvariantViolationError",
+    "Tolerances",
+    "ValidationReport",
+    "Violation",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant.
+
+    Attributes:
+        invariant: Which invariant failed (stable snake_case identifier,
+            e.g. ``"energy_consistency"``, ``"cap_monotonicity"``).
+        subject: What was being checked -- an experiment description or a
+            sweep-point pair.
+        message: Human-readable account of the disagreement.
+        measured: The value the simulation produced.
+        expected: The bound or reference value it violated.
+    """
+
+    invariant: str
+    subject: str
+    message: str
+    measured: float
+    expected: float
+
+    def describe(self) -> str:
+        return f"[{self.invariant}] {self.subject}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Every numeric slack the validators use, in one value object.
+
+    Attributes:
+        conservation_rel: Relative slack between the rail integral and the
+            sum of per-component energies (float-drift only: the rail
+            maintains its total incrementally, so the two sums see the
+            same draws through different float addition orders).
+        conservation_abs_j: Absolute floor for the same comparison, for
+            near-zero-energy windows.
+        energy_rel: Relative slack between a summary's ``energy_j`` and
+            ``mean_w * duration_s`` (exact for the uniform sampler; the
+            slack covers only float round-off).
+        meter_rel: Relative slack between measured and ground-truth mean
+            power.  Dominated by as-built part tolerances of the shunt
+            and amplifier (drawn once per meter), not by per-sample
+            noise.
+        envelope_margin_w: Headroom added to the catalog worst-case
+            envelope before flagging a measured maximum.  Covers meter
+            gain error overshooting the true instantaneous peak.
+        littles_rel: Relative slack on Little's law after the computable
+            window-edge bound has been added.
+        negative_w: How far below zero a measured power sample may sit
+            before it is a violation (ADC noise can dip a near-zero
+            signal slightly negative; the ground truth never may).
+        residency_abs_s: Absolute slack when power-state residencies are
+            summed against the observed span.
+        monotonicity_slack: Relative slack on the cap-monotonicity
+            contract.  Covers run-to-run noise between independently-
+            seeded points; a genuine inversion (e.g. a tighter cap
+            *helping* throughput) clears it easily.
+        qd_slack: Relative slack on the queue-depth contract.  Wider
+            than ``monotonicity_slack`` because the compared points are
+            *independent seed draws* of short runs: at QUICK scale an
+            HDD point covers only a few hundred seeks, so two points on
+            a genuinely flat QD curve can sit ~12% either side of the
+            mean -- a ~25% pairwise gap with zero true slope.  A real
+            scheduling regression (throughput halving as depth grows)
+            still clears this by a wide margin.
+        cap_binding_fraction: Mean power above this fraction of the
+            intended cap marks a point as *power-limited*, which exempts
+            it from the queue-depth contract -- under a binding cap the
+            trend legitimately inverts (see :mod:`.contracts`).
+    """
+
+    conservation_rel: float = 1e-6
+    conservation_abs_j: float = 1e-9
+    energy_rel: float = 1e-9
+    meter_rel: float = 0.05
+    envelope_margin_w: float = 0.0
+    littles_rel: float = 0.05
+    negative_w: float = 0.0
+    residency_abs_s: float = 1e-9
+    monotonicity_slack: float = 0.10
+    qd_slack: float = 0.25
+    cap_binding_fraction: float = 0.90
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"{f.name} must be non-negative")
+
+
+#: Default tolerances; ``repro validate`` and ``ExecutionOptions(validate=
+#: True)`` use these unless a caller passes its own.
+DEFAULT_TOLERANCES = Tolerances()
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Aggregated outcome of a validation pass.
+
+    Attributes:
+        violations: Every broken invariant found, in check order.
+        checked: How many experiment results were audited.
+        invariants: The invariant identifiers that ran (so "zero
+            violations" is distinguishable from "nothing checked").
+    """
+
+    violations: tuple[Violation, ...]
+    checked: int
+    invariants: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def of_invariant(self, invariant: str) -> tuple[Violation, ...]:
+        return tuple(v for v in self.violations if v.invariant == invariant)
+
+    def render(self) -> str:
+        """Human-readable report, one line per violation."""
+        header = (
+            f"validated {self.checked} result(s) against "
+            f"{len(self.invariants)} invariant(s): "
+        )
+        if self.ok:
+            return header + "all hold"
+        lines = [header + f"{len(self.violations)} violation(s)"]
+        lines.extend(f"  {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class InvariantViolationError(Exception):
+    """A validation pass found broken physics invariants.
+
+    Carries the full :class:`ValidationReport` so callers can render or
+    triage every violation, not just the first.
+    """
+
+    def __init__(self, report: ValidationReport) -> None:
+        self.report = report
+        super().__init__(report.render())

@@ -1,0 +1,232 @@
+"""Hypothesis strategies generating valid configurations from the catalog.
+
+The property suite (``tests/validate/``) drives the simulator across the
+config space the studies actually use: real catalog devices, fio-style
+jobs inside the paper's sweep ranges, fault plans the ``--faults``
+grammar can express, and small sweep grids.  Everything generated here
+passes the target dataclasses' own ``__post_init__`` validation by
+construction.
+
+This module is the only place in ``src/repro`` that imports
+``hypothesis``; the library itself never does (the package works without
+hypothesis installed -- only the property tests need it).
+
+Generated *runs* must stay fast: jobs default to a few simulated
+milliseconds over a few MiB, which exercises every mechanism (queueing,
+buffering, power states, faults) without turning a 200-example property
+into a minutes-long sweep.  HDD jobs are excluded from the default
+experiment strategy for the same reason (spin-up alone is seconds of
+simulated time); pass ``devices=("hdd",)`` explicitly where the cost is
+budgeted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from hypothesis import strategies as st
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig
+from repro.devices.catalog import DEVICE_PRESETS
+from repro.faults.plan import (
+    FaultPlan,
+    GovernorFailureSpec,
+    IoErrorSpec,
+    LatencySpikeSpec,
+    SpinupFailureSpec,
+    StuckTransitionSpec,
+    ThermalThrottleSpec,
+)
+from repro.iogen.spec import IoPattern, JobSpec
+
+__all__ = [
+    "PAPER_DEVICES",
+    "device_labels",
+    "experiment_configs",
+    "fault_plans",
+    "job_specs",
+    "power_states_for",
+    "seeds",
+]
+
+#: The four paper Table 1 devices.
+PAPER_DEVICES = ("ssd1", "ssd2", "ssd3", "hdd")
+
+#: Chunk sizes the strategies draw from (the paper's range).
+_CHUNKS = (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1024 * KiB, 2048 * KiB)
+
+#: Queue depths the strategies draw from.
+_DEPTHS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def device_labels(
+    devices: Sequence[str] = PAPER_DEVICES,
+) -> st.SearchStrategy[str]:
+    """A catalog device label."""
+    unknown = set(devices) - set(DEVICE_PRESETS)
+    if unknown:
+        raise ValueError(f"unknown device labels: {sorted(unknown)}")
+    return st.sampled_from(tuple(devices))
+
+
+def seeds() -> st.SearchStrategy[int]:
+    """A root experiment seed."""
+    return st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def power_states_for(device: str) -> st.SearchStrategy[Optional[int]]:
+    """A valid NVMe power-state selection for ``device`` (or ``None``).
+
+    Devices without a power-state table only ever yield ``None``; for
+    the rest, any *operational* state index (non-operational states
+    cannot be selected while IO is offered).
+    """
+    config = DEVICE_PRESETS[device]()
+    states = getattr(config, "power_states", ())
+    operational = [ps.index for ps in states if ps.operational]
+    if not operational:
+        return st.none()
+    return st.one_of(st.none(), st.sampled_from(operational))
+
+
+def job_specs(
+    patterns: Sequence[IoPattern] = tuple(IoPattern),
+    max_runtime_s: float = 0.01,
+    max_bytes: int = 4 * MiB,
+) -> st.SearchStrategy[JobSpec]:
+    """A fio-style job inside the paper's sweep ranges, scaled tiny."""
+    return st.builds(
+        JobSpec,
+        pattern=st.sampled_from(tuple(patterns)),
+        block_size=st.sampled_from(_CHUNKS),
+        iodepth=st.sampled_from(_DEPTHS),
+        runtime_s=st.floats(
+            min_value=max_runtime_s / 4,
+            max_value=max_runtime_s,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        size_limit_bytes=st.sampled_from((max_bytes // 4, max_bytes // 2, max_bytes)),
+    )
+
+
+def _io_error_specs() -> st.SearchStrategy[IoErrorSpec]:
+    return st.builds(
+        IoErrorSpec,
+        probability=st.floats(min_value=0.0, max_value=0.2),
+        retry_cost_s=st.floats(min_value=0.0, max_value=1e-3),
+        max_retries=st.integers(min_value=1, max_value=3),
+    )
+
+
+def _latency_spike_specs() -> st.SearchStrategy[LatencySpikeSpec]:
+    def build(start, duration, extra, period_scale):
+        repeat = None if period_scale is None else duration * period_scale
+        return LatencySpikeSpec(
+            start_s=start,
+            duration_s=duration,
+            extra_s=extra,
+            repeat_every_s=repeat,
+        )
+
+    return st.builds(
+        build,
+        start=st.floats(min_value=0.0, max_value=0.02),
+        duration=st.floats(min_value=1e-4, max_value=5e-3),
+        extra=st.floats(min_value=1e-5, max_value=5e-4),
+        period_scale=st.one_of(
+            st.none(), st.floats(min_value=1.5, max_value=4.0)
+        ),
+    )
+
+
+def _thermal_throttle_specs() -> st.SearchStrategy[ThermalThrottleSpec]:
+    def build(start, duration, cap_scale, period_scale):
+        repeat = None if period_scale is None else duration * period_scale
+        return ThermalThrottleSpec(
+            start_s=start,
+            duration_s=duration,
+            cap_scale=cap_scale,
+            repeat_every_s=repeat,
+        )
+
+    return st.builds(
+        build,
+        start=st.floats(min_value=0.0, max_value=0.02),
+        duration=st.floats(min_value=1e-3, max_value=0.01),
+        cap_scale=st.floats(min_value=0.5, max_value=0.95),
+        period_scale=st.one_of(
+            st.none(), st.floats(min_value=1.5, max_value=4.0)
+        ),
+    )
+
+
+def _stuck_transition_specs() -> st.SearchStrategy[StuckTransitionSpec]:
+    return st.builds(
+        StuckTransitionSpec,
+        probability=st.floats(min_value=0.0, max_value=0.5),
+        max_stuck=st.integers(min_value=1, max_value=2),
+        targets=st.sets(
+            st.sampled_from(("nvme_ps", "alpm", "epc")), min_size=1
+        ).map(lambda names: tuple(sorted(names))),
+    )
+
+
+def _governor_failure_specs() -> st.SearchStrategy[GovernorFailureSpec]:
+    return st.builds(
+        GovernorFailureSpec,
+        at_s=st.floats(min_value=0.0, max_value=0.05),
+    )
+
+
+def _spinup_failure_specs() -> st.SearchStrategy[SpinupFailureSpec]:
+    return st.builds(
+        SpinupFailureSpec,
+        probability=st.floats(min_value=0.0, max_value=0.5),
+        max_retries=st.integers(min_value=1, max_value=2),
+        abort_fraction=st.floats(min_value=0.1, max_value=0.9),
+        backoff_s=st.floats(min_value=0.0, max_value=0.5),
+    )
+
+
+def fault_plans() -> st.SearchStrategy[FaultPlan]:
+    """A valid (possibly inert) fault plan over every spec kind."""
+    return st.builds(
+        FaultPlan,
+        io_errors=st.one_of(st.none(), _io_error_specs()),
+        latency_spikes=st.lists(
+            _latency_spike_specs(), min_size=0, max_size=2
+        ).map(tuple),
+        thermal_throttle=st.one_of(st.none(), _thermal_throttle_specs()),
+        stuck_transitions=st.one_of(st.none(), _stuck_transition_specs()),
+        governor_failure=st.one_of(st.none(), _governor_failure_specs()),
+        spinup_failure=st.one_of(st.none(), _spinup_failure_specs()),
+    )
+
+
+def experiment_configs(
+    devices: Sequence[str] = ("ssd1", "ssd2", "ssd3"),
+    with_faults: bool = False,
+    max_runtime_s: float = 0.01,
+) -> st.SearchStrategy[ExperimentConfig]:
+    """A full, valid experiment over the catalog devices.
+
+    HDD is excluded by default (simulated spin-up alone costs seconds per
+    example); pass it explicitly where the run-time cost is budgeted.
+    """
+
+    def build(device: str):
+        return st.builds(
+            ExperimentConfig,
+            device=st.just(device),
+            job=job_specs(max_runtime_s=max_runtime_s),
+            power_state=power_states_for(device),
+            warmup_fraction=st.sampled_from((0.0, 0.25, 0.5)),
+            seed=seeds(),
+            faults=st.one_of(st.none(), fault_plans())
+            if with_faults
+            else st.none(),
+        )
+
+    return device_labels(devices).flatmap(build)

@@ -1,4 +1,9 @@
-"""Tests for the adaptive planner and the fleet allocator."""
+"""Tests for the adaptive planner and the fleet allocator.
+
+The shared four-state device model is the session-scoped
+``adaptive_model`` fixture in ``tests/core/conftest.py``; the local
+``mk`` helper stays for the ad hoc models built inside tests.
+"""
 
 import pytest
 
@@ -18,15 +23,9 @@ def mk(power, tput, latency=1e-3):
     )
 
 
-MODEL = PowerThroughputModel(
-    "dev",
-    [mk(5.0, 100e6), mk(8.0, 600e6), mk(10.0, 900e6), mk(12.0, 1000e6)],
-)
-
-
 class TestPlanner:
-    def test_plan_power_cut(self):
-        planner = PowerAdaptivePlanner(MODEL)
+    def test_plan_power_cut(self, adaptive_model):
+        planner = PowerAdaptivePlanner(adaptive_model)
         plan = planner.plan_power_cut(0.20)  # budget 9.6 W -> 8 W point
         assert plan.power_w == 8.0
         assert plan.throughput_bps == 600e6
@@ -39,46 +38,46 @@ class TestPlanner:
         plan = planner.plan_power_budget(10.0, max_latency_p99_s=10e-3)
         assert plan.throughput_bps == 100e6
 
-    def test_impossible_budget_raises(self):
-        planner = PowerAdaptivePlanner(MODEL)
+    def test_impossible_budget_raises(self, adaptive_model):
+        planner = PowerAdaptivePlanner(adaptive_model)
         with pytest.raises(ValueError):
             planner.plan_power_budget(1.0)
 
-    def test_required_power_for_load(self):
-        planner = PowerAdaptivePlanner(MODEL)
+    def test_required_power_for_load(self, adaptive_model):
+        planner = PowerAdaptivePlanner(adaptive_model)
         plan = planner.required_power_for_load(700e6)
         assert plan.power_w == 10.0
 
-    def test_unservable_load_raises(self):
-        planner = PowerAdaptivePlanner(MODEL)
+    def test_unservable_load_raises(self, adaptive_model):
+        planner = PowerAdaptivePlanner(adaptive_model)
         with pytest.raises(ValueError):
             planner.required_power_for_load(5e9)
 
-    def test_describe_mentions_curtailment(self):
-        planner = PowerAdaptivePlanner(MODEL)
+    def test_describe_mentions_curtailment(self, adaptive_model):
+        planner = PowerAdaptivePlanner(adaptive_model)
         plan = planner.plan_power_cut(0.20)
         assert "curtail" in plan.describe()
 
 
 class TestFleet:
-    def test_floor_and_ceiling(self):
-        fleet = FleetModel([MODEL, MODEL])
+    def test_floor_and_ceiling(self, adaptive_model):
+        fleet = FleetModel([adaptive_model, adaptive_model])
         assert fleet.min_power_w == 10.0
         assert fleet.max_power_w == 24.0
         assert fleet.max_throughput_bps == 2000e6
 
-    def test_budget_below_floor_raises(self):
-        fleet = FleetModel([MODEL, MODEL])
+    def test_budget_below_floor_raises(self, adaptive_model):
+        fleet = FleetModel([adaptive_model, adaptive_model])
         with pytest.raises(ValueError):
             fleet.allocate(8.0)
 
-    def test_full_budget_reaches_peak(self):
-        fleet = FleetModel([MODEL, MODEL])
+    def test_full_budget_reaches_peak(self, adaptive_model):
+        fleet = FleetModel([adaptive_model, adaptive_model])
         allocation = fleet.allocate(24.0)
         assert allocation.total_throughput_bps == pytest.approx(2000e6)
 
-    def test_allocation_respects_budget(self):
-        fleet = FleetModel([MODEL] * 4)
+    def test_allocation_respects_budget(self, adaptive_model):
+        fleet = FleetModel([adaptive_model] * 4)
         for budget in (21.0, 26.0, 35.0, 48.0):
             allocation = fleet.allocate(budget)
             assert allocation.total_power_w <= budget + 1e-9
@@ -92,17 +91,17 @@ class TestFleet:
         assert allocation.assignments[1].power_w == 7.0  # b upgraded first
         assert allocation.assignments[0].power_w == 5.0
 
-    def test_monotone_throughput_in_budget(self):
-        fleet = FleetModel([MODEL] * 3)
+    def test_monotone_throughput_in_budget(self, adaptive_model):
+        fleet = FleetModel([adaptive_model] * 3)
         samples = fleet.fleet_frontier(steps=8)
         throughputs = [t for __, t in samples]
         assert throughputs == sorted(throughputs)
 
-    def test_heterogeneous_fleet(self):
+    def test_heterogeneous_fleet(self, adaptive_model):
         hdd_like = PowerThroughputModel(
             "hdd", [mk(3.8, 2e6), mk(4.5, 100e6)]
         )
-        fleet = FleetModel([MODEL, hdd_like])
+        fleet = FleetModel([adaptive_model, hdd_like])
         allocation = fleet.allocate(16.5)
         assert allocation.total_power_w <= 16.5
         assert len(allocation.assignments) == 2

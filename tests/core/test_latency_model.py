@@ -1,68 +1,54 @@
-"""Tests for the power-latency model."""
+"""Tests for the power-latency model.
+
+The shared four-point latency model is the session-scoped
+``latency_points`` fixture in ``tests/core/conftest.py``.
+"""
 
 import pytest
 
-from repro.core.latency_model import LatencyPoint, PowerLatencyModel
+from repro.core.latency_model import PowerLatencyModel
 from repro.core.sweep import SweepPoint
 from repro.iogen.spec import IoPattern
 
 
-def mk(power, mean_lat, p99, tput=100e6):
-    return LatencyPoint(
-        SweepPoint(IoPattern.RANDWRITE, 4096, 1, None),
-        power_w=power,
-        mean_latency_s=mean_lat,
-        p99_latency_s=p99,
-        throughput_bps=tput,
-    )
-
-
-POINTS = [
-    mk(5.0, 2e-3, 10e-3, tput=50e6),
-    mk(8.0, 0.5e-3, 2e-3, tput=500e6),
-    mk(12.0, 0.2e-3, 0.8e-3, tput=900e6),
-    mk(10.0, 1.5e-3, 9e-3, tput=300e6),  # dominated (worse tail, more power)
-]
-
-
 class TestPowerLatencyModel:
-    def test_meeting_slo_filters_tail(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_meeting_slo_filters_tail(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         feasible = model.meeting_slo(max_p99_s=3e-3)
         assert {p.power_w for p in feasible} == {8.0, 12.0}
 
-    def test_meeting_slo_with_throughput_floor(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_meeting_slo_with_throughput_floor(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         feasible = model.meeting_slo(max_p99_s=3e-3, min_throughput_bps=600e6)
         assert {p.power_w for p in feasible} == {12.0}
 
-    def test_cheapest_meeting_slo(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_cheapest_meeting_slo(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         best = model.cheapest_meeting_slo(max_p99_s=3e-3)
         assert best.power_w == 8.0
 
-    def test_unmeetable_slo_returns_none(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_unmeetable_slo_returns_none(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         assert model.cheapest_meeting_slo(max_p99_s=1e-6) is None
 
-    def test_latency_cost_of_budget(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_latency_cost_of_budget(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         best = model.latency_cost_of_power_budget(9.0)
         assert best.power_w == 8.0
         assert best.p99_latency_s == pytest.approx(2e-3)
 
-    def test_tail_inflation_of_power_cut(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_tail_inflation_of_power_cut(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         # Full power: best p99 0.8 ms; 40% cut -> budget 7.2 -> p99 10 ms.
         inflation = model.tail_inflation_of_power_cut(0.4)
         assert inflation == pytest.approx(10e-3 / 0.8e-3)
 
-    def test_no_inflation_without_cut(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_no_inflation_without_cut(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         assert model.tail_inflation_of_power_cut(0.0) == pytest.approx(1.0)
 
-    def test_pareto_frontier(self):
-        model = PowerLatencyModel("dev", POINTS)
+    def test_pareto_frontier(self, latency_points):
+        model = PowerLatencyModel("dev", latency_points)
         frontier = model.pareto_frontier()
         powers = [p.power_w for p in frontier]
         assert powers == [5.0, 8.0, 12.0]  # the 10 W point is dominated

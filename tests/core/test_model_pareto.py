@@ -1,4 +1,9 @@
-"""Tests for the power-throughput model and Pareto frontiers."""
+"""Tests for the power-throughput model and Pareto frontiers.
+
+The shared five-point model lives in ``tests/core/conftest.py`` as the
+session-scoped ``pareto_points`` fixture; the local ``mk`` helper stays
+for hypothesis-generated and ad hoc points.
+"""
 
 import pytest
 from hypothesis import given, settings
@@ -19,32 +24,23 @@ def mk(power, tput, latency=1e-3, bs=4096, qd=1, ps=None):
     )
 
 
-POINTS = [
-    mk(5.0, 100e6),
-    mk(8.0, 500e6),
-    mk(10.0, 900e6),
-    mk(14.0, 1000e6),
-    mk(12.0, 400e6),  # dominated
-]
-
-
 class TestModelBasics:
-    def test_maxima(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_maxima(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         assert model.max_power_w == 14.0
         assert model.min_power_w == 5.0
         assert model.max_throughput_bps == 1000e6
 
-    def test_dynamic_range(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_dynamic_range(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         assert model.dynamic_range_fraction == pytest.approx((14 - 5) / 14)
 
-    def test_min_normalized_throughput(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_min_normalized_throughput(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         assert model.min_normalized_throughput == pytest.approx(0.1)
 
-    def test_normalized_points_in_unit_box(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_normalized_points_in_unit_box(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         for norm_tput, norm_power, __ in model.normalized():
             assert 0 < norm_tput <= 1.0
             assert 0 < norm_power <= 1.0
@@ -55,14 +51,14 @@ class TestModelBasics:
 
 
 class TestModelQueries:
-    def test_best_under_budget(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_best_under_budget(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         best = model.best_under_power_budget(10.0)
         assert best.power_w == 10.0
         assert best.throughput_bps == 900e6
 
-    def test_budget_below_floor_returns_none(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_budget_below_floor_returns_none(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         assert model.best_under_power_budget(4.0) is None
 
     def test_latency_slo_filters(self):
@@ -71,24 +67,24 @@ class TestModelQueries:
         best = model.best_under_power_budget(10.0, max_latency_p99_s=5e-3)
         assert best.throughput_bps == 100e6
 
-    def test_cheapest_at_throughput(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_cheapest_at_throughput(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         cheapest = model.cheapest_at_throughput(450e6)
         assert cheapest.power_w == 8.0
 
-    def test_cheapest_infeasible_returns_none(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_cheapest_infeasible_returns_none(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         assert model.cheapest_at_throughput(2000e6) is None
 
-    def test_worked_example_math(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_worked_example_math(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         best, curtailed = model.throughput_cost_of_power_cut(0.2)
         # Budget 11.2 W -> the 10 W / 900 MB point; curtail 10%.
         assert best.power_w == 10.0
         assert curtailed == pytest.approx(0.1)
 
-    def test_impossible_cut_raises(self):
-        model = PowerThroughputModel("dev", POINTS)
+    def test_impossible_cut_raises(self, pareto_points):
+        model = PowerThroughputModel("dev", pareto_points)
         with pytest.raises(ValueError):
             model.throughput_cost_of_power_cut(0.99)
 
@@ -99,8 +95,8 @@ class TestPareto:
         assert not dominates(mk(6, 90), mk(5, 100))
         assert not dominates(mk(5, 100), mk(5, 100))
 
-    def test_frontier_drops_dominated(self):
-        frontier = pareto_frontier(POINTS)
+    def test_frontier_drops_dominated(self, pareto_points):
+        frontier = pareto_frontier(pareto_points)
         powers = [p.power_w for p in frontier]
         assert 12.0 not in powers
         assert powers == sorted(powers)

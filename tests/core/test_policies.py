@@ -1,33 +1,14 @@
-"""Tests for redirection, asymmetric-IO and tiering policies."""
+"""Tests for redirection, asymmetric-IO and tiering policies.
+
+The shared write/read models and standby profiles are session-scoped
+fixtures in ``tests/core/conftest.py``.
+"""
 
 import pytest
 
 from repro.core.asymmetric import AsymmetricPlanner
-from repro.core.model import ModelPoint, PowerThroughputModel
 from repro.core.redirection import RedirectionPolicy, StandbyProfile
-from repro.core.sweep import SweepPoint
 from repro.core.tiering import WriteAbsorptionScenario
-from repro.iogen.spec import IoPattern
-
-
-def mk(power, tput, latency=1e-3):
-    return ModelPoint(
-        SweepPoint(IoPattern.RANDWRITE, 4096, 1, None),
-        power_w=power,
-        throughput_bps=tput,
-        latency_p99_s=latency,
-    )
-
-
-WRITE_MODEL = PowerThroughputModel(
-    "w", [mk(5.0, 100e6), mk(10.0, 800e6), mk(15.0, 1000e6)]
-)
-READ_MODEL = PowerThroughputModel(
-    "r", [mk(5.0, 200e6), mk(7.0, 2000e6), mk(9.0, 3000e6)]
-)
-
-SSD_STANDBY = StandbyProfile(standby_power_w=0.8, wake_latency_s=5e-3, idle_power_w=5.0)
-HDD_STANDBY = StandbyProfile(standby_power_w=1.1, wake_latency_s=8.0, idle_power_w=3.76)
 
 
 class TestStandbyProfile:
@@ -39,71 +20,71 @@ class TestStandbyProfile:
 
 
 class TestRedirection:
-    def test_consolidates_light_load(self):
-        policy = RedirectionPolicy(WRITE_MODEL, SSD_STANDBY, n_devices=8)
+    def test_consolidates_light_load(self, write_model, ssd_standby):
+        policy = RedirectionPolicy(write_model, ssd_standby, n_devices=8)
         decision = policy.decide(offered_load_bps=500e6, wake_slo_s=0.1)
         assert decision.active_devices == 1
         assert decision.standby_devices == 7
         assert decision.slo_safe
 
-    def test_saves_power_vs_spreading(self):
-        policy = RedirectionPolicy(WRITE_MODEL, SSD_STANDBY, n_devices=8)
+    def test_saves_power_vs_spreading(self, write_model, ssd_standby):
+        policy = RedirectionPolicy(write_model, ssd_standby, n_devices=8)
         decision = policy.decide(offered_load_bps=500e6, wake_slo_s=0.1)
         assert decision.power_vs_all_active_w > 0
 
-    def test_hdd_wake_violates_tight_slo(self):
-        policy = RedirectionPolicy(WRITE_MODEL, HDD_STANDBY, n_devices=8)
+    def test_hdd_wake_violates_tight_slo(self, write_model, hdd_standby):
+        policy = RedirectionPolicy(write_model, hdd_standby, n_devices=8)
         decision = policy.decide(offered_load_bps=500e6, wake_slo_s=0.1)
         assert not decision.slo_safe
         assert decision.active_devices == 8  # falls back to all-active
 
-    def test_hdd_ok_with_loose_slo(self):
-        policy = RedirectionPolicy(WRITE_MODEL, HDD_STANDBY, n_devices=8)
+    def test_hdd_ok_with_loose_slo(self, write_model, hdd_standby):
+        policy = RedirectionPolicy(write_model, hdd_standby, n_devices=8)
         decision = policy.decide(offered_load_bps=500e6, wake_slo_s=30.0)
         assert decision.slo_safe
         assert decision.standby_devices > 0
 
-    def test_heavy_load_activates_more_devices(self):
-        policy = RedirectionPolicy(WRITE_MODEL, SSD_STANDBY, n_devices=8)
+    def test_heavy_load_activates_more_devices(self, write_model, ssd_standby):
+        policy = RedirectionPolicy(write_model, ssd_standby, n_devices=8)
         light = policy.decide(200e6, wake_slo_s=1.0)
         heavy = policy.decide(3000e6, wake_slo_s=1.0)
         assert heavy.active_devices > light.active_devices
 
-    def test_load_beyond_fleet_rejected(self):
-        policy = RedirectionPolicy(WRITE_MODEL, SSD_STANDBY, n_devices=2)
+    def test_load_beyond_fleet_rejected(self, write_model, ssd_standby):
+        policy = RedirectionPolicy(write_model, ssd_standby, n_devices=2)
         with pytest.raises(ValueError):
             policy.decide(10e9, wake_slo_s=1.0)
 
-    def test_standby_savings(self):
-        policy = RedirectionPolicy(WRITE_MODEL, SSD_STANDBY, n_devices=2)
+    def test_standby_savings(self, write_model, ssd_standby):
+        policy = RedirectionPolicy(write_model, ssd_standby, n_devices=2)
         assert policy.standby_savings_w() == pytest.approx(4.2)
 
 
 class TestAsymmetric:
-    def test_plan_sizes_write_set(self):
-        planner = AsymmetricPlanner(READ_MODEL, WRITE_MODEL, n_devices=8, cap_power_w=7.0)
+    def test_plan_sizes_write_set(self, read_model, write_model):
+        planner = AsymmetricPlanner(read_model, write_model, n_devices=8, cap_power_w=7.0)
         plan = planner.plan(read_load_bps=8000e6, write_load_bps=1500e6)
         assert plan.write_devices == 2
         assert plan.read_devices == 6
 
-    def test_segregation_beats_uniform(self):
-        planner = AsymmetricPlanner(READ_MODEL, WRITE_MODEL, n_devices=8, cap_power_w=7.0)
+    def test_segregation_beats_uniform(self, read_model, write_model):
+        planner = AsymmetricPlanner(read_model, write_model, n_devices=8, cap_power_w=7.0)
         plan = planner.plan(read_load_bps=8000e6, write_load_bps=1500e6)
         assert plan.savings_w > 0
 
-    def test_write_load_too_big_rejected(self):
-        planner = AsymmetricPlanner(READ_MODEL, WRITE_MODEL, n_devices=2, cap_power_w=7.0)
+    def test_write_load_too_big_rejected(self, read_model, write_model):
+        planner = AsymmetricPlanner(read_model, write_model, n_devices=2, cap_power_w=7.0)
         with pytest.raises(ValueError):
             planner.plan(read_load_bps=100e6, write_load_bps=5e9)
 
-    def test_read_load_exceeding_capped_set_rejected(self):
-        planner = AsymmetricPlanner(READ_MODEL, WRITE_MODEL, n_devices=3, cap_power_w=7.0)
+    def test_read_load_exceeding_capped_set_rejected(self, read_model, write_model):
+        planner = AsymmetricPlanner(read_model, write_model, n_devices=3, cap_power_w=7.0)
         with pytest.raises(ValueError):
             planner.plan(read_load_bps=5e9, write_load_bps=900e6)
 
-    def test_needs_two_devices(self):
+    def test_needs_two_devices(self, read_model, write_model):
         with pytest.raises(ValueError):
-            AsymmetricPlanner(READ_MODEL, WRITE_MODEL, n_devices=1, cap_power_w=7.0)
+            AsymmetricPlanner(read_model, write_model, n_devices=1, cap_power_w=7.0)
 
 
 class TestTiering:

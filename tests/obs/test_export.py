@@ -53,8 +53,10 @@ class TestJsonl:
     def test_lines_are_independent_json(self, tmp_path):
         path = tmp_path / "events.jsonl"
         write_events_jsonl(make_events(), path)
-        for line in path.read_text().splitlines():
-            json.loads(line)  # every line parses alone
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert isinstance(json.loads(line), dict)  # each parses alone
 
     def test_deterministic_bytes(self, tmp_path):
         a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"

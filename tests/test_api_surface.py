@@ -52,6 +52,7 @@ PUBLIC_API = (
     "IOKind",
     "IORequest",
     "IOResult",
+    "InvariantViolationError",
     "IoPattern",
     "JobSpec",
     "KiB",
@@ -84,7 +85,10 @@ PUBLIC_API = (
     "SweepGrid",
     "SweepOutcome",
     "SweepPoint",
+    "Tolerances",
     "Tracer",
+    "ValidationReport",
+    "Violation",
     "WriteAbsorptionScenario",
     "build_device",
     "build_model",
@@ -97,6 +101,8 @@ PUBLIC_API = (
     "run_sweep",
     "standby_immediate",
     "sweep_outcome",
+    "validate_outcome",
+    "validate_result",
 )
 
 

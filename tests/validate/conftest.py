@@ -1,0 +1,101 @@
+"""Fixtures and Hypothesis profiles for the validation suite.
+
+Profiles are pinned for determinism: ``derandomize=True`` makes every
+run explore the same examples in the same order (CI failures reproduce
+locally with no shrinking lottery), and ``deadline=None`` keeps slow
+simulated examples from flaking on loaded machines.  Example counts are
+bounded so the whole property suite stays well under its five-minute
+budget; export ``HYPOTHESIS_PROFILE=validate-thorough`` for a deeper
+local sweep.
+
+Experiment fixtures are session-scoped: each one runs a real simulation
+once and every test that only *reads* the result shares it.  Results are
+frozen dataclasses, so sharing is safe by construction; tests that want
+a tampered variant build one with ``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import settings
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.options import ExecutionOptions
+from repro.core.sweep import SweepGrid, sweep_outcome
+from repro.iogen.spec import IoPattern, JobSpec
+
+settings.register_profile(
+    "validate", derandomize=True, deadline=None, max_examples=20
+)
+settings.register_profile(
+    "validate-thorough", derandomize=True, deadline=None, max_examples=100
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "validate"))
+
+
+def tiny_job(
+    pattern: IoPattern = IoPattern.RANDWRITE,
+    block_size: int = 64 * KiB,
+    iodepth: int = 8,
+    runtime_s: float = 0.02,
+    size_limit_bytes: int = 8 * MiB,
+) -> JobSpec:
+    """A job just long enough to reach steady state on an SSD."""
+    return JobSpec(
+        pattern=pattern,
+        block_size=block_size,
+        iodepth=iodepth,
+        runtime_s=runtime_s,
+        size_limit_bytes=size_limit_bytes,
+    )
+
+
+@pytest.fixture(scope="session")
+def ssd3_result():
+    """One clean consumer-SSD run (no power-state table, no cap)."""
+    return run_experiment(
+        ExperimentConfig(
+            device="ssd3", job=tiny_job(), warmup_fraction=0.25, seed=7
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def ssd2_capped_result():
+    """One clean run under a binding power state (ps2 caps ssd2).
+
+    The cap is an *average*-power contract: the device's program-
+    intensity wave (3 ms period) rides over the governed mean, so the
+    measurement window must span many wave periods before the duty-
+    cycled average converges.  0.06 s at 25% warmup gives a 45 ms
+    window, ~15 periods.
+    """
+    return run_experiment(
+        ExperimentConfig(
+            device="ssd2",
+            job=tiny_job(iodepth=16, runtime_s=0.06, size_limit_bytes=24 * MiB),
+            power_state=2,
+            warmup_fraction=0.25,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def ssd3_sweep_outcome():
+    """A small real sweep (4 points) with validation enabled."""
+    grid = SweepGrid(
+        device="ssd3",
+        patterns=(IoPattern.RANDWRITE,),
+        block_sizes=(64 * KiB, 256 * KiB),
+        iodepths=(1, 8),
+        base_job=tiny_job(),
+        warmup_fraction=0.25,
+        seed=3,
+    )
+    return grid, sweep_outcome(
+        grid, ExecutionOptions(n_workers=1, validate=True)
+    )

@@ -1,0 +1,158 @@
+"""Post-hoc result checkers: clean runs pass, tampered physics is caught.
+
+Positive cases run real simulations; negative cases take a clean result
+and break exactly one quantity with ``dataclasses.replace`` (results are
+frozen, so tampering cannot leak between tests), or monkeypatch the
+simulator's own energy bookkeeping and let a live run produce a result
+that is wrong from birth.
+"""
+
+import dataclasses
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.iogen.spec import IoPattern
+from repro.validate import Tolerances, validate_result
+from repro.validate.checkers import RESULT_INVARIANTS, check_result
+
+from .conftest import tiny_job
+
+
+def invariants_hit(result) -> set:
+    return {v.invariant for v in check_result(result)}
+
+
+class TestCleanResults:
+    def test_ssd3_clean(self, ssd3_result):
+        report = validate_result(ssd3_result)
+        assert report.ok, report.render()
+        assert report.checked == 1
+        assert report.invariants == RESULT_INVARIANTS
+
+    def test_ssd2_capped_clean(self, ssd2_capped_result):
+        report = validate_result(ssd2_capped_result)
+        assert report.ok, report.render()
+
+    def test_read_workload_clean(self):
+        result = run_experiment(
+            ExperimentConfig(
+                device="ssd1",
+                job=tiny_job(pattern=IoPattern.RANDREAD),
+                warmup_fraction=0.25,
+                seed=5,
+            )
+        )
+        report = validate_result(result)
+        assert report.ok, report.render()
+
+
+class TestTamperedResults:
+    """Each test corrupts one physical quantity and names the checker
+    that must notice."""
+
+    def test_inflated_energy_caught(self, ssd3_result):
+        bad_power = dataclasses.replace(
+            ssd3_result.power, energy_j=ssd3_result.power.energy_j * 2.0
+        )
+        bad = dataclasses.replace(ssd3_result, power=bad_power)
+        assert "energy_consistency" in invariants_hit(bad)
+
+    def test_negative_power_caught(self, ssd3_result):
+        bad_power = dataclasses.replace(ssd3_result.power, min_w=-0.5)
+        bad = dataclasses.replace(ssd3_result, power=bad_power)
+        assert "non_negative_power" in invariants_hit(bad)
+
+    def test_meter_drift_caught(self, ssd3_result):
+        bad = dataclasses.replace(
+            ssd3_result,
+            true_mean_power_w=ssd3_result.true_mean_power_w * 1.5,
+        )
+        assert "meter_consistency" in invariants_hit(bad)
+
+    def test_cap_overshoot_caught(self, ssd3_result):
+        bad = dataclasses.replace(
+            ssd3_result, cap_w=ssd3_result.true_mean_power_w * 0.5
+        )
+        assert "cap_adherence" in invariants_hit(bad)
+
+    def test_envelope_escape_caught(self, ssd3_result):
+        bad_power = dataclasses.replace(ssd3_result.power, max_w=1000.0)
+        bad = dataclasses.replace(ssd3_result, power=bad_power)
+        assert "power_envelope" in invariants_hit(bad)
+
+    def test_inverted_window_caught(self, ssd3_result):
+        bad_job = dataclasses.replace(
+            ssd3_result.job,
+            measure_start=ssd3_result.job.end_time + 1.0,
+        )
+        bad = dataclasses.replace(ssd3_result, job=bad_job)
+        assert "window_sanity" in invariants_hit(bad)
+
+    def test_violation_carries_context(self, ssd3_result):
+        bad = dataclasses.replace(
+            ssd3_result,
+            true_mean_power_w=ssd3_result.true_mean_power_w * 1.5,
+        )
+        report = validate_result(bad)
+        violation = report.of_invariant("meter_consistency")[0]
+        assert violation.subject == ssd3_result.config.describe()
+        assert "ground truth" in violation.message
+        assert violation.measured != violation.expected
+
+
+class TestBrokenEnergyModel:
+    """A simulator whose energy bookkeeping is wrong must not validate.
+
+    These monkeypatch the *model*, not the result: the run itself
+    produces inconsistent physics and the checkers catch it live.
+    """
+
+    def test_ground_truth_inflation_caught(self, monkeypatch):
+        from repro.sim.trace import StepTrace
+
+        true_mean = StepTrace.mean
+        monkeypatch.setattr(
+            StepTrace, "mean", lambda self, t0, t1: 2.0 * true_mean(self, t0, t1)
+        )
+        result = run_experiment(
+            ExperimentConfig(
+                device="ssd3", job=tiny_job(), warmup_fraction=0.25, seed=7
+            )
+        )
+        report = validate_result(result)
+        assert not report.ok
+        assert "meter_consistency" in {v.invariant for v in report.violations}
+
+    def test_broken_governor_feedback_caught(self, monkeypatch):
+        from repro.devices.ssd import SimulatedSSD
+
+        # Blind the governor to everything but NAND: it overcommits the
+        # budget and the realized mean power escapes the intended cap.
+        monkeypatch.setattr(
+            SimulatedSSD, "_non_nand_power", lambda self: 0.0
+        )
+        result = run_experiment(
+            ExperimentConfig(
+                device="ssd2",
+                job=tiny_job(iodepth=16),
+                power_state=2,
+                warmup_fraction=0.25,
+                seed=11,
+            )
+        )
+        report = validate_result(result)
+        assert not report.ok
+        assert "cap_adherence" in {v.invariant for v in report.violations}
+
+
+class TestTolerances:
+    def test_negative_tolerance_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tolerances(meter_rel=-0.1)
+
+    def test_zero_meter_tolerance_flags_any_noise(self, ssd3_result):
+        # The simulated meter always carries some part tolerance, so a
+        # zero-slack comparison must fail -- proving the knob is live.
+        violations = check_result(ssd3_result, Tolerances(meter_rel=0.0))
+        assert "meter_consistency" in {v.invariant for v in violations}

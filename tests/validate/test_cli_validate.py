@@ -1,0 +1,51 @@
+"""The ``repro validate`` subcommand, driven in-process."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestValidateParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.device is None  # None = all four paper devices
+        assert args.quick is False
+        assert args.seed == 0
+
+    def test_device_accumulates(self):
+        args = build_parser().parse_args(
+            ["validate", "--device", "ssd3", "--device", "hdd"]
+        )
+        assert args.device == ["ssd3", "hdd"]
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "--device", "floppy"])
+
+
+@pytest.mark.integration
+class TestValidateCommand:
+    def test_clean_device_exits_zero(self, capsys):
+        code = main(["validate", "--device", "ssd3", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all invariants hold" in out
+        assert "live audit" in out
+
+    def test_violations_flip_exit_code(self, capsys, monkeypatch):
+        # Break the simulator's energy bookkeeping (double the ground
+        # truth): the meter checker must catch it and the CLI must
+        # report failure -- the acceptance demo from the issue.
+        from repro.sim.trace import StepTrace
+
+        true_mean = StepTrace.mean
+        monkeypatch.setattr(
+            StepTrace,
+            "mean",
+            lambda self, t0, t1: 2.0 * true_mean(self, t0, t1),
+        )
+        code = main(["validate", "--device", "ssd3", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "meter_consistency" in out
+        assert "violation" in out

@@ -1,0 +1,148 @@
+"""Monotonicity contracts over synthetic and real sweep results.
+
+The contracts read only four attributes of each result (throughput,
+its MiB/s rendering, the intended cap, the realized mean power), so the
+synthetic cases use a minimal stand-in dataclass; the real-sweep case
+uses a genuine 4-point outcome from the session fixture.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.sweep import SweepPoint
+from repro.iogen.spec import IoPattern
+from repro.validate import Tolerances
+from repro.validate.contracts import CONTRACT_INVARIANTS, check_contracts
+
+
+@dataclass(frozen=True)
+class FakeResult:
+    """The slice of ExperimentResult the contracts actually consume."""
+
+    throughput_bps: float
+    cap_w: Optional[float] = None
+    true_mean_power_w: float = 5.0
+
+    @property
+    def throughput_mib_s(self) -> float:
+        return self.throughput_bps / (1024 * 1024)
+
+
+def pt(qd=8, bs=65536, ps=None) -> SweepPoint:
+    return SweepPoint(IoPattern.RANDWRITE, bs, qd, ps)
+
+
+class TestCapMonotonicity:
+    def test_ordered_caps_clean(self):
+        results = {
+            pt(ps=0): FakeResult(900e6, cap_w=12.0),
+            pt(ps=1): FakeResult(600e6, cap_w=10.0),
+            pt(ps=2): FakeResult(400e6, cap_w=8.0),
+        }
+        assert check_contracts(results) == []
+
+    def test_tighter_cap_winning_flagged(self):
+        results = {
+            pt(ps=0): FakeResult(500e6, cap_w=12.0),
+            pt(ps=2): FakeResult(900e6, cap_w=8.0),
+        }
+        violations = check_contracts(results)
+        assert [v.invariant for v in violations] == ["cap_monotonicity"]
+        assert "8" in violations[0].message
+
+    def test_uncapped_compares_as_loosest(self):
+        # An uncapped point outrun by a capped one is an inversion.
+        results = {
+            pt(ps=None): FakeResult(400e6, cap_w=None),
+            pt(ps=2): FakeResult(900e6, cap_w=8.0),
+        }
+        violations = check_contracts(results)
+        assert "cap_monotonicity" in {v.invariant for v in violations}
+
+    def test_slack_absorbs_noise(self):
+        # 5% win for the tighter cap: inside the 10% default slack.
+        results = {
+            pt(ps=0): FakeResult(600e6, cap_w=12.0),
+            pt(ps=2): FakeResult(630e6, cap_w=8.0),
+        }
+        assert check_contracts(results) == []
+
+    def test_equal_caps_carry_no_obligation(self):
+        results = {
+            pt(bs=4096, ps=0): FakeResult(900e6, cap_w=12.0),
+            pt(bs=4096, ps=1): FakeResult(100e6, cap_w=12.0),
+        }
+        assert check_contracts(results) == []
+
+
+class TestQdMonotonicity:
+    def test_rising_curve_clean(self):
+        results = {
+            pt(qd=1): FakeResult(100e6),
+            pt(qd=8): FakeResult(500e6),
+            pt(qd=64): FakeResult(900e6),
+        }
+        assert check_contracts(results) == []
+
+    def test_collapse_with_depth_flagged(self):
+        results = {
+            pt(qd=1): FakeResult(800e6),
+            pt(qd=64): FakeResult(300e6),
+        }
+        violations = check_contracts(results)
+        assert [v.invariant for v in violations] == ["qd_monotonicity"]
+
+    def test_slack_absorbs_seed_noise(self):
+        # A 20% pairwise dip is consistent with two independent short
+        # runs of a flat curve; the 25% default slack must absorb it.
+        results = {
+            pt(qd=8): FakeResult(1000e6),
+            pt(qd=64): FakeResult(800e6),
+        }
+        assert check_contracts(results) == []
+
+    def test_power_limited_points_exempt(self):
+        # Under a binding cap a deeper queue legitimately loses
+        # throughput to controller/link draw (paper Fig. 9); the
+        # contract must not fire there.
+        results = {
+            pt(qd=1, ps=2): FakeResult(800e6, cap_w=8.0, true_mean_power_w=7.9),
+            pt(qd=64, ps=2): FakeResult(300e6, cap_w=8.0, true_mean_power_w=7.95),
+        }
+        assert check_contracts(results) == []
+
+    def test_non_binding_cap_still_checked(self):
+        # A cap far above the realized draw is not the limiter: the
+        # exemption must not hide a real collapse.
+        results = {
+            pt(qd=1, ps=0): FakeResult(800e6, cap_w=12.0, true_mean_power_w=6.0),
+            pt(qd=64, ps=0): FakeResult(300e6, cap_w=12.0, true_mean_power_w=6.0),
+        }
+        violations = check_contracts(results)
+        assert [v.invariant for v in violations] == ["qd_monotonicity"]
+
+    def test_groups_isolated_by_block_size(self):
+        # Different chunk sizes are different groups: a small-chunk
+        # point outrunning a big-chunk one is no inversion.
+        results = {
+            pt(qd=1, bs=4096): FakeResult(900e6),
+            pt(qd=64, bs=2 * 1024 * 1024): FakeResult(100e6),
+        }
+        assert check_contracts(results) == []
+
+
+class TestContractPlumbing:
+    def test_invariant_registry(self):
+        assert CONTRACT_INVARIANTS == ("cap_monotonicity", "qd_monotonicity")
+
+    def test_custom_tolerances_respected(self):
+        results = {
+            pt(qd=8): FakeResult(1000e6),
+            pt(qd=64): FakeResult(800e6),
+        }
+        strict = Tolerances(qd_slack=0.05)
+        assert len(check_contracts(results, strict)) == 1
+
+    def test_real_sweep_contracts_hold(self, ssd3_sweep_outcome):
+        _grid, outcome = ssd3_sweep_outcome
+        assert check_contracts(outcome.results) == []

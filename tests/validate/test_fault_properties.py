@@ -1,0 +1,77 @@
+"""Property tests over the fault-injection subsystem.
+
+Faults may slow a device down, abort spin-ups, or break its governor --
+but they must never produce unphysical output: negative latencies or
+energies, inverted windows, or misordered latency quantiles.  And a
+fault plan is part of the experiment's identity: the same (config, plan)
+pair must reproduce bit-identically.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.experiment import run_experiment
+from repro.validate import validate_result
+from repro.validate.strategies import experiment_configs, fault_plans, seeds
+
+#: Invariants that must survive *any* fault plan.  (cap_adherence is
+#: exempted by the checker itself under injected governor failure;
+#: meter/envelope/littles carry window-length caveats covered in
+#: test_properties.py.)
+FAULT_PROOF = {
+    "window_sanity",
+    "non_negative_power",
+    "energy_consistency",
+    "latency_ordering",
+}
+
+
+class TestFaultedPhysics:
+    @given(experiment_configs(with_faults=True))
+    @settings(max_examples=15)
+    def test_faults_never_break_hard_invariants(self, config):
+        result = run_experiment(config)
+        report = validate_result(result)
+        hard = [
+            v for v in report.violations if v.invariant in FAULT_PROOF
+        ]
+        assert hard == [], "\n".join(v.describe() for v in hard)
+
+    @given(experiment_configs(with_faults=True))
+    @settings(max_examples=10)
+    def test_faulted_latencies_and_energies_non_negative(self, config):
+        result = run_experiment(config)
+        assert result.power.energy_j >= 0.0
+        assert result.true_mean_power_w >= 0.0
+        assert all(r.latency >= 0.0 for r in result.job.records)
+        assert all(
+            r.complete_time >= r.submit_time for r in result.job.records
+        )
+
+    @given(experiment_configs(with_faults=True))
+    @settings(max_examples=8)
+    def test_fault_accounting_is_consistent(self, config):
+        result = run_experiment(config)
+        if config.faults is None:
+            assert result.faults is None
+        else:
+            assert result.faults is not None
+            assert result.faults.total >= 0
+
+
+class TestFaultDeterminism:
+    @given(experiment_configs(with_faults=True))
+    @settings(max_examples=8)
+    def test_same_plan_same_seed_bit_identical(self, config):
+        first = run_experiment(config)
+        second = run_experiment(config)
+        assert first.true_mean_power_w == second.true_mean_power_w
+        assert first.power.energy_j == second.power.energy_j
+        assert first.throughput_bps == second.throughput_bps
+        if first.faults is not None:
+            assert first.faults.total == second.faults.total
+
+    @given(fault_plans(), seeds())
+    def test_plans_hash_and_compare(self, plan, _seed):
+        # Frozen dataclass: equality and reuse across points must work.
+        assert plan == plan
+        assert plan in {plan}

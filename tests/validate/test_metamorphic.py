@@ -1,0 +1,151 @@
+"""Metamorphic relations: transformed inputs with predictable outputs.
+
+Each relation transforms an input in a way whose effect on the output is
+known exactly (often: none at all), which tests global properties no
+example-based oracle can pin down -- batching independence, opt-in
+subsystems being truly passive, and the step-trace integral's algebra.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.experiment import run_experiment
+from repro.core.options import ExecutionOptions
+from repro.core.sweep import sweep_outcome
+from repro.faults import FaultPlan
+from repro.sim.trace import StepTrace
+
+from .conftest import tiny_job
+
+
+def result_fingerprint(result):
+    """The bit-identity surface: every float a physics change would move."""
+    return (
+        result.true_mean_power_w.hex(),
+        result.power.mean_w.hex(),
+        result.power.energy_j.hex(),
+        result.power.max_w.hex(),
+        result.throughput_bps.hex(),
+        len(result.job.records),
+    )
+
+
+class TestBatchingIndependence:
+    def test_sweep_points_match_solo_runs(self, ssd3_sweep_outcome):
+        """Each sweep point must be bit-identical to the same experiment
+        run alone: batching, shared caches, and sweep bookkeeping carry
+        no physics."""
+        grid, outcome = ssd3_sweep_outcome
+        for point in grid.points():
+            solo = run_experiment(grid.config_for(point))
+            swept = outcome.results[point]
+            assert result_fingerprint(swept) == result_fingerprint(solo)
+
+
+class TestPassiveSubsystems:
+    def test_validation_is_bit_identical(self, ssd3_sweep_outcome):
+        """validate=True must observe, never perturb."""
+        grid, validated = ssd3_sweep_outcome
+        plain = sweep_outcome(grid, ExecutionOptions(n_workers=1))
+        assert plain.validation is None
+        assert validated.validation is not None and validated.validation.ok
+        for point in grid.points():
+            assert result_fingerprint(
+                validated.results[point]
+            ) == result_fingerprint(plain.results[point])
+
+    def test_inert_fault_plan_is_bit_identical(self):
+        """FaultPlan() with no specs must equal faults=None exactly: the
+        injector exists but never draws randomness or simulated time."""
+        from repro.core.experiment import ExperimentConfig
+
+        base = ExperimentConfig(
+            device="ssd3", job=tiny_job(), warmup_fraction=0.25, seed=7
+        )
+        with_inert = ExperimentConfig(
+            device="ssd3",
+            job=tiny_job(),
+            warmup_fraction=0.25,
+            seed=7,
+            faults=FaultPlan(),
+        )
+        bare = run_experiment(base)
+        inert = run_experiment(with_inert)
+        assert result_fingerprint(bare) == result_fingerprint(inert)
+        assert inert.faults is not None and inert.faults.total == 0
+
+
+class TestStepTraceAlgebra:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-4, max_value=1.0),
+                st.floats(min_value=0.0, max_value=50.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    def test_time_scaling_scales_integral(self, steps, scale):
+        """Stretching time by k stretches every integral by exactly k
+        (values are held, so area scales with width)."""
+        plain = StepTrace(t0=0.0, initial=1.0)
+        stretched = StepTrace(t0=0.0, initial=1.0)
+        t = 0.0
+        for dt, watts in steps:
+            t += dt
+            plain.set(t, watts)
+            stretched.set(t * scale, watts)
+        end = t + 0.1
+        a = plain.integrate(0.0, end)
+        b = stretched.integrate(0.0, end * scale)
+        assert abs(b - a * scale) <= 1e-9 * max(1.0, abs(b))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-4, max_value=1.0),
+                st.floats(min_value=0.0, max_value=50.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_value_scaling_scales_integral(self, steps, gain):
+        plain = StepTrace(t0=0.0, initial=1.0)
+        scaled = StepTrace(t0=0.0, initial=gain)
+        t = 0.0
+        for dt, watts in steps:
+            t += dt
+            plain.set(t, watts)
+            scaled.set(t, watts * gain)
+        end = t + 0.1
+        a = plain.integrate(0.0, end)
+        b = scaled.integrate(0.0, end)
+        assert abs(b - a * gain) <= 1e-9 * max(1.0, abs(b))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-4, max_value=1.0),
+                st.floats(min_value=0.0, max_value=50.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_window_split_is_additive(self, steps, cut):
+        """Integrating [a, m] + [m, b] equals [a, b] for any split."""
+        trace = StepTrace(t0=0.0, initial=1.0)
+        t = 0.0
+        for dt, watts in steps:
+            t += dt
+            trace.set(t, watts)
+        end = t + 0.1
+        mid = end * cut
+        whole = trace.integrate(0.0, end)
+        split = trace.integrate(0.0, mid) + trace.integrate(mid, end)
+        assert abs(whole - split) <= 1e-9 * max(1.0, abs(whole))

@@ -1,0 +1,118 @@
+"""Acceptance tests tying the validators to the paper's own trends.
+
+Two layers:
+
+- **Table 1 vs the envelope bounds** (fast, pure computation): the
+  config-derived power envelope each checker enforces must contain the
+  paper's measured min/max for every device -- and not by an absurd
+  margin, or the envelope check would be vacuous.
+- **Fig. 10 mechanism curves** (integration, real sweeps): a validated
+  power-state sweep must pass every invariant *and* reproduce the
+  paper's monotone structure -- looser caps and bigger chunks buy
+  throughput, and the fitted model's budget curve never bends backwards.
+"""
+
+import pytest
+
+from repro._units import KiB
+from repro.core.model import PowerThroughputModel
+from repro.core.options import ExecutionOptions
+from repro.core.sweep import SweepGrid, sweep_outcome
+from repro.devices.catalog import DEVICE_PRESETS
+from repro.iogen.spec import IoPattern
+from repro.studies.common import QUICK
+from repro.studies.table1 import PAPER_RANGES
+from repro.validate.envelope import power_envelope
+
+
+class TestTable1Envelopes:
+    @pytest.mark.parametrize("label", sorted(PAPER_RANGES))
+    def test_envelope_contains_paper_range(self, label):
+        _proto, _model, paper_min, paper_max = PAPER_RANGES[label]
+        env = power_envelope(DEVICE_PRESETS[label]())
+        assert env.floor_w <= paper_min
+        assert env.peak_w >= paper_max
+
+    @pytest.mark.parametrize("label", sorted(PAPER_RANGES))
+    def test_envelope_is_not_vacuous(self, label):
+        """A bound the paper's own numbers sit miles inside catches
+        nothing; keep it within 2x of the measured range."""
+        _proto, _model, paper_min, paper_max = PAPER_RANGES[label]
+        env = power_envelope(DEVICE_PRESETS[label]())
+        assert env.peak_w <= 2.0 * paper_max
+        assert env.floor_w >= 0.5 * paper_min
+
+    def test_envelope_ordering_matches_paper(self):
+        """NVMe peaks above SATA SSD; Table 1's ordering survives."""
+        peaks = {
+            label: power_envelope(DEVICE_PRESETS[label]()).peak_w
+            for label in PAPER_RANGES
+        }
+        assert peaks["ssd2"] > peaks["ssd1"] > peaks["ssd3"]
+        assert peaks["ssd2"] > peaks["hdd"]
+
+
+@pytest.mark.integration
+class TestFig10MechanismSweep:
+    """A real ssd2 power-state sweep, validated end to end."""
+
+    @pytest.fixture(scope="class")
+    def validated_sweep(self):
+        grid = SweepGrid(
+            device="ssd2",
+            patterns=(IoPattern.RANDWRITE,),
+            block_sizes=(64 * KiB, 2048 * KiB),
+            iodepths=(1, 64),
+            power_states=(0, 2),
+            base_job=QUICK.job(IoPattern.RANDWRITE, 4096, 1, "ssd2"),
+            warmup_fraction=QUICK.warmup("ssd2"),
+            seed=0,
+        )
+        return grid, sweep_outcome(
+            grid, ExecutionOptions(n_workers=1, validate=True)
+        )
+
+    def test_all_invariants_hold(self, validated_sweep):
+        _grid, outcome = validated_sweep
+        assert not outcome.failures
+        assert outcome.validation is not None
+        assert outcome.validation.ok, outcome.validation.render()
+
+    def test_looser_cap_reaches_higher_peak(self, validated_sweep):
+        """Fig. 10's mechanism: ps0's frontier dominates ps2's."""
+        grid, outcome = validated_sweep
+        best = {}
+        for point in grid.points():
+            tput = outcome.results[point].throughput_bps
+            best[point.power_state] = max(
+                best.get(point.power_state, 0.0), tput
+            )
+        assert best[0] > best[2]
+
+    def test_bigger_chunks_buy_throughput(self, validated_sweep):
+        """At full power and deep queues, 2 MiB chunks must beat 64 KiB
+        (sequentiality amortizes per-op cost -- Fig. 8/10 trend)."""
+        grid, outcome = validated_sweep
+        tput = {
+            (p.block_size, p.iodepth, p.power_state): outcome.results[
+                p
+            ].throughput_bps
+            for p in grid.points()
+        }
+        assert tput[(2048 * KiB, 64, 0)] > tput[(64 * KiB, 64, 0)]
+
+    def test_fitted_budget_curve_monotone(self, validated_sweep):
+        """The model's best-throughput-under-budget curve never bends
+        backwards as the budget grows."""
+        _grid, outcome = validated_sweep
+        model = PowerThroughputModel.from_sweep("ssd2", outcome.results)
+        budgets = [
+            model.min_power_w + f * (model.max_power_w - model.min_power_w)
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        curve = []
+        for budget in budgets:
+            point = model.best_under_power_budget(budget)
+            curve.append(0.0 if point is None else point.throughput_bps)
+        assert curve == sorted(curve)
+        assert curve[-1] == model.max_throughput_bps

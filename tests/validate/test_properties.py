@@ -1,0 +1,119 @@
+"""Property-based validation: physics invariants over generated configs.
+
+Every example is a full (tiny) simulation drawn from the strategy
+library; the post-hoc checkers are the oracle.  Profiles are pinned in
+``conftest.py`` (derandomized, bounded example counts), so this file is
+deterministic and budgeted despite running real simulations per example.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.experiment import run_experiment
+from repro.devices.catalog import DEVICE_PRESETS
+from repro.iogen.spec import JobSpec
+from repro.validate import Tolerances, validate_result
+
+#: The strategy library keeps jobs to a few simulated milliseconds, so a
+#: measurement window can cover less than one 3 ms program-intensity wave
+#: period.  Over such windows the 20 kHz sampled mean legitimately
+#: diverges from the continuous mean by the truncated wave fraction; the
+#: 5% default is a steady-window (>= tens of ms) contract, exercised by
+#: the session fixtures and the ``repro validate`` CLI.
+TINY_WINDOW = Tolerances(meter_rel=0.20)
+from repro.validate.strategies import (
+    PAPER_DEVICES,
+    device_labels,
+    experiment_configs,
+    fault_plans,
+    job_specs,
+    power_states_for,
+    seeds,
+)
+
+
+class TestStrategyValidity:
+    """Everything generated must pass the target types' own validation
+    by construction -- the build itself is the assertion."""
+
+    @given(job_specs())
+    def test_job_specs_construct(self, job):
+        assert isinstance(job, JobSpec)
+        assert job.block_size > 0 and job.iodepth >= 1
+        assert job.runtime_s > 0 and job.size_limit_bytes > 0
+
+    @given(fault_plans())
+    def test_fault_plans_construct(self, plan):
+        for spike in plan.latency_spikes:
+            assert spike.duration_s > 0 and spike.extra_s > 0
+
+    @given(device_labels())
+    def test_device_labels_are_catalog_presets(self, label):
+        assert label in DEVICE_PRESETS
+
+    @given(seeds())
+    def test_seeds_fit_rng_streams(self, seed):
+        assert 0 <= seed < 2**31
+
+    @given(device_labels().flatmap(lambda d: power_states_for(d).map(lambda ps: (d, ps))))
+    def test_power_states_match_catalog(self, device_and_state):
+        device, state = device_and_state
+        config = DEVICE_PRESETS[device]()
+        states = getattr(config, "power_states", ())
+        allowed = {ps.index for ps in states if ps.operational} | {None}
+        assert state in allowed
+
+
+class TestInvariantsOverConfigSpace:
+    @given(experiment_configs())
+    @settings(max_examples=15)
+    def test_generated_experiments_validate(self, config):
+        result = run_experiment(config)
+        report = validate_result(result, TINY_WINDOW)
+        assert report.ok, report.render()
+
+    @given(experiment_configs(devices=("ssd2",)))
+    @settings(max_examples=8)
+    def test_capped_device_respects_physics(self, config):
+        result = run_experiment(config)
+        report = validate_result(result, TINY_WINDOW)
+        # Cap adherence is average-power: judge it only when the window
+        # spans many 3 ms wave periods (see conftest); the rest of the
+        # invariants must hold at any window length.
+        hard = [
+            v
+            for v in report.violations
+            if v.invariant != "cap_adherence"
+            or result.job.measure_window[1] - result.job.measure_window[0]
+            > 0.03
+        ]
+        assert hard == [], "\n".join(v.describe() for v in hard)
+
+
+class TestDeterminism:
+    @given(experiment_configs())
+    @settings(max_examples=8)
+    def test_same_config_is_bit_identical(self, config):
+        first = run_experiment(config)
+        second = run_experiment(config)
+        assert first.true_mean_power_w == second.true_mean_power_w
+        assert first.power.mean_w == second.power.mean_w
+        assert first.power.energy_j == second.power.energy_j
+        assert first.throughput_bps == second.throughput_bps
+        assert len(first.job.records) == len(second.job.records)
+
+    @given(experiment_configs(), seeds())
+    @settings(max_examples=8)
+    def test_validation_never_mutates_result(self, config, _seed):
+        result = run_experiment(config)
+        before = (
+            result.true_mean_power_w,
+            result.power.energy_j,
+            result.throughput_bps,
+        )
+        validate_result(result)
+        after = (
+            result.true_mean_power_w,
+            result.power.energy_j,
+            result.throughput_bps,
+        )
+        assert before == after

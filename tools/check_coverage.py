@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Coverage gate for the validation subsystem.
+
+Runs the ``tests/validate`` suite under ``coverage`` and fails if line
+coverage of ``src/repro/validate`` drops below the threshold: the
+validators are the code that vouches for everything else, so untested
+checker branches are silent holes in the safety net.
+
+The gate degrades gracefully: when the ``coverage`` package is not
+installed (it is an optional tool, not a runtime dependency), the gate
+reports that it is skipping and exits 0 -- a missing dev tool must not
+look like a coverage regression.  CI images with ``coverage`` installed
+enforce the threshold for real.
+
+Run directly (``python tools/check_coverage.py [threshold]``); also
+exercised by ``tests/test_tooling.py``.  Exit status 0 = passed or
+skipped, 1 = coverage below threshold or the measured run failed.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Minimum acceptable line coverage (percent) of src/repro/validate.
+DEFAULT_THRESHOLD = 85.0
+
+
+def coverage_available() -> bool:
+    try:
+        import coverage  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    threshold = float(argv[0]) if argv else DEFAULT_THRESHOLD
+    if not coverage_available():
+        print("coverage is not installed; skipping the coverage gate")
+        return 0
+    env_src = str(REPO_ROOT / "src")
+    commands = (
+        [
+            sys.executable,
+            "-m",
+            "coverage",
+            "run",
+            f"--source={env_src}/repro/validate",
+            "-m",
+            "pytest",
+            "-q",
+            str(REPO_ROOT / "tests" / "validate"),
+        ],
+        [
+            sys.executable,
+            "-m",
+            "coverage",
+            "report",
+            f"--fail-under={threshold}",
+        ],
+    )
+    for command in commands:
+        proc = subprocess.run(command, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            print(
+                f"coverage gate failed (threshold {threshold:.0f}%): "
+                f"{' '.join(command[3:5])}"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

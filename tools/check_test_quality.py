@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Lint: forbid vacuous tests in ``tests/``.
+
+Three patterns make a test look like coverage while verifying nothing,
+and each has silently neutered a real suite before:
+
+- ``assert True`` (or any constant-valued assert): always passes, keeps
+  the name in the report, checks nothing.  Usually the fossil of a
+  deleted assertion.
+- ``pytest.skip()`` / ``pytest.mark.skip`` without a reason: the suite
+  shrinks with no record of why, so nobody ever unskips it.
+- assertion-less test functions: a test that calls the code under test
+  but asserts nothing only proves the absence of exceptions, and should
+  say so with an explicit assert on the result.
+
+A test counts as asserting when it contains an ``assert`` statement,
+uses a ``pytest.raises``/``warns``/``fail``/``skip``/``xfail`` call, or
+calls any helper whose name mentions ``assert`` (``assert_allclose``
+and friends).  Fixtures, helpers, and non-test functions are ignored.
+
+Run directly (``python tools/check_test_quality.py``) or via the test
+suite (``tests/test_tooling.py``).  Exit status 0 = clean, 1 = violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator
+
+DEFAULT_ROOT = Path(__file__).resolve().parents[1] / "tests"
+
+#: pytest calls that make a test meaningful without an ``assert``.
+_ASSERTING_PYTEST_CALLS = {"raises", "warns", "fail", "skip", "xfail", "importorskip"}
+
+
+def _is_pytest_attr(node: ast.expr, names: set[str]) -> bool:
+    """True for ``pytest.<name>`` or ``pytest.mark.<name>``."""
+    if not isinstance(node, ast.Attribute) or node.attr not in names:
+        return False
+    value = node.value
+    if isinstance(value, ast.Name):
+        return value.id == "pytest"
+    return (
+        isinstance(value, ast.Attribute)
+        and value.attr == "mark"
+        and isinstance(value.value, ast.Name)
+        and value.value.id == "pytest"
+    )
+
+
+def _constant_asserts(tree: ast.AST) -> Iterator[ast.Assert]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert) and isinstance(node.test, ast.Constant):
+            yield node
+
+
+def _bare_skips(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and _is_pytest_attr(node.func, {"skip"})
+            and not node.args
+            and not any(kw.arg == "reason" for kw in node.keywords)
+        ):
+            yield node
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for decorator in node.decorator_list:
+                if _is_pytest_attr(decorator, {"skip"}):
+                    yield decorator  # @pytest.mark.skip with no reason
+
+
+def _asserts_something(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assert):
+            return True
+        if isinstance(node, ast.Call):
+            if _is_pytest_attr(node.func, _ASSERTING_PYTEST_CALLS):
+                return True
+            name = ""
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if "assert" in name:
+                return True
+    return False
+
+
+def find_violations(root: Path) -> Iterator[str]:
+    """Yield ``path:line: message`` for every vacuous-test pattern."""
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        for node in _constant_asserts(tree):
+            yield f"{path}:{node.lineno}: constant assert verifies nothing"
+        for node in _bare_skips(tree):
+            yield f"{path}:{node.lineno}: skip without a reason"
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name.startswith("test_")
+                and not _asserts_something(node)
+            ):
+                yield (
+                    f"{path}:{node.lineno}: test '{node.name}' contains "
+                    "no assertion"
+                )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    root = Path(argv[0]) if argv else DEFAULT_ROOT
+    violations = list(find_violations(root))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} test-quality violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
