@@ -1,0 +1,97 @@
+"""Engineering benchmark: policy overhead.
+
+The policy subsystem promises **zero** cost when disabled: the default
+path never imports ``repro.policy`` (the wiring in ``run_experiment`` is
+a lazy import guarded on ``config.policy``), so a policy-free run must
+be bit-identical -- and equally fast -- with the package installed or
+not.  With a policy *attached*, the decision loop runs every
+``interval_s``: that row documents the cost of sensing the rail and
+(rarely) re-draining the governor, and pins that the run still
+validates.
+"""
+
+from repro._units import KiB, MiB
+from repro.core.options import ExecutionOptions
+from repro.core.sweep import SweepGrid, sweep_outcome
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.policy import BudgetSchedule, PolicySpec
+
+
+def _grid() -> SweepGrid:
+    return SweepGrid(
+        device="ssd2",
+        patterns=(IoPattern.RANDWRITE,),
+        block_sizes=(64 * KiB, 256 * KiB),
+        iodepths=(8, 64),
+        base_job=JobSpec(
+            pattern=IoPattern.RANDWRITE,
+            block_size=4096,
+            iodepth=1,
+            runtime_s=0.05,
+            size_limit_bytes=32 * MiB,
+        ),
+    )
+
+
+def _policy_spec() -> PolicySpec:
+    return PolicySpec(
+        kind="feedback",
+        budget=BudgetSchedule.step(high_w=14.0, low_w=10.0, period_s=0.025),
+        interval_s=1.5e-3,
+        window_s=3e-3,
+    )
+
+
+def _fingerprints(results):
+    return {
+        point: (
+            r.true_mean_power_w.hex(),
+            r.power.mean_w.hex(),
+            r.power.energy_j.hex(),
+            r.throughput_bps.hex(),
+        )
+        for point, r in results.items()
+    }
+
+
+def test_baseline_policy_disabled(benchmark):
+    """The default path: no policy loop, no repro.policy import."""
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(_grid(), ExecutionOptions(n_workers=1)),
+        iterations=1,
+        rounds=3,
+    )
+    assert len(outcome.results) == 4
+    for result in outcome.results.values():
+        assert result.policy is None
+
+
+def test_disabled_policy_is_bit_identical(benchmark):
+    """Two policy-free sweeps (policy machinery loaded by the test
+    imports above) must produce bit-identical physics: the disabled
+    path takes zero decisions and draws zero policy randomness."""
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(_grid(), ExecutionOptions(n_workers=1)),
+        iterations=1,
+        rounds=3,
+    )
+    baseline = sweep_outcome(_grid(), ExecutionOptions(n_workers=1))
+    assert _fingerprints(outcome.results) == _fingerprints(baseline.results)
+
+
+def test_policy_attached_documented(benchmark):
+    """With a controller in the loop: decisions every 1.5 ms, validated
+    results; costs only the sense/decide ticks."""
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(
+            _grid(),
+            ExecutionOptions(n_workers=1, validate=True, policy=_policy_spec()),
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    assert outcome.validation is not None
+    assert outcome.validation.ok, outcome.validation.render()
+    for result in outcome.results.values():
+        assert result.policy is not None
+        assert result.policy.decisions > 3

@@ -70,6 +70,15 @@ from repro.obs import (
     SimEvent,
     Tracer,
 )
+from repro.policy import (
+    BudgetSchedule,
+    FeedbackBudgetPolicy,
+    HysteresisLadderPolicy,
+    PolicySpec,
+    PolicySummary,
+    StaticCapPolicy,
+    build_policy,
+)
 from repro.power.adc import AdcConfig
 from repro.power.meter import MeterConfig, PowerMeter
 from repro.sata.alpm import AlpmController
@@ -100,6 +109,7 @@ __all__ = [
     "AsymmetricPlan",
     "AsymmetricPlanner",
     "AtaPowerMode",
+    "BudgetSchedule",
     "BudgetSignal",
     "CheckpointJournal",
     "ControlAction",
@@ -115,9 +125,11 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSummary",
+    "FeedbackBudgetPolicy",
     "FleetAllocation",
     "FleetModel",
     "GiB",
+    "HysteresisLadderPolicy",
     "IOKind",
     "IORequest",
     "IOResult",
@@ -136,6 +148,8 @@ __all__ = [
     "OnlinePowerController",
     "PointFailure",
     "PointState",
+    "PolicySpec",
+    "PolicySummary",
     "PowerAdaptivePlanner",
     "PowerMeter",
     "PowerThroughputModel",
@@ -148,6 +162,7 @@ __all__ = [
     "RunProfiler",
     "SimEvent",
     "StandbyProfile",
+    "StaticCapPolicy",
     "StorageDevice",
     "StudyScale",
     "SweepExecutionError",
@@ -161,6 +176,7 @@ __all__ = [
     "WriteAbsorptionScenario",
     "build_device",
     "build_model",
+    "build_policy",
     "check_power_mode",
     "idle_immediate",
     "parse_fault_plan",

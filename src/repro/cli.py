@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Six subcommands cover the workflows a user of the artifact needs:
+Seven subcommands cover the workflows a user of the artifact needs:
 
 - ``devices`` -- list the calibrated device presets;
 - ``run`` -- one experiment with fio-style options (the paper's inner
@@ -13,6 +13,10 @@ Six subcommands cover the workflows a user of the artifact needs:
 - ``validate`` -- audit the physics invariants (energy conservation,
   power envelopes, Little's law, monotonicity contracts) over a
   mechanism sweep of each device, exiting non-zero on any violation;
+- ``policy`` -- run the online power-adaptive controllers
+  (:mod:`repro.policy`) against time-varying budgets on each device and
+  report harvested dynamic range vs. p99 cost, exiting non-zero on any
+  invariant violation;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
 
@@ -37,6 +41,7 @@ from repro.core.adaptive import PowerAdaptivePlanner
 from repro.core.experiment import ExperimentConfig, run_experiment
 from repro.devices.catalog import DEVICE_PRESETS
 from repro.iogen.spec import IoPattern, JobSpec
+from repro.policy.spec import POLICY_KINDS
 
 __all__ = ["build_parser", "main"]
 
@@ -234,6 +239,64 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1 = in-process)",
     )
     val_p.add_argument("--seed", type=int, default=0)
+
+    policy_p = sub.add_parser(
+        "policy",
+        help="run online power-adaptive controllers against time-varying "
+        "budgets",
+        description=(
+            "Run the policy tracking study: an uncontrolled baseline per "
+            "device, then each controller family (static cap, PI "
+            "feedback, hysteresis ladder) tracking a budget schedule "
+            "derived from it.  Reports harvested dynamic range, p99 "
+            "blowup, set-point changes and tracking error per (device, "
+            "policy), and validates every result against the physics "
+            "invariants.  Exit status 1 if any invariant failed."
+        ),
+    )
+    policy_p.add_argument(
+        "--device",
+        action="append",
+        choices=sorted(DEVICE_PRESETS),
+        help="device to control; repeat for several (default: the "
+        "paper's four Table 1 devices)",
+    )
+    policy_p.add_argument(
+        "--policy",
+        action="append",
+        choices=POLICY_KINDS,
+        help="controller family; repeat for several (default: all three)",
+    )
+    policy_p.add_argument(
+        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
+    )
+    policy_p.add_argument("--seed", type=int, default=0)
+    policy_p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="worker processes: a positive integer or 'all' "
+        "(default 1 = in-process)",
+    )
+    policy_p.add_argument(
+        "--faults",
+        type=_faults_arg,
+        default=None,
+        metavar="SPEC",
+        help="inject faults into every policy run (baselines stay "
+        "clean), e.g. 'governor:at=0.02'",
+    )
+    policy_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; re-runs skip already-computed points",
+    )
+    policy_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted study: requires --cache",
+    )
 
     plan_p = sub.add_parser("plan", help="plan a power cut on a device model")
     plan_p.add_argument("--device", required=True, choices=sorted(DEVICE_PRESETS))
@@ -551,6 +614,37 @@ def _cmd_validate(args: argparse.Namespace) -> tuple[str, int]:
     return "\n\n".join(blocks), 0 if total_violations == 0 else 1
 
 
+def _cmd_policy(args: argparse.Namespace) -> tuple[str, int]:
+    from pathlib import Path
+
+    from repro.core.parallel import ResultCache
+    from repro.studies import policy_tracking
+    from repro.studies.common import DEFAULT, QUICK
+
+    if args.resume and not args.cache:
+        return (
+            "policy: --resume requires --cache (completed points are "
+            "skipped via their cached results)",
+            2,
+        )
+    cache = ResultCache(args.cache) if args.cache else None
+    checkpoint = Path(args.cache) / "checkpoint.jsonl" if args.cache else None
+    result = policy_tracking.run(
+        scale=QUICK if args.quick else DEFAULT,
+        n_workers=args.workers,
+        seed=args.seed,
+        devices=tuple(args.device) if args.device else policy_tracking.DEVICES,
+        policies=tuple(args.policy) if args.policy else POLICY_KINDS,
+        faults=args.faults,
+        cache_dir=cache,
+        checkpoint=checkpoint,
+        resume=args.resume,
+    )
+    # Validation runs post-hoc over the *returned* results, cache hits
+    # included, so the exit code cannot be laundered by a warm cache.
+    return policy_tracking.render(result), 0 if result.ok else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> str:
     from repro.studies.common import QUICK
     from repro.studies.fig10 import build_model
@@ -580,6 +674,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_figure(args))
     elif args.command == "validate":
         text, code = _cmd_validate(args)
+        print(text)
+        return code
+    elif args.command == "policy":
+        text, code = _cmd_policy(args)
         print(text)
         return code
     elif args.command == "plan":

@@ -65,6 +65,12 @@ class ExperimentConfig:
             deterministically (from the same root seed) while the job
             runs.  ``None`` -- the default -- leaves every device on the
             null injector and reproduces pre-fault results bit for bit.
+        policy: Optional :class:`~repro.policy.spec.PolicySpec` running
+            an online power-adaptive controller against the device
+            while the job runs.  Typed as ``object`` so this module
+            never imports :mod:`repro.policy`: ``None`` -- the default
+            -- keeps the policy package entirely unloaded and the run
+            bit-identical to a build without it.
     """
 
     device: Union[str, DeviceConfig]
@@ -80,6 +86,7 @@ class ExperimentConfig:
     )
     keep_trace: bool = False
     faults: Optional[FaultPlan] = None
+    policy: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.warmup_fraction < 1:
@@ -97,6 +104,11 @@ class ExperimentConfig:
             parts.append(f"ps{self.power_state}")
         if self.alpm_mode is not None:
             parts.append(f"alpm={self.alpm_mode.value}")
+        if self.policy is not None:
+            describe = getattr(self.policy, "describe", None)
+            parts.append(
+                f"policy={describe() if describe else self.policy!r}"
+            )
         return " ".join(parts)
 
 
@@ -116,6 +128,10 @@ class ExperimentResult:
         trace: Full measured power trace when ``keep_trace`` was set.
         faults: Fault accounting when the experiment configured a fault
             plan (``None`` for clean runs).
+        policy: :class:`~repro.policy.api.PolicySummary` accounting when
+            the experiment configured an online policy (``None``
+            otherwise; typed loosely for the same lazy-import reason as
+            ``ExperimentConfig.policy``).
     """
 
     config: ExperimentConfig
@@ -125,6 +141,7 @@ class ExperimentResult:
     cap_w: Optional[float]
     trace: Optional[PowerTrace] = None
     faults: Optional[FaultSummary] = None
+    policy: Optional[object] = None
 
     # -- the quantities the paper's figures plot --------------------------
 
@@ -244,6 +261,13 @@ def run_experiment(
     if faults is not None:
         faults.install(device)
     _apply_power_controls(engine, device, config)
+    policy_runtime = None
+    if config.policy is not None:
+        # Lazy: runs without a policy must never load repro.policy (the
+        # overhead benchmark pins the inert path to bit-identity).
+        from repro.policy.runtime import PolicyRuntime
+
+        policy_runtime = PolicyRuntime(engine, device, config.policy, rngs)
 
     job = FioJob(engine, device, config.job, rng=rngs.get("io.offsets"))
     master = job.start()
@@ -277,4 +301,5 @@ def run_experiment(
         cap_w=cap_w,
         trace=trace if config.keep_trace else None,
         faults=faults.summary() if faults is not None else None,
+        policy=policy_runtime.summary() if policy_runtime is not None else None,
     )

@@ -80,6 +80,11 @@ class ExecutionOptions:
             :class:`~repro.validate.report.InvariantViolationError` if any
             invariant fails.  Validation is post-hoc and passive: results
             are bit-identical with and without it.
+        policy: Optional :class:`~repro.policy.spec.PolicySpec` attached
+            to every point of the sweep (an online power-adaptive
+            controller).  Typed as ``object`` so this module never
+            imports :mod:`repro.policy`; ``None`` keeps the policy
+            machinery entirely unloaded.
     """
 
     n_workers: Optional[int] = 1
@@ -91,6 +96,7 @@ class ExecutionOptions:
     checkpoint: Optional[Union[str, Path]] = None
     resume: bool = False
     validate: bool = False
+    policy: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.n_workers is not None and self.n_workers < 1:
@@ -159,7 +165,16 @@ def coerce_execution_options(
     if options is not UNSET:
         # Old-style second positional argument: n_workers.  An explicit
         # ``None`` here is meaningful (use every core), which is why the
-        # absent case is the UNSET sentinel rather than None.
+        # absent case is the UNSET sentinel rather than None.  Anything
+        # other than an int or None is a caller error -- rejecting it
+        # here gives a clear message instead of a confusing failure deep
+        # inside the worker pool (a string "4" once got that far).
+        if options is not None and not isinstance(options, int):
+            raise TypeError(
+                f"{func_name}() second positional argument must be an "
+                f"ExecutionOptions, an int worker count, or None; got "
+                f"{options!r}"
+            )
         fields["n_workers"] = options
     for name, value in zip(_LEGACY_POSITIONAL[1:], legacy_args):
         fields[name] = value

@@ -212,9 +212,16 @@ def sweep_outcome(
         journal = CheckpointJournal(opts.checkpoint)
         journal.open(fresh=not opts.resume)
     points = list(grid.points())
+    configs = [grid.config_for(point) for point in points]
+    if opts.policy is not None:
+        # The policy rides on each config rather than the execution
+        # machinery: that is how it reaches pool workers, and how
+        # config_content_hash folds it into cache keys (policy and
+        # policy-free runs of the same grid never collide).
+        configs = [replace(config, policy=opts.policy) for config in configs]
     try:
         outcomes = run_configs(
-            [grid.config_for(point) for point in points],
+            configs,
             opts.evolve(timeout_s=None, retries=0, checkpoint=None, resume=False),
             policy=policy,
             journal=journal,

@@ -268,6 +268,9 @@ class SimulatedSSD(StorageDevice):
             config.power_states[0] if config.power_states else None
         )
         self._operational_state = self._resident
+        # An online policy's cap rides *alongside* the power-state cap
+        # (the governor enforces the min of both); None = no policy.
+        self._policy_cap_w: float | None = None
         self._ready = Gate(engine, is_open=True, name=f"{config.name}.ready")
         self._waking = False
         self._writes_since_maintenance = 0
@@ -401,6 +404,36 @@ class SimulatedSSD(StorageDevice):
 
     # -- power state control --------------------------------------------------
 
+    def _effective_cap(self, state_cap_w: float | None) -> float | None:
+        """The governor cap implied by the power state *and* the policy.
+
+        Both mechanisms constrain the same budget, so the tighter one
+        wins.  Keeping the combination in one place is the fix for the
+        cap-clobber bug: ``set_power_state`` and ``_wake`` used to write
+        the state cap straight to the governor, silently discarding a
+        tighter policy cap on every APST doze/wake cycle.
+        """
+        if self._policy_cap_w is None:
+            return state_cap_w
+        if state_cap_w is None:
+            return self._policy_cap_w
+        return min(state_cap_w, self._policy_cap_w)
+
+    def set_policy_cap(self, cap_w: float | None) -> None:
+        """Set (or clear, with ``None``) the online policy's power cap.
+
+        Takes effect immediately: the governor re-drains its admission
+        queue against the new budget.  The cap composes with the
+        resident power state's cap via :meth:`_effective_cap`.
+        """
+        self._policy_cap_w = cap_w
+        state_cap_w = (
+            self._operational_state.max_power_w
+            if self._operational_state is not None
+            else None
+        )
+        self.governor.set_cap(self._effective_cap(state_cap_w))
+
     def set_power_state(self, index: int):
         """Process generator: NVMe Set Features (Power Management)."""
         states = {ps.index: ps for ps in self.config.power_states}
@@ -422,7 +455,7 @@ class SimulatedSSD(StorageDevice):
         self._trace_power_state(previous)
         if target.operational:
             self._operational_state = target
-            self.governor.set_cap(target.max_power_w)
+            self.governor.set_cap(self._effective_cap(target.max_power_w))
             self._apply_idle_draws()
             self._ready.open()
         else:
@@ -468,7 +501,9 @@ class SimulatedSSD(StorageDevice):
         previous = self._resident
         self._resident = self._operational_state
         self._trace_power_state(previous)
-        self.governor.set_cap(self._operational_state.max_power_w)
+        self.governor.set_cap(
+            self._effective_cap(self._operational_state.max_power_w)
+        )
         self._apply_idle_draws()
         self._ready.open()
 

@@ -140,12 +140,19 @@ def parse_fault_plan(spec: str) -> FaultPlan:
                 )
         except TypeError as exc:
             # A spec dataclass missing a required argument.
-            raise FaultSpecError(f"{kind}: {exc}") from None
-        except FaultSpecError:
-            raise
+            raise FaultSpecError(
+                f"{kind}: {exc} (in clause {clause!r})"
+            ) from None
+        except FaultSpecError as exc:
+            # Re-raise with the offending clause named: a multi-clause
+            # spec would otherwise leave the user hunting for which
+            # token broke.
+            raise FaultSpecError(f"{exc} (in clause {clause!r})") from None
         except ValueError as exc:
             # A spec dataclass rejecting a value in __post_init__.
-            raise FaultSpecError(f"{kind}: {exc}") from None
+            raise FaultSpecError(
+                f"{kind}: {exc} (in clause {clause!r})"
+            ) from None
     plan = FaultPlan(
         io_errors=io_errors,
         latency_spikes=tuple(spikes),

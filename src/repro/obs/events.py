@@ -86,6 +86,10 @@ class EventKind(enum.Enum):
     #: :mod:`repro.validate`, never by the simulators themselves; fields
     #: carry the invariant name, subject, and measured/expected values).
     VIOLATION = "violation"
+    #: A power policy changed its commanded target (emitted by
+    #: :mod:`repro.policy`; fields carry ``target_w``, ``budget_w`` and
+    #: the sensed ``measured_w`` at the decision tick).
+    SET_POINT = "set_point"
     #: Free-form annotation (scope boundaries, experiment markers).
     MARK = "mark"
 

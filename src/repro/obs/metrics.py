@@ -309,7 +309,9 @@ class MetricsCollector:
       ``alpm.transitions`` / ``cache.hits`` / ``cache.misses`` counters;
     - ``faults.injected`` / ``faults.retries`` counters per fault kind and
       the ``faults.degraded`` residency timer (share of sim time inside
-      injected fault episodes).
+      injected fault episodes);
+    - ``policy.set_points`` counters and the ``policy.target_w``
+      time-weighted gauge per policy component.
 
     The collector tracks the latest event timestamp and uses it as the
     snapshot end time.  One collector may span a whole sweep: each
@@ -431,6 +433,12 @@ class MetricsCollector:
             series(registry.state_timer, "faults.degraded", component).set_state(
                 "ok", event.time
             )
+        elif kind is EventKind.SET_POINT:
+            series(registry.counter, "policy.set_points", component).inc()
+            if "target_w" in fields:
+                series(
+                    registry.time_weighted_gauge, "policy.target_w", component
+                ).set(fields["target_w"], event.time)
 
     def snapshot(self) -> dict:
         """Registry snapshot finalized at the latest event time."""

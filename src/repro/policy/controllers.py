@@ -1,0 +1,193 @@
+"""The three controller families, as pure decision functions.
+
+Each controller is constructed with the actuator's physical range
+(``floor_w``/``ceiling_w``/``rungs``, discovered by the runtime from the
+device catalog) and a :class:`~repro.policy.spec.PolicySpec`, and then
+makes decisions purely from :class:`~repro.policy.api.PolicyObservation`
+values -- no device access, no RNG, no wall clock.  See
+:mod:`repro.policy.api` for why purity is the load-bearing property.
+
+Taxonomy (DESIGN.md SS12):
+
+- :class:`StaticCapPolicy` -- the do-no-harm baseline: pin the target to
+  the schedule's *tightest* budget so the device is safe at every
+  instant, forfeiting all the headroom the generous phases offer.
+- :class:`FeedbackBudgetPolicy` -- PI feedback on the budget error,
+  clamped so the *commanded* target can never exceed the instantaneous
+  budget.  Harvests the dynamic range; pays convergence lag after steps.
+- :class:`HysteresisLadderPolicy` -- discrete rung climbing with a guard
+  band, modeling a controller restricted to the device's native power
+  states; trades tracking granularity for actuation stability.
+"""
+
+from __future__ import annotations
+
+from repro.policy.api import PolicyObservation
+from repro.policy.spec import PolicySpec
+
+__all__ = [
+    "FeedbackBudgetPolicy",
+    "HysteresisLadderPolicy",
+    "StaticCapPolicy",
+    "build_policy",
+]
+
+
+class StaticCapPolicy:
+    """Always command the schedule's floor: safe, and harvests nothing.
+
+    This is today's governor behaviour wrapped in the policy interface:
+    pick the one cap that satisfies the budget at its tightest and never
+    move.  It is the baseline the adaptive controllers are scored
+    against.
+    """
+
+    def __init__(
+        self,
+        spec: PolicySpec,
+        floor_w: float,
+        ceiling_w: float,
+        rungs: tuple[float, ...],
+    ) -> None:
+        self.spec = spec
+        self._target_w = max(floor_w, min(spec.budget.min_w, ceiling_w))
+
+    def reset(self) -> None:
+        pass  # stateless by design
+
+    def decide(self, obs: PolicyObservation) -> float:
+        return self._target_w
+
+
+class FeedbackBudgetPolicy:
+    """PI feedback on the budget error, clamped under the budget.
+
+    Each tick the target moves by ``gain * error + integral_gain *
+    integral`` where ``error = budget - measured``; the result is
+    clamped into ``[floor_w, min(ceiling_w, budget_w)]``.  The upper
+    clamp is the controller's safety contract: the *commanded* target
+    never exceeds the instantaneous budget (the property the hypothesis
+    suite checks), so any measured overshoot is transient device
+    dynamics, not controller intent.  The integral term is clamped to
+    the span it could ever usefully command (anti-windup), otherwise a
+    long budget-starved phase would slingshot the target at the next
+    step up.
+    """
+
+    def __init__(
+        self,
+        spec: PolicySpec,
+        floor_w: float,
+        ceiling_w: float,
+        rungs: tuple[float, ...],
+    ) -> None:
+        self.spec = spec
+        self._floor_w = floor_w
+        self._ceiling_w = ceiling_w
+        span = max(ceiling_w - floor_w, 1e-9)
+        self._integral_limit = span / max(spec.integral_gain, 1e-9)
+        self._target_w: float | None = None
+        self._integral = 0.0
+
+    def reset(self) -> None:
+        self._target_w = None
+        self._integral = 0.0
+
+    def decide(self, obs: PolicyObservation) -> float:
+        upper = min(self._ceiling_w, obs.budget_w)
+        if self._target_w is None:
+            # First tick: start at the budget (clamped), not the floor,
+            # so a generous phase is harvested immediately.
+            self._target_w = max(self._floor_w, min(upper, upper))
+            return self._target_w
+        error = obs.budget_w - obs.measured_w
+        self._integral += error
+        limit = self._integral_limit
+        if self._integral > limit:
+            self._integral = limit
+        elif self._integral < -limit:
+            self._integral = -limit
+        raw = (
+            self._target_w
+            + self.spec.gain * error
+            + self.spec.integral_gain * self._integral
+        )
+        self._target_w = max(self._floor_w, min(raw, upper))
+        return self._target_w
+
+
+class HysteresisLadderPolicy:
+    """Climb/descend a discrete rung ladder with a guard band.
+
+    Rungs are the device's realizable cap levels in ascending order
+    (NVMe power-state max powers; EPC tiers for HDDs).  Descents are
+    immediate -- the moment the current rung exceeds the budget the
+    controller drops to the highest admissible rung.  Ascents are
+    guarded: the next rung is taken only once the budget clears it by
+    ``hysteresis_w``, so a budget hovering at a rung boundary cannot
+    make the device oscillate between power states.  When no rung fits
+    under the budget the floor rung is held: the device simply cannot go
+    lower, and the validator treats a floor-pinned target as a
+    mechanism limitation rather than a controller violation.
+    """
+
+    def __init__(
+        self,
+        spec: PolicySpec,
+        floor_w: float,
+        ceiling_w: float,
+        rungs: tuple[float, ...],
+    ) -> None:
+        if not rungs:
+            raise ValueError("ladder policy needs at least one rung")
+        self.spec = spec
+        self._rungs = tuple(sorted(rungs))
+        self._index: int | None = None
+
+    def reset(self) -> None:
+        self._index = None
+
+    def _highest_admissible(self, budget_w: float) -> int:
+        index = 0
+        for i, rung in enumerate(self._rungs):
+            if rung <= budget_w:
+                index = i
+        return index
+
+    def decide(self, obs: PolicyObservation) -> float:
+        rungs = self._rungs
+        if self._index is None:
+            self._index = self._highest_admissible(obs.budget_w)
+            return rungs[self._index]
+        if rungs[self._index] > obs.budget_w:
+            self._index = self._highest_admissible(obs.budget_w)
+        elif (
+            self._index + 1 < len(rungs)
+            and rungs[self._index + 1] + self.spec.hysteresis_w <= obs.budget_w
+        ):
+            self._index += 1
+        return rungs[self._index]
+
+
+_CONTROLLERS = {
+    "static": StaticCapPolicy,
+    "feedback": FeedbackBudgetPolicy,
+    "ladder": HysteresisLadderPolicy,
+}
+
+
+def build_policy(
+    spec: PolicySpec,
+    floor_w: float,
+    ceiling_w: float,
+    rungs: tuple[float, ...],
+):
+    """Instantiate the controller named by ``spec.kind``."""
+    try:
+        cls = _CONTROLLERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy kind {spec.kind!r}; "
+            f"expected one of {tuple(_CONTROLLERS)}"
+        ) from None
+    return cls(spec, floor_w, ceiling_w, rungs)

@@ -32,6 +32,8 @@ RESULT_INVARIANTS = (
     "littles_law",
     "cap_adherence",
     "latency_ordering",
+    "budget_tracking",
+    "slo_adherence",
 )
 
 
@@ -250,6 +252,13 @@ def _check_cap(result: ExperimentResult, tol: Tolerances):
     )
     if result.cap_w is None or governor_failed:
         return
+    if getattr(result.config, "policy", None) is not None:
+        # Under an online policy the cap is *time-varying*: cap_w is
+        # only the last commanded value, so comparing the whole-window
+        # mean against it mis-flags legitimate runs (e.g. a generous
+        # phase followed by a tight final cap).  The budget_tracking
+        # invariant holds policy runs to their schedule instead.
+        return
     if not result.cap_respected:
         yield Violation(
             "cap_adherence",
@@ -304,6 +313,99 @@ def _check_latency_ordering(result: ExperimentResult, tol: Tolerances):
         )
 
 
+def _check_budget_tracking(result: ExperimentResult, tol: Tolerances):
+    """A policy must track its budget schedule.
+
+    Two obligations, checked over the policy's retained samples (the
+    summary is duck-typed -- this module never imports
+    :mod:`repro.policy`):
+
+    - The *commanded* target may never exceed the instantaneous budget
+      (beyond the actuator floor, which the device cannot go below).
+      This holds even under an injected governor failure: the command
+      side must stay sane whether or not the device still listens.
+    - The *measured* trailing mean must sit under the most generous
+      budget the schedule offered over the trailing measurement-plus-
+      convergence span.  Skipped under governor failure (the actuator
+      is dead), while the target is floor-pinned (mechanism limit, not
+      a controller bug), and during the startup transient.
+    """
+    policy = getattr(result, "policy", None)
+    if policy is None:
+        return
+    spec = policy.spec
+    schedule = spec.budget
+    floor_w = policy.floor_w
+    subject = result.config.describe()
+    governor_failed = (
+        result.faults is not None and result.faults.governor_failed
+    )
+    # Convergence span: the sensing window plus the ticks the controller
+    # needs to react, with the runtime's +-10% cadence jitter bounded by
+    # the 1.25 factor.
+    settle_s = spec.window_s + spec.settle_intervals * spec.interval_s * 1.25
+    for t, budget_w, target_w, measured_w in policy.samples:
+        target_bound = max(budget_w, floor_w) + 1e-6
+        if target_w > target_bound:
+            yield Violation(
+                "budget_tracking",
+                subject,
+                f"commanded target {target_w:.4f} W at t={t:.6g} s exceeds "
+                f"the instantaneous budget {budget_w:.4f} W (actuator "
+                f"floor {floor_w:.4f} W)",
+                target_w,
+                target_bound,
+            )
+            continue
+        if governor_failed:
+            continue
+        if target_w <= floor_w + 1e-9:
+            continue
+        if t < settle_s:
+            continue
+        # The trailing mean lags the schedule: hold it to the *highest*
+        # budget in the trailing convergence span, not the instant value.
+        allowed = max(
+            schedule.watts_at(t - settle_s + k * settle_s / 6.0)
+            for k in range(7)
+        )
+        bound = allowed * (1.0 + tol.budget_rel) + tol.budget_abs_w
+        if measured_w > bound:
+            yield Violation(
+                "budget_tracking",
+                subject,
+                f"measured trailing mean {measured_w:.4f} W at "
+                f"t={t:.6g} s exceeds the budget {allowed:.4f} W "
+                f"(+{tol.budget_rel:.0%} and {tol.budget_abs_w:.2f} W "
+                "slack) outside any convergence window",
+                measured_w,
+                bound,
+            )
+
+
+def _check_slo(result: ExperimentResult, tol: Tolerances):
+    """A policy run declaring a p99 SLO must meet it."""
+    policy = getattr(result, "policy", None)
+    if policy is None:
+        return
+    slo = policy.spec.slo_p99_s
+    if slo is None:
+        return
+    job = result.job
+    if not [r for r in job.records if r.complete_time >= job.measure_start]:
+        return
+    p99 = result.latency().p99
+    if p99 > slo:
+        yield Violation(
+            "slo_adherence",
+            result.config.describe(),
+            f"p99 latency {p99 * 1e6:.0f} us exceeds the declared SLO "
+            f"{slo * 1e6:.0f} us",
+            p99,
+            slo,
+        )
+
+
 _CHECKERS = (
     _check_window_sanity,
     _check_non_negative,
@@ -313,6 +415,8 @@ _CHECKERS = (
     _check_littles_law,
     _check_cap,
     _check_latency_ordering,
+    _check_budget_tracking,
+    _check_slo,
 )
 
 

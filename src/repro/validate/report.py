@@ -92,6 +92,13 @@ class Tolerances:
             intended cap marks a point as *power-limited*, which exempts
             it from the queue-depth contract -- under a binding cap the
             trend legitimately inverts (see :mod:`.contracts`).
+        budget_rel: Relative slack on the policy budget-tracking
+            invariant (measured trailing mean vs. the scheduled
+            budget).  Wide because the sensed window trails the budget
+            and the device's program-intensity wave rides on the mean.
+        budget_abs_w: Absolute companion slack for the same comparison;
+            covers the duty-cycle ripple of a governed device, which is
+            watts-sized regardless of how tight the budget is.
     """
 
     conservation_rel: float = 1e-6
@@ -105,6 +112,8 @@ class Tolerances:
     monotonicity_slack: float = 0.10
     qd_slack: float = 0.25
     cap_binding_fraction: float = 0.90
+    budget_rel: float = 0.10
+    budget_abs_w: float = 1.5
 
     def __post_init__(self) -> None:
         for f in fields(self):

@@ -136,6 +136,30 @@ class TestCoercion:
         with pytest.raises(TypeError, match="multiple values"):
             coerce_execution_options("f", 2, (), {"n_workers": 2})
 
+    @pytest.mark.parametrize("bad", ["4", 2.5, [4]])
+    def test_non_int_positional_rejected_with_clear_error(self, bad):
+        """A string "4" once sailed into the worker pool before failing
+        obscurely; the shim must reject it at the boundary, by name."""
+        from repro.core.options import UNSET
+
+        with pytest.raises(TypeError, match="int worker count"):
+            coerce_execution_options("run_sweep", bad, (), {})
+
+    def test_typoed_legacy_kwarg_raises_naming_it(self):
+        """``n_worker=2`` (a typo of n_workers) must not be swallowed."""
+        from repro.core.options import UNSET
+
+        with pytest.raises(TypeError, match="n_worker"):
+            coerce_execution_options("f", UNSET, (), {"n_worker": 2})
+
+    def test_run_sweep_rejects_string_worker_count(self):
+        with pytest.raises(TypeError, match="int worker count"):
+            run_sweep(small_grid(), "4")
+
+    def test_run_sweep_rejects_typoed_kwarg(self):
+        with pytest.raises(TypeError, match="n_worker"):
+            run_sweep(small_grid(), n_worker=2)
+
 
 class TestShimEquivalence:
     """The acceptance bar: old kwargs warn but change nothing."""

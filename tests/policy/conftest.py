@@ -1,0 +1,22 @@
+"""Hypothesis profile for the policy suite.
+
+Pinned for determinism like the validate suite: ``derandomize=True``
+makes every run explore the same examples in the same order, and
+``deadline=None`` keeps simulated examples from flaking on loaded
+machines.  Export ``HYPOTHESIS_PROFILE=policy-thorough`` for a deeper
+local sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "policy", derandomize=True, deadline=None, max_examples=20
+)
+settings.register_profile(
+    "policy-thorough", derandomize=True, deadline=None, max_examples=200
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "policy"))

@@ -1,0 +1,225 @@
+"""Determinism and zero-cost guarantees of the policy subsystem.
+
+Three properties hold by construction and are pinned here:
+
+1. ``repro.core`` never imports ``repro.policy``: a run with
+   ``policy=None`` cannot even *load* the package, let alone pay for it
+   (the wiring is a lazy import guarded on the config field).
+2. A policy run is a pure function of (config, seed): repeating it
+   changes nothing, and a policy that never moves the effective cap is
+   bit-identical to no policy at all.
+3. Policy randomness (the decision-cadence jitter) comes from the keyed
+   ``policy.interval`` stream, never the builtin ``hash()`` -- so runs
+   are bit-identical across interpreter processes with different
+   ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.policy import BudgetSchedule, PolicySpec
+from tests.conftest import tiny_ssd_config
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+ZERO_IMPORT_SCRIPT = """
+import sys
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core import sweep  # the sweep layer must not need it either
+from repro.iogen.spec import IoPattern, JobSpec
+
+# The facade (repro/__init__) re-exports repro.policy eagerly, like
+# repro.validate.  Evict it and poison any reload: the no-policy
+# execution path must never come back for it.
+for name in [m for m in sys.modules if m.startswith("repro.policy")]:
+    del sys.modules[name]
+
+
+class Poison:
+    def find_spec(self, name, path=None, target=None):
+        if name.startswith("repro.policy"):
+            raise ImportError(
+                "repro.policy loaded on the no-policy path: " + name
+            )
+        return None
+
+
+sys.meta_path.insert(0, Poison())
+run_experiment(ExperimentConfig(
+    device="ssd3",
+    job=JobSpec(IoPattern.RANDREAD, block_size=16384, iodepth=4,
+                runtime_s=0.005, size_limit_bytes=2 * 1024 * 1024),
+))
+assert not any(m.startswith("repro.policy") for m in sys.modules)
+print("clean")
+"""
+
+POLICY_SCRIPT = """
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.faults import parse_fault_plan
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.policy import BudgetSchedule, PolicySpec
+
+config = ExperimentConfig(
+    device="ssd2",
+    job=JobSpec(
+        IoPattern.RANDWRITE,
+        block_size=65536,
+        iodepth=8,
+        runtime_s=0.02,
+        size_limit_bytes=128 * 1024 * 1024,
+    ),
+    seed=77,
+    warmup_fraction=0.25,
+    policy=PolicySpec(
+        kind="feedback",
+        budget=BudgetSchedule.step(high_w=14.0, low_w=9.0, period_s=0.01),
+        interval_s=1.5e-3,
+        window_s=3e-3,
+    ),
+    faults=parse_fault_plan("governor:at=0.012"),
+)
+result = run_experiment(config)
+print(repr((
+    result.mean_power_w,
+    result.true_mean_power_w,
+    result.throughput_bps,
+    result.policy.decisions,
+    result.policy.set_point_changes,
+    result.policy.samples,
+    result.faults.governor_failed,
+)))
+"""
+
+
+def _run_with_hashseed(script: str, hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout
+
+
+def _config(policy, seed=3):
+    return ExperimentConfig(
+        device=tiny_ssd_config(),
+        job=JobSpec(
+            IoPattern.RANDWRITE,
+            block_size=64 * KiB,
+            iodepth=8,
+            runtime_s=0.02,
+            size_limit_bytes=8 * MiB,
+        ),
+        seed=seed,
+        warmup_fraction=0.25,
+        policy=policy,
+    )
+
+
+def _fingerprint(result):
+    return (
+        result.mean_power_w,
+        result.true_mean_power_w,
+        result.throughput_bps,
+        result.job.latency_stats().mean,
+    )
+
+
+class TestZeroImport:
+    def test_no_policy_run_never_loads_the_package(self):
+        """A policy-free experiment survives a poisoned repro.policy."""
+        out = _run_with_hashseed(ZERO_IMPORT_SCRIPT, "0")
+        assert out.strip() == "clean"
+
+    def test_core_sources_never_import_policy_at_module_level(self):
+        """The lazy import in run_experiment is the only coupling.
+
+        Module-level imports of repro.policy anywhere in repro.core or
+        repro.devices would make every run pay for the package; only
+        function-local (lazy) imports are allowed there.
+        """
+        import ast
+
+        src_root = Path(SRC) / "repro"
+        offenders = []
+        for layer in ("core", "devices", "sim"):
+            for path in sorted((src_root / layer).glob("*.py")):
+                tree = ast.parse(path.read_text())
+                for node in tree.body:  # module level only
+                    names = []
+                    if isinstance(node, ast.Import):
+                        names = [a.name for a in node.names]
+                    elif isinstance(node, ast.ImportFrom):
+                        names = [node.module or ""]
+                    if any(n.startswith("repro.policy") for n in names):
+                        offenders.append(f"{path}:{node.lineno}")
+        assert not offenders, offenders
+
+
+class TestInertPolicyIdentity:
+    def test_ceiling_pinned_policy_bit_identical_to_no_policy(self):
+        """A policy whose target never binds leaves the run untouched.
+
+        The static controller with a generous constant budget commands
+        the ceiling once; the effective cap is unchanged, so the device
+        must see the exact same grant schedule as a policy-free run.
+        """
+        without = run_experiment(_config(policy=None))
+        pinned = run_experiment(
+            _config(
+                PolicySpec(
+                    kind="static",
+                    budget=BudgetSchedule.constant(50.0),
+                    interval_s=1e-3,
+                    window_s=2e-3,
+                )
+            )
+        )
+        assert _fingerprint(pinned) == _fingerprint(without)
+        assert without.policy is None
+        # The pinned run still reports its (single-set-point) trail.
+        assert pinned.policy.set_point_changes == 1
+        assert pinned.policy.decisions > 1
+
+
+class TestRepeatDeterminism:
+    SPEC = PolicySpec(
+        kind="feedback",
+        budget=BudgetSchedule.step(high_w=18.0, low_w=3.2, period_s=0.01),
+        interval_s=1e-3,
+        window_s=2e-3,
+    )
+
+    def test_repeat_run_identical(self):
+        first = run_experiment(_config(self.SPEC))
+        second = run_experiment(_config(self.SPEC))
+        assert _fingerprint(first) == _fingerprint(second)
+        assert first.policy == second.policy
+        assert first.policy.decisions > 5
+
+    def test_different_seeds_jitter_differently(self):
+        a = run_experiment(_config(self.SPEC, seed=1))
+        b = run_experiment(_config(self.SPEC, seed=2))
+        # The decision cadence is seeded: sample timestamps diverge.
+        assert a.policy.samples != b.policy.samples
+
+
+class TestCrossProcessDeterminism:
+    def test_policy_run_identical_across_hash_seeds(self):
+        outputs = {_run_with_hashseed(POLICY_SCRIPT, hs) for hs in ("1", "2")}
+        assert len(outputs) == 1, f"policy runs diverged: {outputs}"
+        text = outputs.pop()
+        assert "True" in text  # the governor failure fired mid-run

@@ -31,6 +31,7 @@ PUBLIC_API = (
     "AsymmetricPlan",
     "AsymmetricPlanner",
     "AtaPowerMode",
+    "BudgetSchedule",
     "BudgetSignal",
     "CheckpointJournal",
     "ControlAction",
@@ -46,9 +47,11 @@ PUBLIC_API = (
     "FaultInjector",
     "FaultPlan",
     "FaultSummary",
+    "FeedbackBudgetPolicy",
     "FleetAllocation",
     "FleetModel",
     "GiB",
+    "HysteresisLadderPolicy",
     "IOKind",
     "IORequest",
     "IOResult",
@@ -67,6 +70,8 @@ PUBLIC_API = (
     "OnlinePowerController",
     "PointFailure",
     "PointState",
+    "PolicySpec",
+    "PolicySummary",
     "PowerAdaptivePlanner",
     "PowerMeter",
     "PowerThroughputModel",
@@ -79,6 +84,7 @@ PUBLIC_API = (
     "RunProfiler",
     "SimEvent",
     "StandbyProfile",
+    "StaticCapPolicy",
     "StorageDevice",
     "StudyScale",
     "SweepExecutionError",
@@ -92,6 +98,7 @@ PUBLIC_API = (
     "WriteAbsorptionScenario",
     "build_device",
     "build_model",
+    "build_policy",
     "check_power_mode",
     "idle_immediate",
     "parse_fault_plan",

@@ -47,6 +47,31 @@ class TestParser:
             )
         assert "unknown fault kind" in capsys.readouterr().err
 
+    def test_malformed_faults_clause_named_in_error(self, capsys):
+        """A bad token in a multi-clause spec is named, not left to hunt."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "policy",
+                    "--faults",
+                    "governor:at=0.01;spike:dur=bogus",
+                ]
+            )
+        err = capsys.readouterr().err
+        assert "(in clause 'spike:dur=bogus')" in err
+        assert "dur='bogus' is not a number" in err
+
+    def test_faults_missing_required_argument_names_clause(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--device", "ssd3", "--faults", "spike:at=0.01"]
+            )
+        assert "(in clause 'spike:at=0.01')" in capsys.readouterr().err
+
+    def test_policy_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["policy", "--policy", "bang-bang"])
+
 
 class TestCommands:
     def test_devices_lists_presets(self, capsys):
@@ -330,6 +355,50 @@ class TestCommands:
     def test_figure_fig7(self, capsys):
         assert main(["figure", "fig7"]) == 0
         assert "860 EVO" in capsys.readouterr().out
+
+    def test_policy_resume_requires_cache(self, capsys):
+        assert main(["policy", "--resume"]) == 2
+        assert "--resume requires --cache" in capsys.readouterr().out
+
+    def test_policy_quick_validates_clean(self, capsys):
+        code = main(
+            ["policy", "--device", "ssd3", "--policy", "static", "--quick"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Policy tracking" in out
+        assert "SSD3" in out and "static" in out
+        assert "all hold" in out
+
+    def test_policy_violation_exits_nonzero_even_over_cache_hits(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """A warm cache must not launder a validation failure into exit 0."""
+        from repro.studies import policy_tracking
+        from repro.validate.report import Tolerances
+
+        argv = [
+            "policy", "--device", "ssd3", "--policy", "ladder", "--quick",
+            "--cache", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "all hold" in first
+        assert list(tmp_path.glob("*.pkl"))  # results actually cached
+        assert (tmp_path / "checkpoint.jsonl").exists()
+
+        # Re-run over pure cache hits: byte-identical report, still 0.
+        assert main(argv + ["--resume"]) == 0
+        assert "all hold" in capsys.readouterr().out
+
+        # Zero meter tolerance makes every result a violation; the
+        # cached results are revalidated, so the exit code flips to 1.
+        monkeypatch.setattr(
+            policy_tracking, "TOLERANCES", Tolerances(meter_rel=0.0)
+        )
+        assert main(argv + ["--resume"]) == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
 
     @pytest.mark.integration
     def test_plan(self, capsys):

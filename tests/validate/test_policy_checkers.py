@@ -1,0 +1,274 @@
+"""The policy-facing invariants: budget_tracking, slo_adherence, and the
+cap-adherence exemption -- plus the governor cap-clobber regression.
+
+Tamper-style like test_checkers.py: run one real policy experiment, then
+forge violations into frozen copies with ``dataclasses.replace`` and
+assert the checkers flag exactly the forged defect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.devices.ssd import SimulatedSSD
+from repro.faults import parse_fault_plan
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.policy import BudgetSchedule, PolicySpec
+from repro.validate.checkers import RESULT_INVARIANTS, check_result
+from tests.conftest import drive, tiny_ssd_config
+
+
+def invariants_hit(result) -> set[str]:
+    return {v.invariant for v in check_result(result)}
+
+
+def _policy_config(faults=None, **spec_kw):
+    spec_kw.setdefault(
+        "budget", BudgetSchedule.step(high_w=18.0, low_w=3.2, period_s=0.01)
+    )
+    return ExperimentConfig(
+        device=tiny_ssd_config(),
+        job=JobSpec(
+            IoPattern.RANDWRITE,
+            block_size=64 * KiB,
+            iodepth=8,
+            runtime_s=0.02,
+            size_limit_bytes=8 * MiB,
+        ),
+        seed=5,
+        warmup_fraction=0.25,
+        faults=faults,
+        policy=PolicySpec(
+            kind="feedback", interval_s=1e-3, window_s=2e-3, **spec_kw
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def policy_result():
+    return run_experiment(_policy_config())
+
+
+@pytest.fixture(scope="module")
+def governor_failed_result():
+    return run_experiment(
+        _policy_config(faults=parse_fault_plan("governor:at=0.005"))
+    )
+
+
+def _tamper_sample(result, **fields):
+    """Copy ``result`` with its last retained sample overwritten."""
+    summary = result.policy
+    t, budget_w, target_w, measured_w = summary.samples[-1]
+    sample = dict(
+        t=t, budget_w=budget_w, target_w=target_w, measured_w=measured_w
+    )
+    sample.update(fields)
+    samples = summary.samples[:-1] + (
+        (
+            sample["t"],
+            sample["budget_w"],
+            sample["target_w"],
+            sample["measured_w"],
+        ),
+    )
+    return replace(result, policy=replace(summary, samples=samples))
+
+
+class TestBudgetTracking:
+    def test_registered_invariants(self):
+        assert "budget_tracking" in RESULT_INVARIANTS
+        assert "slo_adherence" in RESULT_INVARIANTS
+
+    def test_clean_policy_run_passes(self, policy_result):
+        assert check_result(policy_result) == []
+
+    def test_no_policy_result_is_exempt(self, policy_result):
+        stripped = replace(
+            policy_result,
+            policy=None,
+            config=replace(policy_result.config, policy=None),
+        )
+        assert "budget_tracking" not in invariants_hit(stripped)
+
+    def test_target_above_budget_flagged(self, policy_result):
+        tampered = _tamper_sample(policy_result, budget_w=3.2, target_w=9.0)
+        violations = [
+            v
+            for v in check_result(tampered)
+            if v.invariant == "budget_tracking"
+        ]
+        assert violations
+        assert "commanded target" in violations[0].message
+
+    def test_measured_blowout_flagged(self, policy_result):
+        summary = policy_result.policy
+        t = summary.samples[-1][0]
+        tampered = _tamper_sample(
+            policy_result,
+            budget_w=3.2,
+            target_w=summary.floor_w + 0.2,  # above floor, under budget
+            measured_w=50.0,
+        )
+        assert t > summary.spec.window_s  # sample is past the transient
+        violations = [
+            v
+            for v in check_result(tampered)
+            if v.invariant == "budget_tracking"
+        ]
+        assert violations
+        assert "measured trailing mean" in violations[0].message
+
+    def test_floor_pinned_target_exempts_measured_check(self, policy_result):
+        floor_w = policy_result.policy.floor_w
+        tampered = _tamper_sample(
+            policy_result, budget_w=3.2, target_w=floor_w, measured_w=50.0
+        )
+        assert "budget_tracking" not in invariants_hit(tampered)
+
+    def test_startup_transient_exempt(self, policy_result):
+        # Same blowout forged into the first sample: inside the settle
+        # window, the measured check must not fire (the target check
+        # keeps target_w honest even there).
+        summary = policy_result.policy
+        first = summary.samples[0]
+        samples = (
+            (first[0], 3.2, summary.floor_w + 0.2, 50.0),
+        ) + summary.samples[1:]
+        tampered = replace(
+            policy_result, policy=replace(summary, samples=samples)
+        )
+        assert first[0] < summary.spec.window_s + (
+            summary.spec.settle_intervals * summary.spec.interval_s * 1.25
+        )
+        assert "budget_tracking" not in invariants_hit(tampered)
+
+
+class TestGovernorFailureInteraction:
+    def test_fault_plan_run_passes(self, governor_failed_result):
+        assert governor_failed_result.faults.governor_failed
+        assert check_result(governor_failed_result) == []
+
+    def test_measured_check_suspended(self, governor_failed_result):
+        floor_w = governor_failed_result.policy.floor_w
+        tampered = _tamper_sample(
+            governor_failed_result,
+            budget_w=3.2,
+            target_w=floor_w + 0.2,
+            measured_w=50.0,
+        )
+        assert "budget_tracking" not in invariants_hit(tampered)
+
+    def test_target_check_still_fires(self, governor_failed_result):
+        """The command side must stay sane even when the device is deaf."""
+        tampered = _tamper_sample(
+            governor_failed_result, budget_w=3.2, target_w=9.0
+        )
+        assert "budget_tracking" in invariants_hit(tampered)
+
+
+class TestCapAdherenceExemption:
+    def test_policy_run_exempt_from_whole_window_cap_check(
+        self, policy_result
+    ):
+        """cap_w is only the *last* commanded target under a policy; the
+        whole-window mean legitimately exceeds it after a generous phase.
+        """
+        tampered = replace(
+            policy_result, cap_w=policy_result.true_mean_power_w / 2.0
+        )
+        assert not tampered.cap_respected
+        assert "cap_adherence" not in invariants_hit(tampered)
+
+    def test_plain_run_still_checked(self, policy_result):
+        stripped = replace(
+            policy_result,
+            policy=None,
+            config=replace(policy_result.config, policy=None),
+            cap_w=policy_result.true_mean_power_w / 2.0,
+        )
+        assert "cap_adherence" in invariants_hit(stripped)
+
+
+class TestSloAdherence:
+    def test_met_slo_passes(self, policy_result):
+        summary = policy_result.policy
+        generous = replace(
+            policy_result,
+            policy=replace(
+                summary, spec=replace(summary.spec, slo_p99_s=10.0)
+            ),
+        )
+        assert "slo_adherence" not in invariants_hit(generous)
+
+    def test_blown_slo_flagged(self, policy_result):
+        summary = policy_result.policy
+        strict = replace(
+            policy_result,
+            policy=replace(
+                summary, spec=replace(summary.spec, slo_p99_s=1e-9)
+            ),
+        )
+        violations = [
+            v
+            for v in check_result(strict)
+            if v.invariant == "slo_adherence"
+        ]
+        assert violations
+        assert "p99" in violations[0].message
+
+    def test_no_slo_declared_no_check(self, policy_result):
+        assert policy_result.policy.spec.slo_p99_s is None
+        assert "slo_adherence" not in invariants_hit(policy_result)
+
+
+class TestPolicyCapClobberRegression:
+    """set_power_state/_wake used to overwrite the policy's governor cap.
+
+    The device now composes the state cap with the policy cap (min wins)
+    at every transition; these are the regression pins.
+    """
+
+    def _device(self, engine, rngs):
+        return SimulatedSSD(engine, tiny_ssd_config(), rng=rngs)
+
+    def test_policy_cap_composes_with_state_cap(self, engine, rngs):
+        device = self._device(engine, rngs)
+        assert device.governor.cap_w == 20.0  # ps0 resident
+        device.set_policy_cap(3.0)
+        assert device.governor.cap_w == 3.0
+        # A looser policy cap defers to the state cap after ps1 (3.5 W).
+        drive(engine, engine.process(device.set_power_state(1)))
+        assert device.governor.cap_w == 3.0
+        device.set_policy_cap(10.0)
+        assert device.governor.cap_w == 3.5
+
+    def test_state_transition_does_not_clobber_policy_cap(
+        self, engine, rngs
+    ):
+        device = self._device(engine, rngs)
+        device.set_policy_cap(3.0)
+        drive(engine, engine.process(device.set_power_state(1)))
+        # Regression: entering ps1 used to write its 3.5 W cap straight
+        # through, silently widening the 3.0 W policy budget.
+        assert device.governor.cap_w == 3.0
+
+    def test_doze_wake_cycle_preserves_policy_cap(self, engine, rngs):
+        device = self._device(engine, rngs)
+        drive(engine, engine.process(device.set_power_state(1)))
+        device.set_policy_cap(3.0)
+        drive(engine, engine.process(device.enter_standby()))
+        drive(engine, engine.process(device.exit_standby()))
+        # Regression: _wake used to restore the operational state's cap
+        # (3.5 W), dropping the policy cap until the next decision tick.
+        assert device.governor.cap_w == 3.0
+
+    def test_clearing_policy_cap_restores_state_cap(self, engine, rngs):
+        device = self._device(engine, rngs)
+        device.set_policy_cap(3.0)
+        device.set_policy_cap(None)
+        assert device.governor.cap_w == 20.0
