@@ -1,0 +1,125 @@
+"""Engineering benchmark: sweep telemetry overhead and passivity.
+
+The telemetry subsystem (``ExecutionOptions(telemetry=True)``, the run
+ledger, live progress) promises two things:
+
+- **Zero cost when off.**  The default path never even imports
+  ``repro.core.telemetry``: the recorder is created lazily behind the
+  option flags, and every instrumentation site in the executor is a
+  ``recorder is None`` test.  Asserted below by evicting the module and
+  proving an untelemetered sweep does not re-import it.
+- **Strictly passive when on.**  Telemetry observes point lifecycles; it
+  must never change results.  Asserted as *bit identity* of the pickled
+  result set against an untelemetered run of the same grid.
+
+Bit-identity must compare like with like: pooled results make a pickle
+round-trip through the worker pipe, which re-serializes to different
+(value-equal) bytes than in-process objects.  So the in-process row
+compares against an in-process baseline and the pooled row against a
+pooled baseline -- same worker mode, telemetry the only variable.
+"""
+
+import pickle
+import sys
+
+from repro._units import KiB, MiB
+from repro.core.options import ExecutionOptions
+from repro.core.sweep import SweepGrid, sweep_outcome
+from repro.iogen.spec import IoPattern, JobSpec
+
+
+def _grid() -> SweepGrid:
+    return SweepGrid(
+        device="ssd2",
+        patterns=(IoPattern.RANDREAD,),
+        block_sizes=(64 * KiB, 256 * KiB),
+        iodepths=(8, 64),
+        base_job=JobSpec(
+            pattern=IoPattern.RANDREAD,
+            block_size=4096,
+            iodepth=1,
+            runtime_s=0.05,
+            size_limit_bytes=32 * MiB,
+        ),
+    )
+
+
+def _result_bytes(outcome) -> bytes:
+    return pickle.dumps(outcome.results)
+
+
+def test_baseline_untelemetered(benchmark):
+    """The default path; the ~0 % claim is that this row IS the product.
+
+    Telemetry off must mean the subsystem is not merely idle but absent:
+    evict ``repro.core.telemetry`` and prove the sweep never re-imports
+    it (the lazy-import seam is the zero-cost mechanism).
+    """
+    sys.modules.pop("repro.core.telemetry", None)
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(_grid(), ExecutionOptions(n_workers=1)),
+        iterations=1,
+        rounds=3,
+    )
+    assert len(outcome.results) == 4
+    assert outcome.telemetry is None
+    assert "repro.core.telemetry" not in sys.modules
+
+
+def test_telemetry_on_inprocess(benchmark):
+    """Recording spans in-process: results bit-identical to the baseline."""
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(
+            _grid(), ExecutionOptions(n_workers=1, telemetry=True)
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    telemetry = outcome.telemetry
+    assert telemetry is not None
+    assert telemetry.points == 4
+    assert telemetry.count("done") == 4
+    assert telemetry.sim_events > 0
+    baseline = sweep_outcome(_grid(), ExecutionOptions(n_workers=1))
+    assert _result_bytes(outcome) == _result_bytes(baseline)
+
+
+def test_telemetry_on_pooled(benchmark):
+    """Recording across a worker pool: bit-identical to a pooled baseline."""
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(
+            _grid(), ExecutionOptions(n_workers=2, telemetry=True)
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    telemetry = outcome.telemetry
+    assert telemetry is not None
+    assert telemetry.points == 4
+    assert len(telemetry.workers) >= 1
+    assert all(w.utilization <= 1.0 for w in telemetry.workers)
+    baseline = sweep_outcome(_grid(), ExecutionOptions(n_workers=2))
+    assert _result_bytes(outcome) == _result_bytes(baseline)
+
+
+def test_telemetry_with_ledger(benchmark, tmp_path):
+    """The full stack -- spans + ledger appends -- stays passive too."""
+    from repro.core.ledger import RunLedger
+
+    runs = [0]
+
+    def _run():
+        ledger = tmp_path / f"ledger-{runs[0]}.jsonl"
+        runs[0] += 1
+        return sweep_outcome(
+            _grid(),
+            ExecutionOptions(n_workers=1, telemetry=True, ledger=ledger),
+        )
+
+    outcome = benchmark.pedantic(_run, iterations=1, rounds=3)
+    assert len(outcome.results) == 4
+    records = RunLedger.load(tmp_path / "ledger-0.jsonl")
+    assert sum(1 for r in records if r["rec"] == "point") == 4
+    assert sum(1 for r in records if r["rec"] == "run") == 1
+    baseline = sweep_outcome(_grid(), ExecutionOptions(n_workers=1))
+    assert _result_bytes(outcome) == _result_bytes(baseline)

@@ -33,6 +33,7 @@ from repro.core.controller import (
 )
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.core.fleet import FleetAllocation, FleetModel
+from repro.core.ledger import RunLedger
 from repro.core.model import ModelPoint, PowerThroughputModel
 from repro.core.options import ExecutionOptions
 from repro.core.parallel import (
@@ -54,6 +55,12 @@ from repro.core.sweep import (
     run_sweep,
     sweep_outcome,
 )
+from repro.core.telemetry import (
+    PointSpan,
+    ProgressUpdate,
+    SweepTelemetry,
+    WorkerStats,
+)
 from repro.core.tiering import AbsorptionResult, WriteAbsorptionScenario
 from repro.devices import DEVICE_PRESETS, build_device
 from repro.devices.base import IOKind, IORequest, IOResult, StorageDevice
@@ -62,13 +69,16 @@ from repro.faults import FaultInjector, FaultPlan, FaultSummary, parse_fault_pla
 from repro.iogen import IoPattern, JobSpec
 from repro.nvme.cli import NvmeCli
 from repro.obs import (
+    BucketedHistogram,
     EventKind,
     MetricsCollector,
     MetricsRegistry,
     NullTracer,
     RunProfiler,
     SimEvent,
+    SweepRollup,
     Tracer,
+    merge_snapshots,
 )
 from repro.policy import (
     BudgetSchedule,
@@ -109,6 +119,7 @@ __all__ = [
     "AsymmetricPlan",
     "AsymmetricPlanner",
     "AtaPowerMode",
+    "BucketedHistogram",
     "BudgetSchedule",
     "BudgetSignal",
     "CheckpointJournal",
@@ -147,18 +158,21 @@ __all__ = [
     "NvmeCli",
     "OnlinePowerController",
     "PointFailure",
+    "PointSpan",
     "PointState",
     "PolicySpec",
     "PolicySummary",
     "PowerAdaptivePlanner",
     "PowerMeter",
     "PowerThroughputModel",
+    "ProgressUpdate",
     "QUICK",
     "RedirectionDecision",
     "RedirectionPolicy",
     "ResultCache",
     "RetryPolicy",
     "RngStreams",
+    "RunLedger",
     "RunProfiler",
     "SimEvent",
     "StandbyProfile",
@@ -169,16 +183,20 @@ __all__ = [
     "SweepGrid",
     "SweepOutcome",
     "SweepPoint",
+    "SweepRollup",
+    "SweepTelemetry",
     "Tolerances",
     "Tracer",
     "ValidationReport",
     "Violation",
+    "WorkerStats",
     "WriteAbsorptionScenario",
     "build_device",
     "build_model",
     "build_policy",
     "check_power_mode",
     "idle_immediate",
+    "merge_snapshots",
     "parse_fault_plan",
     "run_configs",
     "run_demand_response",

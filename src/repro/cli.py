@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Seven subcommands cover the workflows a user of the artifact needs:
+Eight subcommands cover the workflows a user of the artifact needs:
 
 - ``devices`` -- list the calibrated device presets;
 - ``run`` -- one experiment with fio-style options (the paper's inner
@@ -17,8 +17,17 @@ Seven subcommands cover the workflows a user of the artifact needs:
   (:mod:`repro.policy`) against time-varying budgets on each device and
   report harvested dynamic range vs. p99 cost, exiting non-zero on any
   invariant violation;
+- ``report`` -- render a sweep health report (throughput trend, slowest
+  points, cache effectiveness, retry/timeout incidents, policy tracking
+  rollups, validation verdicts) from the run ledger that ``sweep`` and
+  ``policy`` append beside their ``--cache`` directory;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
+
+``sweep --cache DIR`` additionally appends provenance records to
+``DIR/ledger.jsonl`` (one per point plus a run summary) for ``repro
+report``, and ``sweep --progress`` paints a live done/ETA line on
+stderr.  Both observe a finished result; neither changes it.
 
 ``run`` and ``sweep`` accept ``--faults SPEC`` for deterministic fault
 injection (see :func:`repro.faults.parse_fault_plan` for the grammar,
@@ -194,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue an interrupted sweep: requires --cache; completed "
         "points are skipped via the cache and checkpoint journal",
     )
+    sweep_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="paint a live done/cached/ETA line on stderr while the "
+        "sweep runs",
+    )
     _add_obs_args(sweep_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
@@ -296,6 +311,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="continue an interrupted study: requires --cache",
+    )
+
+    report_p = sub.add_parser(
+        "report",
+        help="render a sweep health report from a run ledger",
+        description=(
+            "Read the append-only run ledger that sweep/policy runs "
+            "write beside their --cache directory and render a sweep "
+            "health report: executor throughput trend and slowest "
+            "points, retry/timeout incidents, cache effectiveness, "
+            "per-(device, power-state) metric rollups, policy tracking "
+            "error, and validation verdicts.  Exit status 1 if the "
+            "latest run recorded failures or a failed validation, 2 if "
+            "there is no ledger to read."
+        ),
+    )
+    report_p.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="ledger file to read (default: LEDGER inside --cache)",
+    )
+    report_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="cache directory of the sweep; reads DIR/ledger.jsonl",
+    )
+    report_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of markdown",
     )
 
     plan_p = sub.add_parser("plan", help="plan a power cut on a device model")
@@ -482,25 +529,34 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
     obs = _ObsSession(args)
     cache = ResultCache(args.cache) if args.cache else None
     checkpoint = Path(args.cache) / "checkpoint.jsonl" if args.cache else None
+    ledger = Path(args.cache) / "ledger.jsonl" if args.cache else None
+    progress = _progress_printer() if args.progress else None
     notes = []
     if args.resume and checkpoint is not None:
         entries = CheckpointJournal.load(checkpoint)
         notes.append(
             f"resuming from {checkpoint}: {CheckpointJournal.summarize(entries)}"
         )
-    outcome = sweep_outcome(
-        grid,
-        ExecutionOptions(
-            n_workers=args.workers,
-            cache_dir=cache if cache is not None else None,
-            tracer=obs.tracer,
-            profiler=obs.profiler,
-            timeout_s=args.timeout,
-            retries=args.retries,
-            checkpoint=checkpoint,
-            resume=args.resume,
-        ),
-    )
+    try:
+        outcome = sweep_outcome(
+            grid,
+            ExecutionOptions(
+                n_workers=args.workers,
+                cache_dir=cache if cache is not None else None,
+                tracer=obs.tracer,
+                profiler=obs.profiler,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                checkpoint=checkpoint,
+                resume=args.resume,
+                telemetry=bool(args.progress or ledger is not None),
+                ledger=ledger,
+                progress=progress,
+            ),
+        )
+    finally:
+        if progress is not None:
+            progress.finish()
     rows = [
         [
             point.describe(),
@@ -528,9 +584,53 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
                 for failure in outcome.failures.values()
             )
         )
+    summary_notes = []
+    if cache is not None:
+        stats = cache.stats
+        summary_notes.append(
+            f"cache: {stats.hits} hit(s), {stats.misses} miss(es) "
+            f"({stats.snapshot()['hit_rate']:.0%} hit rate), "
+            f"{stats.corrupt} corrupt, {stats.puts} write(s)"
+        )
+    if outcome.telemetry is not None:
+        summary_notes.append(f"executor: {outcome.telemetry.describe()}")
+    if ledger is not None:
+        summary_notes.append(
+            f"ledger: -> {ledger} (render with `repro report --cache "
+            f"{args.cache}`)"
+        )
+    if summary_notes:
+        blocks.append("\n".join(summary_notes))
     if obs.enabled:
         blocks.append("\n".join(obs.export(cache=cache)))
     return "\n\n".join(blocks), 0 if outcome.ok else 1
+
+
+class _progress_printer:
+    """Stderr live-progress sink for ``ExecutionOptions(progress=...)``.
+
+    Repaints one carriage-return line per update so a long sweep shows
+    done/cached counts and an ETA without polluting stdout (which holds
+    the machine-readable report).
+    """
+
+    def __init__(self) -> None:
+        import sys
+
+        self._err = sys.stderr
+        self._width = 0
+
+    def __call__(self, update) -> None:
+        line = update.describe()
+        pad = " " * max(0, self._width - len(line))
+        self._width = len(line)
+        self._err.write("\r" + line + pad)
+        self._err.flush()
+
+    def finish(self) -> None:
+        if self._width:
+            self._err.write("\n")
+            self._err.flush()
 
 
 def _cmd_figure(args: argparse.Namespace) -> str:
@@ -629,6 +729,7 @@ def _cmd_policy(args: argparse.Namespace) -> tuple[str, int]:
         )
     cache = ResultCache(args.cache) if args.cache else None
     checkpoint = Path(args.cache) / "checkpoint.jsonl" if args.cache else None
+    ledger = Path(args.cache) / "ledger.jsonl" if args.cache else None
     result = policy_tracking.run(
         scale=QUICK if args.quick else DEFAULT,
         n_workers=args.workers,
@@ -639,10 +740,42 @@ def _cmd_policy(args: argparse.Namespace) -> tuple[str, int]:
         cache_dir=cache,
         checkpoint=checkpoint,
         resume=args.resume,
+        ledger=ledger,
     )
     # Validation runs post-hoc over the *returned* results, cache hits
     # included, so the exit code cannot be laundered by a warm cache.
     return policy_tracking.render(result), 0 if result.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> tuple[str, int]:
+    import json
+    from pathlib import Path
+
+    from repro.core.ledger import RunLedger
+    from repro.core.report import build_report, render_markdown
+
+    if not args.ledger and not args.cache:
+        return ("report: provide --ledger PATH or --cache DIR", 2)
+    path = (
+        Path(args.ledger)
+        if args.ledger
+        else Path(args.cache) / "ledger.jsonl"
+    )
+    if not path.exists():
+        return (
+            f"report: no ledger at {path} (run `repro sweep --cache` or "
+            "`repro policy --cache` first)",
+            2,
+        )
+    records = RunLedger.load(path)
+    if not records:
+        return (f"report: ledger at {path} holds no records", 2)
+    report = build_report(records)
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        text = render_markdown(report)
+    return text, 0 if report["ok"] else 1
 
 
 def _cmd_plan(args: argparse.Namespace) -> str:
@@ -678,6 +811,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return code
     elif args.command == "policy":
         text, code = _cmd_policy(args)
+        print(text)
+        return code
+    elif args.command == "report":
+        text, code = _cmd_report(args)
         print(text)
         return code
     elif args.command == "plan":

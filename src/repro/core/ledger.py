@@ -1,0 +1,221 @@
+"""Run ledger: durable provenance for sweep executions.
+
+The :class:`~repro.core.parallel.ResultCache` answers "what was this
+point's result?"; the :class:`~repro.core.checkpoint.CheckpointJournal`
+answers "where was the sweep when it died?".  Neither answers the
+questions a measurement study gets asked months later: *which* seeds and
+config hashes produced a figure, how long each point took, whether the
+validation suite signed off, what the fault plan and policy actually did.
+The ledger answers those.  It is an append-only JSONL file living beside
+the result cache, written as points complete and runs finish, and read
+back by ``repro report`` -- across sessions, resumes, and overlapping
+sweeps, because append-only means history is never rewritten.
+
+Two record shapes share the stream, discriminated by ``"rec"``:
+
+- ``point`` -- one executed (or cache-served) point: config content hash,
+  seed, device, terminal status, attempts, wall seconds and events/sec
+  (from executor telemetry), and a compact result summary (power,
+  throughput, tail latency, fault and policy accounting).
+- ``run`` -- one orchestrated batch finishing: point-status census,
+  cache-effectiveness snapshot, executor summary, and the validation
+  verdict.  ``repro report`` segments the stream on these.
+
+Like the checkpoint journal, the format is torn-line tolerant: a crashed
+writer leaves at most one garbage tail line, and :meth:`RunLedger.load`
+skips anything unparsable -- provenance must be readable precisely after
+the crashes it exists to survive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = ["RunLedger", "point_record", "run_record"]
+
+#: Schema tag written into every record; bump when shapes change.
+LEDGER_VERSION = 1
+
+
+class RunLedger:
+    """Append-only JSONL provenance log.
+
+    Each :meth:`append` opens, writes one line, and closes: records are
+    written at most a few times a second (per point completion), so the
+    simplicity and crash-durability of open-append-close beat a held
+    file handle -- and concurrent sweeps appending to one ledger
+    interleave whole lines (O_APPEND), never corrupt each other.
+
+    >>> import tempfile
+    >>> path = Path(tempfile.mkdtemp()) / "ledger.jsonl"
+    >>> ledger = RunLedger(path)
+    >>> ledger.append({"rec": "run", "points": 0})
+    >>> RunLedger.load(path)[0]["rec"]
+    'run'
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict) -> None:
+        """Append one record (a JSON-serializable dict) as a single line."""
+        payload = dict(record)
+        payload.setdefault("v", LEDGER_VERSION)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> List[dict]:
+        """Every parsable record, oldest first; ``[]`` if absent.
+
+        Corrupt or truncated lines are skipped, not raised (same
+        contract as :meth:`CheckpointJournal.load`).
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        records: List[dict] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(raw, dict) and "rec" in raw:
+                    records.append(raw)
+        return records
+
+
+def _result_summary(result) -> dict:
+    """The compact result fields a report needs (never the raw trace)."""
+    summary = {
+        "mean_power_w": result.mean_power_w,
+        "true_mean_power_w": result.true_mean_power_w,
+        "throughput_mib_s": result.throughput_mib_s,
+        "cap_w": result.cap_w,
+        "cap_respected": result.cap_respected,
+    }
+    try:
+        lat = result.latency()
+        summary["p50_us"] = lat.p50 * 1e6
+        summary["p99_us"] = lat.p99 * 1e6
+    except ValueError:
+        # A run that completed zero IOs has no latency distribution.
+        pass
+    if result.faults is not None:
+        summary["faults"] = {
+            "injected": dict(result.faults.injected),
+            "retries": result.faults.retries,
+            "governor_failed": result.faults.governor_failed,
+        }
+    if result.policy is not None:
+        summary["policy"] = {
+            "kind": result.policy.spec.kind,
+            "decisions": result.policy.decisions,
+            "set_point_changes": result.policy.set_point_changes,
+            "mean_abs_error_w": result.policy.mean_abs_error_w(),
+            "max_overshoot_w": result.policy.max_overshoot_w,
+        }
+    return summary
+
+
+def point_record(config, outcome, span=None) -> dict:
+    """Build one ``point`` record from a finished sweep point.
+
+    Args:
+        config: The :class:`~repro.core.experiment.ExperimentConfig`.
+        outcome: The point's :class:`~repro.core.experiment.ExperimentResult`
+            or :class:`~repro.core.parallel.PointFailure`.
+        span: The point's executor-side
+            :class:`~repro.core.telemetry.PointSpan`, when telemetry was
+            recording (supplies status, attempts, wall time, events/sec).
+    """
+    # Imported here, not at module top: the ledger is itself imported
+    # lazily by the executor, but keep the one-way dependency anyway.
+    from repro.core.parallel import PointFailure, config_content_hash
+
+    job = config.job
+    record = {
+        "rec": "point",
+        "key": span.key if span is not None else config_content_hash(config),
+        "label": config.describe(),
+        "device": config.device_label,
+        "seed": config.seed,
+        "power_state": config.power_state,
+        "pattern": job.pattern.value,
+        "block_size": job.block_size,
+        "iodepth": job.iodepth,
+    }
+    if span is not None:
+        record.update(
+            {
+                "status": span.status,
+                "attempts": span.attempts,
+                "wall_s": span.run_s,
+                "events_per_s": span.events_per_second,
+                "sim_events": span.sim_events,
+            }
+        )
+    if isinstance(outcome, PointFailure):
+        record.setdefault("status", "failed")
+        record["error_type"] = outcome.error_type
+        record["error"] = outcome.message
+        record["attempts"] = outcome.attempts
+    else:
+        record.setdefault("status", "done")
+        record["result"] = _result_summary(outcome)
+    return record
+
+
+def run_record(
+    kind: str,
+    *,
+    telemetry=None,
+    validation=None,
+    points: Optional[int] = None,
+    failures: int = 0,
+    cache=None,
+) -> dict:
+    """Build one ``run`` record closing out an orchestrated batch.
+
+    Args:
+        kind: What orchestrated the batch (``"sweep"``, ``"policy"``...).
+        telemetry: Optional
+            :class:`~repro.core.telemetry.SweepTelemetry`; its snapshot
+            carries the executor and cache summaries.
+        validation: Optional
+            :class:`~repro.validate.report.ValidationReport`.
+        points: Total points in the batch (defaults to the telemetry
+            count when available).
+        failures: Points that ended in failure.
+        cache: Optional :class:`~repro.core.parallel.CacheStats` for
+            batches that carry no telemetry snapshot (the snapshot
+            already embeds one).
+    """
+    record: dict = {"rec": "run", "kind": kind, "failures": failures}
+    if telemetry is not None:
+        snap = telemetry.snapshot()
+        record["points"] = points if points is not None else snap["points"]
+        record["telemetry"] = snap
+    elif points is not None:
+        record["points"] = points
+    if cache is not None and telemetry is None:
+        record["telemetry"] = {"cache": cache.snapshot()}
+    if validation is not None:
+        by_invariant: dict = {}
+        for violation in validation.violations:
+            by_invariant[violation.invariant] = (
+                by_invariant.get(violation.invariant, 0) + 1
+            )
+        record["validation"] = {
+            "ok": validation.ok,
+            "checked": validation.checked,
+            "violations": by_invariant,
+        }
+    return record

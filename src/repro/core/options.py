@@ -21,7 +21,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 from repro.obs.events import Tracer
 from repro.obs.profile import RunProfiler
@@ -85,6 +85,23 @@ class ExecutionOptions:
             controller).  Typed as ``object`` so this module never
             imports :mod:`repro.policy`; ``None`` keeps the policy
             machinery entirely unloaded.
+        telemetry: Collect executor-side telemetry (per-point lifecycle
+            spans, worker utilization, cache effectiveness) into a
+            :class:`~repro.core.telemetry.SweepTelemetry` attached to
+            the :class:`~repro.core.sweep.SweepOutcome`.  Wall-clock
+            only and strictly passive: results are bit-identical with
+            and without it, and the telemetry module is not even
+            imported when this is off.
+        ledger: Path of (or an open
+            :class:`~repro.core.ledger.RunLedger` for) an append-only
+            JSONL provenance log: one record per executed point (config
+            hash, seed, status, wall time, events/sec, result summary)
+            plus one per run (validation verdict, cache stats, executor
+            summary), surviving across sessions and resumes.
+        progress: Optional callback receiving a
+            :class:`~repro.core.telemetry.ProgressUpdate` after every
+            point reaches a terminal state -- the hook behind the CLI's
+            live progress/ETA line for long sweeps.
     """
 
     n_workers: Optional[int] = 1
@@ -97,6 +114,9 @@ class ExecutionOptions:
     resume: bool = False
     validate: bool = False
     policy: Optional[object] = None
+    telemetry: bool = False
+    ledger: Optional[Union[str, Path, object]] = None
+    progress: Optional[Callable[[Any], None]] = None
 
     def __post_init__(self) -> None:
         if self.n_workers is not None and self.n_workers < 1:

@@ -21,6 +21,18 @@ sweep layer, the figure drivers and the CLI share:
 - graceful fallback to in-process execution when ``n_workers == 1`` or
   the platform cannot provide a process pool.
 
+Telemetry note: when a
+:class:`~repro.core.telemetry.TelemetryRecorder` rides along (sweep
+telemetry, live progress, or a run ledger was requested), workers ship a
+compact :class:`~repro.obs.profile.PointProfile` back over the existing
+pipe protocol next to each outcome, and the parent folds queue/dispatch
+timestamps into per-point lifecycle spans.  The recorder is wall-clock
+only and strictly passive: results are bit-identical with and without it
+(the telemetry-overhead benchmark holds that line).  The same aux channel
+lets a parent :class:`~repro.obs.profile.RunProfiler` see pool execution:
+per-worker profiles merge back in submission order instead of forcing
+the whole batch in-process.
+
 Resilience note: a :class:`RetryPolicy` with a timeout or retries runs
 points on a dedicated pipe-connected worker pool rather than
 ``ProcessPoolExecutor`` — the stdlib pool cannot kill a hung worker
@@ -60,6 +72,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.checkpoint import CheckpointJournal, PointState
 from repro.core.options import UNSET, coerce_execution_options
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.obs.profile import RunProfiler
 
 __all__ = [
     "CacheStats",
@@ -368,6 +381,20 @@ def _run_config(
         )
 
 
+def _run_config_aux(config: ExperimentConfig):
+    """Worker entry point that also returns the point's wall-clock profile.
+
+    The aux channel exists for pool-side telemetry and profiler merging:
+    the :class:`~repro.obs.profile.PointProfile` is four scalars and a
+    label, cheap to pickle back over the pipe, and profiling is passive,
+    so the outcome is bit-identical to :func:`_run_config`'s.
+    """
+    profiler = RunProfiler()
+    outcome = _run_config(config, profiler=profiler)
+    profile = profiler.points[-1] if profiler.points else None
+    return outcome, profile
+
+
 def _journal_final(
     journal: Optional[CheckpointJournal],
     key: str,
@@ -431,9 +458,12 @@ def _run_point_inprocess(
 # -- resilient pool ---------------------------------------------------------
 
 
-def _pipe_worker_main(conn) -> None:
+def _pipe_worker_main(conn, collect_aux: bool = False) -> None:
     """Worker loop: receive ``(index, config)`` tasks, send outcomes back.
 
+    Replies are ``(index, outcome, aux)`` where ``aux`` is the point's
+    :class:`~repro.obs.profile.PointProfile` when ``collect_aux`` is set
+    (telemetry or a parent profiler asked for it) and ``None`` otherwise.
     ``None`` is the shutdown sentinel.  A vanished parent (EOF/OSError
     on the pipe) just ends the loop — the worker has nobody to report to.
     """
@@ -443,7 +473,11 @@ def _pipe_worker_main(conn) -> None:
             if task is None:
                 return
             index, config = task
-            conn.send((index, _run_config(config)))
+            if collect_aux:
+                outcome, aux = _run_config_aux(config)
+            else:
+                outcome, aux = _run_config(config), None
+            conn.send((index, outcome, aux))
     except (EOFError, OSError):
         return
 
@@ -461,15 +495,17 @@ class _Attempt:
 class _WorkerSlot:
     """One owned worker process and its command pipe."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, collect_aux: bool = False, worker_id: int = 0) -> None:
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
-            target=_pipe_worker_main, args=(child_conn,), daemon=True
+            target=_pipe_worker_main, args=(child_conn, collect_aux), daemon=True
         )
         self.process.start()
         child_conn.close()
+        self.worker_id = worker_id
         self.task: Optional[_Attempt] = None
         self.deadline: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
 
     @property
     def busy(self) -> bool:
@@ -478,8 +514,9 @@ class _WorkerSlot:
     def dispatch(self, task: _Attempt, timeout_s: Optional[float]) -> None:
         self.conn.send((task.index, task.config))
         self.task = task
+        self.dispatched_at = time.monotonic()
         self.deadline = (
-            time.monotonic() + timeout_s if timeout_s is not None else None
+            self.dispatched_at + timeout_s if timeout_s is not None else None
         )
 
     def kill(self) -> None:
@@ -496,7 +533,11 @@ def _run_resilient(
     policy: RetryPolicy,
     journal: Optional[CheckpointJournal],
     cache: Optional["ResultCache"] = None,
-) -> Dict[int, Union[ExperimentResult, PointFailure]]:
+    recorder=None,
+    collect_aux: bool = False,
+) -> tuple[
+    Dict[int, Union[ExperimentResult, PointFailure]], Dict[int, object]
+]:
     """Run points on an owned worker pool that can kill and re-dispatch.
 
     The loop keeps every worker busy while work remains, terminates
@@ -504,14 +545,34 @@ def _run_resilient(
     a worker crash, and re-queues failed attempts (after their backoff
     delay) until the retry budget is spent.  Worker loss of any kind is
     survived by spawning a replacement.
+
+    With ``collect_aux``, workers return a per-point
+    :class:`~repro.obs.profile.PointProfile` next to each outcome; the
+    profiles of final attempts come back in the second mapping (index ->
+    profile) so the caller can merge them into a parent profiler in
+    submission order.  ``recorder`` (a
+    :class:`~repro.core.telemetry.TelemetryRecorder`) is fed dispatch,
+    retry, worker-lifecycle and terminal events; both are wall-clock
+    only and never touch the outcomes.
     """
     ctx = multiprocessing.get_context("fork")
     results: Dict[int, Union[ExperimentResult, PointFailure]] = {}
+    profiles: Dict[int, object] = {}
     queue = deque(tasks)
     delayed: List[tuple[float, int, _Attempt]] = []  # (ready_at, tiebreak, task)
     tiebreak = 0
+    next_worker_id = 0
+
+    def new_slot() -> _WorkerSlot:
+        nonlocal next_worker_id
+        slot = _WorkerSlot(ctx, collect_aux, worker_id=next_worker_id)
+        next_worker_id += 1
+        if recorder is not None:
+            recorder.worker_spawned(slot.worker_id)
+        return slot
+
     pool: List[_WorkerSlot] = [
-        _WorkerSlot(ctx) for _ in range(min(workers, len(tasks)))
+        new_slot() for _ in range(min(workers, len(tasks)))
     ]
 
     def give_up(task: _Attempt, error: str, message: str) -> None:
@@ -552,12 +613,27 @@ def _run_resilient(
         else:
             give_up(task, error, message)
 
+    def finish_if_final(task: _Attempt, aux=None) -> None:
+        """Telemetry/aux bookkeeping once a point reached a terminal state."""
+        if task.index not in results:
+            return
+        if aux is not None:
+            profiles[task.index] = aux
+        if recorder is not None:
+            recorder.point_finished(task.index, results[task.index], aux)
+
+    def credit_attempt(slot: _WorkerSlot, now: float) -> None:
+        if recorder is not None and slot.dispatched_at is not None:
+            recorder.worker_attempt(slot.worker_id, now - slot.dispatched_at)
+
     def replace_worker(slot: _WorkerSlot) -> None:
         slot.kill()
+        if recorder is not None:
+            recorder.worker_retired(slot.worker_id)
         pool.remove(slot)
         outstanding = len(queue) + len(delayed) + sum(s.busy for s in pool)
         if outstanding > len(pool):
-            pool.append(_WorkerSlot(ctx))
+            pool.append(new_slot())
 
     try:
         while queue or delayed or any(slot.busy for slot in pool):
@@ -567,7 +643,7 @@ def _run_resilient(
             # Self-heal: never spin with queued work and no worker to take
             # it (every slot may have been killed since the last pass).
             if queue and all(slot.busy for slot in pool) and len(pool) < workers:
-                pool.append(_WorkerSlot(ctx))
+                pool.append(new_slot())
             for slot in pool:
                 if slot.busy or not queue:
                     continue
@@ -579,6 +655,8 @@ def _run_resilient(
                     )
                 try:
                     slot.dispatch(task, policy.timeout_s)
+                    if recorder is not None:
+                        recorder.point_dispatched(task.index, worker=slot.worker_id)
                 except (BrokenPipeError, OSError):
                     # The worker died between tasks; the attempt never
                     # started, so re-queue it uncharged.
@@ -609,22 +687,25 @@ def _run_resilient(
                     continue
                 if slot.conn in ready:
                     try:
-                        index, outcome = slot.conn.recv()
+                        index, outcome, aux = slot.conn.recv()
                     except (EOFError, OSError):
                         # Hard crash mid-point (segfault, OOM kill,
                         # os._exit): the pipe breaks before a result.
                         # Queue the retry *before* replacing the worker so
                         # the replacement head-count sees the pending work.
                         slot.task = None
+                        credit_attempt(slot, now)
                         retry_or_give_up(
                             task,
                             WorkerCrashError.__name__,
                             "worker process died mid-experiment",
                         )
+                        finish_if_final(task)
                         replace_worker(slot)
                         continue
                     slot.task = None
                     slot.deadline = None
+                    credit_attempt(slot, now)
                     if isinstance(outcome, PointFailure):
                         # An in-experiment exception spends a retry like a
                         # timeout or crash does (the docstring's "alike"):
@@ -639,6 +720,7 @@ def _run_resilient(
                             outcome.message,
                             final=outcome,
                         )
+                        finish_if_final(task, aux)
                         continue
                     if cache is not None:
                         # Persist before journaling DONE: resume trusts
@@ -646,13 +728,16 @@ def _run_resilient(
                         cache.put(task.config, outcome)
                     results[index] = outcome
                     _journal_final(journal, task.key, outcome, task.attempt)
+                    finish_if_final(task, aux)
                 elif slot.deadline is not None and now >= slot.deadline:
                     slot.task = None
+                    credit_attempt(slot, now)
                     retry_or_give_up(
                         task,
                         PointTimeoutError.__name__,
                         f"exceeded {policy.timeout_s:g}s wall-clock budget",
                     )
+                    finish_if_final(task)
                     replace_worker(slot)
     finally:
         for slot in pool:
@@ -663,16 +748,27 @@ def _run_resilient(
                     slot.conn.send(None)
                 slot.process.join(timeout=1.0)
                 slot.kill()
-    return results
+            if recorder is not None:
+                recorder.worker_retired(slot.worker_id)
+    return results, profiles
 
 
 def _run_batch(
-    configs: Sequence[ExperimentConfig], workers: int
-) -> List[Union[ExperimentResult, PointFailure]]:
+    configs: Sequence[ExperimentConfig],
+    workers: int,
+    collect_aux: bool = False,
+) -> List[tuple]:
+    """Run a plain (no-policy) batch, returning ``(outcome, aux)`` pairs.
+
+    ``aux`` is each point's :class:`~repro.obs.profile.PointProfile` when
+    ``collect_aux`` is set and ``None`` otherwise.
+    """
+    entry = _run_config_aux if collect_aux else _run_config
+    outcomes = None
     if workers > 1 and len(configs) > 1:
         try:
             with ProcessPoolExecutor(max_workers=min(workers, len(configs))) as pool:
-                return list(pool.map(_run_config, configs))
+                outcomes = list(pool.map(entry, configs))
         except (OSError, BrokenProcessPool, PermissionError) as exc:
             # Platforms without usable multiprocessing primitives (or a
             # pool torn down under us): degrade to in-process execution
@@ -683,7 +779,11 @@ def _run_batch(
                 RuntimeWarning,
                 stacklevel=3,
             )
-    return [_run_config(config) for config in configs]
+    if outcomes is None:
+        outcomes = [entry(config) for config in configs]
+    if collect_aux:
+        return outcomes
+    return [(outcome, None) for outcome in outcomes]
 
 
 def run_configs(
@@ -692,6 +792,7 @@ def run_configs(
     *legacy_args,
     policy: Optional[RetryPolicy] = None,
     journal: Optional[CheckpointJournal] = None,
+    recorder=None,
     **legacy_kwargs,
 ) -> List[Union[ExperimentResult, PointFailure]]:
     """Run experiments, optionally across processes, preserving order.
@@ -716,6 +817,12 @@ def run_configs(
         journal: Optional open :class:`CheckpointJournal` recording each
             point's lifecycle (keyed by :func:`config_content_hash`), so
             an interrupted sweep can be resumed and audited.
+        recorder: Optional
+            :class:`~repro.core.telemetry.TelemetryRecorder` fed the
+            executor's lifecycle events (one recorder per batch: spans
+            are keyed by submission index).  When ``options`` requests
+            telemetry, progress, or a ledger and no recorder is passed,
+            one is created for the duration of the call.
 
     Returns:
         One :class:`ExperimentResult` or :class:`PointFailure` per config.
@@ -727,43 +834,134 @@ def run_configs(
     if own_journal:
         journal = CheckpointJournal(opts.checkpoint)
         journal.open(fresh=not opts.resume)
+    if recorder is None and (
+        opts.telemetry or opts.progress is not None or opts.ledger is not None
+    ):
+        # Imported lazily: the default (telemetry-off) path never pays
+        # for the telemetry module.
+        from repro.core.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder()
+    if recorder is not None:
+        if recorder.total is None:
+            recorder.total = len(configs)
+        if opts.progress is not None and recorder.on_progress is None:
+            recorder.on_progress = opts.progress
+    if isinstance(opts.cache_dir, ResultCache):
+        cache: Optional[ResultCache] = opts.cache_dir
+    else:
+        cache = ResultCache(opts.cache_dir) if opts.cache_dir is not None else None
+    configs = list(configs)
     try:
-        return _execute_configs(
-            list(configs),
+        outcomes = _execute_configs(
+            configs,
             n_workers=opts.n_workers,
-            cache_dir=opts.cache_dir,
+            cache=cache,
             tracer=opts.tracer,
             profiler=opts.profiler,
             policy=policy,
             journal=journal,
+            recorder=recorder,
         )
     finally:
         if own_journal:
             journal.close()
+    if opts.ledger is not None:
+        from repro.core.ledger import RunLedger, point_record
+
+        ledger = (
+            opts.ledger
+            if isinstance(opts.ledger, RunLedger)
+            else RunLedger(opts.ledger)
+        )
+        for index, (config, outcome) in enumerate(zip(configs, outcomes)):
+            ledger.append(
+                point_record(config, outcome, span=recorder.span(index))
+            )
+    return outcomes
+
+
+def _merge_profiles(profiler, aux_profiles) -> None:
+    """Fold worker-side point profiles into a parent profiler.
+
+    Called with profiles in submission order so a pooled run reports the
+    same profiler contents (up to timing noise) as an in-process run.
+    """
+    for aux in aux_profiles:
+        if aux is not None:
+            profiler.record(aux.label, aux.wall_s, aux.sim_events, aux.sim_time_s)
+
+
+def _run_pending_inprocess(
+    configs: List[ExperimentConfig],
+    pending: List[int],
+    key_for,
+    policy: Optional[RetryPolicy],
+    journal: Optional[CheckpointJournal],
+    cache: Optional[ResultCache],
+    tracer,
+    profiler,
+    recorder,
+) -> List[Union[ExperimentResult, PointFailure]]:
+    """In-process execution of the pending points, with telemetry hooks."""
+    fresh: List[Union[ExperimentResult, PointFailure]] = []
+    for i in pending:
+        if recorder is not None:
+            recorder.point_dispatched(i)
+        scratch = None
+        use_profiler = profiler
+        if recorder is not None and profiler is None:
+            # Telemetry wants per-point run cost even when the caller
+            # did not ask for a profiler; profiling is passive, so the
+            # scratch profiler cannot change the outcome.
+            scratch = RunProfiler()
+            use_profiler = scratch
+        before = len(profiler.points) if profiler is not None else 0
+        outcome = _run_point_inprocess(
+            configs[i],
+            key_for(i),
+            policy,
+            journal,
+            cache,
+            tracer=tracer,
+            profiler=use_profiler,
+        )
+        if recorder is not None:
+            if scratch is not None:
+                profile = scratch.points[-1] if scratch.points else None
+            else:
+                profile = (
+                    profiler.points[-1]
+                    if len(profiler.points) > before
+                    else None
+                )
+            recorder.point_finished(i, outcome, profile)
+        fresh.append(outcome)
+    return fresh
 
 
 def _execute_configs(
     configs: List[ExperimentConfig],
     *,
     n_workers: Optional[int],
-    cache_dir: Optional[Union[str, Path, ResultCache]],
+    cache: Optional[ResultCache],
     tracer,
     profiler,
     policy: Optional[RetryPolicy],
     journal: Optional[CheckpointJournal],
+    recorder=None,
 ) -> List[Union[ExperimentResult, PointFailure]]:
     """The execution engine behind :func:`run_configs` (resolved knobs).
 
-    ``cache_dir`` reads/writes results keyed by
-    :func:`config_content_hash` (failures are never cached); a tracer or
-    profiler forces in-process execution regardless of ``n_workers`` --
-    results are identical either way (that equivalence is under test).
+    ``cache`` reads/writes results keyed by :func:`config_content_hash`
+    (failures are never cached).  A tracer forces in-process execution
+    regardless of ``n_workers`` (events cannot cross a process boundary
+    in order); a profiler no longer does -- pool workers ship their
+    per-point profiles back and the parent merges them in submission
+    order.  Results are identical on every path (that equivalence is
+    under test).
     """
     workers = resolve_workers(n_workers)
-    if isinstance(cache_dir, ResultCache):
-        cache: Optional[ResultCache] = cache_dir
-    else:
-        cache = ResultCache(cache_dir) if cache_dir is not None else None
 
     keys: Dict[int, str] = {}
 
@@ -778,55 +976,75 @@ def _execute_configs(
         cached = cache.get(config) if cache is not None else None
         if cached is not None:
             outcomes[index] = cached
+            if recorder is not None:
+                recorder.point_cached(index, key_for(index), config.describe())
             if journal is not None:
                 journal.record(key_for(index), PointState.DONE, detail="cached")
         else:
+            if recorder is not None:
+                recorder.point_enqueued(index, key_for(index), config.describe())
             pending.append(index)
 
     if pending:
         resilient = policy is not None and policy.resilient
-        if tracer is not None or profiler is not None:
+        collect_aux = profiler is not None or recorder is not None
+        pooled = workers > 1 and len(pending) > 1
+        if tracer is not None:
             if resilient and policy.timeout_s is not None:
                 warnings.warn(
-                    "tracing/profiling forces in-process execution; "
-                    "per-point timeouts cannot be enforced without a "
-                    "worker process to kill",
+                    "tracing forces in-process execution; per-point "
+                    "timeouts cannot be enforced without a worker "
+                    "process to kill",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            fresh = [
-                _run_point_inprocess(
-                    configs[i],
-                    key_for(i),
-                    policy,
-                    journal,
-                    cache,
-                    tracer=tracer,
-                    profiler=profiler,
-                )
-                for i in pending
-            ]
-        elif resilient:
+            fresh = _run_pending_inprocess(
+                configs, pending, key_for, policy, journal, cache,
+                tracer, profiler, recorder,
+            )
+        elif resilient or (recorder is not None and pooled):
+            # Telemetry without a policy still runs on the owned pool:
+            # it is the only pooled path with per-dispatch visibility,
+            # and with the default policy (no timeout, no retries) it
+            # behaves exactly like the plain pool.
+            pool_policy = policy if policy is not None else RetryPolicy()
             tasks = [
                 _Attempt(index=i, config=configs[i], key=key_for(i))
                 for i in pending
             ]
-            by_index = _run_resilient(tasks, workers, policy, journal, cache)
+            by_index, aux_by_index = _run_resilient(
+                tasks,
+                workers,
+                pool_policy,
+                journal,
+                cache,
+                recorder=recorder,
+                collect_aux=collect_aux,
+            )
             fresh = [by_index[i] for i in pending]
-        elif workers > 1 and len(pending) > 1:
+            if profiler is not None:
+                _merge_profiles(
+                    profiler, (aux_by_index.get(i) for i in pending)
+                )
+        elif pooled:
             if journal is not None:
                 for i in pending:
                     journal.record(key_for(i), PointState.IN_FLIGHT)
-            fresh = _run_batch([configs[i] for i in pending], workers)
+            pairs = _run_batch(
+                [configs[i] for i in pending], workers, collect_aux
+            )
+            fresh = [outcome for outcome, _ in pairs]
             for i, outcome in zip(pending, fresh):
                 if cache is not None and isinstance(outcome, ExperimentResult):
                     cache.put(configs[i], outcome)
                 _journal_final(journal, key_for(i), outcome, 1)
+            if profiler is not None:
+                _merge_profiles(profiler, (aux for _, aux in pairs))
         else:
-            fresh = [
-                _run_point_inprocess(configs[i], key_for(i), policy, journal, cache)
-                for i in pending
-            ]
+            fresh = _run_pending_inprocess(
+                configs, pending, key_for, policy, journal, cache,
+                None, profiler, recorder,
+            )
         for index, outcome in zip(pending, fresh):
             outcomes[index] = outcome
     return outcomes  # type: ignore[return-value]

@@ -20,6 +20,7 @@ from repro.core.options import UNSET, ExecutionOptions, coerce_execution_options
 from repro.faults.plan import FaultPlan
 from repro.core.parallel import (
     PointFailure,
+    ResultCache,
     RetryPolicy,
     SweepExecutionError,
     run_configs,
@@ -157,12 +158,18 @@ class SweepOutcome:
 
     ``validation`` carries the :class:`~repro.validate.report.ValidationReport`
     when the sweep ran with ``ExecutionOptions(validate=True)``; ``None``
-    means validation was not requested.
+    means validation was not requested.  ``telemetry`` carries the
+    :class:`~repro.core.telemetry.SweepTelemetry` snapshot (per-point
+    lifecycle spans, worker utilization, cache effectiveness) when the
+    sweep ran with ``ExecutionOptions(telemetry=True)``; ``None`` means
+    telemetry was not requested.  Both are passive observers: the
+    results are bit-identical with and without them.
     """
 
     results: dict[SweepPoint, ExperimentResult]
     failures: dict[SweepPoint, PointFailure]
     validation: Optional[object] = None
+    telemetry: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -211,6 +218,25 @@ def sweep_outcome(
     if opts.checkpoint is not None:
         journal = CheckpointJournal(opts.checkpoint)
         journal.open(fresh=not opts.resume)
+    recorder = None
+    cache = None
+    if opts.telemetry or opts.progress is not None or opts.ledger is not None:
+        # Imported lazily: telemetry is opt-in and the common path never
+        # pays for (or even imports) it.
+        from repro.core.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder()
+        if opts.progress is not None:
+            recorder.on_progress = opts.progress
+        if opts.cache_dir is not None:
+            # Resolve the cache here so its hit/miss statistics survive
+            # into the telemetry snapshot after run_configs returns.
+            cache = (
+                opts.cache_dir
+                if isinstance(opts.cache_dir, ResultCache)
+                else ResultCache(opts.cache_dir)
+            )
+            opts = opts.evolve(cache_dir=cache)
     points = list(grid.points())
     configs = [grid.config_for(point) for point in points]
     if opts.policy is not None:
@@ -225,6 +251,7 @@ def sweep_outcome(
             opts.evolve(timeout_s=None, retries=0, checkpoint=None, resume=False),
             policy=policy,
             journal=journal,
+            recorder=recorder,
         )
     finally:
         if journal is not None:
@@ -245,7 +272,34 @@ def sweep_outcome(
         validation = validate_results(results)
         if opts.tracer is not None and not validation.ok:
             emit_violations(validation, opts.tracer)
-    return SweepOutcome(results=results, failures=failures, validation=validation)
+    telemetry = None
+    if recorder is not None:
+        telemetry = recorder.finalize(
+            cache=cache.stats if cache is not None else None
+        )
+        if opts.ledger is not None:
+            from repro.core.ledger import RunLedger, run_record
+
+            ledger = (
+                opts.ledger
+                if isinstance(opts.ledger, RunLedger)
+                else RunLedger(opts.ledger)
+            )
+            ledger.append(
+                run_record(
+                    "sweep",
+                    telemetry=telemetry,
+                    validation=validation,
+                    points=len(points),
+                    failures=len(failures),
+                )
+            )
+    return SweepOutcome(
+        results=results,
+        failures=failures,
+        validation=validation,
+        telemetry=telemetry if opts.telemetry else None,
+    )
 
 
 def run_sweep(

@@ -3,10 +3,16 @@
 The paper's whole contribution is visibility into *why* device power
 changes; ``repro.obs`` gives the simulators the same visibility.  See
 ``events`` for the tracer and event taxonomy, ``metrics`` for sim-time
-aggregation, ``export`` for JSONL / Perfetto output, and ``profile`` for
-wall-clock runner telemetry.
+aggregation, ``aggregate`` for mergeable cross-point rollups, ``export``
+for JSONL / Perfetto output, and ``profile`` for wall-clock runner
+telemetry.
 """
 
+from repro.obs.aggregate import (
+    BucketedHistogram,
+    SweepRollup,
+    merge_snapshots,
+)
 from repro.obs.events import (
     EventKind,
     NULL_TRACER,
@@ -34,6 +40,7 @@ from repro.obs.metrics import (
 from repro.obs.profile import PointProfile, RunProfiler
 
 __all__ = [
+    "BucketedHistogram",
     "Counter",
     "EventKind",
     "Gauge",
@@ -46,11 +53,13 @@ __all__ = [
     "RunProfiler",
     "SimEvent",
     "StateTimer",
+    "SweepRollup",
     "TimeWeightedGauge",
     "Tracer",
     "event_to_dict",
     "events_to_chrome_trace",
     "load_jsonl",
+    "merge_snapshots",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_metrics_json",

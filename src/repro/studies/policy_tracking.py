@@ -146,14 +146,26 @@ def run(
     cache_dir=None,
     checkpoint=None,
     resume: bool = False,
+    ledger=None,
 ) -> PolicyTrackingResult:
     """Run the tracking study.
 
     ``faults`` applies to the *policy* runs only: the baselines stay
     clean so budget derivation (and its cache keys) cannot drift with
     the fault plan under test.
+
+    ``ledger`` (a path or :class:`~repro.core.ledger.RunLedger`) appends
+    one provenance record per point plus a study-level summary carrying
+    the validation verdict, so ``repro report`` can audit the study
+    later.  Purely passive: results are identical with or without it.
     """
-    options = ExecutionOptions(n_workers=n_workers, cache_dir=cache_dir)
+    if ledger is not None:
+        from repro.core.ledger import RunLedger
+
+        ledger = ledger if isinstance(ledger, RunLedger) else RunLedger(ledger)
+    options = ExecutionOptions(
+        n_workers=n_workers, cache_dir=cache_dir, ledger=ledger
+    )
     journal = None
     if checkpoint is not None:
         journal = CheckpointJournal(checkpoint)
@@ -201,6 +213,21 @@ def run(
         checked=len(everything),
         invariants=RESULT_INVARIANTS,
     )
+    if ledger is not None:
+        from repro.core.ledger import run_record
+        from repro.core.parallel import ResultCache
+
+        ledger.append(
+            run_record(
+                "policy",
+                validation=validation,
+                points=len(everything),
+                failures=0,
+                cache=cache_dir.stats
+                if isinstance(cache_dir, ResultCache)
+                else None,
+            )
+        )
     return PolicyTrackingResult(
         baselines=baselines, results=results, validation=validation
     )

@@ -116,6 +116,7 @@ def emit_violations(report: ValidationReport, tracer) -> int:
     from repro.obs.events import EventKind
 
     for violation in report.violations:
+        # obs-guard: cold path (violations only); NullTracer drops events
         tracer.emit(
             EventKind.VIOLATION,
             "validate",

@@ -356,3 +356,45 @@ class TestRunConfigs:
                 assert isinstance(outcome, PointFailure)
             else:
                 assert outcome.mean_power_w > 0
+
+
+class TestPooledProfiler:
+    """The profiler works *across* the process pool: per-worker point
+    profiles ship back over the pipe and merge into the parent profiler
+    in submission order (it used to silently force in-process)."""
+
+    def test_pooled_profiles_merge_in_submission_order(self):
+        import warnings
+
+        from repro.core.options import ExecutionOptions
+        from repro.obs.profile import RunProfiler
+
+        grid = small_grid()
+        configs = [grid.config_for(p) for p in grid.points()]
+        profiler = RunProfiler()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any fallback warning fails
+            outcomes = run_configs(
+                configs,
+                ExecutionOptions(n_workers=2, profiler=profiler),
+            )
+        assert len(outcomes) == len(configs)
+        assert [p.label for p in profiler.points] == [
+            c.describe() for c in configs
+        ]
+        assert all(p.wall_s > 0 for p in profiler.points)
+        assert all(p.sim_events > 0 for p in profiler.points)
+
+    def test_pooled_profiler_is_passive(self):
+        from repro.core.options import ExecutionOptions
+        from repro.obs.profile import RunProfiler
+
+        grid = small_grid()
+        configs = [grid.config_for(p) for p in grid.points()]
+        plain = run_configs(configs, ExecutionOptions(n_workers=2))
+        profiled = run_configs(
+            configs, ExecutionOptions(n_workers=2, profiler=RunProfiler())
+        )
+        for a, b in zip(plain, profiled):
+            assert a.mean_power_w == b.mean_power_w
+            assert a.throughput_bps == b.throughput_bps

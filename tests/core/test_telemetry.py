@@ -1,0 +1,300 @@
+"""Tests for sweep-scale executor telemetry (repro.core.telemetry)."""
+
+import pytest
+
+from repro.core.options import ExecutionOptions
+from repro.core.parallel import CacheStats
+from repro.core.sweep import SweepGrid, sweep_outcome
+from repro.core.telemetry import (
+    PointSpan,
+    ProgressUpdate,
+    SweepTelemetry,
+    TelemetryRecorder,
+    WorkerStats,
+    point_status,
+)
+from repro.iogen.spec import IoPattern, JobSpec
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+class _Outcome:
+    def __init__(self, error_type=None, attempts=None):
+        if error_type is not None:
+            self.error_type = error_type
+        if attempts is not None:
+            self.attempts = attempts
+
+
+class TestPointStatus:
+    def test_result_maps_to_done(self):
+        assert point_status(object()) == "done"
+
+    def test_failure_kinds_stay_distinguishable(self):
+        assert point_status(_Outcome("PointTimeoutError")) == "timeout"
+        assert point_status(_Outcome("WorkerCrashError")) == "crashed"
+        assert point_status(_Outcome("ValueError")) == "failed"
+
+
+class TestRecorderLifecycle:
+    def test_span_captures_queue_wait_and_total(self):
+        clock = FakeClock()
+        recorder = TelemetryRecorder(clock=clock)
+        recorder.point_enqueued(0, "abc123", "pt A")
+        clock.tick(0.5)  # queued for half a second
+        recorder.point_dispatched(0, worker=2)
+        clock.tick(2.0)  # ran for two
+        recorder.point_finished(0, _Outcome())
+        span = recorder.span(0)
+        assert span.status == "done"
+        assert span.attempts == 1
+        assert span.worker == 2
+        assert span.queue_wait_s == pytest.approx(0.5)
+        assert span.total_s == pytest.approx(2.5)
+        assert span.key == "abc123"
+
+    def test_retries_accumulate_attempts(self):
+        clock = FakeClock()
+        recorder = TelemetryRecorder(clock=clock)
+        recorder.point_enqueued(0, "k", "pt")
+        recorder.point_dispatched(0, worker=0)
+        clock.tick(1.0)
+        recorder.point_dispatched(0, worker=1)  # retry on a new slot
+        clock.tick(1.0)
+        recorder.point_finished(0, _Outcome())
+        span = recorder.span(0)
+        assert span.attempts == 2
+        assert span.worker == 1
+
+    def test_failure_attempts_override_dispatch_count(self):
+        """A PointFailure knows its true attempt count (the recorder may
+        have seen fewer dispatches, e.g. after a worker replacement)."""
+        recorder = TelemetryRecorder(clock=FakeClock())
+        recorder.point_enqueued(0, "k", "pt")
+        recorder.point_dispatched(0)
+        recorder.point_finished(0, _Outcome("PointTimeoutError", attempts=3))
+        assert recorder.span(0).attempts == 3
+        assert recorder.span(0).status == "timeout"
+
+    def test_cached_points_skip_dispatch(self):
+        recorder = TelemetryRecorder(clock=FakeClock())
+        recorder.point_cached(0, "k", "pt")
+        span = recorder.span(0)
+        assert span.status == "cached"
+        assert span.attempts == 1
+        assert span.run_s == 0.0
+
+    def test_unfinished_point_has_no_span(self):
+        recorder = TelemetryRecorder(clock=FakeClock())
+        recorder.point_enqueued(0, "k", "pt")
+        assert recorder.span(0) is None
+        assert recorder.span(99) is None
+
+    def test_worker_utilization(self):
+        clock = FakeClock()
+        recorder = TelemetryRecorder(clock=clock)
+        recorder.worker_spawned(0)
+        recorder.worker_attempt(0, busy_s=3.0)
+        clock.tick(4.0)
+        recorder.worker_retired(0)
+        telemetry = recorder.finalize()
+        (worker,) = telemetry.workers
+        assert worker.attempts == 1
+        assert worker.alive_s == pytest.approx(4.0)
+        assert worker.utilization == pytest.approx(0.75)
+
+    def test_finalize_folds_cache_stats(self):
+        recorder = TelemetryRecorder(clock=FakeClock())
+        recorder.point_cached(0, "k", "pt")
+        stats = CacheStats(hits=1, misses=2, puts=2)
+        telemetry = recorder.finalize(cache=stats)
+        assert telemetry.cache["hits"] == 1
+        assert telemetry.cache["hit_rate"] == pytest.approx(1 / 3)
+
+
+class TestProgress:
+    def test_callback_fires_on_every_terminal_event(self):
+        clock = FakeClock()
+        recorder = TelemetryRecorder(clock=clock)
+        recorder.total = 3
+        seen = []
+        recorder.on_progress = seen.append
+        recorder.point_cached(0, "k0", "pt0")
+        recorder.point_enqueued(1, "k1", "pt1")
+        recorder.point_dispatched(1)
+        clock.tick(2.0)
+        recorder.point_finished(1, _Outcome())
+        assert [u.done for u in seen] == [1, 2]
+        assert seen[-1].total == 3
+        assert seen[-1].cached == 1
+
+    def test_eta_extrapolates_over_executed_points_only(self):
+        # 2 done of which 1 cached, elapsed 2 s -> 2 s per executed
+        # point; 2 remaining -> eta 4 s.
+        update = ProgressUpdate(done=2, total=4, cached=1, failed=0,
+                                elapsed_s=2.0)
+        assert update.remaining == 2
+        assert update.eta_s == pytest.approx(4.0)
+
+    def test_eta_unknown_before_any_executed_sample(self):
+        update = ProgressUpdate(done=2, total=4, cached=2, failed=0,
+                                elapsed_s=1.0)
+        assert update.eta_s is None
+        assert "eta" not in update.describe()
+
+    def test_describe_mentions_failures_and_cached(self):
+        update = ProgressUpdate(done=3, total=4, cached=1, failed=1,
+                                elapsed_s=2.0)
+        text = update.describe()
+        assert "3/4 points" in text
+        assert "1 cached" in text
+        assert "1 failed" in text
+
+
+def _span(index, status="done", attempts=1, run_s=1.0, sim_events=100,
+          worker=None):
+    return PointSpan(
+        index=index, key=f"k{index}", label=f"pt{index}", status=status,
+        attempts=attempts, run_s=run_s, total_s=run_s,
+        sim_events=sim_events, worker=worker,
+    )
+
+
+class TestSweepTelemetry:
+    def test_tallies(self):
+        telemetry = SweepTelemetry(
+            spans=(
+                _span(0),
+                _span(1, status="cached", run_s=0.0, sim_events=0),
+                _span(2, status="timeout", attempts=3),
+            ),
+            wall_s=5.0,
+        )
+        assert telemetry.points == 3
+        assert telemetry.count("done") == 1
+        assert telemetry.count("cached") == 1
+        assert telemetry.retries == 2
+        assert telemetry.sim_events == 200
+        assert telemetry.events_per_second == pytest.approx(100.0)
+        assert [s.index for s in telemetry.incidents()] == [2]
+
+    def test_slowest_excludes_cache_hits(self):
+        telemetry = SweepTelemetry(
+            spans=(
+                _span(0, run_s=1.0),
+                _span(1, status="cached", run_s=0.0),
+                _span(2, run_s=3.0),
+            )
+        )
+        assert [s.index for s in telemetry.slowest(2)] == [2, 0]
+
+    def test_merge_shifts_indices_and_workers(self):
+        a = SweepTelemetry(
+            spans=(_span(0, worker=0),),
+            workers=(WorkerStats(worker=0, attempts=1, busy_s=1.0,
+                                 alive_s=2.0),),
+            wall_s=2.0,
+            cache={"hits": 1, "misses": 0, "corrupt": 0, "puts": 0,
+                   "hit_rate": 1.0},
+        )
+        b = SweepTelemetry(
+            spans=(_span(0, worker=0),),
+            workers=(WorkerStats(worker=0, attempts=1, busy_s=2.0,
+                                 alive_s=2.0),),
+            wall_s=3.0,
+            cache={"hits": 0, "misses": 1, "corrupt": 0, "puts": 1,
+                   "hit_rate": 0.0},
+        )
+        merged = a.merge(b)
+        assert [s.index for s in merged.spans] == [0, 1]
+        assert [w.worker for w in merged.workers] == [0, 1]
+        assert merged.wall_s == pytest.approx(5.0)
+        assert merged.cache["hits"] == 1
+        assert merged.cache["hit_rate"] == pytest.approx(0.5)
+
+    def test_merge_is_associative(self):
+        shards = [
+            SweepTelemetry(spans=(_span(0, run_s=float(i + 1)),),
+                           wall_s=float(i))
+            for i in range(3)
+        ]
+        left = shards[0].merge(shards[1]).merge(shards[2])
+        right = shards[0].merge(shards[1].merge(shards[2]))
+        assert left.snapshot() == right.snapshot()
+
+    def test_snapshot_is_json_shaped(self):
+        telemetry = SweepTelemetry(spans=(_span(0),), wall_s=1.0)
+        snap = telemetry.snapshot()
+        assert snap["points"] == 1
+        assert snap["by_status"] == {"done": 1}
+        assert snap["workers"] == []
+        assert snap["cache"] is None
+
+
+def _tiny_grid():
+    return SweepGrid(
+        device="ssd2",
+        patterns=(IoPattern.RANDREAD,),
+        block_sizes=(64 * 1024,),
+        iodepths=(4, 8),
+        base_job=JobSpec(
+            pattern=IoPattern.RANDREAD,
+            block_size=4096,
+            iodepth=1,
+            runtime_s=0.01,
+            size_limit_bytes=4 * 1024 * 1024,
+        ),
+    )
+
+
+class TestSweepIntegration:
+    def test_outcome_telemetry_none_by_default(self):
+        outcome = sweep_outcome(_tiny_grid(), ExecutionOptions())
+        assert outcome.telemetry is None
+
+    def test_inprocess_spans_and_passivity(self):
+        plain = sweep_outcome(_tiny_grid(), ExecutionOptions())
+        telemetered = sweep_outcome(
+            _tiny_grid(), ExecutionOptions(telemetry=True)
+        )
+        telemetry = telemetered.telemetry
+        assert telemetry.points == 2
+        assert telemetry.count("done") == 2
+        assert telemetry.sim_events > 0
+        assert all(s.run_s > 0 for s in telemetry.spans)
+        for point, result in plain.results.items():
+            other = telemetered.results[point]
+            assert other.mean_power_w == result.mean_power_w
+            assert other.throughput_bps == result.throughput_bps
+
+    def test_cache_hits_become_cached_spans(self, tmp_path):
+        opts = ExecutionOptions(cache_dir=tmp_path, telemetry=True)
+        first = sweep_outcome(_tiny_grid(), opts)
+        assert first.telemetry.count("cached") == 0
+        assert first.telemetry.cache["puts"] == 2
+        second = sweep_outcome(_tiny_grid(), opts)
+        assert second.telemetry.count("cached") == 2
+        assert second.telemetry.cache["hits"] == 2
+        assert second.telemetry.executed_wall_s == 0.0
+
+    def test_progress_callback_via_options(self):
+        updates = []
+        outcome = sweep_outcome(
+            _tiny_grid(),
+            ExecutionOptions(telemetry=True, progress=updates.append),
+        )
+        assert len(outcome.results) == 2
+        assert [u.done for u in updates] == [1, 2]
+        assert updates[-1].total == 2

@@ -125,6 +125,35 @@ class TestChromeTrace:
         loaded = json.loads(path.read_text())
         assert count == len(loaded["traceEvents"])
 
+    def test_round_trip_slices_balance_per_track(self, tmp_path):
+        """Written-then-reloaded traces keep B/E slices balanced on every
+        (pid, tid) track, with stack discipline -- Perfetto refuses or
+        misrenders tracks whose begin/end counts drift."""
+        events = make_events() + [
+            # A second, interleaved interval pair on another component of
+            # the same scope, so one track closing cannot mask another.
+            SimEvent(0.006, 9, EventKind.GC_START, "d.gc", "pt A",
+                     {"block": 10}),
+            SimEvent(0.008, 10, EventKind.GC_END, "d.gc", "pt A",
+                     {"block": 10, "relocated": 3}),
+        ]
+        path = tmp_path / "trace.json"
+        write_chrome_trace(events, path)
+        loaded = json.loads(path.read_text())
+        tracks = {}
+        for entry in loaded["traceEvents"]:
+            if entry["ph"] in ("B", "E"):
+                tracks.setdefault((entry["pid"], entry["tid"]), []).append(
+                    entry
+                )
+        assert tracks, "expected at least one slice track"
+        for track_entries in tracks.values():
+            depth = 0
+            for entry in sorted(track_entries, key=lambda e: e["ts"]):
+                depth += 1 if entry["ph"] == "B" else -1
+                assert depth >= 0, "E before matching B on a track"
+            assert depth == 0, "unbalanced B/E slices on a track"
+
     def test_non_json_fields_stringified(self):
         weird = [
             SimEvent(0.0, 1, EventKind.IO_SUBMIT, "d.io", None,

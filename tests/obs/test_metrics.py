@@ -121,6 +121,25 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().quantile(1.5)
 
+    def test_empty_quantile_is_zero(self):
+        """Nearest-rank on zero samples degrades to 0.0, never raises:
+        a collector that saw no IOs must still snapshot cleanly."""
+        h = Histogram()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_single_sample_quantiles_all_return_it(self):
+        """With one sample every nearest-rank quantile IS that sample --
+        the index min(count - 1, int(q * count)) clamps to 0."""
+        h = Histogram()
+        h.observe(42.5)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 42.5
+        snap = h.snapshot()
+        assert snap["p50"] == 42.5
+        assert snap["p99"] == 42.5
+        assert snap["min"] == snap["max"] == 42.5
+
 
 class TestMetricsRegistry:
     def test_get_or_create_by_name_and_labels(self):

@@ -31,6 +31,7 @@ PUBLIC_API = (
     "AsymmetricPlan",
     "AsymmetricPlanner",
     "AtaPowerMode",
+    "BucketedHistogram",
     "BudgetSchedule",
     "BudgetSignal",
     "CheckpointJournal",
@@ -69,18 +70,21 @@ PUBLIC_API = (
     "NvmeCli",
     "OnlinePowerController",
     "PointFailure",
+    "PointSpan",
     "PointState",
     "PolicySpec",
     "PolicySummary",
     "PowerAdaptivePlanner",
     "PowerMeter",
     "PowerThroughputModel",
+    "ProgressUpdate",
     "QUICK",
     "RedirectionDecision",
     "RedirectionPolicy",
     "ResultCache",
     "RetryPolicy",
     "RngStreams",
+    "RunLedger",
     "RunProfiler",
     "SimEvent",
     "StandbyProfile",
@@ -91,16 +95,20 @@ PUBLIC_API = (
     "SweepGrid",
     "SweepOutcome",
     "SweepPoint",
+    "SweepRollup",
+    "SweepTelemetry",
     "Tolerances",
     "Tracer",
     "ValidationReport",
     "Violation",
+    "WorkerStats",
     "WriteAbsorptionScenario",
     "build_device",
     "build_model",
     "build_policy",
     "check_power_mode",
     "idle_immediate",
+    "merge_snapshots",
     "parse_fault_plan",
     "run_configs",
     "run_demand_response",

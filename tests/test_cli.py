@@ -170,8 +170,14 @@ class TestCommands:
         assert main(argv) == 0
         first = capsys.readouterr().out
         assert len(list(tmp_path.glob("*.pkl"))) == 1
+        assert "cache: 0 hit(s), 1 miss(es)" in first
         assert main(argv) == 0  # served from cache
-        assert capsys.readouterr().out == first
+        second = capsys.readouterr().out
+        assert "cache: 1 hit(s), 0 miss(es) (100% hit rate)" in second
+        # The result rows themselves are identical either way; only the
+        # cache/executor summary lines differ between cold and warm runs.
+        table = first.split("\n\ncache:")[0]
+        assert second.startswith(table)
 
     def test_run_with_faults_prints_summary(self, capsys):
         code = main(
@@ -406,3 +412,88 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "power cut 20%" in out
         assert "curtail" in out
+
+
+class TestReportCommand:
+    def _sweep(self, tmp_path, extra=()):
+        return main(
+            [
+                "sweep", "--device", "ssd3", "--rw", "randread",
+                "--bs", "16k", "--iodepth", "1", "--iodepth", "8",
+                "--runtime", "0.01", "--size", "2M",
+                "--cache", str(tmp_path), *extra,
+            ]
+        )
+
+    def test_requires_a_ledger_source(self, capsys):
+        assert main(["report"]) == 2
+        assert "--ledger PATH or --cache DIR" in capsys.readouterr().out
+
+    def test_missing_ledger_exits_2(self, capsys, tmp_path):
+        assert main(["report", "--cache", str(tmp_path)]) == 2
+        assert "no ledger" in capsys.readouterr().out
+
+    def test_sweep_then_report(self, capsys, tmp_path):
+        assert self._sweep(tmp_path) == 0
+        sweep_out = capsys.readouterr().out
+        assert "executor:" in sweep_out  # telemetry footer with --cache
+        assert (tmp_path / "ledger.jsonl").exists()
+        assert main(["report", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Sweep health report" in out
+        assert "## Executor" in out
+        assert "## Cache" in out
+        assert "## Metrics rollup" in out
+        assert "## Validation" in out
+        assert "**OK**" in out
+
+    def test_warm_rerun_reports_cache_hits(self, capsys, tmp_path):
+        assert self._sweep(tmp_path) == 0
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["report", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 cached" in out or "2 hit(s)" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        import json as json_module
+
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["report", "--cache", str(tmp_path), "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["overview"]["points"] == 2
+        assert payload["executor"]["executed"] == 2
+
+    def test_explicit_ledger_path(self, capsys, tmp_path):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["report", "--ledger", str(ledger)]) == 0
+        assert "# Sweep health report" in capsys.readouterr().out
+
+    def test_policy_study_feeds_the_report(self, capsys, tmp_path):
+        """The acceptance path: a cached policy_tracking run, then a
+        report covering executor, cache, rollup and validation."""
+        argv = [
+            "policy", "--device", "ssd3", "--policy", "static", "--quick",
+            "--cache", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert main(argv + ["--resume"]) == 0
+        capsys.readouterr()
+        assert main(["report", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Executor" in out
+        assert "## Cache" in out
+        assert "## Metrics rollup" in out
+        assert "## Policy tracking" in out
+        assert "all invariants hold" in out
+        assert "ssd3/static" in out
+
+    def test_progress_paints_stderr(self, capsys, tmp_path):
+        assert self._sweep(tmp_path, extra=("--progress",)) == 0
+        captured = capsys.readouterr()
+        assert "2/2 points" in captured.err
+        assert captured.err.endswith("\n")  # finish() releases the line

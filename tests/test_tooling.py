@@ -10,6 +10,7 @@ import check_coverage  # noqa: E402
 import check_no_bare_except  # noqa: E402
 import check_no_bare_hash  # noqa: E402
 import check_no_print  # noqa: E402
+import check_obs_guards  # noqa: E402
 import check_test_quality  # noqa: E402
 
 
@@ -122,6 +123,75 @@ class TestNoPrintLint:
             "# print('commented out')\n"
         )
         assert check_no_print.main([str(tmp_path)]) == 0
+
+
+class TestObsGuardsLint:
+    def test_src_repro_is_clean(self):
+        """Every tracer emission must sit behind an ``enabled`` check (or
+        carry an explicit ``# obs-guard:`` justification): the zero-cost-
+        when-off promise dies one unguarded hot-loop emit at a time."""
+        assert check_obs_guards.main([]) == 0
+
+    def test_detects_unguarded_emit(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def step(tracer):\n"
+            "    tracer.emit(KIND, 'component', nbytes=4096)\n"
+        )
+        assert check_obs_guards.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2" in out
+        assert "unguarded" in out
+
+    def test_accepts_if_enabled_guard(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "def step(tracer):\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit(KIND, 'component')\n"
+        )
+        assert check_obs_guards.main([str(tmp_path)]) == 0
+
+    def test_accepts_early_return_guard(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "def trace_transition(tracer, state):\n"
+            "    if not tracer.enabled or state is None:\n"
+            "        return\n"
+            "    extra = compute(state)\n"
+            "    tracer.emit(KIND, 'component', extra=extra)\n"
+        )
+        assert check_obs_guards.main([str(tmp_path)]) == 0
+
+    def test_guard_does_not_leak_into_nested_function(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def outer(tracer):\n"
+            "    if not tracer.enabled:\n"
+            "        return\n"
+            "    def callback():\n"
+            "        tracer.emit(KIND, 'component')\n"
+            "    return callback\n"
+        )
+        assert check_obs_guards.main([str(tmp_path)]) == 1
+
+    def test_pragma_opts_out_with_reason(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "def cold_path(tracer):\n"
+            "    # obs-guard: callers hand in NULL_TRACER when off\n"
+            "    tracer.emit(KIND, 'component')\n"
+        )
+        assert check_obs_guards.main([str(tmp_path)]) == 0
+
+    def test_obs_package_is_exempt(self, tmp_path):
+        obs = tmp_path / "obs"
+        obs.mkdir()
+        (obs / "events.py").write_text(
+            "def set_scope(self, scope):\n"
+            "    self.emit(KIND, 'tracer', scope=scope)\n"
+        )
+        assert check_obs_guards.main([str(tmp_path)]) == 0
 
 
 class TestTestQualityLint:

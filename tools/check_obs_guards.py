@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Lint: every tracer emission in ``src/repro`` must be guard-gated.
+
+The observability layer's core promise is zero cost when off: a
+simulation run without ``--trace`` must not build event kwargs or touch
+the tracer's subscriber list in its hot loop.  The convention is to
+cheap-check ``tracer.enabled`` first::
+
+    if tracer.enabled:
+        tracer.emit(EventKind.IO_SUBMIT, component, nbytes=n)
+
+or to bail out of the whole helper early::
+
+    if not tracer.enabled or self._resident is None:
+        return
+    tracer.emit(...)
+
+This check walks the AST and flags any ``*.emit(...)`` call that is
+neither inside an ``if`` whose test reads an ``.enabled`` attribute nor
+preceded (in the same function) by an ``.enabled`` early-return guard.
+Call sites that are safe for a different, deliberate reason -- e.g. a
+cold path whose caller hands in a null-object tracer -- can opt out
+with an ``# obs-guard: <reason>`` comment on the call line or the line
+above it.
+
+``repro/obs`` itself is exempt: it *implements* the tracer, so its
+internal ``self.emit`` calls are behind the enabled check by
+construction.
+
+Run directly (``python tools/check_obs_guards.py``) or via the test
+suite (``tests/test_tooling.py``).  Exit status 0 = clean, 1 = violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List
+
+DEFAULT_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Comment marker exempting one emission (state the reason after it).
+PRAGMA = "# obs-guard:"
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _mentions_enabled(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+        for sub in ast.walk(node)
+    )
+
+
+def _has_pragma(lines: List[str], lineno: int) -> bool:
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(lines) and PRAGMA in lines[candidate - 1]:
+            return True
+    return False
+
+
+def _is_guarded(
+    call: ast.Call, parents: Dict[ast.AST, ast.AST]
+) -> bool:
+    node: ast.AST = call
+    while node in parents:
+        parent = parents[node]
+        if isinstance(parent, ast.If) and _mentions_enabled(parent.test):
+            return True
+        if isinstance(parent, _FUNCTIONS):
+            # An `if not tracer.enabled: return` (or raise) earlier in
+            # the same function guards everything after it.
+            for stmt in parent.body:
+                if stmt.lineno >= call.lineno:
+                    break
+                if (
+                    isinstance(stmt, ast.If)
+                    and _mentions_enabled(stmt.test)
+                    and stmt.body
+                    and isinstance(stmt.body[-1], (ast.Return, ast.Raise))
+                ):
+                    return True
+            # Guards do not cross function boundaries: a guarded outer
+            # function says nothing about a closure defined inside it.
+            return False
+        node = parent
+    return False
+
+
+def find_violations(root: Path) -> Iterator[str]:
+    """Yield ``path:line: source`` for every unguarded ``.emit(...)``."""
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative.parts and relative.parts[0] == "obs":
+            continue
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(path))
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+            ):
+                continue
+            if _has_pragma(lines, node.lineno):
+                continue
+            if _is_guarded(node, parents):
+                continue
+            line = lines[node.lineno - 1].strip()
+            yield f"{path}:{node.lineno}: {line}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    root = Path(argv[0]) if argv else DEFAULT_ROOT
+    violations = list(find_violations(root))
+    if violations:
+        print(
+            "unguarded tracer emission (wrap in `if tracer.enabled:` or "
+            f"justify with `{PRAGMA} <reason>`):"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
