@@ -1,0 +1,151 @@
+"""Engineering benchmark: control-plane fault-channel overhead.
+
+The control-plane hardening work makes three zero-cost promises:
+
+1. **Inert specs are free.**  A ``FaultPlan`` whose sensor/actuator
+   specs are constructed but all-default (no bias, unit gain, no
+   dropout/freeze windows, no drops/delay) must reproduce the
+   no-injector policy sweep **bit-identically**: the seams route through
+   :mod:`repro.faults.control` but distort nothing and draw no RNG.
+2. **The metered sense path is the legacy path.**  ``sense="meter"``
+   with no sensor spec reads the same rail-trace window the legacy
+   ``sense="rail"`` code read, so a clean metered run is bit-identical
+   to a clean rail run.
+3. **Watchdog-off never loads the chaos machinery.**  A policy run
+   without a watchdog spec must not import ``repro.policy.watchdog``,
+   and nothing outside ``repro chaos`` ever imports
+   ``repro.faults.campaign`` (proved here by module eviction).
+"""
+
+import sys
+from dataclasses import replace
+
+from repro._units import KiB, MiB
+from repro.core.options import ExecutionOptions
+from repro.core.sweep import SweepGrid, sweep_outcome
+from repro.faults import ActuatorFaultSpec, FaultPlan, SensorFaultSpec
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.policy import BudgetSchedule, PolicySpec
+
+
+def _grid(faults=None) -> SweepGrid:
+    return SweepGrid(
+        device="ssd2",
+        patterns=(IoPattern.RANDWRITE,),
+        block_sizes=(256 * KiB,),
+        iodepths=(8, 64),
+        base_job=JobSpec(
+            pattern=IoPattern.RANDWRITE,
+            block_size=4096,
+            iodepth=1,
+            runtime_s=0.05,
+            size_limit_bytes=32 * MiB,
+        ),
+        faults=faults,
+    )
+
+
+def _policy_spec(sense: str = "rail") -> PolicySpec:
+    return PolicySpec(
+        kind="feedback",
+        budget=BudgetSchedule.step(high_w=14.0, low_w=10.0, period_s=0.025),
+        interval_s=1.5e-3,
+        window_s=3e-3,
+        sense=sense,
+    )
+
+
+#: Constructed-but-all-default specs: every fault site short-circuits.
+INERT_PLAN = FaultPlan(sensor=SensorFaultSpec(), actuator=ActuatorFaultSpec())
+
+
+def _fingerprints(results):
+    return {
+        point: (
+            r.true_mean_power_w.hex(),
+            r.power.mean_w.hex(),
+            r.throughput_bps.hex(),
+            r.policy.decisions,
+            r.policy.samples,
+        )
+        for point, r in results.items()
+    }
+
+
+def _run(faults=None, sense="rail"):
+    return sweep_outcome(
+        _grid(faults),
+        ExecutionOptions(n_workers=1, policy=_policy_spec(sense)),
+    )
+
+
+def test_baseline_rail_sense(benchmark):
+    """The legacy path: rail-window sensing, no injector, no watchdog."""
+    outcome = benchmark.pedantic(lambda: _run(), iterations=1, rounds=3)
+    assert len(outcome.results) == 2
+    for result in outcome.results.values():
+        assert result.policy is not None
+        assert result.policy.degraded_fraction == 0.0
+
+
+def test_meter_sense_bit_identical(benchmark):
+    """A clean ``sense="meter"`` run must match ``sense="rail"`` bit for
+    bit: the SensedPower seam reads the identical rail-trace window."""
+    outcome = benchmark.pedantic(
+        lambda: _run(sense="meter"), iterations=1, rounds=3
+    )
+    baseline = _run()
+    assert _fingerprints(outcome.results) == _fingerprints(baseline.results)
+
+
+def test_inert_control_plane_bit_identical(benchmark):
+    """All-default sensor/actuator specs through the metered seam must
+    match the no-injector run bit for bit, at indistinguishable cost."""
+    outcome = benchmark.pedantic(
+        lambda: _run(faults=INERT_PLAN, sense="meter"),
+        iterations=1,
+        rounds=3,
+    )
+    baseline = _run()
+    assert _fingerprints(outcome.results) == _fingerprints(baseline.results)
+    for result in outcome.results.values():
+        assert result.faults.total == 0
+
+
+def test_watchdog_off_imports_nothing(benchmark):
+    """Evict the watchdog and campaign modules, run a watchdog-off
+    policy sweep, and prove neither was re-imported: the lazy seams are
+    the zero-cost mechanism."""
+    evicted = ("repro.policy.watchdog", "repro.faults.campaign")
+
+    def _evict_and_run():
+        for mod in evicted:
+            sys.modules.pop(mod, None)
+        return _run()
+
+    outcome = benchmark.pedantic(_evict_and_run, iterations=1, rounds=3)
+    for mod in evicted:
+        assert mod not in sys.modules
+    for result in outcome.results.values():
+        assert result.policy.watchdog_trips == 0
+
+
+def test_watchdog_armed_documented(benchmark):
+    """With the watchdog armed on a clean run it must never trip; the
+    row documents the cost of the per-tick health checks."""
+    from repro.policy import WatchdogSpec
+
+    spec = replace(
+        _policy_spec("meter"),
+        watchdog=WatchdogSpec(stale_after_s=3.0 * 1.5e-3),
+    )
+    outcome = benchmark.pedantic(
+        lambda: sweep_outcome(
+            _grid(), ExecutionOptions(n_workers=1, policy=spec)
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    for result in outcome.results.values():
+        assert result.policy.watchdog_trips == 0
+        assert result.policy.degraded_fraction == 0.0

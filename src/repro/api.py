@@ -65,7 +65,15 @@ from repro.core.tiering import AbsorptionResult, WriteAbsorptionScenario
 from repro.devices import DEVICE_PRESETS, build_device
 from repro.devices.base import IOKind, IORequest, IOResult, StorageDevice
 from repro.devices.link import LinkPowerMode
-from repro.faults import FaultInjector, FaultPlan, FaultSummary, parse_fault_plan
+from repro.faults import (
+    ActuatorFaultSpec,
+    FaultInjector,
+    FaultPlan,
+    FaultSummary,
+    SensorFaultSpec,
+    parse_fault_plan,
+    render_fault_plan,
+)
 from repro.iogen import IoPattern, JobSpec
 from repro.nvme.cli import NvmeCli
 from repro.obs import (
@@ -87,6 +95,7 @@ from repro.policy import (
     PolicySpec,
     PolicySummary,
     StaticCapPolicy,
+    WatchdogSpec,
     build_policy,
 )
 from repro.power.adc import AdcConfig
@@ -113,6 +122,7 @@ from repro.validate import (
 
 __all__ = [
     "AbsorptionResult",
+    "ActuatorFaultSpec",
     "AdaptivePlan",
     "AdcConfig",
     "AlpmController",
@@ -174,6 +184,7 @@ __all__ = [
     "RngStreams",
     "RunLedger",
     "RunProfiler",
+    "SensorFaultSpec",
     "SimEvent",
     "StandbyProfile",
     "StaticCapPolicy",
@@ -189,6 +200,7 @@ __all__ = [
     "Tracer",
     "ValidationReport",
     "Violation",
+    "WatchdogSpec",
     "WorkerStats",
     "WriteAbsorptionScenario",
     "build_device",
@@ -198,6 +210,7 @@ __all__ = [
     "idle_immediate",
     "merge_snapshots",
     "parse_fault_plan",
+    "render_fault_plan",
     "run_configs",
     "run_demand_response",
     "run_experiment",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Eight subcommands cover the workflows a user of the artifact needs:
+Nine subcommands cover the workflows a user of the artifact needs:
 
 - ``devices`` -- list the calibrated device presets;
 - ``run`` -- one experiment with fio-style options (the paper's inner
@@ -17,10 +17,16 @@ Eight subcommands cover the workflows a user of the artifact needs:
   (:mod:`repro.policy`) against time-varying budgets on each device and
   report harvested dynamic range vs. p99 cost, exiting non-zero on any
   invariant violation;
+- ``chaos`` -- run a control-plane chaos campaign
+  (:mod:`repro.faults.campaign`): enumerate sensor/actuator fault plans
+  against every controller family, validate each cell, shrink any
+  violation to a minimal ``--faults`` reproducer, and rank controllers
+  by harvested-range retention; exits non-zero on any violation;
 - ``report`` -- render a sweep health report (throughput trend, slowest
   points, cache effectiveness, retry/timeout incidents, policy tracking
-  rollups, validation verdicts) from the run ledger that ``sweep`` and
-  ``policy`` append beside their ``--cache`` directory;
+  rollups, chaos campaign verdicts, validation verdicts) from the run
+  ledger that ``sweep``, ``policy`` and ``chaos`` append beside their
+  ``--cache`` directory;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
 
@@ -311,6 +317,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="continue an interrupted study: requires --cache",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run a control-plane chaos campaign against the controllers",
+        description=(
+            "Enumerate control-plane fault plans (lying/dead meters, "
+            "lossy/stuck actuators, governor failures) against each "
+            "controller family, validate every cell against the "
+            "physics and budget-safety invariants, shrink violations "
+            "to minimal --faults reproducers, and rank controllers by "
+            "harvested-range retention and p99 blowup.  Exit status 1 "
+            "if any cell violated an invariant."
+        ),
+    )
+    chaos_p.add_argument(
+        "--device",
+        action="append",
+        choices=sorted(DEVICE_PRESETS),
+        help="device to attack; repeat for several (default: ssd2)",
+    )
+    chaos_p.add_argument(
+        "--controllers",
+        action="append",
+        choices=("all",) + POLICY_KINDS + ("unsafe",),
+        help="controller family; repeat for several; 'all' adds the "
+        "deliberately-unsafe fixture to the shipped families "
+        "(default: all)",
+    )
+    chaos_p.add_argument(
+        "--budget-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on executed fault cells (deterministic coverage-first "
+        "sampling; default: the full grid)",
+    )
+    chaos_p.add_argument(
+        "--no-watchdog",
+        action="store_true",
+        help="disarm the safe-mode watchdog (measures the unprotected "
+        "controllers)",
+    )
+    chaos_p.add_argument(
+        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
+    )
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="worker processes: a positive integer or 'all' "
+        "(default 1 = in-process)",
+    )
+    chaos_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; also appends campaign records to "
+        "DIR/ledger.jsonl for `repro report`",
     )
 
     report_p = sub.add_parser(
@@ -747,6 +813,34 @@ def _cmd_policy(args: argparse.Namespace) -> tuple[str, int]:
     return policy_tracking.render(result), 0 if result.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
+    from pathlib import Path
+
+    from repro.core.parallel import ResultCache
+    from repro.studies import chaos_resilience
+    from repro.studies.common import DEFAULT, QUICK
+
+    controllers = None
+    if args.controllers and "all" not in args.controllers:
+        controllers = tuple(dict.fromkeys(args.controllers))
+    cache = ResultCache(args.cache) if args.cache else None
+    ledger = Path(args.cache) / "ledger.jsonl" if args.cache else None
+    result = chaos_resilience.run(
+        scale=QUICK if args.quick else DEFAULT,
+        n_workers=args.workers,
+        seed=args.seed,
+        devices=tuple(args.device) if args.device else ("ssd2",),
+        controllers=controllers,
+        budget_cells=args.budget_cells,
+        watchdog=not args.no_watchdog,
+        cache_dir=cache,
+        ledger=ledger,
+    )
+    # Validation runs post-hoc over the returned results, cache hits
+    # included, so the exit code cannot be laundered by a warm cache.
+    return chaos_resilience.render(result), 0 if result.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> tuple[str, int]:
     import json
     from pathlib import Path
@@ -811,6 +905,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return code
     elif args.command == "policy":
         text, code = _cmd_policy(args)
+        print(text)
+        return code
+    elif args.command == "chaos":
+        text, code = _cmd_chaos(args)
         print(text)
         return code
     elif args.command == "report":

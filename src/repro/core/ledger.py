@@ -121,6 +121,10 @@ def _result_summary(result) -> dict:
             "set_point_changes": result.policy.set_point_changes,
             "mean_abs_error_w": result.policy.mean_abs_error_w(),
             "max_overshoot_w": result.policy.max_overshoot_w,
+            "degraded_fraction": getattr(
+                result.policy, "degraded_fraction", 0.0
+            ),
+            "watchdog_trips": getattr(result.policy, "watchdog_trips", 0),
         }
     return summary
 

@@ -177,6 +177,20 @@ def _policy_section(points: List[dict]) -> dict:
     return out
 
 
+def _chaos_section(runs: List[dict]) -> Optional[dict]:
+    """The latest chaos campaign's digest, verbatim from its run record.
+
+    The campaign writes its own compact summary (controller ranking,
+    violation totals, minimized reproducers) under the ``chaos`` key of
+    its close-out record; the report surfaces the most recent one.
+    """
+    for run in reversed(runs):
+        chaos = run.get("chaos")
+        if chaos:
+            return chaos
+    return None
+
+
 def _validation_section(runs: List[dict]) -> Optional[dict]:
     checked = 0
     violations: Dict[str, int] = {}
@@ -242,6 +256,9 @@ def build_report(records: List[dict]) -> dict:
     policy = _policy_section(points)
     if policy:
         report["policy"] = policy
+    chaos = _chaos_section(runs)
+    if chaos is not None:
+        report["chaos"] = chaos
     validation = _validation_section(runs)
     if validation is not None:
         report["validation"] = validation
@@ -366,6 +383,38 @@ def render_markdown(report: dict) -> str:
                 ],
             )
         )
+
+    if "chaos" in report:
+        chaos = report["chaos"]
+        lines.extend(["", "## Chaos resilience", ""])
+        lines.append(
+            f"- {chaos.get('cells', 0)} cell(s), watchdog "
+            f"{'armed' if chaos.get('watchdog') else 'off'}, "
+            f"{chaos.get('violations', 0)} violation(s)"
+        )
+        lines.append("")
+        lines.extend(
+            _md_table(
+                ["Controller", "Harvest retained", "Max p99", "Violations"],
+                [
+                    [
+                        controller,
+                        f"{group.get('harvest_retained', 0.0):.1%}",
+                        f"{group.get('max_p99_blowup', 0.0):.2f}x",
+                        str(group.get("violations", 0)),
+                    ]
+                    for controller, group in (
+                        chaos.get("controllers") or {}
+                    ).items()
+                ],
+            )
+        )
+        for repro in chaos.get("reproducers") or []:
+            lines.append(
+                f"- reproducer: {repro.get('device')}/"
+                f"{repro.get('controller')} [{repro.get('plan')}]: "
+                f"--faults '{repro.get('faults')}'"
+            )
 
     lines.extend(["", "## Validation", ""])
     if "validation" in report:

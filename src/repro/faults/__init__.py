@@ -5,7 +5,12 @@
 - :mod:`repro.faults.injector` -- the runtime :class:`FaultInjector`
   devices consult at their fault sites, plus the zero-cost
   :data:`NULL_INJECTOR` default;
-- :mod:`repro.faults.spec` -- the ``--faults`` CLI grammar.
+- :mod:`repro.faults.spec` -- the ``--faults`` CLI grammar (parse and
+  canonical render);
+- :mod:`repro.faults.control` -- the sensor/actuator seam policies run
+  through (imported lazily by the policy runtime);
+- :mod:`repro.faults.campaign` -- the chaos campaign harness (imported
+  only by ``repro chaos`` / the chaos study, never from here).
 """
 
 from repro.faults.injector import (
@@ -15,17 +20,20 @@ from repro.faults.injector import (
     NullFaultInjector,
 )
 from repro.faults.plan import (
+    ActuatorFaultSpec,
     FaultPlan,
     GovernorFailureSpec,
     IoErrorSpec,
     LatencySpikeSpec,
+    SensorFaultSpec,
     SpinupFailureSpec,
     StuckTransitionSpec,
     ThermalThrottleSpec,
 )
-from repro.faults.spec import FaultSpecError, parse_fault_plan
+from repro.faults.spec import FaultSpecError, parse_fault_plan, render_fault_plan
 
 __all__ = [
+    "ActuatorFaultSpec",
     "FaultInjector",
     "FaultPlan",
     "FaultSpecError",
@@ -35,8 +43,10 @@ __all__ = [
     "LatencySpikeSpec",
     "NULL_INJECTOR",
     "NullFaultInjector",
+    "SensorFaultSpec",
     "SpinupFailureSpec",
     "StuckTransitionSpec",
     "ThermalThrottleSpec",
     "parse_fault_plan",
+    "render_fault_plan",
 ]

@@ -231,6 +231,33 @@ class FaultInjector:
         self._record("spinup_failure", component, attempts=attempts)
         return attempts
 
+    # -- control-plane sites (called from repro.faults.control) ------------
+
+    def sense_fault(self, fault: str, component: str, **fields) -> None:
+        """Account (and trace) one control-plane fault occurrence.
+
+        Public wrapper over :meth:`_record` for the sensor/actuator seam
+        (:mod:`repro.faults.control`), which lives outside this module
+        but must feed the same :class:`FaultSummary` accounting.
+        """
+        self._record(fault, component, **fields)
+
+    def actuator_dropped(self, component: str, target_w: float) -> bool:
+        """Whether this cap command is silently dropped.
+
+        Draws from the keyed ``faults.<component>.actuator`` stream only
+        when a positive drop probability is configured, so plans without
+        command drops leave the stream untouched.
+        """
+        spec = self.plan.actuator
+        if spec is None or spec.drop_p <= 0.0:
+            return False
+        stream = self._stream(f"{component}.actuator")
+        dropped = float(stream.random()) < spec.drop_p
+        if dropped:
+            self._record("actuator_dropped", component, target_w=target_w)
+        return dropped
+
     # -- episode processes -------------------------------------------------
 
     def install(self, device) -> None:

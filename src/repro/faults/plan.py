@@ -29,6 +29,13 @@ Taxonomy (one spec per mechanism):
   maximum draw, ignoring all later cap commands.
 - :class:`SpinupFailureSpec` -- HDD spin-up attempts that abort mid-surge
   and retry (motor stiction / supply droop).
+- :class:`SensorFaultSpec` -- control-plane sensing faults: the policy's
+  power meter reads with bias, gain error, quantization, stale-sample
+  lag, and dropout/freeze windows (only bites when the policy senses
+  through the meter path, ``PolicySpec(sense="meter")``).
+- :class:`ActuatorFaultSpec` -- control-plane actuation faults: cap
+  commands dropped, applied late, applied partially, or ignored outright
+  after a stuck-at time.
 """
 
 from __future__ import annotations
@@ -37,10 +44,12 @@ from dataclasses import dataclass, fields
 from typing import Optional
 
 __all__ = [
+    "ActuatorFaultSpec",
     "FaultPlan",
     "GovernorFailureSpec",
     "IoErrorSpec",
     "LatencySpikeSpec",
+    "SensorFaultSpec",
     "SpinupFailureSpec",
     "StuckTransitionSpec",
     "ThermalThrottleSpec",
@@ -219,6 +228,173 @@ class SpinupFailureSpec:
             raise ValueError("backoff must be non-negative")
 
 
+def _check_window(
+    label: str,
+    start_s: Optional[float],
+    duration_s: float,
+    every_s: Optional[float],
+) -> None:
+    """Validate one (start, duration, period) fault window triple."""
+    if duration_s < 0:
+        raise ValueError(f"{label} duration must be non-negative")
+    if start_s is None:
+        if duration_s or every_s is not None:
+            raise ValueError(
+                f"{label} duration/period need a {label} start time"
+            )
+        return
+    if start_s < 0:
+        raise ValueError(f"{label} start must be non-negative")
+    if duration_s <= 0:
+        raise ValueError(f"{label} window needs a positive duration")
+    if every_s is not None and every_s <= duration_s:
+        raise ValueError(
+            f"{label} repeat period must exceed the window duration"
+        )
+
+
+def _window_active(
+    now: float,
+    start_s: Optional[float],
+    duration_s: float,
+    every_s: Optional[float],
+) -> bool:
+    if start_s is None or now < start_s:
+        return False
+    offset = now - start_s
+    if every_s is not None:
+        offset %= every_s
+    return offset < duration_s
+
+
+@dataclass(frozen=True)
+class SensorFaultSpec:
+    """Control-plane sensing faults on the policy's power-meter path.
+
+    Only consulted when a policy senses through the meter seam
+    (``PolicySpec(sense="meter")``); the legacy rail-trace path is
+    ground truth by construction and cannot be distorted.  An
+    all-default spec is the identity: readings pass through unchanged
+    and no RNG stream is ever touched (asserted bit-identical by
+    ``benchmarks/bench_chaos_overhead.py``).
+
+    Attributes:
+        bias_w: Additive offset on every reading (watts).
+        gain: Multiplicative gain error (1.0 = calibrated).
+        quant_w: Quantization step; readings snap to multiples of it
+            (0 = continuous).
+        lag_s: Stale-sample lag: readings reflect the rail this many
+            seconds in the past.
+        dropout_start_s: Start of a window during which the meter
+            returns *no* new samples -- the last reading is held and its
+            reported age grows (a watchdog can see the staleness).
+        dropout_duration_s: Dropout window length.
+        dropout_every_s: Period for recurring dropouts; ``None`` one-shot.
+        freeze_start_s: Start of a window during which the meter
+            *lies*: it latches the value read at window entry and keeps
+            reporting it as fresh (age 0) -- detectable only by noticing
+            consecutive identical samples.
+        freeze_duration_s: Freeze window length.
+        freeze_every_s: Period for recurring freezes; ``None`` one-shot.
+    """
+
+    bias_w: float = 0.0
+    gain: float = 1.0
+    quant_w: float = 0.0
+    lag_s: float = 0.0
+    dropout_start_s: Optional[float] = None
+    dropout_duration_s: float = 0.0
+    dropout_every_s: Optional[float] = None
+    freeze_start_s: Optional[float] = None
+    freeze_duration_s: float = 0.0
+    freeze_every_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.gain > 0:
+            raise ValueError(f"sensor gain must be positive, got {self.gain!r}")
+        if self.quant_w < 0:
+            raise ValueError("quantization step must be non-negative")
+        if self.lag_s < 0:
+            raise ValueError("sensor lag must be non-negative")
+        _check_window(
+            "dropout",
+            self.dropout_start_s,
+            self.dropout_duration_s,
+            self.dropout_every_s,
+        )
+        _check_window(
+            "freeze",
+            self.freeze_start_s,
+            self.freeze_duration_s,
+            self.freeze_every_s,
+        )
+
+    @property
+    def distorts(self) -> bool:
+        """Whether any steady-state distortion is configured."""
+        return (
+            self.bias_w != 0.0
+            or self.gain != 1.0
+            or self.quant_w > 0.0
+            or self.lag_s > 0.0
+        )
+
+    def dropout_at(self, now: float) -> bool:
+        """Whether ``now`` falls inside a dropout window."""
+        return _window_active(
+            now, self.dropout_start_s, self.dropout_duration_s,
+            self.dropout_every_s,
+        )
+
+    def freeze_at(self, now: float) -> bool:
+        """Whether ``now`` falls inside a freeze window."""
+        return _window_active(
+            now, self.freeze_start_s, self.freeze_duration_s,
+            self.freeze_every_s,
+        )
+
+
+@dataclass(frozen=True)
+class ActuatorFaultSpec:
+    """Control-plane actuation faults on the policy's command path.
+
+    Only bites on commands issued by a :class:`~repro.policy.runtime.
+    PolicyRuntime`; device-internal governor behaviour (including the
+    §4.1 :class:`GovernorFailureSpec`) is a separate mechanism.  An
+    all-default spec is the identity: every command applies immediately
+    and in full, and no RNG stream is ever touched.
+
+    Attributes:
+        drop_p: Per-command chance the command is silently dropped
+            (drawn from the keyed ``faults.<component>.actuator``
+            stream, so faulted runs replay bit for bit).
+        delay_s: Commands apply this many seconds late; a newer command
+            issued before an older one lands supersedes it.
+        partial: Fraction of the commanded *change* that actually
+            applies (1.0 = full authority).  The first command applies
+            in full -- partial authority is a slew problem, not an
+            offset problem.
+        stuck_at_s: From this sim time on, the actuator ignores every
+            command and holds whatever was last applied.
+    """
+
+    drop_p: float = 0.0
+    delay_s: float = 0.0
+    partial: float = 1.0
+    stuck_at_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.drop_p)
+        if self.delay_s < 0:
+            raise ValueError("actuator delay must be non-negative")
+        if not 0.0 < self.partial <= 1.0:
+            raise ValueError(
+                f"partial authority must be in (0, 1], got {self.partial!r}"
+            )
+        if self.stuck_at_s is not None and self.stuck_at_s < 0:
+            raise ValueError("stuck-at time must be non-negative")
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Everything that goes wrong in one experiment.
@@ -235,6 +411,8 @@ class FaultPlan:
     stuck_transitions: Optional[StuckTransitionSpec] = None
     governor_failure: Optional[GovernorFailureSpec] = None
     spinup_failure: Optional[SpinupFailureSpec] = None
+    sensor: Optional[SensorFaultSpec] = None
+    actuator: Optional[ActuatorFaultSpec] = None
 
     @property
     def active(self) -> bool:

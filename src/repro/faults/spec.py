@@ -1,4 +1,4 @@
-"""Parse ``--faults`` command-line specifications into a FaultPlan.
+"""Parse and render ``--faults`` specifications (a FaultPlan grammar).
 
 Grammar (semicolon-separated clauses, comma-separated ``key=value`` args)::
 
@@ -14,31 +14,112 @@ Kinds and their arguments (times in seconds, probabilities in [0, 1]):
 - ``stuck:p=0.5[,max=2][,targets=nvme_ps|alpm|epc]``
 - ``governor:at=0.02``
 - ``spinup:p=1.0[,retries=2][,fraction=0.4][,backoff=0.5]``
+- ``sensor:[bias=-0.5][,gain=0.8][,quant=0.25][,lag=0.004]``
+  ``[,drop_at=0.02,drop_dur=0.01[,drop_every=0.04]]``
+  ``[,freeze_at=0.02,freeze_dur=0.01[,freeze_every=0.04]]``
+- ``actuator:[drop=0.5][,delay=0.004][,partial=0.4][,stuck_at=0.03]``
+
+The grammar round-trips: :func:`render_fault_plan` emits a canonical
+spec string that :func:`parse_fault_plan` parses back to an equal plan
+(property-tested).  The chaos shrinker depends on this -- a minimized
+reproducer is only useful if it can be pasted straight back into
+``--faults``.
 
 >>> plan = parse_fault_plan("io_error:p=0.05;governor:at=0.02")
 >>> plan.io_errors.probability
 0.05
->>> plan.governor_failure.at_s
-0.02
+>>> parse_fault_plan(render_fault_plan(plan)) == plan
+True
 """
 
 from __future__ import annotations
 
+from dataclasses import fields
+
 from repro.faults.plan import (
+    ActuatorFaultSpec,
     FaultPlan,
     GovernorFailureSpec,
     IoErrorSpec,
     LatencySpikeSpec,
+    SensorFaultSpec,
     SpinupFailureSpec,
     StuckTransitionSpec,
     ThermalThrottleSpec,
 )
 
-__all__ = ["FaultSpecError", "parse_fault_plan"]
+__all__ = ["FaultSpecError", "parse_fault_plan", "render_fault_plan"]
 
 
 class FaultSpecError(ValueError):
     """A ``--faults`` specification that does not parse."""
+
+
+#: Integer-typed spec fields (everything else non-tuple parses as float).
+_INT_FIELDS = ("max_retries", "max_stuck")
+
+#: Per-kind ``arg key -> dataclass field`` maps.  One table drives both
+#: directions: parsing (key -> field) and rendering (field -> key).
+_CLAUSE_ARGS: dict[str, dict[str, str]] = {
+    "io_error": {
+        "p": "probability",
+        "cost": "retry_cost_s",
+        "retries": "max_retries",
+    },
+    "spike": {
+        "at": "start_s",
+        "dur": "duration_s",
+        "extra": "extra_s",
+        "every": "repeat_every_s",
+    },
+    "throttle": {
+        "at": "start_s",
+        "dur": "duration_s",
+        "scale": "cap_scale",
+        "every": "repeat_every_s",
+    },
+    "stuck": {
+        "p": "probability",
+        "max": "max_stuck",
+        "targets": "targets",
+    },
+    "governor": {"at": "at_s"},
+    "spinup": {
+        "p": "probability",
+        "retries": "max_retries",
+        "fraction": "abort_fraction",
+        "backoff": "backoff_s",
+    },
+    "sensor": {
+        "bias": "bias_w",
+        "gain": "gain",
+        "quant": "quant_w",
+        "lag": "lag_s",
+        "drop_at": "dropout_start_s",
+        "drop_dur": "dropout_duration_s",
+        "drop_every": "dropout_every_s",
+        "freeze_at": "freeze_start_s",
+        "freeze_dur": "freeze_duration_s",
+        "freeze_every": "freeze_every_s",
+    },
+    "actuator": {
+        "drop": "drop_p",
+        "delay": "delay_s",
+        "partial": "partial",
+        "stuck_at": "stuck_at_s",
+    },
+}
+
+_CLAUSE_SPECS = {
+    "io_error": IoErrorSpec,
+    "spike": LatencySpikeSpec,
+    "throttle": ThermalThrottleSpec,
+    "stuck": StuckTransitionSpec,
+    "governor": GovernorFailureSpec,
+    "spinup": SpinupFailureSpec,
+    "sensor": SensorFaultSpec,
+    "actuator": ActuatorFaultSpec,
+}
 
 
 def _parse_args(kind: str, text: str, allowed: dict[str, str]) -> dict:
@@ -61,7 +142,7 @@ def _parse_args(kind: str, text: str, allowed: dict[str, str]) -> dict:
         field = allowed[key]
         if field == "targets":
             out[field] = tuple(value.split("|"))
-        elif field in ("max_retries", "max_stuck"):
+        elif field in _INT_FIELDS:
             out[field] = int(value)
         else:
             try:
@@ -77,7 +158,7 @@ def parse_fault_plan(spec: str) -> FaultPlan:
     """Parse a ``--faults`` string into a :class:`FaultPlan`.
 
     Raises :class:`FaultSpecError` (a ``ValueError``) on any malformed
-    clause, naming the clause and the valid vocabulary.
+    clause, naming the offending clause and the valid vocabulary.
     """
     io_errors = None
     spikes: list[LatencySpikeSpec] = []
@@ -85,6 +166,8 @@ def parse_fault_plan(spec: str) -> FaultPlan:
     stuck = None
     governor = None
     spinup = None
+    sensor = None
+    actuator = None
     for raw in spec.split(";"):
         clause = raw.strip()
         if not clause:
@@ -92,52 +175,29 @@ def parse_fault_plan(spec: str) -> FaultPlan:
         kind, _, argtext = clause.partition(":")
         kind = kind.strip()
         try:
-            if kind == "io_error":
-                args = _parse_args(kind, argtext, {
-                    "p": "probability",
-                    "cost": "retry_cost_s",
-                    "retries": "max_retries",
-                })
-                io_errors = IoErrorSpec(**args)
-            elif kind == "spike":
-                args = _parse_args(kind, argtext, {
-                    "at": "start_s",
-                    "dur": "duration_s",
-                    "extra": "extra_s",
-                    "every": "repeat_every_s",
-                })
-                spikes.append(LatencySpikeSpec(**args))
-            elif kind == "throttle":
-                args = _parse_args(kind, argtext, {
-                    "at": "start_s",
-                    "dur": "duration_s",
-                    "scale": "cap_scale",
-                    "every": "repeat_every_s",
-                })
-                throttle = ThermalThrottleSpec(**args)
-            elif kind == "stuck":
-                args = _parse_args(kind, argtext, {
-                    "p": "probability",
-                    "max": "max_stuck",
-                    "targets": "targets",
-                })
-                stuck = StuckTransitionSpec(**args)
-            elif kind == "governor":
-                args = _parse_args(kind, argtext, {"at": "at_s"})
-                governor = GovernorFailureSpec(**args)
-            elif kind == "spinup":
-                args = _parse_args(kind, argtext, {
-                    "p": "probability",
-                    "retries": "max_retries",
-                    "fraction": "abort_fraction",
-                    "backoff": "backoff_s",
-                })
-                spinup = SpinupFailureSpec(**args)
-            else:
+            if kind not in _CLAUSE_ARGS:
                 raise FaultSpecError(
                     f"unknown fault kind {kind!r}; valid: "
-                    "io_error, spike, throttle, stuck, governor, spinup"
+                    + ", ".join(_CLAUSE_ARGS)
                 )
+            args = _parse_args(kind, argtext, _CLAUSE_ARGS[kind])
+            built = _CLAUSE_SPECS[kind](**args)
+            if kind == "io_error":
+                io_errors = built
+            elif kind == "spike":
+                spikes.append(built)
+            elif kind == "throttle":
+                throttle = built
+            elif kind == "stuck":
+                stuck = built
+            elif kind == "governor":
+                governor = built
+            elif kind == "spinup":
+                spinup = built
+            elif kind == "sensor":
+                sensor = built
+            else:
+                actuator = built
         except TypeError as exc:
             # A spec dataclass missing a required argument.
             raise FaultSpecError(
@@ -160,7 +220,75 @@ def parse_fault_plan(spec: str) -> FaultPlan:
         stuck_transitions=stuck,
         governor_failure=governor,
         spinup_failure=spinup,
+        sensor=sensor,
+        actuator=actuator,
     )
     if not plan.active:
         raise FaultSpecError(f"fault spec {spec!r} configures no faults")
     return plan
+
+
+def _render_value(value) -> str:
+    if isinstance(value, tuple):
+        return "|".join(value)
+    if isinstance(value, bool):  # pragma: no cover - no bool fields today
+        raise TypeError("fault specs carry no boolean arguments")
+    if isinstance(value, int):
+        return str(value)
+    # repr() of a float round-trips exactly through float() (PEP 3101
+    # shortest-repr), which is what makes render/parse an identity.
+    return repr(float(value))
+
+
+def _render_clause(kind: str, spec_obj) -> str:
+    """One canonical clause: args in table order, defaults omitted."""
+    arg_map = _CLAUSE_ARGS[kind]
+    defaults = {
+        f.name: f.default for f in fields(type(spec_obj))
+    }
+    parts = []
+    for key, field in arg_map.items():
+        value = getattr(spec_obj, field)
+        if value is None:
+            continue
+        if value == defaults.get(field):
+            # Omit arguments at their dataclass default (required fields
+            # have no default and are always emitted): the canonical
+            # form is the shortest spelling that parses back equal.
+            continue
+        parts.append(f"{key}={_render_value(value)}")
+    return f"{kind}:{','.join(parts)}" if parts else kind
+
+
+def render_fault_plan(plan: FaultPlan) -> str:
+    """Render ``plan`` as a canonical ``--faults`` string.
+
+    The output re-parses to an equal plan::
+
+        parse_fault_plan(render_fault_plan(plan)) == plan
+
+    for every plan with at least one configured fault (an inert plan has
+    no grammar spelling: :func:`parse_fault_plan` rejects specs that
+    configure nothing).  The chaos shrinker round-trips every candidate
+    through this to guarantee reproducers paste back into ``--faults``.
+    """
+    if not plan.active:
+        raise ValueError("an inert FaultPlan has no --faults spelling")
+    clauses = []
+    if plan.io_errors is not None:
+        clauses.append(_render_clause("io_error", plan.io_errors))
+    for spike in plan.latency_spikes:
+        clauses.append(_render_clause("spike", spike))
+    if plan.thermal_throttle is not None:
+        clauses.append(_render_clause("throttle", plan.thermal_throttle))
+    if plan.stuck_transitions is not None:
+        clauses.append(_render_clause("stuck", plan.stuck_transitions))
+    if plan.governor_failure is not None:
+        clauses.append(_render_clause("governor", plan.governor_failure))
+    if plan.spinup_failure is not None:
+        clauses.append(_render_clause("spinup", plan.spinup_failure))
+    if plan.sensor is not None:
+        clauses.append(_render_clause("sensor", plan.sensor))
+    if plan.actuator is not None:
+        clauses.append(_render_clause("actuator", plan.actuator))
+    return ";".join(clauses)

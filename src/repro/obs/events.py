@@ -90,6 +90,11 @@ class EventKind(enum.Enum):
     #: :mod:`repro.policy`; fields carry ``target_w``, ``budget_w`` and
     #: the sensed ``measured_w`` at the decision tick).
     SET_POINT = "set_point"
+    #: The policy watchdog latched safe mode / re-armed the controller.
+    #: Instants, not an interval pair: a run may end mid-incident, and
+    #: ``PolicySummary.watchdog_episodes`` carries the span accounting.
+    WATCHDOG_DEGRADE = "watchdog_degrade"
+    WATCHDOG_REARM = "watchdog_rearm"
     #: Free-form annotation (scope boundaries, experiment markers).
     MARK = "mark"
 

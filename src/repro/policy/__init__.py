@@ -16,6 +16,9 @@ EPC -- expose a real dynamic range; this package asks whether an online
 - :mod:`repro.policy.runtime` -- :class:`PolicyRuntime`, the in-engine
   loop wiring sensing and actuation to a device (imported lazily by the
   experiment driver; inert runs never load it).
+- :mod:`repro.policy.watchdog` -- the safe-mode :class:`Watchdog`
+  armed by ``PolicySpec.watchdog`` (imported lazily by the runtime;
+  watchdog-off runs never load it).
 
 Attach a policy with ``ExperimentConfig(policy=PolicySpec(...))`` or
 sweep-wide via ``ExecutionOptions(policy=...)``; score it with the
@@ -27,9 +30,15 @@ from repro.policy.controllers import (
     FeedbackBudgetPolicy,
     HysteresisLadderPolicy,
     StaticCapPolicy,
+    UnsafeTrustingPolicy,
     build_policy,
 )
-from repro.policy.spec import POLICY_KINDS, BudgetSchedule, PolicySpec
+from repro.policy.spec import (
+    POLICY_KINDS,
+    BudgetSchedule,
+    PolicySpec,
+    WatchdogSpec,
+)
 
 __all__ = [
     "POLICY_KINDS",
@@ -41,5 +50,7 @@ __all__ = [
     "PolicySpec",
     "PolicySummary",
     "StaticCapPolicy",
+    "UnsafeTrustingPolicy",
+    "WatchdogSpec",
     "build_policy",
 ]

@@ -81,6 +81,14 @@ class PolicySummary:
             tuples, oldest first.
         max_overshoot_w: Largest observed excess of the measured mean
             over the instantaneous budget (0 if never exceeded).
+        degraded_fraction: Fraction of decision ticks spent in watchdog
+            safe mode (0.0 when no watchdog was armed).
+        watchdog_trips: Safe-mode entries during the run.
+        watchdog_episodes: ``(t_enter, t_exit_or_None, reason)`` per
+            safe-mode episode; ``t_exit`` is ``None`` if the run ended
+            still degraded.
+        safe_cap_w: The static cap safe mode pins, or ``None`` when no
+            watchdog was armed.
     """
 
     spec: PolicySpec
@@ -91,6 +99,10 @@ class PolicySummary:
     sample_stride: int
     samples: tuple[tuple[float, float, float, float], ...]
     max_overshoot_w: float
+    degraded_fraction: float = 0.0
+    watchdog_trips: int = 0
+    watchdog_episodes: tuple = ()
+    safe_cap_w: Optional[float] = None
 
     def mean_abs_error_w(self) -> float:
         """Mean |measured - budget| over the retained samples."""

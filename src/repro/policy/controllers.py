@@ -29,6 +29,7 @@ __all__ = [
     "FeedbackBudgetPolicy",
     "HysteresisLadderPolicy",
     "StaticCapPolicy",
+    "UnsafeTrustingPolicy",
     "build_policy",
 ]
 
@@ -169,10 +170,55 @@ class HysteresisLadderPolicy:
         return rungs[self._index]
 
 
+class UnsafeTrustingPolicy:
+    """Deliberately broken: trusts the sensor, skips the budget clamp.
+
+    The chaos campaign's seeded-violation fixture (kind ``"unsafe"``,
+    excluded from :data:`~repro.policy.spec.POLICY_KINDS` so it never
+    enters normal grids).  It is the :class:`FeedbackBudgetPolicy`
+    without its safety contract: the commanded target is clamped only to
+    the actuator's physical range, never to the instantaneous budget.
+    With a clean meter the feedback loop happens to settle near the
+    budget; feed it a low-reading sensor (``sensor:bias=-1.5``) and it
+    integrates the phantom headroom straight past the budget -- exactly
+    the violation ``budget_safety_under_faults`` exists to catch, and
+    the case that proves the campaign harness can find and shrink one.
+    """
+
+    def __init__(
+        self,
+        spec: PolicySpec,
+        floor_w: float,
+        ceiling_w: float,
+        rungs: tuple[float, ...],
+    ) -> None:
+        self.spec = spec
+        self._floor_w = floor_w
+        self._ceiling_w = ceiling_w
+        self._target_w: float | None = None
+
+    def reset(self) -> None:
+        self._target_w = None
+
+    def decide(self, obs: PolicyObservation) -> float:
+        if self._target_w is None:
+            self._target_w = max(
+                self._floor_w, min(obs.budget_w, self._ceiling_w)
+            )
+            return self._target_w
+        raw = self._target_w + self.spec.gain * (
+            obs.budget_w - obs.measured_w
+        )
+        # No min(..., budget_w) clamp: the bug under test.
+        self._target_w = max(self._floor_w, min(raw, self._ceiling_w))
+        return self._target_w
+
+
 _CONTROLLERS = {
     "static": StaticCapPolicy,
     "feedback": FeedbackBudgetPolicy,
     "ladder": HysteresisLadderPolicy,
+    "unsafe": UnsafeTrustingPolicy,
 }
 
 

@@ -14,12 +14,25 @@ Determinism contract:
   intensity wave yet replay exactly from the seed.  The stream is only
   ever created here -- an inert run draws nothing and stays
   bit-identical to a build without this package.
-- Sensing reads the rail trace (ground truth), not the sampled meter,
-  so controller behaviour does not depend on meter part tolerance.
+- Sensing is selected by ``PolicySpec.sense``.  The default,
+  ``"rail"``, reads the rail trace (ground truth) so controller
+  behaviour does not depend on meter part tolerance -- and is
+  bit-identical to every run before the seam existed.  ``"meter"``
+  senses through :class:`repro.faults.control.SensedPower`, the meter
+  path the fault plan's sensor spec can bias, freeze, or kill; a clean
+  meter computes the same trailing mean, so ``sense="meter"`` without
+  sensor faults changes no numbers either.
 - Actuation is skipped when the commanded target is unchanged.  This is
   not an optimisation: a redundant ``governor.set_cap`` still drains
   the admission queue against *live* power and would perturb grant
   timing, so "no decision change" must mean "no device interaction".
+  (The watchdog's safe mode is the one exception: a degraded tick
+  re-commands the safe cap unconditionally so a lossy actuator cannot
+  starve it, which is acceptable precisely because safe mode already
+  forfeits bit-comparability with the clean run.)
+- When the fault plan carries an actuator spec, commands route through
+  :class:`repro.faults.control.PolicyActuator`; otherwise the runtime
+  calls the device directly -- the seam costs clean runs nothing.
 
 Actuator mapping per device class:
 
@@ -41,6 +54,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.events import EventKind
 from repro.policy.api import PolicyObservation, PolicySummary
 from repro.policy.controllers import build_policy
@@ -111,6 +125,43 @@ class PolicyRuntime:
         )
         self.controller.reset()
         self._rng = rngs.get("policy.interval")
+        # Control-plane seams.  All three are optional and imported
+        # lazily: the legacy rail-sensing, direct-actuation,
+        # watchdog-off configuration builds none of them and never
+        # imports repro.faults.control or repro.policy.watchdog.
+        injector = getattr(device, "faults", NULL_INJECTOR)
+        plan = getattr(injector, "plan", None)
+        sensor_spec = plan.sensor if plan is not None else None
+        actuator_spec = plan.actuator if plan is not None else None
+        self._sensed = None
+        if spec.sense == "meter":
+            from repro.faults.control import SensedPower
+
+            self._sensed = SensedPower(
+                device, spec.window_s, sensor_spec, injector
+            )
+        self._actuator = None
+        if actuator_spec is not None:
+            from repro.faults.control import PolicyActuator
+
+            self._actuator = PolicyActuator(
+                engine,
+                self._actuate,
+                self._component,
+                actuator_spec,
+                injector,
+            )
+        #: The tightest sustainable static cap: the schedule's minimum
+        #: budget clamped to the actuator's physical range.  Safe mode
+        #: pins this, and it never exceeds max(budget, floor) at any t.
+        self.safe_cap_w = max(
+            self.floor_w, min(spec.budget.min_w, self.ceiling_w)
+        )
+        self._watchdog = None
+        if spec.watchdog is not None:
+            from repro.policy.watchdog import Watchdog
+
+            self._watchdog = Watchdog(spec.watchdog, self.safe_cap_w)
         self._target_w: Optional[float] = None
         self._decisions = 0
         self._set_point_changes = 0
@@ -153,10 +204,61 @@ class PolicyRuntime:
 
     def _tick(self, now: float) -> None:
         spec = self.spec
-        measured_w = self.device.rail.trace.mean(
-            max(0.0, now - spec.window_s), now
-        )
+        if self._sensed is not None:
+            reading = self._sensed.read(now)
+            measured_w = reading.value_w
+            age_s = reading.age_s
+        else:
+            measured_w = self.device.rail.trace.mean(
+                max(0.0, now - spec.window_s), now
+            )
+            age_s = 0.0
         budget_w = spec.budget.watts_at(now)
+        watchdog = self._watchdog
+        if watchdog is not None:
+            transition = watchdog.step(
+                now,
+                age_s=age_s,
+                measured_w=measured_w,
+                budget_w=budget_w,
+                target_w=self._target_w,
+            )
+            tracer = self.engine.tracer
+            if transition == "degrade":
+                if tracer.enabled:
+                    tracer.emit(
+                        EventKind.WATCHDOG_DEGRADE,
+                        self._component,
+                        reason=watchdog.last_reason,
+                        safe_cap_w=self.safe_cap_w,
+                        measured_w=measured_w,
+                        budget_w=budget_w,
+                    )
+            elif transition == "rearm":
+                # Fresh start for the controller: its integrators and
+                # rung index accumulated through an incident it could
+                # not observe honestly.
+                self.controller.reset()
+                if tracer.enabled:
+                    tracer.emit(
+                        EventKind.WATCHDOG_REARM,
+                        self._component,
+                        measured_w=measured_w,
+                        budget_w=budget_w,
+                    )
+            if watchdog.degraded:
+                self._decisions += 1
+                # Re-command every degraded tick (force=True): a lossy
+                # or delayed actuator must not be allowed to starve the
+                # safe cap indefinitely.
+                self._command(
+                    self.safe_cap_w, budget_w, measured_w, force=True
+                )
+                overshoot = measured_w - budget_w
+                if overshoot > self._max_overshoot_w:
+                    self._max_overshoot_w = overshoot
+                self._record(now, budget_w, self.safe_cap_w, measured_w)
+                return
         obs = PolicyObservation(
             now=now,
             measured_w=measured_w,
@@ -166,23 +268,41 @@ class PolicyRuntime:
         )
         target_w = self.controller.decide(obs)
         self._decisions += 1
-        if target_w != self._target_w:
-            self._actuate(target_w)
-            self._target_w = target_w
-            self._set_point_changes += 1
-            tracer = self.engine.tracer
-            if tracer.enabled:
-                tracer.emit(
-                    EventKind.SET_POINT,
-                    self._component,
-                    target_w=target_w,
-                    budget_w=budget_w,
-                    measured_w=measured_w,
-                )
+        self._command(target_w, budget_w, measured_w)
         overshoot = measured_w - budget_w
         if overshoot > self._max_overshoot_w:
             self._max_overshoot_w = overshoot
         self._record(now, budget_w, target_w, measured_w)
+
+    def _command(
+        self,
+        target_w: float,
+        budget_w: float,
+        measured_w: float,
+        force: bool = False,
+    ) -> None:
+        """Route one commanded target through the (possibly faulted)
+        actuator, keeping the unchanged-target fast path."""
+        changed = target_w != self._target_w
+        if not changed and not force:
+            return
+        if self._actuator is not None:
+            self._actuator.command(target_w)
+        elif changed:
+            self._actuate(target_w)
+        if not changed:
+            return
+        self._target_w = target_w
+        self._set_point_changes += 1
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.SET_POINT,
+                self._component,
+                target_w=target_w,
+                budget_w=budget_w,
+                measured_w=measured_w,
+            )
 
     def _record(
         self, now: float, budget_w: float, target_w: float, measured_w: float
@@ -200,6 +320,7 @@ class PolicyRuntime:
     # -- results ---------------------------------------------------------
 
     def summary(self) -> PolicySummary:
+        wd = self._watchdog
         return PolicySummary(
             spec=self.spec,
             floor_w=self.floor_w,
@@ -209,4 +330,10 @@ class PolicyRuntime:
             sample_stride=self._stride,
             samples=tuple(self._samples),
             max_overshoot_w=self._max_overshoot_w,
+            degraded_fraction=wd.degraded_fraction if wd else 0.0,
+            watchdog_trips=wd.trips if wd else 0,
+            watchdog_episodes=(
+                tuple(tuple(e) for e in wd.episodes) if wd else ()
+            ),
+            safe_cap_w=self.safe_cap_w if wd else None,
         )

@@ -25,10 +25,17 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["POLICY_KINDS", "BudgetSchedule", "PolicySpec"]
+__all__ = ["POLICY_KINDS", "BudgetSchedule", "PolicySpec", "WatchdogSpec"]
 
 #: Controller kinds understood by :func:`repro.policy.build_policy`.
+#: ``unsafe`` (the deliberately-broken chaos fixture) is additionally
+#: accepted by :class:`PolicySpec` but kept out of this tuple so it never
+#: appears in ``--policy`` CLI choices or study grids by default.
 POLICY_KINDS = ("static", "feedback", "ladder")
+
+_EXTRA_KINDS = ("unsafe",)
+
+_SENSE_PATHS = ("rail", "meter")
 
 _SCHEDULE_SHAPES = ("constant", "step", "diurnal")
 
@@ -125,6 +132,59 @@ class BudgetSchedule:
 
 
 @dataclass(frozen=True)
+class WatchdogSpec:
+    """Tuning for the policy watchdog's fault detectors.
+
+    All three detectors feed one safe-mode latch: on any trip the
+    runtime abandons the controller and pins the tightest sustainable
+    static cap until the detectors stay quiet for ``rearm_ticks``
+    consecutive decisions.
+
+    Attributes:
+        stale_after_s: A sensor reading older than this trips the
+            staleness detector (meter dropout).
+        freeze_ticks: Consecutive bit-identical readings that trip the
+            frozen-sensor detector.
+        breach_w: Tracking-error guard band in watts: measured power
+            must exceed budget (or the commanded target, for the
+            non-response detector) by more than this to count as a
+            breach tick.
+        breach_ticks: Consecutive breach ticks that trip the
+            tracking-error / actuation-non-response detector.
+        rearm_ticks: Consecutive healthy ticks required before safe
+            mode re-arms the controller.
+    """
+
+    stale_after_s: float = 0.01
+    freeze_ticks: int = 8
+    breach_w: float = 1.0
+    breach_ticks: int = 6
+    rearm_ticks: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.stale_after_s > 0:
+            raise ValueError(
+                f"stale_after_s must be positive, got {self.stale_after_s!r}"
+            )
+        if self.freeze_ticks < 2:
+            raise ValueError(
+                f"freeze_ticks must be >= 2, got {self.freeze_ticks!r}"
+            )
+        if not self.breach_w > 0:
+            raise ValueError(
+                f"breach_w must be positive, got {self.breach_w!r}"
+            )
+        if self.breach_ticks < 1:
+            raise ValueError(
+                f"breach_ticks must be >= 1, got {self.breach_ticks!r}"
+            )
+        if self.rearm_ticks < 1:
+            raise ValueError(
+                f"rearm_ticks must be >= 1, got {self.rearm_ticks!r}"
+            )
+
+
+@dataclass(frozen=True)
 class PolicySpec:
     """Which controller to run, and how it senses and reacts.
 
@@ -148,6 +208,14 @@ class PolicySpec:
             the measured mean to the budget.
         sample_limit: Cap on retained ``(t, budget, target, measured)``
             samples; older samples are decimated by stride doubling.
+        sense: Which sensing path the runtime uses.  ``"rail"`` (the
+            default) reads the rail trace directly -- the legacy path,
+            bit-identical to every pre-seam run.  ``"meter"`` senses
+            through :class:`repro.faults.control.SensedPower`, the seam
+            the fault plan's sensor spec distorts.
+        watchdog: Optional :class:`WatchdogSpec` arming the safe-mode
+            watchdog.  ``None`` (the default) never imports the
+            watchdog module.
     """
 
     kind: str
@@ -160,12 +228,25 @@ class PolicySpec:
     slo_p99_s: Optional[float] = None
     settle_intervals: int = 6
     sample_limit: int = 512
+    sense: str = "rail"
+    watchdog: Optional[WatchdogSpec] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in POLICY_KINDS:
+        if self.kind not in POLICY_KINDS + _EXTRA_KINDS:
             raise ValueError(
                 f"unknown policy kind {self.kind!r}; "
-                f"expected one of {POLICY_KINDS}"
+                f"expected one of {POLICY_KINDS + _EXTRA_KINDS}"
+            )
+        if self.sense not in _SENSE_PATHS:
+            raise ValueError(
+                f"unknown sense path {self.sense!r}; "
+                f"expected one of {_SENSE_PATHS}"
+            )
+        if self.watchdog is not None and not isinstance(
+            self.watchdog, WatchdogSpec
+        ):
+            raise TypeError(
+                f"watchdog must be a WatchdogSpec, got {self.watchdog!r}"
             )
         if not isinstance(self.budget, BudgetSchedule):
             raise TypeError(

@@ -43,7 +43,7 @@ from repro.studies.common import DEFAULT, StudyScale, point_config
 from repro.validate.checkers import RESULT_INVARIANTS, check_result
 from repro.validate.report import Tolerances, ValidationReport
 
-__all__ = ["DEVICES", "PolicyTrackingResult", "render", "run"]
+__all__ = ["DEVICES", "PolicyTrackingResult", "render", "run", "spec_for"]
 
 #: The paper's four catalog devices, in its presentation order.
 DEVICES = ("ssd1", "ssd2", "ssd3", "hdd")
@@ -62,14 +62,16 @@ def _runtime_s(device: str, scale: StudyScale) -> float:
     return scale.hdd_runtime_s if device == "hdd" else scale.ssd_runtime_s
 
 
-def _spec_for(
+def spec_for(
     device: str, kind: str, baseline_mean_w: float, scale: StudyScale
 ) -> PolicySpec:
     """A policy spec whose budget exercises the device's dynamic range.
 
     Budgets are fractions of the *baseline* mean so every device is
     stressed relative to its own draw; the schedule period is tied to
-    the run length so each run sees multiple budget phases.
+    the run length so each run sees multiple budget phases.  Public:
+    the chaos campaign (:mod:`repro.faults.campaign`) reuses these
+    specs so its cells stress controllers exactly like this study does.
     """
     runtime_s = _runtime_s(device, scale)
     if device == "hdd":
@@ -187,7 +189,7 @@ def run(
         pairs = [(device, kind) for device in devices for kind in policies]
         policy_configs: list[ExperimentConfig] = []
         for device, kind in pairs:
-            spec = _spec_for(
+            spec = spec_for(
                 device, kind, baselines[device].true_mean_power_w, scale
             )
             policy_configs.append(

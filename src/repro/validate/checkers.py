@@ -33,6 +33,9 @@ RESULT_INVARIANTS = (
     "cap_adherence",
     "latency_ordering",
     "budget_tracking",
+    "budget_safety_under_faults",
+    "watchdog_liveness",
+    "safe_mode_entry",
     "slo_adherence",
 )
 
@@ -313,6 +316,22 @@ def _check_latency_ordering(result: ExperimentResult, tol: Tolerances):
         )
 
 
+def _control_plane_faulted(result: ExperimentResult) -> bool:
+    """Whether the run's fault plan distorts sensing or actuation.
+
+    Duck-typed off the config's fault plan (this module never imports
+    :mod:`repro.faults`): the plan is only consulted for the presence of
+    its ``sensor``/``actuator`` specs.
+    """
+    plan = getattr(result.config, "faults", None)
+    if plan is None:
+        return False
+    return (
+        getattr(plan, "sensor", None) is not None
+        or getattr(plan, "actuator", None) is not None
+    )
+
+
 def _check_budget_tracking(result: ExperimentResult, tol: Tolerances):
     """A policy must track its budget schedule.
 
@@ -327,8 +346,12 @@ def _check_budget_tracking(result: ExperimentResult, tol: Tolerances):
     - The *measured* trailing mean must sit under the most generous
       budget the schedule offered over the trailing measurement-plus-
       convergence span.  Skipped under governor failure (the actuator
-      is dead), while the target is floor-pinned (mechanism limit, not
-      a controller bug), and during the startup transient.
+      is dead) and any control-plane fault (the recorded measurement is
+      whatever the faulted meter *claimed* -- holding a lying number to
+      the schedule proves nothing; ``budget_safety_under_faults`` holds
+      the command side instead), while the target is floor-pinned
+      (mechanism limit, not a controller bug), and during the startup
+      transient.
     """
     policy = getattr(result, "policy", None)
     if policy is None:
@@ -340,6 +363,7 @@ def _check_budget_tracking(result: ExperimentResult, tol: Tolerances):
     governor_failed = (
         result.faults is not None and result.faults.governor_failed
     )
+    faulted_control = governor_failed or _control_plane_faulted(result)
     # Convergence span: the sensing window plus the ticks the controller
     # needs to react, with the runtime's +-10% cadence jitter bounded by
     # the 1.25 factor.
@@ -357,7 +381,7 @@ def _check_budget_tracking(result: ExperimentResult, tol: Tolerances):
                 target_bound,
             )
             continue
-        if governor_failed:
+        if faulted_control:
             continue
         if target_w <= floor_w + 1e-9:
             continue
@@ -381,6 +405,133 @@ def _check_budget_tracking(result: ExperimentResult, tol: Tolerances):
                 measured_w,
                 bound,
             )
+
+
+def _check_budget_safety_under_faults(
+    result: ExperimentResult, tol: Tolerances
+):
+    """Mid-incident, the *commanded* cap must still respect the budget.
+
+    This is the robustness contract the watchdog exists to keep: no
+    matter what the meter claims or the actuator drops, the controller
+    (or the safe mode standing in for it) may never *ask* for more than
+    the instantaneous budget (beyond the actuator floor).  It runs only
+    on runs whose control plane is actually under attack -- sensor or
+    actuator faults, or a governor failure -- and, unlike
+    ``budget_tracking``, grants no exemptions: not for the incident, not
+    for the transient.
+    """
+    policy = getattr(result, "policy", None)
+    if policy is None:
+        return
+    governor_failed = (
+        result.faults is not None and result.faults.governor_failed
+    )
+    if not (governor_failed or _control_plane_faulted(result)):
+        return
+    floor_w = policy.floor_w
+    subject = result.config.describe()
+    for t, budget_w, target_w, _measured_w in policy.samples:
+        bound = max(budget_w, floor_w) + 1e-6
+        if target_w > bound:
+            yield Violation(
+                "budget_safety_under_faults",
+                subject,
+                f"commanded cap {target_w:.4f} W at t={t:.6g} s exceeds "
+                f"the instantaneous budget {budget_w:.4f} W mid-incident "
+                f"(actuator floor {floor_w:.4f} W)",
+                target_w,
+                bound,
+            )
+            return  # one representative sample is enough
+
+
+def _check_watchdog_liveness(result: ExperimentResult, tol: Tolerances):
+    """An armed watchdog must notice a sensor dropout it can observe.
+
+    Fires only when the run provably gave the watchdog a detectable
+    incident: meter-path sensing, a dropout window longer than the
+    staleness threshold, and enough of the window inside the run for
+    at least three (jittered) decision ticks to land past the
+    threshold.  Under those conditions zero trips means the watchdog is
+    not live.
+    """
+    policy = getattr(result, "policy", None)
+    if policy is None:
+        return
+    spec = policy.spec
+    wd = getattr(spec, "watchdog", None)
+    if wd is None or getattr(spec, "sense", "rail") != "meter":
+        return
+    plan = getattr(result.config, "faults", None)
+    sensor = getattr(plan, "sensor", None) if plan is not None else None
+    if sensor is None or sensor.dropout_start_s is None:
+        return
+    if sensor.dropout_duration_s <= wd.stale_after_s:
+        return  # readings never get stale enough to trip
+    # Three worst-case-jittered ticks must fit between the reading
+    # going stale and the dropout window (or the run) ending.
+    detectable_from = sensor.dropout_start_s + wd.stale_after_s
+    window_end = min(
+        sensor.dropout_start_s + sensor.dropout_duration_s,
+        result.job.end_time,
+    )
+    if detectable_from + 3 * 1.1 * spec.interval_s > window_end:
+        return
+    if getattr(policy, "watchdog_trips", 0) < 1:
+        yield Violation(
+            "watchdog_liveness",
+            result.config.describe(),
+            f"sensor dropout at t={sensor.dropout_start_s:.6g} s left "
+            f"readings stale beyond {wd.stale_after_s:.6g} s for "
+            "multiple decision ticks, but the armed watchdog never "
+            "tripped",
+            0.0,
+            1.0,
+        )
+
+
+def _check_safe_mode_entry(result: ExperimentResult, tol: Tolerances):
+    """Every watchdog trip must actually pin the safe cap.
+
+    Bookkeeping consistency (trips == episodes) plus behaviour: every
+    retained sample inside a degraded episode must command exactly the
+    safe cap -- safe mode that keeps consulting the controller is not
+    safe mode.
+    """
+    policy = getattr(result, "policy", None)
+    if policy is None:
+        return
+    episodes = getattr(policy, "watchdog_episodes", ())
+    if not episodes:
+        return
+    subject = result.config.describe()
+    trips = getattr(policy, "watchdog_trips", 0)
+    if trips != len(episodes):
+        yield Violation(
+            "safe_mode_entry",
+            subject,
+            f"watchdog accounting disagrees: {trips} trips but "
+            f"{len(episodes)} episodes",
+            float(trips),
+            float(len(episodes)),
+        )
+    safe_cap_w = policy.safe_cap_w
+    for t, _budget_w, target_w, _measured_w in policy.samples:
+        for t_enter, t_exit, _reason in episodes:
+            if t_enter <= t and (t_exit is None or t < t_exit):
+                if abs(target_w - safe_cap_w) > 1e-9:
+                    yield Violation(
+                        "safe_mode_entry",
+                        subject,
+                        f"sample at t={t:.6g} s inside a degraded "
+                        f"episode commands {target_w:.4f} W, not the "
+                        f"safe cap {safe_cap_w:.4f} W",
+                        target_w,
+                        safe_cap_w,
+                    )
+                    return  # one representative sample is enough
+                break
 
 
 def _check_slo(result: ExperimentResult, tol: Tolerances):
@@ -416,6 +567,9 @@ _CHECKERS = (
     _check_cap,
     _check_latency_ordering,
     _check_budget_tracking,
+    _check_budget_safety_under_faults,
+    _check_watchdog_liveness,
+    _check_safe_mode_entry,
     _check_slo,
 )
 

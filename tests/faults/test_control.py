@@ -1,0 +1,208 @@
+"""Unit tests for the control-plane seam (repro.faults.control)."""
+
+import pytest
+
+from repro.faults import ActuatorFaultSpec, FaultPlan, SensorFaultSpec
+from repro.faults.control import PolicyActuator, SensedPower, SensorReading
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+
+class _Trace:
+    """Rail-trace stub: mean(a, b) returns f(a, b) and records the call."""
+
+    def __init__(self, fn):
+        self._fn = fn
+        self.calls = []
+
+    def mean(self, start, end):
+        self.calls.append((start, end))
+        return self._fn(start, end)
+
+
+class _Device:
+    name = "dev"
+
+    def __init__(self, fn=lambda start, end: 2.0):
+        self.rail = type("Rail", (), {})()
+        self.rail.trace = _Trace(fn)
+
+
+def _injector(plan: FaultPlan) -> FaultInjector:
+    return FaultInjector(Engine(), plan, RngStreams(0))
+
+
+class TestSensedPower:
+    def test_clean_meter_is_legacy_identity(self):
+        device = _Device(lambda start, end: 3.25)
+        sensed = SensedPower(device, 3e-3, None, NULL_INJECTOR)
+        reading = sensed.read(0.01)
+        assert reading == SensorReading(3.25, 0.0)
+        # Exactly the legacy trailing window [now - window, now].
+        assert device.rail.trace.calls == [(0.01 - 3e-3, 0.01)]
+
+    def test_window_clamps_at_time_zero(self):
+        device = _Device()
+        sensed = SensedPower(device, 3e-3, None, NULL_INJECTOR)
+        sensed.read(1e-3)
+        assert device.rail.trace.calls == [(0.0, 1e-3)]
+
+    def test_bias_gain_quantization(self):
+        spec = SensorFaultSpec(bias_w=0.5, gain=2.0, quant_w=0.25)
+        sensed = SensedPower(
+            _Device(lambda start, end: 2.06), 3e-3, spec, NULL_INJECTOR
+        )
+        # 2.0 * 2.06 + 0.5 = 4.62, snapped to the 0.25 grid.
+        assert sensed.read(0.01).value_w == pytest.approx(4.5)
+
+    def test_lag_shifts_the_read_window(self):
+        device = _Device()
+        spec = SensorFaultSpec(lag_s=4e-3)
+        sensed = SensedPower(device, 3e-3, spec, NULL_INJECTOR)
+        sensed.read(0.01)
+        assert device.rail.trace.calls == [(3e-3, 6e-3)]
+
+    def test_lag_before_time_zero_reads_dead(self):
+        spec = SensorFaultSpec(lag_s=1.0)
+        sensed = SensedPower(_Device(), 3e-3, spec, NULL_INJECTOR)
+        assert sensed.read(0.01).value_w == 0.0
+
+    def test_dropout_holds_value_and_ages(self):
+        device = _Device(lambda start, end: end * 100.0)
+        spec = SensorFaultSpec(dropout_start_s=0.01, dropout_duration_s=0.01)
+        sensed = SensedPower(device, 3e-3, spec, NULL_INJECTOR)
+        live = sensed.read(0.008)
+        assert live == SensorReading(0.8, 0.0)
+        held = sensed.read(0.015)
+        assert held.value_w == live.value_w
+        assert held.age_s == pytest.approx(0.007)
+        # Past the window the meter is live again.
+        assert sensed.read(0.025) == SensorReading(2.5, 0.0)
+
+    def test_freeze_latches_and_lies_about_age(self):
+        device = _Device(lambda start, end: end * 100.0)
+        spec = SensorFaultSpec(freeze_start_s=0.01, freeze_duration_s=0.01)
+        sensed = SensedPower(device, 3e-3, spec, NULL_INJECTOR)
+        first = sensed.read(0.012)
+        second = sensed.read(0.018)
+        # Identical latched values, both claiming to be fresh.
+        assert first == second
+        assert first.age_s == 0.0
+        assert sensed.read(0.025).value_w == pytest.approx(2.5)
+
+    def test_faults_are_accounted_through_the_injector(self):
+        spec = SensorFaultSpec(
+            bias_w=-1.0, dropout_start_s=0.01, dropout_duration_s=0.005
+        )
+        injector = _injector(FaultPlan(sensor=spec))
+        sensed = SensedPower(_Device(), 3e-3, spec, injector)
+        sensed.read(0.005)
+        sensed.read(0.012)
+        summary = injector.summary()
+        assert summary.count("sensor_distortion") == 1
+        assert summary.count("sensor_dropout") == 1
+
+
+class _Recorder:
+    """Actuation callback capturing (engine.now, value) per apply."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.applied = []
+
+    def __call__(self, value):
+        self.applied.append((self._engine.now, value))
+
+
+def _drive(engine, commands, actuator):
+    """Issue (time, target) commands from a process, then drain."""
+
+    def proc():
+        last = 0.0
+        for t, target in commands:
+            if t > last:
+                yield engine.timeout(t - last)
+                last = t
+            actuator.command(target)
+
+    engine.process(proc())
+    engine.run()
+
+
+class TestPolicyActuator:
+    def test_no_spec_is_direct_apply(self):
+        engine = Engine()
+        recorder = _Recorder(engine)
+        actuator = PolicyActuator(
+            engine, recorder, "dev.policy", None, NULL_INJECTOR
+        )
+        actuator.command(9.0)
+        assert recorder.applied == [(0.0, 9.0)]
+        assert actuator.applied_w == 9.0
+
+    def test_certain_drop_applies_nothing(self):
+        engine = Engine()
+        spec = ActuatorFaultSpec(drop_p=1.0)
+        injector = FaultInjector(
+            engine, FaultPlan(actuator=spec), RngStreams(0)
+        )
+        recorder = _Recorder(engine)
+        actuator = PolicyActuator(engine, recorder, "dev.policy", spec, injector)
+        actuator.command(9.0)
+        assert recorder.applied == []
+        assert injector.summary().count("actuator_dropped") == 1
+
+    def test_delay_defers_the_apply(self):
+        engine = Engine()
+        spec = ActuatorFaultSpec(delay_s=5e-3)
+        recorder = _Recorder(engine)
+        actuator = PolicyActuator(
+            engine, recorder, "dev.policy", spec, NULL_INJECTOR
+        )
+        _drive(engine, [(0.0, 9.0)], actuator)
+        assert recorder.applied == [(5e-3, 9.0)]
+
+    def test_delayed_commands_latest_wins(self):
+        engine = Engine()
+        spec = ActuatorFaultSpec(delay_s=5e-3)
+        recorder = _Recorder(engine)
+        actuator = PolicyActuator(
+            engine, recorder, "dev.policy", spec, NULL_INJECTOR
+        )
+        _drive(engine, [(0.0, 9.0), (1e-3, 7.0)], actuator)
+        # The in-flight 9 W command was superseded; only 7 W lands.
+        assert recorder.applied == [(6e-3, 7.0)]
+
+    def test_partial_authority_slews(self):
+        engine = Engine()
+        spec = ActuatorFaultSpec(partial=0.5)
+        recorder = _Recorder(engine)
+        actuator = PolicyActuator(
+            engine, recorder, "dev.policy", spec, NULL_INJECTOR
+        )
+        actuator.command(10.0)
+        actuator.command(20.0)
+        # First command applies in full; the second moves halfway.
+        assert [value for _, value in recorder.applied] == [10.0, 15.0]
+
+    def test_stuck_at_ignores_later_commands(self):
+        engine = Engine()
+        spec = ActuatorFaultSpec(stuck_at_s=2e-3)
+        recorder = _Recorder(engine)
+        actuator = PolicyActuator(
+            engine, recorder, "dev.policy", spec, NULL_INJECTOR
+        )
+        _drive(engine, [(0.0, 9.0), (4e-3, 7.0)], actuator)
+        assert [value for _, value in recorder.applied] == [9.0]
+        assert actuator.applied_w == 9.0
+
+    def test_inert_spec_is_identity(self):
+        engine = Engine()
+        recorder = _Recorder(engine)
+        actuator = PolicyActuator(
+            engine, recorder, "dev.policy", ActuatorFaultSpec(), NULL_INJECTOR
+        )
+        actuator.command(9.0)
+        actuator.command(7.5)
+        assert recorder.applied == [(0.0, 9.0), (0.0, 7.5)]

@@ -1,17 +1,22 @@
 """Validation of fault plans and the ``--faults`` spec grammar."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faults import (
+    ActuatorFaultSpec,
     FaultPlan,
     FaultSpecError,
     GovernorFailureSpec,
     IoErrorSpec,
     LatencySpikeSpec,
+    SensorFaultSpec,
     SpinupFailureSpec,
     StuckTransitionSpec,
     ThermalThrottleSpec,
     parse_fault_plan,
+    render_fault_plan,
 )
 
 
@@ -57,6 +62,58 @@ class TestSpecValidation:
     def test_spinup_abort_fraction_bounded(self):
         with pytest.raises(ValueError, match="abort_fraction"):
             SpinupFailureSpec(probability=1.0, abort_fraction=1.0)
+
+    def test_sensor_gain_must_be_positive(self):
+        with pytest.raises(ValueError, match="gain"):
+            SensorFaultSpec(gain=0.0)
+        with pytest.raises(ValueError, match="gain"):
+            SensorFaultSpec(gain=-1.0)
+
+    def test_sensor_windows_need_a_start(self):
+        with pytest.raises(ValueError, match="dropout"):
+            SensorFaultSpec(dropout_duration_s=0.01)
+        with pytest.raises(ValueError, match="freeze"):
+            SensorFaultSpec(freeze_every_s=0.05)
+
+    def test_sensor_window_period_exceeds_duration(self):
+        with pytest.raises(ValueError, match="repeat period"):
+            SensorFaultSpec(
+                dropout_start_s=0.0,
+                dropout_duration_s=0.02,
+                dropout_every_s=0.01,
+            )
+
+    def test_sensor_window_activity(self):
+        spec = SensorFaultSpec(
+            dropout_start_s=0.01, dropout_duration_s=0.005,
+            dropout_every_s=0.02,
+        )
+        assert not spec.dropout_at(0.0)
+        assert spec.dropout_at(0.012)
+        assert not spec.dropout_at(0.018)
+        assert spec.dropout_at(0.032)
+
+    def test_sensor_distorts_property(self):
+        assert not SensorFaultSpec().distorts
+        assert not SensorFaultSpec(
+            dropout_start_s=0.01, dropout_duration_s=0.005
+        ).distorts
+        assert SensorFaultSpec(bias_w=0.5).distorts
+        assert SensorFaultSpec(gain=0.9).distorts
+        assert SensorFaultSpec(quant_w=0.25).distorts
+        assert SensorFaultSpec(lag_s=1e-3).distorts
+
+    def test_actuator_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            ActuatorFaultSpec(drop_p=1.5)
+        with pytest.raises(ValueError, match="delay"):
+            ActuatorFaultSpec(delay_s=-1e-3)
+        with pytest.raises(ValueError, match="partial"):
+            ActuatorFaultSpec(partial=0.0)
+        with pytest.raises(ValueError, match="partial"):
+            ActuatorFaultSpec(partial=1.5)
+        with pytest.raises(ValueError, match="stuck-at"):
+            ActuatorFaultSpec(stuck_at_s=-0.01)
 
 
 class TestSpikeWindows:
@@ -161,3 +218,136 @@ class TestParseFaultPlan:
     def test_error_is_a_value_error(self):
         # argparse-facing code relies on this subclassing.
         assert issubclass(FaultSpecError, ValueError)
+
+    def test_control_plane_clauses_parse(self):
+        plan = parse_fault_plan(
+            "sensor:bias=-1.5,gain=0.8,quant=0.25,lag=0.004,"
+            "drop_at=0.02,drop_dur=0.01,drop_every=0.04;"
+            "actuator:drop=0.5,delay=0.004,partial=0.4,stuck_at=0.03"
+        )
+        assert plan.sensor == SensorFaultSpec(
+            bias_w=-1.5,
+            gain=0.8,
+            quant_w=0.25,
+            lag_s=0.004,
+            dropout_start_s=0.02,
+            dropout_duration_s=0.01,
+            dropout_every_s=0.04,
+        )
+        assert plan.actuator == ActuatorFaultSpec(
+            drop_p=0.5, delay_s=0.004, partial=0.4, stuck_at_s=0.03
+        )
+
+    def test_errors_name_the_offending_clause(self):
+        with pytest.raises(FaultSpecError, match=r"in clause 'sensor:gain=0'"):
+            parse_fault_plan("io_error:p=0.1;sensor:gain=0")
+        with pytest.raises(
+            FaultSpecError, match=r"in clause 'actuator:warp=1'"
+        ):
+            parse_fault_plan("governor:at=0.02;actuator:warp=1")
+
+
+class TestRenderFaultPlan:
+    def test_inert_plan_has_no_spelling(self):
+        with pytest.raises(ValueError, match="inert"):
+            render_fault_plan(FaultPlan())
+
+    def test_defaults_are_omitted(self):
+        plan = FaultPlan(
+            io_errors=IoErrorSpec(probability=0.05),
+            actuator=ActuatorFaultSpec(drop_p=0.5),
+        )
+        assert render_fault_plan(plan) == "io_error:p=0.05;actuator:drop=0.5"
+
+    def test_all_default_control_spec_renders_bare(self):
+        assert render_fault_plan(FaultPlan(sensor=SensorFaultSpec())) == (
+            "sensor"
+        )
+
+    def test_render_is_canonical_for_parsed_specs(self):
+        spec = "sensor:bias=-1.5;actuator:partial=0.4"
+        assert render_fault_plan(parse_fault_plan(spec)) == spec
+
+
+def _windows(prefix):
+    """Strategy for one (start, duration, period) fault-window triple."""
+    closed = st.just({})
+    one_shot = st.tuples(
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.floats(1e-3, 0.5, allow_nan=False),
+        st.one_of(st.none(), st.floats(1e-3, 1.0, allow_nan=False)),
+    ).map(
+        lambda t: {
+            f"{prefix}_start_s": t[0],
+            f"{prefix}_duration_s": t[1],
+            **(
+                {f"{prefix}_every_s": t[1] + t[2]}
+                if t[2] is not None
+                else {}
+            ),
+        }
+    )
+    return st.one_of(closed, one_shot)
+
+
+_SENSORS = st.builds(
+    lambda bias, gain, quant, lag, drop, freeze: SensorFaultSpec(
+        bias_w=bias, gain=gain, quant_w=quant, lag_s=lag, **drop, **freeze
+    ),
+    bias=st.floats(-5.0, 5.0, allow_nan=False),
+    gain=st.floats(0.1, 3.0, allow_nan=False),
+    quant=st.floats(0.0, 1.0, allow_nan=False),
+    lag=st.floats(0.0, 0.1, allow_nan=False),
+    drop=_windows("dropout"),
+    freeze=_windows("freeze"),
+)
+
+_ACTUATORS = st.builds(
+    ActuatorFaultSpec,
+    drop_p=st.floats(0.0, 1.0, allow_nan=False),
+    delay_s=st.floats(0.0, 0.1, allow_nan=False),
+    partial=st.floats(0.1, 1.0, allow_nan=False),
+    stuck_at_s=st.one_of(st.none(), st.floats(0.0, 1.0, allow_nan=False)),
+)
+
+_PLANS = st.builds(
+    FaultPlan,
+    io_errors=st.one_of(
+        st.none(),
+        st.builds(
+            IoErrorSpec,
+            probability=st.floats(0.0, 1.0, allow_nan=False),
+            retry_cost_s=st.floats(0.0, 0.01, allow_nan=False),
+            max_retries=st.integers(1, 5),
+        ),
+    ),
+    latency_spikes=st.lists(
+        st.builds(
+            LatencySpikeSpec,
+            start_s=st.floats(0.0, 1.0, allow_nan=False),
+            duration_s=st.floats(1e-3, 0.5, allow_nan=False),
+            extra_s=st.floats(1e-5, 0.01, allow_nan=False),
+        ),
+        max_size=2,
+    ).map(tuple),
+    governor_failure=st.one_of(
+        st.none(),
+        st.builds(
+            GovernorFailureSpec, at_s=st.floats(0.0, 1.0, allow_nan=False)
+        ),
+    ),
+    sensor=st.one_of(st.none(), _SENSORS),
+    actuator=st.one_of(st.none(), _ACTUATORS),
+).filter(lambda plan: plan.active)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(plan=_PLANS)
+    def test_parse_render_is_the_identity(self, plan):
+        """The shrinker's contract: every active plan renders to a spec
+        string that parses back to an equal plan, twice over."""
+        spec = render_fault_plan(plan)
+        reparsed = parse_fault_plan(spec)
+        assert reparsed == plan
+        assert render_fault_plan(reparsed) == spec

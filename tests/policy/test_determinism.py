@@ -16,6 +16,7 @@ Three properties hold by construction and are pinned here:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import subprocess
 import sys
@@ -193,6 +194,28 @@ class TestInertPolicyIdentity:
         # The pinned run still reports its (single-set-point) trail.
         assert pinned.policy.set_point_changes == 1
         assert pinned.policy.decisions > 1
+
+
+class TestMeterSenseIdentity:
+    def test_clean_meter_path_bit_identical_to_rail_path(self):
+        """``sense="meter"`` with no sensor fault reads the identical
+        rail-trace window the legacy ``sense="rail"`` code read: same
+        physics, same decisions, bit for bit."""
+        spec = PolicySpec(
+            kind="feedback",
+            budget=BudgetSchedule.step(
+                high_w=18.0, low_w=3.2, period_s=0.01
+            ),
+            interval_s=1e-3,
+            window_s=2e-3,
+        )
+        rail = run_experiment(_config(spec))
+        meter = run_experiment(
+            _config(dataclasses.replace(spec, sense="meter"))
+        )
+        assert _fingerprint(rail) == _fingerprint(meter)
+        assert rail.policy.samples == meter.policy.samples
+        assert rail.policy.decisions == meter.policy.decisions
 
 
 class TestRepeatDeterminism:

@@ -1,0 +1,151 @@
+"""Unit tests for the safe-mode watchdog state machine."""
+
+import pytest
+
+from repro.policy import WatchdogSpec
+from repro.policy.watchdog import Watchdog
+
+
+def _spec(**overrides) -> WatchdogSpec:
+    defaults = dict(
+        stale_after_s=0.01,
+        freeze_ticks=3,
+        breach_w=1.0,
+        breach_ticks=2,
+        rearm_ticks=3,
+    )
+    defaults.update(overrides)
+    return WatchdogSpec(**defaults)
+
+
+def _healthy_step(wd, now, measured_w=None):
+    # Default to a time-varying reading: a constant one would (rightly)
+    # look like a frozen meter after freeze_ticks identical pairs.
+    if measured_w is None:
+        measured_w = 5.0 + now
+    return wd.step(
+        now, age_s=0.0, measured_w=measured_w, budget_w=8.0, target_w=7.0
+    )
+
+
+class TestWatchdogSpec:
+    def test_rejects_nonpositive_staleness(self):
+        with pytest.raises(ValueError):
+            WatchdogSpec(stale_after_s=0.0)
+
+    def test_rejects_nonpositive_tick_counts(self):
+        with pytest.raises(ValueError):
+            WatchdogSpec(freeze_ticks=0)
+        with pytest.raises(ValueError):
+            WatchdogSpec(breach_ticks=0)
+        with pytest.raises(ValueError):
+            WatchdogSpec(rearm_ticks=0)
+
+    def test_rejects_negative_breach_margin(self):
+        with pytest.raises(ValueError):
+            WatchdogSpec(breach_w=-0.5)
+
+
+class TestDetection:
+    def test_stale_reading_trips_immediately(self):
+        wd = Watchdog(_spec(), safe_cap_w=6.0)
+        assert _healthy_step(wd, 0.0) is None
+        result = wd.step(
+            0.02, age_s=0.02, measured_w=5.0, budget_w=8.0, target_w=7.0
+        )
+        assert result == "degrade"
+        assert wd.last_reason == "stale"
+        assert wd.trips == 1
+        assert wd.episodes == [[0.02, None, "stale"]]
+
+    def test_frozen_meter_needs_consecutive_identical_pairs(self):
+        wd = Watchdog(_spec(freeze_ticks=3), safe_cap_w=6.0)
+        # 3 identical *pairs* = 4 identical readings; the first 3 pass.
+        for tick in range(3):
+            assert _healthy_step(wd, tick * 0.01, measured_w=5.0) is None
+        assert _healthy_step(wd, 0.03, measured_w=5.0) == "degrade"
+        assert wd.last_reason == "frozen"
+
+    def test_moving_readings_reset_the_freeze_count(self):
+        wd = Watchdog(_spec(freeze_ticks=2), safe_cap_w=6.0)
+        for tick, measured in enumerate([5.0, 5.0, 5.1, 5.1, 5.2, 5.2]):
+            assert _healthy_step(wd, tick * 0.01, measured) is None
+        assert wd.trips == 0
+
+    def test_budget_breach_needs_consecutive_ticks(self):
+        wd = Watchdog(_spec(breach_ticks=2), safe_cap_w=6.0)
+        over = 8.0 + 1.0 + 0.5
+        assert _healthy_step(wd, 0.0, measured_w=over) is None
+        assert _healthy_step(wd, 0.01, measured_w=over) == "degrade"
+        assert wd.last_reason == "breach"
+
+    def test_breach_within_margin_does_not_count(self):
+        wd = Watchdog(_spec(breach_ticks=1), safe_cap_w=6.0)
+        # Over budget and target, but inside the breach_w margin.
+        result = wd.step(
+            0.0, age_s=0.0, measured_w=8.9, budget_w=8.0, target_w=8.0
+        )
+        assert result is None
+        assert wd.trips == 0
+
+    def test_actuation_no_response_is_distinguished(self):
+        wd = Watchdog(_spec(breach_ticks=1), safe_cap_w=6.0)
+        # Under budget (8 W) but far over the 5 W commanded target: the
+        # device stopped listening.
+        result = wd.step(
+            0.0, age_s=0.0, measured_w=7.0, budget_w=8.0, target_w=5.0
+        )
+        assert result == "degrade"
+        assert wd.last_reason == "no_response"
+
+
+class TestRearm:
+    def _degraded(self):
+        wd = Watchdog(_spec(rearm_ticks=3), safe_cap_w=6.0)
+        wd.step(0.0, age_s=1.0, measured_w=5.0, budget_w=8.0, target_w=7.0)
+        assert wd.degraded
+        return wd
+
+    def test_rearms_after_consecutive_healthy_ticks(self):
+        wd = self._degraded()
+        assert _healthy_step(wd, 0.01) is None
+        assert _healthy_step(wd, 0.02) is None
+        assert _healthy_step(wd, 0.03) == "rearm"
+        assert not wd.degraded
+        assert wd.episodes == [[0.0, 0.03, "stale"]]
+
+    def test_unhealthy_tick_resets_the_rearm_count(self):
+        wd = self._degraded()
+        _healthy_step(wd, 0.01)
+        _healthy_step(wd, 0.02)
+        # Still stale: the healthy streak restarts.
+        wd.step(0.03, age_s=1.0, measured_w=5.0, budget_w=8.0, target_w=7.0)
+        _healthy_step(wd, 0.04)
+        _healthy_step(wd, 0.05)
+        assert wd.degraded
+        assert _healthy_step(wd, 0.06) == "rearm"
+
+    def test_retrip_opens_a_second_episode(self):
+        wd = self._degraded()
+        for tick in range(3):
+            _healthy_step(wd, 0.01 + tick * 0.01)
+        wd.step(0.1, age_s=1.0, measured_w=5.0, budget_w=8.0, target_w=7.0)
+        assert wd.trips == 2
+        assert [e[2] for e in wd.episodes] == ["stale", "stale"]
+        assert wd.episodes[0][1] is not None
+        assert wd.episodes[1][1] is None
+
+
+class TestAccounting:
+    def test_degraded_fraction(self):
+        wd = Watchdog(_spec(rearm_ticks=100), safe_cap_w=6.0)
+        _healthy_step(wd, 0.0)
+        wd.step(0.01, age_s=1.0, measured_w=5.0, budget_w=8.0, target_w=7.0)
+        _healthy_step(wd, 0.02)
+        _healthy_step(wd, 0.03)
+        # 3 of 4 ticks degraded (the trip tick counts as degraded).
+        assert wd.degraded_fraction == pytest.approx(0.75)
+
+    def test_no_ticks_means_zero_fraction(self):
+        wd = Watchdog(_spec(), safe_cap_w=6.0)
+        assert wd.degraded_fraction == 0.0

@@ -25,6 +25,7 @@ import repro.api  # noqa: E402
 #: The supported surface.  Keep sorted; keep in sync with repro/api.py.
 PUBLIC_API = (
     "AbsorptionResult",
+    "ActuatorFaultSpec",
     "AdaptivePlan",
     "AdcConfig",
     "AlpmController",
@@ -86,6 +87,7 @@ PUBLIC_API = (
     "RngStreams",
     "RunLedger",
     "RunProfiler",
+    "SensorFaultSpec",
     "SimEvent",
     "StandbyProfile",
     "StaticCapPolicy",
@@ -101,6 +103,7 @@ PUBLIC_API = (
     "Tracer",
     "ValidationReport",
     "Violation",
+    "WatchdogSpec",
     "WorkerStats",
     "WriteAbsorptionScenario",
     "build_device",
@@ -110,6 +113,7 @@ PUBLIC_API = (
     "idle_immediate",
     "merge_snapshots",
     "parse_fault_plan",
+    "render_fault_plan",
     "run_configs",
     "run_demand_response",
     "run_experiment",

@@ -497,3 +497,47 @@ class TestReportCommand:
         captured = capsys.readouterr()
         assert "2/2 points" in captured.err
         assert captured.err.endswith("\n")  # finish() releases the line
+
+
+class TestChaosCommand:
+    def test_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--controllers", "gremlin"])
+
+    def test_seeded_violation_exits_nonzero(self, capsys):
+        """The acceptance path: --controllers all must find the unsafe
+        fixture's lying-meter bug, print a minimal --faults reproducer,
+        and exit 1."""
+        code = main(
+            ["chaos", "--controllers", "all", "--budget-cells", "6",
+             "--quick"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "Chaos resilience" in out
+        assert "unsafe" in out
+        assert "minimized reproducers:" in out
+        assert "--faults '" in out
+
+    def test_shipped_family_exits_zero(self, capsys):
+        code = main(
+            ["chaos", "--controllers", "static", "--budget-cells", "2",
+             "--quick"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "watchdog armed" in out
+        assert "minimized reproducers:" not in out
+
+    def test_campaign_feeds_the_report(self, capsys, tmp_path):
+        code = main(
+            ["chaos", "--controllers", "feedback", "--budget-cells", "2",
+             "--quick", "--cache", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "ledger.jsonl").exists()
+        capsys.readouterr()
+        assert main(["report", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Chaos resilience" in out
+        assert "feedback" in out

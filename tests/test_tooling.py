@@ -7,6 +7,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 import check_coverage  # noqa: E402
+import check_fault_rng  # noqa: E402
 import check_no_bare_except  # noqa: E402
 import check_no_bare_hash  # noqa: E402
 import check_no_print  # noqa: E402
@@ -192,6 +193,63 @@ class TestObsGuardsLint:
             "    self.emit(KIND, 'tracer', scope=scope)\n"
         )
         assert check_obs_guards.main([str(tmp_path)]) == 0
+
+
+class TestFaultRngLint:
+    def test_fault_and_policy_packages_are_clean(self):
+        """repro.faults and repro.policy may only draw randomness from
+        keyed ``faults.*``/``policy.*`` streams: unkeyed draws decouple
+        fault sequences from the experiment seed."""
+        assert check_fault_rng.main([]) == 0
+
+    def test_detects_random_import(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert check_fault_rng.main([str(tmp_path)]) == 1
+        assert "bad.py:1" in capsys.readouterr().out
+
+    def test_detects_numpy_random_import(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("from numpy.random import default_rng\n")
+        assert check_fault_rng.main([str(tmp_path)]) == 1
+
+    def test_detects_adhoc_generator(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("gen = np.random.default_rng(7)\n")
+        assert check_fault_rng.main([str(tmp_path)]) == 1
+        assert "default_rng" in capsys.readouterr().out
+
+    def test_detects_unkeyed_stream(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def f(rngs, name):\n"
+            "    a = rngs.get('telemetry.noise')\n"
+            "    b = rngs.get(name)\n"
+        )
+        assert check_fault_rng.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2" in out
+        assert "bad.py:3" in out
+
+    def test_accepts_keyed_streams(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "def f(rngs, streams, site):\n"
+            "    a = rngs.get('faults.campaign')\n"
+            "    b = streams.get('policy.interval')\n"
+            "    c = rngs.get(f'faults.{site}')\n"
+            "    d = mapping.get('arbitrary')\n"
+        )
+        assert check_fault_rng.main([str(tmp_path)]) == 0
+
+    def test_pragma_opts_out_with_reason(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "def f(rngs):\n"
+            "    # fault-rng: replays a recorded device stream\n"
+            "    return rngs.get('device.gc')\n"
+        )
+        assert check_fault_rng.main([str(tmp_path)]) == 0
 
 
 class TestTestQualityLint:

@@ -1,0 +1,162 @@
+"""The control-plane invariants: budget_safety_under_faults,
+watchdog_liveness, and safe_mode_entry.
+
+Real faulted runs first (the acceptance recipe: a meter dropout against
+a watchdog-armed feedback controller must trip safe mode and still
+validate; the unsafe fixture against a lying meter must not), then
+tamper-style forgeries pinning each checker's trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro._units import KiB
+from repro.core.experiment import run_experiment
+from repro.faults import parse_fault_plan
+from repro.iogen.spec import IoPattern
+from repro.policy import WatchdogSpec
+from repro.studies.common import QUICK, point_config
+from repro.studies.policy_tracking import spec_for
+from repro.validate.checkers import RESULT_INVARIANTS, check_result
+
+# Dropout from t=0 covering the whole (bytes-bound, ~10.5 ms) QUICK run:
+# early enough that the liveness checker has detection headroom before
+# the run ends, long enough that staleness is unmistakable.
+DROPOUT = "sensor:drop_at=0.0,drop_dur=0.02"
+LYING_METER = "sensor:bias=-1.5"
+
+
+def invariants_hit(result) -> set[str]:
+    return {v.invariant for v in check_result(result)}
+
+
+def _config(controller: str, faults: str | None, watchdog: bool):
+    base = point_config(
+        "ssd2", IoPattern.RANDWRITE, 256 * KiB, 8, scale=QUICK, seed=0
+    )
+    clean = run_experiment(base)
+    spec = spec_for("ssd2", controller, clean.true_mean_power_w, QUICK)
+    spec = replace(
+        spec,
+        sense="meter",
+        watchdog=(
+            WatchdogSpec(stale_after_s=3.0 * spec.interval_s)
+            if watchdog
+            else None
+        ),
+    )
+    return replace(
+        base,
+        policy=spec,
+        faults=parse_fault_plan(faults) if faults else None,
+    )
+
+
+@pytest.fixture(scope="module")
+def dropout_result():
+    """Watchdog-armed feedback controller under a meter dropout."""
+    return run_experiment(_config("feedback", DROPOUT, watchdog=True))
+
+
+@pytest.fixture(scope="module")
+def unsafe_result():
+    """The deliberately-broken fixture against a lying meter."""
+    return run_experiment(_config("unsafe", LYING_METER, watchdog=False))
+
+
+class TestRegistration:
+    def test_new_invariants_registered(self):
+        for name in (
+            "budget_safety_under_faults",
+            "watchdog_liveness",
+            "safe_mode_entry",
+        ):
+            assert name in RESULT_INVARIANTS
+
+
+class TestWatchdogLiveness:
+    def test_dropout_trips_the_watchdog(self, dropout_result):
+        policy = dropout_result.policy
+        assert policy.watchdog_trips >= 1
+        assert policy.degraded_fraction > 0.0
+        assert policy.watchdog_episodes[0][2] == "stale"
+
+    def test_watchdogged_dropout_run_validates_clean(self, dropout_result):
+        assert check_result(dropout_result) == []
+
+    def test_forged_zero_trips_flagged(self, dropout_result):
+        asleep = replace(
+            dropout_result,
+            policy=replace(
+                dropout_result.policy, watchdog_trips=0, watchdog_episodes=()
+            ),
+        )
+        assert "watchdog_liveness" in invariants_hit(asleep)
+
+
+class TestBudgetSafetyUnderFaults:
+    def test_unsafe_controller_violates(self, unsafe_result):
+        """The seeded bug: an unclamped integrator fed phantom headroom
+        by a -1.5 W meter bias walks its target past the budget."""
+        assert "budget_safety_under_faults" in invariants_hit(unsafe_result)
+
+    def test_watchdog_cannot_save_the_unsafe_controller(self):
+        """The breach detector senses the same lying meter, so arming
+        the watchdog must not mask the violation -- this is what makes
+        the chaos campaign's seeded check meaningful."""
+        result = run_experiment(_config("unsafe", LYING_METER, watchdog=True))
+        assert "budget_safety_under_faults" in invariants_hit(result)
+
+    def test_feedback_controller_stays_safe(self):
+        result = run_experiment(
+            _config("feedback", LYING_METER, watchdog=False)
+        )
+        assert "budget_safety_under_faults" not in invariants_hit(result)
+
+    def test_checker_requires_faulted_control_plane(self, dropout_result):
+        """Without sensor/actuator faults (or a dead governor) the
+        invariant defers to plain budget_tracking."""
+        summary = dropout_result.policy
+        t, budget_w, _, measured_w = summary.samples[-1]
+        samples = summary.samples[:-1] + (
+            (t, budget_w, summary.ceiling_w + 5.0, measured_w),
+        )
+        tampered = replace(
+            dropout_result,
+            config=replace(dropout_result.config, faults=None),
+            policy=replace(summary, samples=samples),
+        )
+        hit = invariants_hit(tampered)
+        assert "budget_safety_under_faults" not in hit
+
+
+class TestSafeModeEntry:
+    def test_trip_count_must_match_episodes(self, dropout_result):
+        forged = replace(
+            dropout_result,
+            policy=replace(
+                dropout_result.policy,
+                watchdog_trips=dropout_result.policy.watchdog_trips + 1,
+            ),
+        )
+        assert "safe_mode_entry" in invariants_hit(forged)
+
+    def test_degraded_samples_must_pin_the_safe_cap(self, dropout_result):
+        summary = dropout_result.policy
+        t_enter = summary.watchdog_episodes[0][0]
+        degraded_idx = next(
+            i for i, s in enumerate(summary.samples) if s[0] >= t_enter
+        )
+        t, budget_w, _, measured_w = summary.samples[degraded_idx]
+        samples = (
+            summary.samples[:degraded_idx]
+            + ((t, budget_w, summary.safe_cap_w + 2.0, measured_w),)
+            + summary.samples[degraded_idx + 1 :]
+        )
+        forged = replace(
+            dropout_result, policy=replace(summary, samples=samples)
+        )
+        assert "safe_mode_entry" in invariants_hit(forged)

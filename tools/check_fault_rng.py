@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Lint: fault/policy code may only draw randomness from keyed streams.
+
+The determinism story for fault injection and online control rests on
+one rule: every random draw comes from a *named*
+:class:`~repro.sim.rng.RngStreams` stream under the ``faults.`` or
+``policy.`` prefix.  A stray ``random.random()``, a module-level
+``numpy.random`` call, or an ad-hoc ``default_rng()`` in those packages
+would decouple fault sequences from the experiment seed and silently
+break bit-reproducibility across processes and ``PYTHONHASHSEED``
+values.
+
+This check walks the AST of ``src/repro/faults`` and
+``src/repro/policy`` and flags:
+
+- any import of the stdlib ``random`` module or of ``numpy.random``;
+- any call to ``default_rng(...)`` / ``RandomState(...)``;
+- any ``<rng-ish>.get(...)`` call -- a receiver whose expression
+  mentions a name or attribute containing ``rng`` or equal to
+  ``streams`` -- whose first argument is not a string literal (or
+  f-string head) starting with ``faults.`` or ``policy.``.
+
+Call sites that are deliberate exceptions can opt out with a
+``# fault-rng: <reason>`` comment on the offending line or the line
+above it.
+
+Run directly (``python tools/check_fault_rng.py``) or via the test
+suite (``tests/test_tooling.py``).  Exit status 0 = clean, 1 = violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List
+
+_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+DEFAULT_ROOTS = (_SRC / "faults", _SRC / "policy")
+
+#: Comment marker exempting one draw (state the reason after it).
+PRAGMA = "# fault-rng:"
+
+#: Stream-name prefixes the keyed-stream rule allows.
+ALLOWED_PREFIXES = ("faults.", "policy.")
+
+_FORBIDDEN_CALLS = ("default_rng", "RandomState")
+
+
+def _has_pragma(lines: List[str], lineno: int) -> bool:
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(lines) and PRAGMA in lines[candidate - 1]:
+            return True
+    return False
+
+
+def _mentions_rng(node: ast.AST) -> bool:
+    """Whether an expression looks like an RNG-stream registry."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            name = sub.id.lower()
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr.lower()
+        else:
+            continue
+        if "rng" in name or name == "streams":
+            return True
+    return False
+
+
+def _first_arg_is_keyed(call: ast.Call) -> bool:
+    if not call.args:
+        return False
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value.startswith(ALLOWED_PREFIXES)
+    if isinstance(arg, ast.JoinedStr) and arg.values:
+        head = arg.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value.startswith(ALLOWED_PREFIXES)
+    return False
+
+
+def _violation_reason(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random" or alias.name.startswith("numpy.random"):
+                return f"import of {alias.name!r}"
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module == "random" or module.startswith("numpy.random"):
+            return f"import from {module!r}"
+        if module == "numpy" and any(
+            alias.name == "random" for alias in node.names
+        ):
+            return "import of numpy.random"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name in _FORBIDDEN_CALLS:
+            return f"ad-hoc generator {name}(...)"
+        if (
+            name == "get"
+            and isinstance(func, ast.Attribute)
+            and _mentions_rng(func.value)
+            and not _first_arg_is_keyed(node)
+        ):
+            return (
+                "stream name is not a literal under "
+                + "/".join(repr(p) for p in ALLOWED_PREFIXES)
+            )
+    return None
+
+
+def find_violations(roots) -> Iterator[str]:
+    """Yield ``path:line: reason`` for every unkeyed randomness source."""
+    for root in roots:
+        for path in sorted(Path(root).rglob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            lines = source.splitlines()
+            tree = ast.parse(source, filename=str(path))
+            for node in ast.walk(tree):
+                reason = _violation_reason(node)
+                if reason is None:
+                    continue
+                if _has_pragma(lines, node.lineno):
+                    continue
+                line = lines[node.lineno - 1].strip()
+                yield f"{path}:{node.lineno}: {reason}: {line}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    roots = [Path(arg) for arg in argv] if argv else list(DEFAULT_ROOTS)
+    violations = list(find_violations(roots))
+    if violations:
+        print(
+            "unkeyed randomness in fault/policy code (draw from a "
+            "literal 'faults.*'/'policy.*' stream or justify with "
+            f"`{PRAGMA} <reason>`):"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
