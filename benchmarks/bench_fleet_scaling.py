@@ -1,0 +1,242 @@
+"""Engineering benchmark: fleet runner scaling and zero-cost gate.
+
+Not a paper figure -- this times ``repro.fleet.cluster.run_fleet`` over
+growing device counts (events/sec and wall-clock per fleet size) and, in
+``--check`` mode, asserts the properties CI cares about:
+
+1. **Fleet-off is zero-cost.**  Two teeth:
+
+   - a subprocess with a poisoned ``repro.fleet`` import proves the
+     single-device path (``run_experiment`` + a pooled batch) never
+     loads the cluster layer, and
+   - a plain experiment fingerprint is bit-identical before and after a
+     fleet run in the same process -- the fleet leaves no global state
+     behind that could perturb non-fleet users.
+
+2. **Parallel execution is equivalent.**  The same fleet spec run with
+   one worker and a process pool must produce identical digests.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_fleet_scaling          # table
+    PYTHONPATH=src python -m benchmarks.bench_fleet_scaling --check  # gate
+
+``--check`` exits 0 when every assertion holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = str(REPO_ROOT / "src")
+
+#: Device counts for the scaling sweep (SSD-only mix keeps wall short).
+DEVICE_COUNTS = (2, 4, 8)
+
+SSD_MIX = ("ssd1", "ssd2", "ssd3")
+
+#: Subprocess body proving the non-fleet path never imports repro.fleet.
+_POISON_SCRIPT = """
+import sys
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.options import ExecutionOptions
+from repro.core.parallel import run_configs
+from repro.iogen.spec import IoPattern, JobSpec
+
+# The facade (repro/__init__) re-exports repro.fleet eagerly.  Evict it
+# and poison any reload: the execution path itself must never come back
+# for it.
+for name in [m for m in sys.modules if m.startswith("repro.fleet")]:
+    del sys.modules[name]
+
+
+class Poison:
+    def find_spec(self, name, path=None, target=None):
+        if name.startswith("repro.fleet"):
+            raise ImportError("repro.fleet loaded on non-fleet path: " + name)
+        return None
+
+
+sys.meta_path.insert(0, Poison())
+
+config = ExperimentConfig(
+    device="ssd3",
+    job=JobSpec(IoPattern.RANDREAD, block_size=16384, iodepth=4,
+                runtime_s=0.005, size_limit_bytes=2 * 1024 * 1024),
+)
+run_experiment(config)
+run_configs([config], ExecutionOptions(n_workers=1))
+assert not any(m.startswith("repro.fleet") for m in sys.modules)
+print("clean")
+"""
+
+
+def _tiny_scale():
+    from repro._units import MiB
+    from repro.studies.common import StudyScale
+
+    return StudyScale(ssd_runtime_s=0.02, ssd_bytes=12 * MiB)
+
+
+def _spec(n_devices: int, seed: int = 7):
+    from repro.fleet.cluster import FleetSpec
+
+    return FleetSpec.sized(
+        n_devices,
+        mix=SSD_MIX,
+        epochs=3,
+        tenants=4 * n_devices,
+        skew=1.0,
+        seed=seed,
+    )
+
+
+def _plain_fingerprint() -> str:
+    """Full-precision fingerprint of a fixed single-device experiment."""
+    from repro.core.experiment import ExperimentConfig, run_experiment
+    from repro.iogen.spec import IoPattern, JobSpec
+
+    config = ExperimentConfig(
+        device="ssd3",
+        job=JobSpec(
+            IoPattern.RANDWRITE,
+            block_size=16384,
+            iodepth=4,
+            runtime_s=0.01,
+            size_limit_bytes=4 * 1024 * 1024,
+        ),
+        seed=5,
+    )
+    result = run_experiment(config)
+    lat = result.latency()
+    return repr(
+        (
+            result.mean_power_w,
+            result.true_mean_power_w,
+            result.throughput_bps,
+            lat.mean,
+            lat.p99,
+        )
+    )
+
+
+def scaling_sweep(n_workers: int = 1) -> list:
+    """Time run_fleet at each device count; returns row dicts."""
+    from repro.fleet.cluster import run_fleet
+
+    scale = _tiny_scale()
+    rows = []
+    for n in DEVICE_COUNTS:
+        t0 = time.perf_counter()
+        result = run_fleet(_spec(n), scale, n_workers=n_workers)
+        wall_s = time.perf_counter() - t0
+        ios = result.metrics["fleet.ios"]["all"]["value"]
+        rows.append(
+            {
+                "devices": n,
+                "wall_s": wall_s,
+                "ios": ios,
+                "ios_per_s": ios / wall_s,
+                "digest": result.digest(),
+                "ok": result.ok,
+            }
+        )
+    return rows
+
+
+def zero_cost_failures() -> list:
+    """The fleet-off ≡ zero-cost assertions; returns failure strings."""
+    from repro.fleet.cluster import run_fleet
+
+    failures = []
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _POISON_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0 or proc.stdout.strip() != "clean":
+        failures.append(
+            "non-fleet path imported repro.fleet:\n" + proc.stderr.strip()
+        )
+
+    before = _plain_fingerprint()
+    run_fleet(_spec(2), _tiny_scale())
+    after = _plain_fingerprint()
+    if before != after:
+        failures.append(
+            "plain experiment changed after a fleet run: "
+            f"{before} != {after}"
+        )
+    return failures
+
+
+def parallel_equivalence_failures() -> list:
+    """Sequential and pooled fleet runs must agree bit-for-bit."""
+    from repro.fleet.cluster import run_fleet
+
+    scale = _tiny_scale()
+    sequential = run_fleet(_spec(4), scale, n_workers=1)
+    pooled = run_fleet(_spec(4), scale, n_workers=min(4, os.cpu_count() or 1))
+    if sequential.digest() != pooled.digest():
+        return [
+            "parallel fleet diverged from sequential: "
+            f"{sequential.digest()} != {pooled.digest()}"
+        ]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the zero-cost and equivalence gates; exit 1 on failure",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool size for the scaling sweep (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = scaling_sweep(n_workers=args.workers)
+    print(f"{'devices':>8} {'wall s':>8} {'ios':>8} {'ios/s':>10}  digest")
+    for row in rows:
+        print(
+            f"{row['devices']:>8} {row['wall_s']:>8.3f} {row['ios']:>8} "
+            f"{row['ios_per_s']:>10.0f}  {row['digest']}"
+        )
+
+    if not args.check:
+        return 0
+
+    failures = []
+    if not all(row["ok"] for row in rows):
+        failures.append("a scaling-sweep fleet run failed validation")
+    if not all(row["ios"] > 0 for row in rows):
+        failures.append("a scaling-sweep fleet run completed zero I/Os")
+    failures += zero_cost_failures()
+    failures += parallel_equivalence_failures()
+
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        return 1
+    print("check: fleet-off zero-cost and parallel equivalence hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

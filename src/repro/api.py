@@ -32,7 +32,6 @@ from repro.core.controller import (
     run_demand_response,
 )
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
-from repro.core.fleet import FleetAllocation, FleetModel
 from repro.core.ledger import RunLedger
 from repro.core.model import ModelPoint, PowerThroughputModel
 from repro.core.options import ExecutionOptions
@@ -74,6 +73,10 @@ from repro.faults import (
     parse_fault_plan,
     render_fault_plan,
 )
+from repro.fleet.api import BudgetAllocator, BudgetSplit, DeviceView
+from repro.fleet.cluster import FleetResult, FleetSpec, run_fleet
+from repro.fleet.governor import ClusterGovernor
+from repro.fleet.model import FleetAllocation, FleetModel
 from repro.iogen import IoPattern, JobSpec
 from repro.nvme.cli import NvmeCli
 from repro.obs import (
@@ -130,14 +133,18 @@ __all__ = [
     "AsymmetricPlanner",
     "AtaPowerMode",
     "BucketedHistogram",
+    "BudgetAllocator",
     "BudgetSchedule",
     "BudgetSignal",
+    "BudgetSplit",
     "CheckpointJournal",
+    "ClusterGovernor",
     "ControlAction",
     "ControllerConfig",
     "DEFAULT",
     "DEVICE_PRESETS",
     "DemandResponseResult",
+    "DeviceView",
     "Engine",
     "EventKind",
     "ExecutionOptions",
@@ -149,6 +156,8 @@ __all__ = [
     "FeedbackBudgetPolicy",
     "FleetAllocation",
     "FleetModel",
+    "FleetResult",
+    "FleetSpec",
     "GiB",
     "HysteresisLadderPolicy",
     "IOKind",
@@ -214,6 +223,7 @@ __all__ = [
     "run_configs",
     "run_demand_response",
     "run_experiment",
+    "run_fleet",
     "run_sweep",
     "standby_immediate",
     "sweep_outcome",

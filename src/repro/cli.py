@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Nine subcommands cover the workflows a user of the artifact needs:
+Ten subcommands cover the workflows a user of the artifact needs:
 
 - ``devices`` -- list the calibrated device presets;
 - ``run`` -- one experiment with fio-style options (the paper's inner
@@ -22,11 +22,17 @@ Nine subcommands cover the workflows a user of the artifact needs:
   against every controller family, validate each cell, shrink any
   violation to a minimal ``--faults`` reproducer, and rank controllers
   by harvested-range retention; exits non-zero on any violation;
+- ``fleet`` -- simulate a power-governed fleet (:mod:`repro.fleet`):
+  tens of heterogeneous devices serve a diurnal tenant-skewed stream
+  while a cluster governor re-divides one global power budget into
+  per-device caps each epoch; reports harvested fleet power, governed
+  dynamic range and p99 blowup, exiting non-zero on any invariant
+  violation;
 - ``report`` -- render a sweep health report (throughput trend, slowest
   points, cache effectiveness, retry/timeout incidents, policy tracking
-  rollups, chaos campaign verdicts, validation verdicts) from the run
-  ledger that ``sweep``, ``policy`` and ``chaos`` append beside their
-  ``--cache`` directory;
+  rollups, chaos campaign verdicts, fleet epoch accounting, validation
+  verdicts) from the run ledger that ``sweep``, ``policy``, ``chaos``
+  and ``fleet`` append beside their ``--cache`` directory;
 - ``plan`` -- fit a device's power-throughput model and plan a power cut
   (the section-3.3 worked example).
 
@@ -101,6 +107,125 @@ _FIGURES = (
 )
 
 
+# -- shared flag groups ----------------------------------------------------
+#
+# Each builder returns an ``add_help=False`` parent parser holding one
+# flag group that several subcommands share; ``add_parser(...,
+# parents=[...])`` wires them declaratively.  Help strings differ per
+# subcommand, so builders take the text as a parameter where needed.
+
+_WORKERS_HELP = (
+    "worker processes: a positive integer or 'all' (default 1 = in-process)"
+)
+_CACHE_HELP = (
+    "on-disk result cache; re-runs skip already-computed points"
+)
+
+
+def _workers_parent(help_text: str = _WORKERS_HELP) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers", type=_workers_arg, default=1, help=help_text
+    )
+    return parent
+
+
+def _seed_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0)
+    return parent
+
+
+def _quick_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
+    )
+    return parent
+
+
+def _faults_parent(help_text: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--faults",
+        type=_faults_arg,
+        default=None,
+        metavar="SPEC",
+        help=help_text,
+    )
+    return parent
+
+
+def _cache_parent(help_text: str = _CACHE_HELP) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--cache", default=None, metavar="DIR", help=help_text
+    )
+    return parent
+
+
+def _device_parent(help_text: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--device",
+        action="append",
+        choices=sorted(DEVICE_PRESETS),
+        help=help_text,
+    )
+    return parent
+
+
+def _resilience_parent(
+    resume_help: str, *, pool_controls: bool = False
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("resilience")
+    if pool_controls:
+        group.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget per point attempt; hung workers are "
+            "killed and the point retried",
+        )
+        group.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="extra attempts per failing point (timeouts, crashes, "
+            "exceptions)",
+        )
+    group.add_argument("--resume", action="store_true", help=resume_help)
+    return parent
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    obs = parent.add_argument_group("observability")
+    obs.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export mechanism events (power states, governor, GC, "
+        "spindle, ALPM, IO) to PATH",
+    )
+    obs.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=["jsonl", "chrome"],
+        help="jsonl = one event per line; chrome = Perfetto-loadable "
+        "trace_event JSON (default: jsonl)",
+    )
+    obs.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a sim-time metrics snapshot (JSON) to PATH",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,7 +238,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("devices", help="list the calibrated device presets")
 
-    run_p = sub.add_parser("run", help="run one measurement experiment")
+    run_p = sub.add_parser(
+        "run",
+        help="run one measurement experiment",
+        parents=[
+            _seed_parent(),
+            _faults_parent(
+                "inject faults, e.g. 'io_error:p=0.01;governor:at=0.02' "
+                "(kinds: io_error, spike, throttle, stuck, governor, spinup)"
+            ),
+            _obs_parent(),
+        ],
+    )
     run_p.add_argument("--device", required=True, choices=sorted(DEVICE_PRESETS))
     run_p.add_argument(
         "--rw",
@@ -126,19 +262,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--runtime", type=float, default=0.08, help="seconds")
     run_p.add_argument("--size", default="48M", help="byte stop condition")
     run_p.add_argument("--ps", type=int, default=None, help="NVMe power state")
-    run_p.add_argument("--seed", type=int, default=0)
-    run_p.add_argument(
-        "--faults",
-        type=_faults_arg,
-        default=None,
-        metavar="SPEC",
-        help="inject faults, e.g. 'io_error:p=0.01;governor:at=0.02' "
-        "(kinds: io_error, spike, throttle, stuck, governor, spinup)",
-    )
-    _add_obs_args(run_p)
 
     sweep_p = sub.add_parser(
-        "sweep", help="run a mechanism grid, optionally across worker processes"
+        "sweep",
+        help="run a mechanism grid, optionally across worker processes",
+        parents=[
+            _workers_parent(),
+            _cache_parent(),
+            _seed_parent(),
+            _faults_parent(
+                "inject faults into every point, e.g. 'io_error:p=0.01'"
+            ),
+            _resilience_parent(
+                "continue an interrupted sweep: requires --cache; completed "
+                "points are skipped via the cache and checkpoint journal",
+                pool_controls=True,
+            ),
+            _obs_parent(),
+        ],
     )
     sweep_p.add_argument("--device", required=True, choices=sorted(DEVICE_PRESETS))
     sweep_p.add_argument(
@@ -164,73 +305,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="NVMe power state; repeat for several (default: none)",
     )
-    sweep_p.add_argument(
-        "--workers",
-        type=_workers_arg,
-        default=1,
-        help="worker processes: a positive integer or 'all' "
-        "(default 1 = in-process)",
-    )
-    sweep_p.add_argument(
-        "--cache",
-        default=None,
-        metavar="DIR",
-        help="on-disk result cache; re-runs skip already-computed points",
-    )
     sweep_p.add_argument("--runtime", type=float, default=0.05, help="seconds")
     sweep_p.add_argument("--size", default="32M", help="byte stop condition")
-    sweep_p.add_argument("--seed", type=int, default=0)
-    sweep_p.add_argument(
-        "--faults",
-        type=_faults_arg,
-        default=None,
-        metavar="SPEC",
-        help="inject faults into every point, e.g. 'io_error:p=0.01'",
-    )
-    resil = sweep_p.add_argument_group("resilience")
-    resil.add_argument(
-        "--timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="wall-clock budget per point attempt; hung workers are "
-        "killed and the point retried",
-    )
-    resil.add_argument(
-        "--retries",
-        type=int,
-        default=0,
-        help="extra attempts per failing point (timeouts, crashes, "
-        "exceptions)",
-    )
-    resil.add_argument(
-        "--resume",
-        action="store_true",
-        help="continue an interrupted sweep: requires --cache; completed "
-        "points are skipped via the cache and checkpoint journal",
-    )
     sweep_p.add_argument(
         "--progress",
         action="store_true",
         help="paint a live done/cached/ETA line on stderr while the "
         "sweep runs",
     )
-    _add_obs_args(sweep_p)
 
-    fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig_p = sub.add_parser(
+        "figure",
+        help="regenerate a paper table/figure",
+        parents=[
+            _quick_parent(),
+            _workers_parent(
+                "worker processes for sweep-backed figures: a positive "
+                "integer or 'all'"
+            ),
+        ],
+    )
     fig_p.add_argument("name", choices=_FIGURES)
-    fig_p.add_argument(
-        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
-    )
-    fig_p.add_argument(
-        "--workers",
-        type=_workers_arg,
-        default=1,
-        help="worker processes for sweep-backed figures: a positive "
-        "integer or 'all'",
-    )
 
-    val_p = sub.add_parser(
+    sub.add_parser(
         "validate",
         help="audit physics invariants over a mechanism sweep",
         description=(
@@ -241,25 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
             "and report any violation.  Exit status 1 if an invariant "
             "failed."
         ),
+        parents=[
+            _device_parent(
+                "device to audit; repeat for several (default: the paper's "
+                "four Table 1 devices)"
+            ),
+            _quick_parent(),
+            _workers_parent(),
+            _seed_parent(),
+        ],
     )
-    val_p.add_argument(
-        "--device",
-        action="append",
-        choices=sorted(DEVICE_PRESETS),
-        help="device to audit; repeat for several (default: the paper's "
-        "four Table 1 devices)",
-    )
-    val_p.add_argument(
-        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
-    )
-    val_p.add_argument(
-        "--workers",
-        type=_workers_arg,
-        default=1,
-        help="worker processes: a positive integer or 'all' "
-        "(default 1 = in-process)",
-    )
-    val_p.add_argument("--seed", type=int, default=0)
 
     policy_p = sub.add_parser(
         "policy",
@@ -274,49 +362,29 @@ def build_parser() -> argparse.ArgumentParser:
             "policy), and validates every result against the physics "
             "invariants.  Exit status 1 if any invariant failed."
         ),
-    )
-    policy_p.add_argument(
-        "--device",
-        action="append",
-        choices=sorted(DEVICE_PRESETS),
-        help="device to control; repeat for several (default: the "
-        "paper's four Table 1 devices)",
+        parents=[
+            _device_parent(
+                "device to control; repeat for several (default: the "
+                "paper's four Table 1 devices)"
+            ),
+            _quick_parent(),
+            _seed_parent(),
+            _workers_parent(),
+            _faults_parent(
+                "inject faults into every policy run (baselines stay "
+                "clean), e.g. 'governor:at=0.02'"
+            ),
+            _cache_parent(),
+            _resilience_parent(
+                "continue an interrupted study: requires --cache"
+            ),
+        ],
     )
     policy_p.add_argument(
         "--policy",
         action="append",
         choices=POLICY_KINDS,
         help="controller family; repeat for several (default: all three)",
-    )
-    policy_p.add_argument(
-        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
-    )
-    policy_p.add_argument("--seed", type=int, default=0)
-    policy_p.add_argument(
-        "--workers",
-        type=_workers_arg,
-        default=1,
-        help="worker processes: a positive integer or 'all' "
-        "(default 1 = in-process)",
-    )
-    policy_p.add_argument(
-        "--faults",
-        type=_faults_arg,
-        default=None,
-        metavar="SPEC",
-        help="inject faults into every policy run (baselines stay "
-        "clean), e.g. 'governor:at=0.02'",
-    )
-    policy_p.add_argument(
-        "--cache",
-        default=None,
-        metavar="DIR",
-        help="on-disk result cache; re-runs skip already-computed points",
-    )
-    policy_p.add_argument(
-        "--resume",
-        action="store_true",
-        help="continue an interrupted study: requires --cache",
     )
 
     chaos_p = sub.add_parser(
@@ -331,12 +399,18 @@ def build_parser() -> argparse.ArgumentParser:
             "harvested-range retention and p99 blowup.  Exit status 1 "
             "if any cell violated an invariant."
         ),
-    )
-    chaos_p.add_argument(
-        "--device",
-        action="append",
-        choices=sorted(DEVICE_PRESETS),
-        help="device to attack; repeat for several (default: ssd2)",
+        parents=[
+            _device_parent(
+                "device to attack; repeat for several (default: ssd2)"
+            ),
+            _quick_parent(),
+            _seed_parent(),
+            _workers_parent(),
+            _cache_parent(
+                "on-disk result cache; also appends campaign records to "
+                "DIR/ledger.jsonl for `repro report`"
+            ),
+        ],
     )
     chaos_p.add_argument(
         "--controllers",
@@ -360,37 +434,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="disarm the safe-mode watchdog (measures the unprotected "
         "controllers)",
     )
-    chaos_p.add_argument(
-        "--quick", action="store_true", help="CI-scale run (coarser, faster)"
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="simulate a power-governed fleet against a global diurnal "
+        "budget",
+        description=(
+            "Run the fleet-scale study: N heterogeneous devices serve a "
+            "diurnal, tenant-skewed front-end stream while a cluster "
+            "governor re-divides one global power budget into per-device "
+            "caps each epoch, actuated through the per-device policy "
+            "runtime.  Reports per-epoch budget/power/latency accounting, "
+            "harvested fleet power, governed dynamic range and worst-epoch "
+            "p99 blowup, and validates every run against the physics and "
+            "fleet budget invariants.  Exit status 1 if any invariant "
+            "failed."
+        ),
+        parents=[
+            _quick_parent(),
+            _seed_parent(),
+            _workers_parent(),
+            _cache_parent(
+                "on-disk result cache; also appends fleet records to "
+                "DIR/ledger.jsonl for `repro report`"
+            ),
+        ],
     )
-    chaos_p.add_argument("--seed", type=int, default=0)
-    chaos_p.add_argument(
-        "--workers",
-        type=_workers_arg,
-        default=1,
-        help="worker processes: a positive integer or 'all' "
-        "(default 1 = in-process)",
+    fleet_p.add_argument(
+        "--devices",
+        type=int,
+        default=64,
+        metavar="N",
+        help="fleet size; slots cycle through the paper's four catalog "
+        "devices (default 64)",
     )
-    chaos_p.add_argument(
-        "--cache",
-        default=None,
-        metavar="DIR",
-        help="on-disk result cache; also appends campaign records to "
-        "DIR/ledger.jsonl for `repro report`",
+    fleet_p.add_argument(
+        "--epochs",
+        type=int,
+        default=4,
+        help="governor re-division periods over the simulated day "
+        "(default 4)",
+    )
+    fleet_p.add_argument(
+        "--tenants",
+        type=int,
+        default=96,
+        help="front-end tenants generating the skewed stream (default 96)",
+    )
+    fleet_p.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="Zipf exponent of tenant weights; 0 = uniform (default 1.1)",
+    )
+    fleet_p.add_argument(
+        "--budget-low",
+        type=float,
+        default=0.55,
+        metavar="FRAC",
+        help="diurnal budget trough as a fraction of the fleet's actuator "
+        "ceiling (default 0.55)",
+    )
+    fleet_p.add_argument(
+        "--budget-high",
+        type=float,
+        default=0.85,
+        metavar="FRAC",
+        help="diurnal budget peak as a fraction of the fleet's actuator "
+        "ceiling (default 0.85)",
     )
 
     report_p = sub.add_parser(
         "report",
         help="render a sweep health report from a run ledger",
         description=(
-            "Read the append-only run ledger that sweep/policy runs "
-            "write beside their --cache directory and render a sweep "
-            "health report: executor throughput trend and slowest "
-            "points, retry/timeout incidents, cache effectiveness, "
-            "per-(device, power-state) metric rollups, policy tracking "
-            "error, and validation verdicts.  Exit status 1 if the "
-            "latest run recorded failures or a failed validation, 2 if "
-            "there is no ledger to read."
+            "Read the append-only run ledger that sweep/policy/chaos/"
+            "fleet runs write beside their --cache directory and render "
+            "a sweep health report: executor throughput trend and "
+            "slowest points, retry/timeout incidents, cache "
+            "effectiveness, per-(device, power-state) metric rollups, "
+            "policy tracking error, fleet epoch accounting, and "
+            "validation verdicts.  Exit status 1 if the latest run "
+            "recorded failures or a failed validation, 2 if there is no "
+            "ledger to read."
         ),
     )
     report_p.add_argument(
@@ -420,30 +546,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-p99-ms", type=float, default=None, help="latency SLO in ms"
     )
     return parser
-
-
-def _add_obs_args(parser: argparse.ArgumentParser) -> None:
-    obs = parser.add_argument_group("observability")
-    obs.add_argument(
-        "--trace",
-        default=None,
-        metavar="PATH",
-        help="export mechanism events (power states, governor, GC, "
-        "spindle, ALPM, IO) to PATH",
-    )
-    obs.add_argument(
-        "--trace-format",
-        default="jsonl",
-        choices=["jsonl", "chrome"],
-        help="jsonl = one event per line; chrome = Perfetto-loadable "
-        "trace_event JSON (default: jsonl)",
-    )
-    obs.add_argument(
-        "--metrics",
-        default=None,
-        metavar="PATH",
-        help="write a sim-time metrics snapshot (JSON) to PATH",
-    )
 
 
 class _ObsSession:
@@ -841,6 +943,33 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
     return chaos_resilience.render(result), 0 if result.ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> tuple[str, int]:
+    from pathlib import Path
+
+    from repro.core.parallel import ResultCache
+    from repro.studies import fleet_scale
+    from repro.studies.common import DEFAULT, QUICK
+
+    cache = ResultCache(args.cache) if args.cache else None
+    ledger = Path(args.cache) / "ledger.jsonl" if args.cache else None
+    result = fleet_scale.run(
+        scale=QUICK if args.quick else DEFAULT,
+        n_workers=args.workers,
+        seed=args.seed,
+        n_devices=args.devices,
+        epochs=args.epochs,
+        tenants=args.tenants,
+        skew=args.skew,
+        budget_low=args.budget_low,
+        budget_high=args.budget_high,
+        cache_dir=cache,
+        ledger=ledger,
+    )
+    # Validation runs post-hoc over the returned results, cache hits
+    # included, so the exit code cannot be laundered by a warm cache.
+    return fleet_scale.render(result), 0 if result.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> tuple[str, int]:
     import json
     from pathlib import Path
@@ -909,6 +1038,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return code
     elif args.command == "chaos":
         text, code = _cmd_chaos(args)
+        print(text)
+        return code
+    elif args.command == "fleet":
+        text, code = _cmd_fleet(args)
         print(text)
         return code
     elif args.command == "report":

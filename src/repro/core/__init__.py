@@ -16,8 +16,9 @@ Everything in this package corresponds to sections 3.3 and 4 of the paper:
 - :mod:`~repro.core.adaptive` -- the single-device planner of the paper's
   worked example (find a config meeting a power cut with minimal
   throughput loss; compute curtailable best-effort load).
-- :mod:`~repro.core.fleet` -- multi-device model composition and budget
-  allocation across a heterogeneous fleet.
+- :mod:`~repro.core.fleet` -- deprecated alias of
+  :mod:`repro.fleet.model` (multi-device model composition moved into
+  the :mod:`repro.fleet` cluster package).
 - :mod:`~repro.core.redirection` -- power-aware IO redirection (section 4).
 - :mod:`~repro.core.asymmetric` -- asymmetric read/write segregation.
 - :mod:`~repro.core.tiering` -- tiered write absorption during spin-up.

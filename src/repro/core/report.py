@@ -4,7 +4,8 @@
 into the one-page answer an operator wants after (or during) a long
 sweep: did throughput regress over the run, which points dominated the
 wall clock, did the cache actually help, what retried or timed out, how
-well did the policies track their budgets, and did validation sign off.
+well did the policies track their budgets, what a fleet run's governor
+did per epoch, and did validation sign off.
 :func:`build_report` computes a JSON-ready structure (for dashboards and
 diffing); :func:`render_markdown` formats it for humans.
 
@@ -191,6 +192,44 @@ def _chaos_section(runs: List[dict]) -> Optional[dict]:
     return None
 
 
+def _fleet_section(
+    fleet_records: List[dict], runs: List[dict]
+) -> Optional[dict]:
+    """Fleet epoch accounting plus the latest fleet run's headline.
+
+    ``repro fleet`` appends one ``fleet`` record per governor epoch and
+    a ``run`` close-out carrying the headline summary (harvest, dynamic
+    range, p99 blowup, digest) under its ``fleet`` key; the report
+    surfaces both.
+    """
+    section: dict = {}
+    for run in reversed(runs):
+        fleet = run.get("fleet")
+        if fleet:
+            section["summary"] = fleet
+            break
+    if fleet_records:
+        section["epochs"] = [
+            {
+                key: record.get(key)
+                for key in (
+                    "epoch",
+                    "devices",
+                    "budget_w",
+                    "allocated_w",
+                    "deficit_w",
+                    "measured_w",
+                    "baseline_w",
+                    "p99_us",
+                    "baseline_p99_us",
+                    "intensity",
+                )
+            }
+            for record in fleet_records
+        ]
+    return section or None
+
+
 def _validation_section(runs: List[dict]) -> Optional[dict]:
     checked = 0
     violations: Dict[str, int] = {}
@@ -218,13 +257,21 @@ def build_report(records: List[dict]) -> dict:
     """Compute the sweep health report from ledger records.
 
     Returns a JSON-ready dict with ``overview``, ``executor``, ``cache``,
-    ``rollup``, ``policy`` (when any point ran a policy), and
+    ``rollup``, ``policy`` (when any point ran a policy), ``fleet``
+    (when a fleet run left epoch records or a summary), and
     ``validation`` (when any run validated) sections, plus a top-level
     ``ok`` verdict: the latest run record's validation passed (or was
     absent) and the latest batch reported no failures.
+
+    Records of a kind this reader does not know are counted (never
+    silently dropped): ``overview.skipped_records`` says how many, so a
+    report rendered by an older tool over a newer ledger admits what it
+    left out.
     """
     points = [r for r in records if r.get("rec") == "point"]
     runs = [r for r in records if r.get("rec") == "run"]
+    fleet_records = [r for r in records if r.get("rec") == "fleet"]
+    skipped = len(records) - len(points) - len(runs) - len(fleet_records)
     by_status: Dict[str, int] = {}
     for p in points:
         status = p.get("status", "?")
@@ -244,6 +291,7 @@ def build_report(records: List[dict]) -> dict:
         "overview": {
             "points": len(points),
             "runs": len(runs),
+            "skipped_records": skipped,
             "by_status": {k: by_status[k] for k in sorted(by_status)},
             "devices": sorted(
                 {str(p.get("device", "?")) for p in points}
@@ -259,6 +307,9 @@ def build_report(records: List[dict]) -> dict:
     chaos = _chaos_section(runs)
     if chaos is not None:
         report["chaos"] = chaos
+    fleet = _fleet_section(fleet_records, runs)
+    if fleet is not None:
+        report["fleet"] = fleet
     validation = _validation_section(runs)
     if validation is not None:
         report["validation"] = validation
@@ -290,6 +341,11 @@ def render_markdown(report: dict) -> str:
         f"{overview['runs']} run(s) on "
         f"{', '.join(overview['devices']) or 'no devices'}; {census}."
     )
+    if overview.get("skipped_records"):
+        lines.append(
+            f"skipped {overview['skipped_records']} unrecognized "
+            "record(s) (written by a newer tool?)"
+        )
 
     lines.extend(["", "## Executor", ""])
     lines.append(
@@ -414,6 +470,40 @@ def render_markdown(report: dict) -> str:
                 f"- reproducer: {repro.get('device')}/"
                 f"{repro.get('controller')} [{repro.get('plan')}]: "
                 f"--faults '{repro.get('faults')}'"
+            )
+
+    if "fleet" in report:
+        fleet = report["fleet"]
+        lines.extend(["", "## Fleet", ""])
+        summary = fleet.get("summary")
+        if summary:
+            lines.append(
+                f"- {summary.get('devices', 0)} device(s) over "
+                f"{summary.get('epochs', 0)} epoch(s): harvested "
+                f"{summary.get('harvest_fraction', 0.0):.1%} of fleet power, "
+                f"dynamic range {summary.get('dynamic_range_w', 0.0):.1f} W, "
+                f"p99 blowup {summary.get('p99_blowup', 0.0):.2f}x "
+                f"(digest {summary.get('digest', '?')})"
+            )
+        if fleet.get("epochs"):
+            lines.append("")
+            lines.extend(
+                _md_table(
+                    ["Epoch", "Budget W", "Alloc W", "Deficit W",
+                     "Fleet W", "Base W", "p99 us"],
+                    [
+                        [
+                            str(e.get("epoch", "?")),
+                            f"{e.get('budget_w') or 0.0:.1f}",
+                            f"{e.get('allocated_w') or 0.0:.1f}",
+                            f"{e.get('deficit_w') or 0.0:.1f}",
+                            f"{e.get('measured_w') or 0.0:.1f}",
+                            f"{e.get('baseline_w') or 0.0:.1f}",
+                            f"{e.get('p99_us') or 0.0:.0f}",
+                        ]
+                        for e in fleet["epochs"]
+                    ],
+                )
             )
 
     lines.extend(["", "## Validation", ""])

@@ -1,0 +1,129 @@
+"""The fleet budget-allocation protocol: one API, two planners.
+
+The paper derives per-device power-throughput models and composes them
+into a fleet Pareto frontier (section 3.3); ROADMAP item 1 asks what
+that buys a *cluster operator*.  The answer is one small contract:
+
+- :class:`DeviceView` -- what the allocator is allowed to know about a
+  device at decision time: its actuator range (floor/ceiling watts, the
+  same range :class:`~repro.policy.runtime.PolicyRuntime` derives from
+  the device config) plus live signals (last measured draw, offered
+  load).
+- :class:`BudgetSplit` -- a division of the global budget into
+  per-device caps, in the same slot order as the views.
+- :class:`BudgetAllocator` -- anything that turns ``(budget_w, views)``
+  into per-device caps.
+
+Two implementations ship:
+
+- :class:`~repro.fleet.model.FleetModel` plans *offline* from fitted
+  models (greedy marginal throughput-per-watt along the concave hull of
+  each device's frontier); it ignores the live views.
+- :class:`~repro.fleet.governor.ClusterGovernor` governs *online* from
+  live meters (demand-weighted water-filling between actuator floors
+  and ceilings); it needs no fitted model.
+
+Both return an object exposing ``caps_w`` (per-slot cap tuple) and
+``total_power_w`` (their sum); :func:`repro.fleet.cluster.run_fleet`
+actuates whichever it is given through the per-device policy runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+__all__ = ["BudgetAllocator", "BudgetSplit", "DeviceView"]
+
+
+@dataclass(frozen=True)
+class DeviceView:
+    """What a fleet allocator may know about one device slot.
+
+    Attributes:
+        label: Device catalog label (``ssd2``, ``hdd``, ...); purely
+            informational -- allocation must key on the numbers, not
+            the name.
+        floor_w: Lowest power cap the device's actuator can honor (its
+            deepest operational rung; caps below it are unactuatable).
+        ceiling_w: Highest useful cap (full-performance draw); budget
+            handed out above it is wasted.
+        measured_w: Last measured mean draw (the "live meter"); 0.0
+            when no measurement exists yet.
+        demand: Relative offered load on this device (unitless; only
+            ratios between slots matter).  0.0 means idle.
+    """
+
+    label: str
+    floor_w: float
+    ceiling_w: float
+    measured_w: float = 0.0
+    demand: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.floor_w > 0:
+            raise ValueError(
+                f"floor_w must be positive, got {self.floor_w!r}"
+            )
+        if self.ceiling_w < self.floor_w:
+            raise ValueError(
+                f"ceiling_w ({self.ceiling_w!r}) must be >= floor_w "
+                f"({self.floor_w!r})"
+            )
+        if self.measured_w < 0 or self.demand < 0:
+            raise ValueError("measured_w and demand must be >= 0")
+
+
+@dataclass(frozen=True)
+class BudgetSplit:
+    """A global budget divided into per-device caps.
+
+    Attributes:
+        caps_w: One cap per device slot, in view order.  Every cap sits
+            inside its device's ``[floor_w, ceiling_w]`` range.
+        budget_w: The global budget the split was computed for.
+        deficit_w: How far the budget fell short of the sum of floors
+            (0.0 when feasible).  A nonzero deficit means the fleet
+            cannot track the budget by shaping alone -- the operator
+            must stand devices down (standby) to close the gap, which
+            is out of scope for cap allocation.
+    """
+
+    caps_w: tuple[float, ...]
+    budget_w: float
+    deficit_w: float = 0.0
+
+    @property
+    def total_power_w(self) -> float:
+        """Sum of the handed-out caps (never exceeds ``budget_w`` when
+        feasible; equals the floor sum when in deficit)."""
+        return sum(self.caps_w)
+
+    def describe(self) -> str:
+        text = (
+            f"{len(self.caps_w)} caps, {self.total_power_w:.1f} W of "
+            f"{self.budget_w:.1f} W budget"
+        )
+        if self.deficit_w > 0:
+            text += f" (deficit {self.deficit_w:.1f} W: floors exceed budget)"
+        return text
+
+
+@runtime_checkable
+class BudgetAllocator(Protocol):
+    """Anything that divides a fleet power budget into per-device caps.
+
+    Implementations must accept a budget and (optionally) live
+    per-device views, and return an object exposing ``caps_w`` -- one
+    cap per device slot -- and ``total_power_w``.  Offline planners
+    (:class:`~repro.fleet.model.FleetModel`) may ignore ``views``;
+    online governors (:class:`~repro.fleet.governor.ClusterGovernor`)
+    require them.
+    """
+
+    def allocate(
+        self,
+        budget_w: float,
+        views: Optional[Sequence[DeviceView]] = None,
+    ):  # -> object with .caps_w / .total_power_w
+        ...

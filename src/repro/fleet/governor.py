@@ -1,0 +1,105 @@
+"""Online cluster power governor: re-divide a global budget from live meters.
+
+The blueprint is the online multi-disk dynamic power management line of
+work (PAPERS.md, "Energy-Aware Disk Storage Management"): a cluster
+governor does not need fitted power-throughput models to divide a budget
+-- it needs each device's actuator range and a live signal of who is
+busy.  :class:`ClusterGovernor` implements the online half of the
+:class:`~repro.fleet.api.BudgetAllocator` protocol with demand-weighted
+water-filling:
+
+1. Every device is granted its actuator floor (a cap below the floor is
+   unactuatable, so handing out less buys nothing).
+2. The remaining budget is poured proportionally to per-device weights,
+   clamping at each device's ceiling and recycling the overflow, until
+   the budget is exhausted or every weighted device is saturated.
+3. If the budget does not even cover the sum of floors, every device is
+   pinned at its floor and the shortfall is reported as
+   :attr:`~repro.fleet.api.BudgetSplit.deficit_w` -- a graceful
+   brownout signal, not an exception, because an online governor runs
+   inside the control loop and must always produce *some* actuatable
+   split (contrast :meth:`repro.fleet.model.FleetModel.allocate`, an
+   offline planner that refuses infeasible budgets outright).
+
+Weights come from the views, in precedence order: offered ``demand``
+when any device reports load; else measured draw above floor (busy
+devices keep their headroom); else raw actuator headroom (cold start).
+The arithmetic is pure and iteration order is slot order, so a split is
+a deterministic function of ``(budget_w, views)`` -- no RNG, no state,
+bit-identical across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.fleet.api import BudgetSplit, DeviceView
+
+__all__ = ["ClusterGovernor"]
+
+#: Watts below which remaining budget is considered fully poured.
+_EPSILON_W = 1e-9
+
+
+class ClusterGovernor:
+    """Demand-weighted water-filling allocator over live device views."""
+
+    def weights(self, views: Sequence[DeviceView]) -> tuple[float, ...]:
+        """Per-device pour weights for the water-filling pass.
+
+        Demand is the strongest signal (the front-end knows who it is
+        loading); measured draw above floor is the fallback (a busy
+        device radiates its need); actuator headroom seeds a cold start
+        where neither exists.
+        """
+        if any(v.demand > 0 for v in views):
+            return tuple(v.demand for v in views)
+        if any(v.measured_w > v.floor_w for v in views):
+            return tuple(max(v.measured_w - v.floor_w, 0.0) for v in views)
+        return tuple(v.ceiling_w - v.floor_w for v in views)
+
+    def allocate(
+        self,
+        budget_w: float,
+        views: Optional[Sequence[DeviceView]] = None,
+    ) -> BudgetSplit:
+        """Divide ``budget_w`` into per-device caps (view order)."""
+        if views is None or not views:
+            raise ValueError(
+                "ClusterGovernor.allocate needs live DeviceView readings; "
+                "for offline planning from fitted models use "
+                "FleetModel.allocate"
+            )
+        if not budget_w > 0:
+            raise ValueError(f"budget_w must be positive, got {budget_w!r}")
+        caps = [v.floor_w for v in views]
+        floor_total = sum(caps)
+        if budget_w <= floor_total:
+            return BudgetSplit(
+                caps_w=tuple(caps),
+                budget_w=budget_w,
+                deficit_w=floor_total - budget_w,
+            )
+        weights = self.weights(views)
+        remaining = budget_w - floor_total
+        active = [
+            i
+            for i, v in enumerate(views)
+            if weights[i] > 0 and v.ceiling_w - caps[i] > _EPSILON_W
+        ]
+        while remaining > _EPSILON_W and active:
+            total_weight = sum(weights[i] for i in active)
+            poured = 0.0
+            still_open = []
+            for i in active:
+                share = remaining * weights[i] / total_weight
+                new_cap = min(views[i].ceiling_w, caps[i] + share)
+                poured += new_cap - caps[i]
+                caps[i] = new_cap
+                if views[i].ceiling_w - new_cap > _EPSILON_W:
+                    still_open.append(i)
+            remaining -= poured
+            if poured <= _EPSILON_W:
+                break  # numeric dead end: nothing accepted water
+            active = still_open
+        return BudgetSplit(caps_w=tuple(caps), budget_w=budget_w)

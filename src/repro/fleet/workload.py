@@ -1,0 +1,169 @@
+"""Datacenter front-end: a diurnal, tenant-skewed request stream.
+
+A fleet simulation is only as interesting as its load.  This module
+models the front-end of a storage cluster the way capacity papers
+describe one:
+
+- **Tenants with Zipf skew.**  ``tenants`` logical customers carry
+  weight ``1 / rank**skew`` (normalized): a handful of heavy hitters
+  dominate, with a long light tail -- the shape behind every "top-k
+  tenants drive most of the IO" observation.
+- **Deterministic placement.**  Each tenant is pinned to one device
+  slot by a keyed ``blake2b`` hash of ``(seed, tenant)`` -- the same
+  house rule as every other seed derivation in this repo (never the
+  builtin ``hash()``), so placement is bit-identical across processes
+  and ``PYTHONHASHSEED`` values.
+- **Diurnal intensity.**  Offered load follows a day/night cosine
+  across the run's epochs, peaking at epoch 0 ("midnight deploy" shape
+  is the governor's problem, not the front-end's).
+
+Per (device, epoch), the front-end emits a relative demand (what the
+cluster governor weighs) and a concrete :class:`~repro.iogen.spec.JobSpec`
+(what the device simulates): queue depth scales with demand, and the
+access mix -- block size, read/write -- comes from the device's heaviest
+tenant.  Everything is a pure function of ``(spec fields, indices)``;
+there is no RNG stream and no state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro._units import KiB
+from repro.iogen.spec import IoPattern, JobSpec
+from repro.studies.common import StudyScale
+
+__all__ = ["FrontEnd"]
+
+#: Day/night swing of offered load: the trough is this fraction of peak.
+_NIGHT_FRACTION = 0.35
+
+#: Peak per-device queue depth at demand 1.0 (the paper's sweep top end).
+_PEAK_IODEPTH = 16
+
+#: Access mix by tenant rank (rank cycles through these): heavy tenants
+#: stream large sequential-ish writes, light tenants do small reads.
+_TENANT_MIX = (
+    (256 * KiB, IoPattern.RANDWRITE),
+    (64 * KiB, IoPattern.RANDWRITE),
+    (16 * KiB, IoPattern.RANDREAD),
+    (4 * KiB, IoPattern.RANDREAD),
+)
+
+
+def _place(seed: int, tenant: int, n_devices: int) -> int:
+    """Deterministic tenant -> device slot placement (keyed blake2b)."""
+    digest = hashlib.blake2b(
+        f"fleet.place:{seed}:{tenant}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % n_devices
+
+
+@dataclass(frozen=True)
+class FrontEnd:
+    """The request-stream generator for one fleet run.
+
+    Attributes:
+        n_devices: Device slots behind the load balancer.
+        tenants: Logical customers generating load.
+        skew: Zipf exponent of the tenant weight distribution
+            (0 = uniform; ~1 = classic heavy-tailed).
+        seed: Placement seed (feeds the keyed hash, nothing else).
+    """
+
+    n_devices: int
+    tenants: int
+    skew: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValueError(
+                f"n_devices must be >= 1, got {self.n_devices!r}"
+            )
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants!r}")
+        if self.skew < 0:
+            raise ValueError(f"skew must be >= 0, got {self.skew!r}")
+
+    # -- tenants ---------------------------------------------------------
+
+    def tenant_weights(self) -> tuple[float, ...]:
+        """Normalized Zipf weights, heaviest first (rank 1 = index 0)."""
+        raw = [1.0 / (rank**self.skew) for rank in range(1, self.tenants + 1)]
+        total = sum(raw)
+        return tuple(w / total for w in raw)
+
+    def placement(self) -> tuple[int, ...]:
+        """Device slot per tenant (index = tenant rank - 1)."""
+        return tuple(
+            _place(self.seed, tenant, self.n_devices)
+            for tenant in range(self.tenants)
+        )
+
+    # -- time ------------------------------------------------------------
+
+    def intensity(self, epoch: int, epochs: int) -> float:
+        """Fleet-wide offered-load factor in (0, 1] for one epoch.
+
+        A cosine day: 1.0 at epoch 0, dipping to ``_NIGHT_FRACTION``
+        half way through the run, back to peak at the end.
+        """
+        if not 0 <= epoch < epochs:
+            raise ValueError(f"epoch {epoch} outside 0..{epochs - 1}")
+        phase = (epoch + 0.5) / epochs
+        mid = 0.5 * (1.0 + _NIGHT_FRACTION)
+        amp = 0.5 * (1.0 - _NIGHT_FRACTION)
+        return mid + amp * math.cos(2.0 * math.pi * phase)
+
+    # -- per-device load -------------------------------------------------
+
+    def demands(self, epoch: int, epochs: int) -> tuple[float, ...]:
+        """Relative offered load per device slot for one epoch.
+
+        The tenant weights landing on each slot are summed and scaled
+        by the diurnal intensity and the device count, so a perfectly
+        balanced fleet at peak sees demand ~1.0 per slot; skewed
+        placement pushes hot slots above and cold slots below.
+        """
+        weights = self.tenant_weights()
+        placement = self.placement()
+        load = [0.0] * self.n_devices
+        for tenant, slot in enumerate(placement):
+            load[slot] += weights[tenant]
+        scale = self.intensity(epoch, epochs) * self.n_devices
+        return tuple(share * scale for share in load)
+
+    def _dominant_tenant(self, slot: int) -> int:
+        """The heaviest tenant on a slot (lowest rank wins ties); the
+        slot's access mix follows it.  Unloaded slots serve rank 0."""
+        placement = self.placement()
+        for tenant, where in enumerate(placement):
+            if where == slot:
+                return tenant
+        return 0
+
+    def job_for(
+        self,
+        slot: int,
+        epoch: int,
+        epochs: int,
+        scale: StudyScale,
+        device: str,
+    ) -> JobSpec:
+        """The concrete job one device slot runs for one epoch.
+
+        Stop rules (runtime, byte budget) come from ``scale`` exactly
+        like every other study; demand moves the queue depth between 1
+        and ``_PEAK_IODEPTH`` and the dominant tenant fixes block size
+        and pattern.
+        """
+        demand = self.demands(epoch, epochs)[slot]
+        iodepth = max(1, min(_PEAK_IODEPTH, round(demand * _PEAK_IODEPTH)))
+        block_size, pattern = _TENANT_MIX[
+            self._dominant_tenant(slot) % len(_TENANT_MIX)
+        ]
+        base = scale.job(pattern, block_size, iodepth, device)
+        return base

@@ -8,7 +8,7 @@ The shared four-state device model is the session-scoped
 import pytest
 
 from repro.core.adaptive import PowerAdaptivePlanner
-from repro.core.fleet import FleetModel
+from repro.fleet.model import FleetModel
 from repro.core.model import ModelPoint, PowerThroughputModel
 from repro.core.sweep import SweepPoint
 from repro.iogen.spec import IoPattern

@@ -1,0 +1,82 @@
+"""The diurnal, tenant-skewed front-end stream."""
+
+import pytest
+
+from repro.fleet.workload import FrontEnd
+from repro.studies.common import QUICK
+
+
+def front(**kwargs):
+    defaults = dict(n_devices=4, tenants=16, skew=1.1, seed=0)
+    defaults.update(kwargs)
+    return FrontEnd(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            front(n_devices=0)
+        with pytest.raises(ValueError):
+            front(tenants=0)
+        with pytest.raises(ValueError):
+            front(skew=-0.1)
+
+
+class TestTenants:
+    def test_weights_normalize_and_decay(self):
+        weights = front().tenant_weights()
+        assert sum(weights) == pytest.approx(1.0)
+        assert list(weights) == sorted(weights, reverse=True)
+        assert weights[0] > weights[-1]
+
+    def test_zero_skew_is_uniform(self):
+        weights = front(skew=0.0).tenant_weights()
+        assert all(w == pytest.approx(1.0 / 16) for w in weights)
+
+    def test_placement_is_deterministic_and_in_range(self):
+        a, b = front().placement(), front().placement()
+        assert a == b
+        assert all(0 <= slot < 4 for slot in a)
+
+    def test_placement_varies_with_seed(self):
+        assert front(seed=0).placement() != front(seed=12345).placement()
+
+
+class TestDiurnal:
+    def test_intensity_bounds_and_shape(self):
+        f = front()
+        values = [f.intensity(e, 8) for e in range(8)]
+        assert all(0.0 < v <= 1.0 for v in values)
+        # Peak at the edges of the day, trough in the middle.
+        assert min(values[0], values[-1]) > max(values[3], values[4])
+
+    def test_intensity_rejects_out_of_range_epoch(self):
+        with pytest.raises(ValueError):
+            front().intensity(8, 8)
+
+    def test_demands_scale_with_intensity(self):
+        f = front()
+        peak = sum(f.demands(0, 8))
+        trough = sum(f.demands(4, 8))
+        assert trough < peak
+        # Demand sums to intensity * n_devices by construction.
+        assert peak == pytest.approx(f.intensity(0, 8) * 4)
+
+
+class TestJobs:
+    def test_job_is_deterministic(self):
+        f = front()
+        a = f.job_for(1, 0, 4, QUICK, "ssd2")
+        b = f.job_for(1, 0, 4, QUICK, "ssd2")
+        assert a == b
+
+    def test_iodepth_tracks_demand(self):
+        f = front(tenants=64, skew=1.4)
+        demands = f.demands(0, 4)
+        hot = max(range(4), key=lambda s: demands[s])
+        cold = min(range(4), key=lambda s: demands[s])
+        hot_job = f.job_for(hot, 0, 4, QUICK, "ssd2")
+        cold_job = f.job_for(cold, 0, 4, QUICK, "ssd2")
+        assert hot_job.iodepth >= cold_job.iodepth
+        assert 1 <= cold_job.iodepth <= 16
+        assert 1 <= hot_job.iodepth <= 16

@@ -33,14 +33,18 @@ PUBLIC_API = (
     "AsymmetricPlanner",
     "AtaPowerMode",
     "BucketedHistogram",
+    "BudgetAllocator",
     "BudgetSchedule",
     "BudgetSignal",
+    "BudgetSplit",
     "CheckpointJournal",
+    "ClusterGovernor",
     "ControlAction",
     "ControllerConfig",
     "DEFAULT",
     "DEVICE_PRESETS",
     "DemandResponseResult",
+    "DeviceView",
     "Engine",
     "EventKind",
     "ExecutionOptions",
@@ -52,6 +56,8 @@ PUBLIC_API = (
     "FeedbackBudgetPolicy",
     "FleetAllocation",
     "FleetModel",
+    "FleetResult",
+    "FleetSpec",
     "GiB",
     "HysteresisLadderPolicy",
     "IOKind",
@@ -117,6 +123,7 @@ PUBLIC_API = (
     "run_configs",
     "run_demand_response",
     "run_experiment",
+    "run_fleet",
     "run_sweep",
     "standby_immediate",
     "sweep_outcome",

@@ -72,6 +72,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["policy", "--policy", "bang-bang"])
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        args_dict = vars(args)
+        assert args_dict["devices"] == 64
+        assert args_dict["epochs"] == 4
+        assert args_dict["budget_low"] == 0.55
+        assert args_dict["budget_high"] == 0.85
+        assert args_dict["workers"] == 1
+        assert args_dict["cache"] is None
+
+    def test_fleet_shares_the_workers_flag_group(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--workers", "0"])
+        assert "worker count must be >= 1" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_devices_lists_presets(self, capsys):
@@ -405,6 +420,45 @@ class TestCommands:
         assert main(argv + ["--resume"]) == 1
         out = capsys.readouterr().out
         assert "violation" in out
+
+    def test_fleet_quick_validates_clean(self, capsys):
+        code = main(
+            ["fleet", "--devices", "3", "--epochs", "2", "--tenants", "6",
+             "--quick"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet of 3 devices" in out
+        assert "harvested" in out
+        assert "digest " in out
+        assert "all hold" in out
+
+    def test_fleet_violation_exits_nonzero(self, capsys, monkeypatch):
+        from repro.studies import fleet_scale
+        from repro.validate.report import Tolerances
+
+        monkeypatch.setattr(
+            fleet_scale, "TOLERANCES", Tolerances(meter_rel=0.0)
+        )
+        code = main(
+            ["fleet", "--devices", "2", "--epochs", "2", "--tenants", "4",
+             "--quick"]
+        )
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_fleet_feeds_the_report(self, capsys, tmp_path):
+        code = main(
+            ["fleet", "--devices", "3", "--epochs", "2", "--tenants", "6",
+             "--quick", "--cache", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "ledger.jsonl").exists()
+        capsys.readouterr()
+        assert main(["report", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Fleet" in out
+        assert "harvested" in out
 
     @pytest.mark.integration
     def test_plan(self, capsys):
