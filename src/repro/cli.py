@@ -156,6 +156,23 @@ def _faults_parent(help_text: str) -> argparse.ArgumentParser:
     return parent
 
 
+def _fastpath_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--fastpath",
+        nargs="?",
+        const="auto",
+        default=None,
+        choices=["auto", "splice", "batch"],
+        metavar="MODE",
+        help="accelerate eligible steady-state runs analytically "
+        "(auto|splice|batch; bare flag = auto).  Ineligible runs fall "
+        "back to the exact kernel bit-identically; accelerated runs are "
+        "equivalent within declared tolerances (see DESIGN.md)",
+    )
+    return parent
+
+
 def _cache_parent(help_text: str = _CACHE_HELP) -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
@@ -247,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "inject faults, e.g. 'io_error:p=0.01;governor:at=0.02' "
                 "(kinds: io_error, spike, throttle, stuck, governor, spinup)"
             ),
+            _fastpath_parent(),
             _obs_parent(),
         ],
     )
@@ -273,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
             _faults_parent(
                 "inject faults into every point, e.g. 'io_error:p=0.01'"
             ),
+            _fastpath_parent(),
             _resilience_parent(
                 "continue an interrupted sweep: requires --cache; completed "
                 "points are skipped via the cache and checkpoint journal",
@@ -634,6 +653,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         size_limit_bytes=parse_size(args.size),
     )
     obs = _ObsSession(args)
+    fastpath = _fastpath_options(args)
     result = run_experiment(
         ExperimentConfig(
             device=args.device,
@@ -641,6 +661,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
             power_state=args.ps,
             seed=args.seed,
             faults=args.faults,
+            fastpath=fastpath,
         ),
         tracer=obs.tracer,
         profiler=obs.profiler,
@@ -648,6 +669,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
     lines = [result.summary()]
     if result.faults is not None:
         lines.append(f"faults: {result.faults.describe()}")
+    if result.fastpath is not None:
+        lines.append(f"fastpath: {result.fastpath.describe()}")
     if obs.enabled:
         lines.extend(obs.export())
     return "\n".join(lines)
@@ -717,6 +740,7 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
                 retries=args.retries,
                 checkpoint=checkpoint,
                 resume=args.resume,
+                fastpath=_fastpath_options(args),
                 telemetry=bool(args.progress or ledger is not None),
                 ledger=ledger,
                 progress=progress,
@@ -772,6 +796,19 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
     if obs.enabled:
         blocks.append("\n".join(obs.export(cache=cache)))
     return "\n\n".join(blocks), 0 if outcome.ok else 1
+
+
+def _fastpath_options(args: argparse.Namespace):
+    """Build FastpathOptions from --fastpath (None when the flag is absent).
+
+    Imported lazily so a run without the flag never loads
+    :mod:`repro.sim.fastpath` (the poisoned-import test pins this).
+    """
+    if args.fastpath is None:
+        return None
+    from repro.sim.fastpath import FastpathOptions
+
+    return FastpathOptions(mode=args.fastpath)
 
 
 class _progress_printer:

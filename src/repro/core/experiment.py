@@ -71,6 +71,16 @@ class ExperimentConfig:
             never imports :mod:`repro.policy`: ``None`` -- the default
             -- keeps the policy package entirely unloaded and the run
             bit-identical to a build without it.
+        fastpath: Optional
+            :class:`~repro.sim.fastpath.options.FastpathOptions` enabling
+            the analytic steady-state fast-forward and/or batched kernel
+            dispatch.  Typed as ``object`` for the same lazy-import
+            contract as ``policy``: ``None`` -- the default -- keeps
+            :mod:`repro.sim.fastpath` entirely unloaded and the run
+            bit-identical to a build without it.  Ineligible runs
+            (writes, faults, policies, non-SSD devices...) fall back to
+            the exact kernel and are also bit-identical; eligible runs
+            are equivalent within the options' declared tolerances.
     """
 
     device: Union[str, DeviceConfig]
@@ -87,6 +97,7 @@ class ExperimentConfig:
     keep_trace: bool = False
     faults: Optional[FaultPlan] = None
     policy: Optional[object] = None
+    fastpath: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.warmup_fraction < 1:
@@ -132,6 +143,11 @@ class ExperimentResult:
             the experiment configured an online policy (``None``
             otherwise; typed loosely for the same lazy-import reason as
             ``ExperimentConfig.policy``).
+        fastpath: :class:`~repro.sim.fastpath.options.FastpathSummary`
+            accounting when the experiment configured a fastpath
+            (``None`` otherwise) -- whether it engaged, which mode ran,
+            and the per-splice replication ledger the
+            ``fastpath_equivalence`` invariant audits.
     """
 
     config: ExperimentConfig
@@ -142,6 +158,7 @@ class ExperimentResult:
     trace: Optional[PowerTrace] = None
     faults: Optional[FaultSummary] = None
     policy: Optional[object] = None
+    fastpath: Optional[object] = None
 
     # -- the quantities the paper's figures plot --------------------------
 
@@ -270,8 +287,16 @@ def run_experiment(
         policy_runtime = PolicyRuntime(engine, device, config.policy, rngs)
 
     job = FioJob(engine, device, config.job, rng=rngs.get("io.offsets"))
-    master = job.start()
-    _drive_to_completion(engine, master)
+    fastpath_summary = None
+    if config.fastpath is not None:
+        # Lazy, like policy: runs without a fastpath must never load
+        # repro.sim.fastpath (the poisoned-import test pins this).
+        from repro.sim.fastpath import drive_job
+
+        fastpath_summary = drive_job(engine, device, job, config, config.fastpath)
+    else:
+        master = job.start()
+        _drive_to_completion(engine, master)
 
     job_result = job.result(warmup_fraction=config.warmup_fraction)
     meter = PowerMeter(device.rail, config.meter, rng=rngs.get("meter"))
@@ -292,6 +317,7 @@ def run_experiment(
             wall_s=RunProfiler.clock() - wall_start,
             sim_events=engine.events_processed,
             sim_time_s=engine.now,
+            sim_events_fast_forwarded=engine.events_fast_forwarded,
         )
     return ExperimentResult(
         config=config,
@@ -302,4 +328,5 @@ def run_experiment(
         trace=trace if config.keep_trace else None,
         faults=faults.summary() if faults is not None else None,
         policy=policy_runtime.summary() if policy_runtime is not None else None,
+        fastpath=fastpath_summary,
     )

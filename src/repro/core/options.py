@@ -85,6 +85,13 @@ class ExecutionOptions:
             controller).  Typed as ``object`` so this module never
             imports :mod:`repro.policy`; ``None`` keeps the policy
             machinery entirely unloaded.
+        fastpath: Optional
+            :class:`~repro.sim.fastpath.options.FastpathOptions` attached
+            to every point of the sweep (analytic steady-state
+            fast-forward / batched kernel dispatch).  Typed as ``object``
+            so this module never imports :mod:`repro.sim.fastpath`;
+            ``None`` keeps the fastpath machinery entirely unloaded and
+            every point bit-identical to a build without it.
         telemetry: Collect executor-side telemetry (per-point lifecycle
             spans, worker utilization, cache effectiveness) into a
             :class:`~repro.core.telemetry.SweepTelemetry` attached to
@@ -114,6 +121,7 @@ class ExecutionOptions:
     resume: bool = False
     validate: bool = False
     policy: Optional[object] = None
+    fastpath: Optional[object] = None
     telemetry: bool = False
     ledger: Optional[Union[str, Path, object]] = None
     progress: Optional[Callable[[Any], None]] = None

@@ -245,6 +245,11 @@ def sweep_outcome(
         # config_content_hash folds it into cache keys (policy and
         # policy-free runs of the same grid never collide).
         configs = [replace(config, policy=opts.policy) for config in configs]
+    if opts.fastpath is not None:
+        # Same rider pattern as policy: the fastpath options travel on
+        # each config so pool workers see them and config_content_hash
+        # keeps accelerated and exact runs apart in the cache.
+        configs = [replace(config, fastpath=opts.fastpath) for config in configs]
     try:
         outcomes = run_configs(
             configs,

@@ -33,6 +33,17 @@ class OffsetGenerator(abc.ABC):
     def next_offset(self) -> int:
         """The next byte offset to access."""
 
+    def skip(self, n: int) -> None:
+        """Advance the stream past ``n`` offsets without returning them.
+
+        Equivalent to ``n`` discarded :meth:`next_offset` calls -- the
+        stream position (and any underlying RNG state) afterwards is
+        identical.  The analytic fast-forward uses this to keep the
+        offset stream aligned with the submissions it skipped.
+        """
+        for _ in range(n):
+            self.next_offset()
+
 
 class SequentialOffsets(OffsetGenerator):
     """Linear sweep through the region, wrapping at the end."""
@@ -45,6 +56,11 @@ class SequentialOffsets(OffsetGenerator):
         offset = self.region_offset + self._slot * self.block_size
         self._slot = (self._slot + 1) % self.slots
         return offset
+
+    def skip(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("skip count must be non-negative")
+        self._slot = (self._slot + n) % self.slots
 
 
 class RandomOffsets(OffsetGenerator):
@@ -77,3 +93,21 @@ class RandomOffsets(OffsetGenerator):
         slot = int(self._batch[self._cursor])
         self._cursor += 1
         return self.region_offset + slot * self.block_size
+
+    def skip(self, n: int) -> None:
+        # Mirrors n next_offset() calls exactly: the same batches are
+        # drawn from the generator, only the per-slot unpacking is
+        # skipped, so the RNG stream position afterwards is identical.
+        if n < 0:
+            raise ValueError("skip count must be non-negative")
+        while n > 0:
+            available = len(self._batch) - self._cursor
+            if available == 0:
+                self._batch = self._rng.integers(
+                    0, self.slots, size=self._BATCH, dtype=np.int64
+                )
+                self._cursor = 0
+                continue
+            take = available if available < n else n
+            self._cursor += take
+            n -= take

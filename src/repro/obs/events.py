@@ -90,6 +90,11 @@ class EventKind(enum.Enum):
     #: :mod:`repro.policy`; fields carry ``target_w``, ``budget_w`` and
     #: the sensed ``measured_w`` at the decision tick).
     SET_POINT = "set_point"
+    #: An analytic fast-forward spliced out a stationary stretch of the
+    #: run (emitted by :mod:`repro.sim.fastpath`; fields carry the jump
+    #: bounds and the replicated-window accounting).  Per-IO events for
+    #: the skipped stretch are intentionally absent from the trace.
+    FAST_FORWARD = "fast_forward"
     #: The policy watchdog latched safe mode / re-armed the controller.
     #: Instants, not an interval pair: a run may end mid-incident, and
     #: ``PolicySummary.watchdog_episodes`` carries the span accounting.

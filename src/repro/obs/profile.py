@@ -32,12 +32,15 @@ class PointProfile:
         wall_s: Wall-clock seconds spent inside ``run_experiment``.
         sim_events: Kernel events the engine processed.
         sim_time_s: Final simulated clock value.
+        sim_events_fast_forwarded: Kernel events an analytic fast-forward
+            accounted for without processing (zero on exact runs).
     """
 
     label: str
     wall_s: float
     sim_events: int
     sim_time_s: float
+    sim_events_fast_forwarded: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -45,6 +48,17 @@ class PointProfile:
         if self.wall_s <= 0:
             return 0.0
         return self.sim_events / self.wall_s
+
+    @property
+    def effective_events_per_second(self) -> float:
+        """Throughput counting fast-forwarded events as served.
+
+        Equals :attr:`events_per_second` on exact runs; on accelerated
+        runs this is the metric BENCH_10's speedup claim compares.
+        """
+        if self.wall_s <= 0:
+            return 0.0
+        return (self.sim_events + self.sim_events_fast_forwarded) / self.wall_s
 
 
 class RunProfiler:
@@ -54,9 +68,18 @@ class RunProfiler:
         self.points: list[PointProfile] = []
 
     def record(
-        self, label: str, wall_s: float, sim_events: int, sim_time_s: float
+        self,
+        label: str,
+        wall_s: float,
+        sim_events: int,
+        sim_time_s: float,
+        sim_events_fast_forwarded: int = 0,
     ) -> None:
-        self.points.append(PointProfile(label, wall_s, sim_events, sim_time_s))
+        self.points.append(
+            PointProfile(
+                label, wall_s, sim_events, sim_time_s, sim_events_fast_forwarded
+            )
+        )
 
     @staticmethod
     def clock() -> float:
@@ -74,12 +97,26 @@ class RunProfiler:
         return sum(p.sim_events for p in self.points)
 
     @property
+    def total_sim_events_fast_forwarded(self) -> int:
+        return sum(p.sim_events_fast_forwarded for p in self.points)
+
+    @property
     def events_per_second(self) -> float:
         """Aggregate simulator throughput across every profiled point."""
         wall = self.total_wall_s
         if wall <= 0:
             return 0.0
         return self.total_sim_events / wall
+
+    @property
+    def effective_events_per_second(self) -> float:
+        """Aggregate throughput counting fast-forwarded events as served."""
+        wall = self.total_wall_s
+        if wall <= 0:
+            return 0.0
+        return (
+            self.total_sim_events + self.total_sim_events_fast_forwarded
+        ) / wall
 
     def slowest(self, n: int = 5) -> list[PointProfile]:
         """The ``n`` most expensive points by wall time."""
@@ -95,22 +132,33 @@ class RunProfiler:
                     "sim_events": p.sim_events,
                     "sim_time_s": p.sim_time_s,
                     "events_per_second": p.events_per_second,
+                    "sim_events_fast_forwarded": p.sim_events_fast_forwarded,
+                    "effective_events_per_second": p.effective_events_per_second,
                 }
                 for p in self.points
             ],
             "n_points": len(self.points),
             "total_wall_s": self.total_wall_s,
             "total_sim_events": self.total_sim_events,
+            "total_sim_events_fast_forwarded": self.total_sim_events_fast_forwarded,
             "events_per_second": self.events_per_second,
+            "effective_events_per_second": self.effective_events_per_second,
         }
 
     def describe(self) -> str:
         """One-line human summary for CLI footers."""
-        return (
+        text = (
             f"{len(self.points)} point(s), {self.total_wall_s:.2f} s wall, "
             f"{self.total_sim_events} kernel events "
             f"({self.events_per_second:,.0f} ev/s)"
         )
+        skipped = self.total_sim_events_fast_forwarded
+        if skipped:
+            text += (
+                f" + {skipped} fast-forwarded "
+                f"({self.effective_events_per_second:,.0f} effective ev/s)"
+            )
+        return text
 
 
 def maybe_record(
@@ -119,7 +167,10 @@ def maybe_record(
     wall_s: float,
     sim_events: int,
     sim_time_s: float,
+    sim_events_fast_forwarded: int = 0,
 ) -> None:
     """Record into ``profiler`` if one is present (runner convenience)."""
     if profiler is not None:
-        profiler.record(label, wall_s, sim_events, sim_time_s)
+        profiler.record(
+            label, wall_s, sim_events, sim_time_s, sim_events_fast_forwarded
+        )

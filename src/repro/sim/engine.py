@@ -227,6 +227,10 @@ class Engine:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.events_processed = 0
+        # Kernel events an analytic fast-forward accounted for without
+        # processing (see repro.sim.fastpath); the effective event rate
+        # of an accelerated run is (processed + fast_forwarded) / wall.
+        self.events_fast_forwarded = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.attach(self)
 

@@ -37,6 +37,7 @@ RESULT_INVARIANTS = (
     "watchdog_liveness",
     "safe_mode_entry",
     "slo_adherence",
+    "fastpath_equivalence",
 )
 
 
@@ -557,6 +558,92 @@ def _check_slo(result: ExperimentResult, tol: Tolerances):
         )
 
 
+def _check_fastpath(result: ExperimentResult, tol: Tolerances):
+    """The fastpath's own ledger must be internally consistent.
+
+    The splice contract is replication, not estimation: skipping
+    ``n_windows`` steady windows must have added exactly ``n_windows``
+    copies of the template window's records, energy, and span.  The
+    summary is duck-typed (this module never imports
+    :mod:`repro.sim.fastpath`); results without a fastpath summary are
+    skipped.
+    """
+    summary = getattr(result, "fastpath", None)
+    if summary is None:
+        return
+    subject = result.config.describe()
+    if not summary.engaged:
+        if not summary.reason:
+            yield Violation(
+                "fastpath_equivalence",
+                subject,
+                "fastpath declined without stating a reason",
+                0.0,
+                1.0,
+            )
+        if summary.splices or summary.batched_ios:
+            yield Violation(
+                "fastpath_equivalence",
+                subject,
+                f"declined fastpath still reports work: "
+                f"{len(summary.splices)} splice(s), "
+                f"{summary.batched_ios} batched IOs",
+                float(len(summary.splices) + summary.batched_ios),
+                0.0,
+            )
+        return
+    if summary.mode == "batch":
+        # Batch mode dispatches the *whole* job through the flat kernel,
+        # so its IO count and the job's record count must agree.
+        if summary.batched_ios != len(result.job.records):
+            yield Violation(
+                "fastpath_equivalence",
+                subject,
+                f"batch dispatched {summary.batched_ios} IOs but the job "
+                f"recorded {len(result.job.records)}",
+                float(summary.batched_ios),
+                float(len(result.job.records)),
+            )
+        return
+    for i, splice in enumerate(summary.splices):
+        expected_records = splice.n_windows * splice.records_per_window
+        if splice.records_added != expected_records:
+            yield Violation(
+                "fastpath_equivalence",
+                subject,
+                f"splice {i} added {splice.records_added} records, not "
+                f"n_windows x records_per_window = {expected_records}",
+                float(splice.records_added),
+                float(expected_records),
+            )
+        expected_energy = splice.n_windows * splice.energy_per_window_j
+        slack = tol.fastpath_rel * max(
+            abs(expected_energy), abs(splice.energy_added_j), 1e-12
+        )
+        if abs(splice.energy_added_j - expected_energy) > slack:
+            yield Violation(
+                "fastpath_equivalence",
+                subject,
+                f"splice {i} added {splice.energy_added_j:.9g} J, not "
+                f"n_windows x energy_per_window = {expected_energy:.9g} J",
+                splice.energy_added_j,
+                expected_energy,
+            )
+        expected_span = splice.n_windows * splice.window_s
+        span = splice.t_to - splice.t_from
+        if abs(span - expected_span) > tol.fastpath_rel * max(
+            expected_span, 1e-12
+        ):
+            yield Violation(
+                "fastpath_equivalence",
+                subject,
+                f"splice {i} advanced time by {span:.9g} s, not "
+                f"n_windows x window = {expected_span:.9g} s",
+                span,
+                expected_span,
+            )
+
+
 _CHECKERS = (
     _check_window_sanity,
     _check_non_negative,
@@ -571,6 +658,7 @@ _CHECKERS = (
     _check_watchdog_liveness,
     _check_safe_mode_entry,
     _check_slo,
+    _check_fastpath,
 )
 
 

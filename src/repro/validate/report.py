@@ -99,6 +99,11 @@ class Tolerances:
         budget_abs_w: Absolute companion slack for the same comparison;
             covers the duty-cycle ripple of a governed device, which is
             watts-sized regardless of how tight the budget is.
+        fastpath_rel: Relative slack on the fastpath splice ledger
+            (replicated energy vs. ``n_windows x`` the template window's
+            energy, advanced time vs. ``n_windows x`` the window span).
+            Replication is arithmetic, not re-simulation, so this covers
+            only float summation order.
     """
 
     conservation_rel: float = 1e-6
@@ -114,6 +119,7 @@ class Tolerances:
     cap_binding_fraction: float = 0.90
     budget_rel: float = 0.10
     budget_abs_w: float = 1.5
+    fastpath_rel: float = 1e-9
 
     def __post_init__(self) -> None:
         for f in fields(self):

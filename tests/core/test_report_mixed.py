@@ -1,0 +1,164 @@
+"""``repro report`` exit codes over mixed, damaged, and foreign ledgers.
+
+One cache directory accumulates records from every orchestrator --
+sweeps, policy studies, chaos campaigns, fleet runs -- interleaved in
+whatever order the operator ran them, possibly with a torn tail from a
+crashed writer and record kinds from a newer tool.  The existing tests
+exercise single-kind ledgers; these pin the exit-code contract on the
+mixtures: 0 for a healthy stream, 1 when the *latest* run record is
+unhealthy (regardless of which kind wrote it), 2 when nothing is
+readable at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _point(i, device="ssd2", status="done", **extra):
+    record = {
+        "rec": "point", "key": f"k{i}", "label": f"pt{i}", "device": device,
+        "power_state": None, "status": status, "attempts": 1,
+        "wall_s": 0.1, "events_per_s": 1000.0, "sim_events": 100,
+    }
+    if status == "done":
+        record["result"] = {
+            "mean_power_w": 10.0, "throughput_mib_s": 100.0, "p99_us": 300.0,
+        }
+    record.update(extra)
+    return record
+
+
+def _run(kind, failures=0, ok=True, **extra):
+    return {
+        "rec": "run", "kind": kind, "failures": failures, "points": 1,
+        "validation": {
+            "ok": ok,
+            "checked": 3,
+            "violations": {} if ok else {"fleet_budget": 2},
+        },
+        **extra,
+    }
+
+
+def _fleet_epoch(epoch):
+    return {
+        "rec": "fleet", "epoch": epoch, "devices": 4, "budget_w": 40.0,
+        "allocated_w": 38.0, "deficit_w": 0.0, "measured_w": 35.0,
+        "baseline_w": 50.0, "p99_us": 900.0, "baseline_p99_us": 700.0,
+        "intensity": 0.8,
+    }
+
+
+def _mixed_clean():
+    """Every orchestrator's records interleaved, all healthy."""
+    return [
+        _point(0),
+        _run("sweep"),
+        _point(1, result={
+            "mean_power_w": 10.0, "throughput_mib_s": 100.0, "p99_us": 300.0,
+            "policy": {"kind": "feedback", "decisions": 4,
+                       "set_point_changes": 1, "mean_abs_error_w": 0.2,
+                       "max_overshoot_w": 0.5},
+        }),
+        _run("policy"),
+        _run("chaos", chaos={"cells": 6, "watchdog": True, "violations": 0,
+                             "controllers": {}}),
+        _fleet_epoch(0),
+        _fleet_epoch(1),
+        _run("fleet", fleet={"harvest_w": 5.0, "dynamic_range": 1.4,
+                             "p99_blowup": 1.2, "digest": "abc123"}),
+    ]
+
+
+def _write(tmp_path, records, tail=""):
+    path = tmp_path / "ledger.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps({"v": 1, **record}) + "\n")
+        if tail:
+            fh.write(tail)
+    return path
+
+
+class TestMixedLedgerExitCodes:
+    def test_healthy_mixed_stream_exits_0(self, tmp_path, capsys):
+        path = _write(tmp_path, _mixed_clean())
+        assert main(["report", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Every orchestrator's section made it into one report.
+        assert "Policy tracking" in out
+        assert "Chaos resilience" in out
+        assert "Fleet" in out
+
+    def test_latest_unhealthy_run_exits_1_whatever_its_kind(
+        self, tmp_path, capsys
+    ):
+        records = _mixed_clean() + [_run("fleet", ok=False)]
+        path = _write(tmp_path, records)
+        assert main(["report", "--ledger", str(path)]) == 1
+        assert "fleet_budget" in capsys.readouterr().out
+
+    def test_stale_failure_is_superseded_by_a_clean_rerun(
+        self, tmp_path, capsys
+    ):
+        """A failed chaos campaign earlier in the stream must not taint
+        a later clean fleet run: only the latest run record judges."""
+        records = [
+            _point(0),
+            _run("chaos", failures=2, ok=False),
+            _point(1),
+            _run("fleet"),
+        ]
+        path = _write(tmp_path, records)
+        assert main(["report", "--ledger", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_torn_tail_does_not_change_the_verdict(self, tmp_path, capsys):
+        """A crashed writer leaves a partial last line; the report reads
+        everything before it and judges normally."""
+        path = _write(
+            tmp_path,
+            _mixed_clean(),
+            tail='{"rec": "run", "kind": "sweep", "fail',
+        )
+        assert main(["report", "--ledger", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_torn_tail_cannot_hide_a_failure(self, tmp_path, capsys):
+        records = _mixed_clean() + [_run("policy", failures=3, ok=False)]
+        path = _write(tmp_path, records, tail='{"rec": "ru')
+        assert main(["report", "--ledger", str(path)]) == 1
+        capsys.readouterr()
+
+    def test_unknown_kinds_are_counted_not_fatal(self, tmp_path, capsys):
+        records = (
+            _mixed_clean()
+            + [{"rec": "quantum", "payload": 1}, {"rec": "teleport"}]
+        )
+        path = _write(tmp_path, records)
+        assert main(["report", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped 2 unrecognized record(s)" in out
+
+    def test_unknown_kinds_survive_json_mode(self, tmp_path, capsys):
+        records = _mixed_clean() + [{"rec": "quantum"}]
+        path = _write(tmp_path, records)
+        assert main(["report", "--ledger", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["overview"]["skipped_records"] == 1
+
+    @pytest.mark.parametrize(
+        "content",
+        ["", '{"rec": "po', "not json at all\n[1,2]\n"],
+        ids=["empty", "only-torn", "only-garbage"],
+    )
+    def test_unreadable_ledger_exits_2(self, tmp_path, capsys, content):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(content)
+        assert main(["report", "--ledger", str(path)]) == 2
+        assert "no records" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Delta-debugging for diverging differential scenarios.
+
+When the harness finds a scenario whose fastpath run diverges from the
+exact run, the raw reproducer is a bag of up to ten knobs -- most of
+them irrelevant.  :func:`shrink_scenario` greedily resets knobs to their
+:data:`~tests.equivalence.scenarios.BASELINE` values while the
+divergence persists (the same 1-minimal discipline as
+:func:`repro.faults.campaign.shrink_plan` uses over fault-grammar
+clauses), so what survives is the smallest knob set that still breaks
+equivalence -- the thing a human actually debugs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from tests.equivalence.scenarios import BASELINE, Scenario, changed_knobs
+
+__all__ = ["shrink_scenario"]
+
+
+def shrink_scenario(
+    scenario: Scenario, diverges: Callable[[Scenario], bool]
+) -> Scenario:
+    """Greedily reset knobs to baseline while ``diverges`` stays true.
+
+    Returns a 1-minimal scenario: resetting any single remaining
+    non-baseline knob loses the divergence.  ``diverges(scenario)`` must
+    be true on entry (the caller found the divergence; shrinking cannot
+    invent one).
+    """
+    if not diverges(scenario):
+        raise ValueError("shrink_scenario needs a diverging scenario to start")
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for name in changed_knobs(scenario):
+            candidate = dataclasses.replace(
+                scenario, **{name: getattr(BASELINE, name)}
+            )
+            if diverges(candidate):
+                scenario = candidate
+                shrunk = True
+                break
+    return scenario

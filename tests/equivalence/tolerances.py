@@ -1,0 +1,74 @@
+"""Every numeric tolerance the differential harness is allowed to use.
+
+House rule (enforced by ``tools/check_tolerances.py``): no approximate
+assertion anywhere in ``tests/equivalence/`` may carry an inline magic
+epsilon -- every slack must be one of these named constants, so each
+carries its rationale and widening one is a reviewed decision, not a
+drive-by edit.
+
+Three regimes, three very different contracts:
+
+- **Decline domain** (the fastpath gate refuses: writes, faults,
+  policies, wavy devices).  The run falls back to the exact kernel, so
+  the contract is *bit identity* -- there is no tolerance, and none is
+  defined here on purpose.  Comparison is flatten()-equality over the
+  whole result.
+
+- **Batch mode** (flat event sweep).  The sweep replays the event
+  kernel's queueing discipline station by station in arrival order, so
+  it is exact up to same-instant tie ordering between unrelated
+  stations (two events at the identical float timestamp, where the
+  engine's global sequence counter interleaves them differently than
+  the flat heap).  Random workloads essentially never tie; structured
+  sequential ones tie benignly.  The tolerances are therefore float-
+  noise-sized, not statistical.
+
+- **Splice mode** (analytic steady-state fast-forward).  Skipped
+  windows are *replicated*, not re-simulated: the resumed tail sees the
+  same RNG stream but a different in-flight interleaving than the
+  un-spliced run, so aggregate metrics agree statistically rather than
+  exactly.  The tolerances bound how far the stationarity detector's
+  own acceptance thresholds (rate/power within 2%, latency within 10%)
+  can let the replica drift from the ground truth, with tail quantiles
+  wider than medians because a p99 over a few hundred records moves in
+  whole-record quanta.
+"""
+
+# -- batch mode: hop-faithful flat sweep --------------------------------
+# IO count must agree exactly: the sweep evaluates the worker stop rule
+# at bit-identical submit instants.
+BATCH_IO_COUNT_ABS = 0
+# The central batch claim: the per-IO (submit, complete) record sequence
+# is bit-identical to the exact kernel's, *including* same-instant tie
+# interleavings, because the sweep schedules a flat counterpart of every
+# engine hop at the same instant and assigns sequence numbers at the
+# same moments (see repro/sim/fastpath/batch.py).  Any timing or
+# ordering divergence -- wrong service time, wrong queue discipline, a
+# tie broken differently -- perturbs this sequence; zero slack.
+BATCH_EVENT_TIME_ABS_S = 0.0
+# Bit-identical records make throughput exact too; mean power can move
+# by float summation order only (the sweep folds same-instant power
+# edges in sorted order, the engine applies them in callback order).
+BATCH_MEAN_POWER_RTOL = 1e-6
+BATCH_THROUGHPUT_RTOL = 1e-6
+# Latency quantiles are computed from the bit-identical records, so
+# these bounds cover nothing but the comparison arithmetic itself.
+BATCH_P50_LATENCY_RTOL = 1e-9
+BATCH_P99_LATENCY_RTOL = 1e-9
+
+# -- splice mode: statistical resume ------------------------------------
+# The detector admits windows whose completion rate drifts up to 2%
+# between observations; replicating such a window and resuming mid-queue
+# can shift the total completed count by a few window-to-window drifts.
+SPLICE_IO_COUNT_RTOL = 0.05
+# Mean power over the run mixes exact segments with replicated windows
+# the detector certified to 2%; the mix cannot drift further than that
+# certification plus edge effects at the splice boundaries.
+SPLICE_MEAN_POWER_RTOL = 0.03
+SPLICE_THROUGHPUT_RTOL = 0.05
+# Medians move little under resumed-interleaving noise; the detector
+# itself certifies latency stationarity only to 10%.
+SPLICE_P50_LATENCY_RTOL = 0.10
+# Tail quantiles over a few hundred records move in whole-record quanta
+# and the post-splice transient lands entirely in the tail.
+SPLICE_P99_LATENCY_RTOL = 0.20

@@ -25,9 +25,24 @@ class TestGoldenEquivalence:
     def test_fixture_set_is_nonempty(self):
         """An empty fixture directory must never silently pass the gate."""
         fixtures = sorted(golden_result.GOLDEN_DIR.glob("*.json"))
-        assert len(fixtures) >= 10
+        assert len(fixtures) >= 13
 
     def test_covers_every_catalog_device(self):
         """The grid must exercise each catalog device class at least once."""
         names = {p.stem.split("_")[0] for p in golden_result.GOLDEN_DIR.glob("*.json")}
         assert {"ssd1", "ssd2", "ssd3", "hdd"} <= names
+
+    def test_covers_policy_runtime_and_fleet(self):
+        """The composite paths -- online policy decisions and the fleet
+        epoch loop -- must be pinned alongside the single-device grid."""
+        stems = {p.stem for p in golden_result.GOLDEN_DIR.glob("*.json")}
+        assert "ssd2_policy_feedback" in stems
+        assert "ssd2_policy_ladder" in stems
+        assert "fleet_tiny" in stems
+
+    def test_every_named_case_has_a_fixture(self):
+        """golden_names() and the committed fixture set must agree, so a
+        new case cannot be added to the tool without committing its
+        fixture (and vice versa)."""
+        stems = {p.stem for p in golden_result.GOLDEN_DIR.glob("*.json")}
+        assert stems == set(golden_result.golden_names())

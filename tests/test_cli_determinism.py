@@ -1,0 +1,117 @@
+"""Hash-seed determinism of every CLI subcommand.
+
+Python randomizes ``hash()`` per process via ``PYTHONHASHSEED``, so any
+code path that lets builtin hashing leak into simulation state (seed
+derivation, set/dict iteration feeding a grid, cache-key digests) will
+produce different numbers in different interpreter invocations while
+looking perfectly deterministic inside one test process.  These tests
+spawn a real subprocess per hash seed -- 0, 1, and fully randomized --
+for *each* of the ten CLI subcommands and require the complete stdout
+(plus exit status) to be bit-identical across them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+HASH_SEEDS = ("0", "1", "random")
+
+#: One cheap, seeded invocation per subcommand.  ``{cache}`` is filled
+#: with a per-test temporary directory; ``report`` reads the fixed
+#: ledger a prior sweep subprocess wrote there, so its render must be a
+#: pure function of the ledger bytes.
+COMMANDS = {
+    "devices": ["devices"],
+    "run": [
+        "run", "--device", "ssd3", "--rw", "randread", "--bs", "64k",
+        "--iodepth", "4", "--runtime", "0.005", "--size", "2M",
+        "--seed", "7",
+    ],
+    "sweep": [
+        "sweep", "--device", "ssd3", "--rw", "randread", "--bs", "16k",
+        "--iodepth", "2", "--runtime", "0.004", "--size", "2M",
+        "--seed", "7", "--workers", "1",
+    ],
+    "figure": ["figure", "table1", "--quick"],
+    "validate": [
+        "validate", "--device", "ssd3", "--quick", "--seed", "7",
+        "--workers", "1",
+    ],
+    "policy": [
+        "policy", "--device", "ssd3", "--policy", "static", "--quick",
+        "--seed", "7", "--workers", "1",
+    ],
+    "chaos": [
+        "chaos", "--device", "ssd2", "--quick", "--seed", "7",
+        "--workers", "1", "--controllers", "feedback",
+        "--budget-cells", "2",
+    ],
+    "fleet": [
+        "fleet", "--quick", "--devices", "4", "--epochs", "2",
+        "--tenants", "8", "--seed", "7", "--workers", "1",
+    ],
+    "report": ["report", "--cache", "{cache}"],
+    "plan": ["plan", "--device", "ssd3", "--cut", "0.2"],
+}
+
+
+def _invoke(args: list[str], hashseed: str) -> tuple[int, str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, (
+        f"repro {' '.join(args)} failed under PYTHONHASHSEED={hashseed}:\n"
+        f"{proc.stderr}"
+    )
+    return proc.returncode, proc.stdout
+
+
+def _digest(code: int, out: str) -> str:
+    return hashlib.sha256(f"{code}\n{out}".encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def report_cache(tmp_path_factory) -> Path:
+    """A cache directory holding one fixed sweep ledger for ``report``."""
+    cache = tmp_path_factory.mktemp("det-cache")
+    _invoke(
+        [
+            "sweep", "--device", "ssd3", "--rw", "randread", "--bs", "16k",
+            "--iodepth", "2", "--runtime", "0.004", "--size", "2M",
+            "--seed", "7", "--workers", "1", "--cache", str(cache),
+        ],
+        hashseed="1",
+    )
+    assert (cache / "ledger.jsonl").exists()
+    return cache
+
+
+class TestHashSeedDeterminism:
+    @pytest.mark.parametrize("command", sorted(COMMANDS))
+    def test_subcommand_output_survives_hash_randomization(
+        self, command, report_cache
+    ):
+        args = [a.format(cache=report_cache) for a in COMMANDS[command]]
+        digests = {}
+        for hashseed in HASH_SEEDS:
+            code, out = _invoke(args, hashseed)
+            assert out.strip(), f"repro {command} printed nothing"
+            digests[hashseed] = _digest(code, out)
+        assert len(set(digests.values())) == 1, (
+            f"repro {command} output depends on the interpreter hash "
+            f"seed: {digests}"
+        )

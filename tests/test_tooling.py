@@ -13,6 +13,7 @@ import check_no_bare_hash  # noqa: E402
 import check_no_print  # noqa: E402
 import check_obs_guards  # noqa: E402
 import check_test_quality  # noqa: E402
+import check_tolerances  # noqa: E402
 
 
 class TestNoBareHashLint:
@@ -338,3 +339,59 @@ class TestCoverageGate:
         monkeypatch.setattr(check_coverage, "coverage_available", lambda: False)
         assert check_coverage.main([]) == 0
         assert "skipping" in capsys.readouterr().out
+
+
+class TestTolerancesLint:
+    def test_equivalence_suite_is_clean(self):
+        """Every approximate assertion in tests/equivalence/ must use a
+        named constant from tolerances.py -- no inline magic epsilons."""
+        assert check_tolerances.main([]) == 0
+
+    def test_detects_inline_comparison_epsilon(self, tmp_path, capsys):
+        bad = tmp_path / "test_bad.py"
+        bad.write_text("def test_x():\n    assert rel_error < 0.05\n")
+        assert check_tolerances.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "test_bad.py:2" in out and "0.05" in out
+
+    def test_detects_inline_approx_and_isclose(self, tmp_path, capsys):
+        bad = tmp_path / "test_bad.py"
+        bad.write_text(
+            "import math\n"
+            "import pytest\n"
+            "def test_x():\n"
+            "    assert x == pytest.approx(y, rel=1e-6)\n"
+            "    assert math.isclose(a, b, abs_tol=1e-9)\n"
+        )
+        assert check_tolerances.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "test_bad.py:4" in out
+        assert "test_bad.py:5" in out
+
+    def test_accepts_named_constants_counts_and_zero(self, tmp_path):
+        ok = tmp_path / "test_ok.py"
+        ok.write_text(
+            "import pytest\n"
+            "from tolerances import SPLICE_P50_LATENCY_RTOL as RTOL\n"
+            "def test_x():\n"
+            "    assert rel_error < tol.SPLICE_MEAN_POWER_RTOL\n"
+            "    assert x == pytest.approx(y, rel=RTOL)\n"
+            "    assert len(records) >= 200\n"
+            "    assert worst > 0.0\n"
+            "    runtime = ms * 1e-3  # arithmetic, not an assertion\n"
+        )
+        assert check_tolerances.main([str(tmp_path)]) == 0
+
+    def test_declarations_file_is_exempt(self, tmp_path):
+        decl = tmp_path / "tolerances.py"
+        decl.write_text("SOME_RTOL = 0.05\nassert SOME_RTOL < 0.1\n")
+        assert check_tolerances.main([str(tmp_path)]) == 0
+
+    def test_pragma_opts_out_with_reason(self, tmp_path):
+        ok = tmp_path / "test_ok.py"
+        ok.write_text(
+            "def test_x():\n"
+            "    # tolerance: structural bound, not a measurement slack\n"
+            "    assert fraction < 0.5\n"
+        )
+        assert check_tolerances.main([str(tmp_path)]) == 0

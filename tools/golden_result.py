@@ -116,13 +116,78 @@ def golden_configs() -> dict:
     configs["ssd2_seqwrite"] = ExperimentConfig(
         device="ssd2", job=job(IoPattern.WRITE, 4), seed=7
     )
+    # Online policy runtime: the feedback controller tracking a step
+    # budget, so the decision trail (ticks, set-point changes, retained
+    # samples) is pinned bit-for-bit alongside the physics.
+    from repro.policy import BudgetSchedule, PolicySpec
+
+    configs["ssd2_policy_feedback"] = ExperimentConfig(
+        device="ssd2",
+        job=job(IoPattern.RANDWRITE, 8),
+        seed=7,
+        policy=PolicySpec(
+            kind="feedback",
+            budget=BudgetSchedule.step(high_w=14.0, low_w=9.0, period_s=0.01),
+            interval_s=1.5e-3,
+            window_s=3e-3,
+        ),
+    )
+    configs["ssd2_policy_ladder"] = ExperimentConfig(
+        device="ssd2",
+        job=job(IoPattern.RANDWRITE, 8),
+        seed=7,
+        policy=PolicySpec(
+            kind="ladder",
+            budget=BudgetSchedule.diurnal(high_w=13.0, low_w=8.0, period_s=0.02),
+            interval_s=2e-3,
+            window_s=4e-3,
+        ),
+    )
     return configs
 
 
+def compute_fleet_golden() -> object:
+    """Epoch digests of a tiny but complete :func:`run_fleet` day.
+
+    The full :class:`~repro.fleet.cluster.FleetResult` carries rollup and
+    validation payloads whose shapes are free to evolve; the *physics* of
+    the run is the per-epoch budget/allocation/power/latency digest plus
+    the actuator ranges, so exactly that is pinned.
+    """
+    from repro._units import MiB
+    from repro.fleet import FleetSpec, run_fleet
+    from repro.studies.common import StudyScale
+
+    scale = StudyScale(
+        ssd_runtime_s=0.02,
+        ssd_bytes=12 * MiB,
+        hdd_runtime_s=1.0,
+        hdd_bytes=12 * MiB,
+    )
+    spec = FleetSpec.sized(
+        3, mix=("ssd1", "ssd2", "ssd3"), epochs=2, tenants=8, skew=1.0, seed=5
+    )
+    result = run_fleet(spec, scale)
+    return flatten(
+        {
+            "epochs": result.epochs,
+            "floors_w": result.floors_w,
+            "ceilings_w": result.ceilings_w,
+        }
+    )
+
+
 def compute_golden(name: str) -> object:
+    if name == "fleet_tiny":
+        return compute_fleet_golden()
     from repro.core.experiment import run_experiment
 
     return flatten(run_experiment(golden_configs()[name]))
+
+
+def golden_names() -> list:
+    """Every golden fixture name, experiment grid plus composite runs."""
+    return sorted(golden_configs()) + ["fleet_tiny"]
 
 
 def main(argv=None) -> int:
@@ -135,7 +200,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     failures = []
-    for name in sorted(golden_configs()):
+    for name in golden_names():
         path = GOLDEN_DIR / f"{name}.json"
         flat = compute_golden(name)
         if args.write:
